@@ -1,0 +1,170 @@
+package tsvstress
+
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (DESIGN.md §5 maps ids to experiments). Each
+// bench runs the corresponding experiment driver in Quick mode so the
+// whole harness finishes in minutes; cmd/tsvexp regenerates the
+// full-resolution numbers. Benchmarks report the headline error
+// statistics as custom metrics so `go test -bench` output doubles as a
+// shape check against the paper.
+
+import (
+	"testing"
+
+	"tsvstress/internal/exp"
+	"tsvstress/internal/material"
+	"tsvstress/internal/metrics"
+)
+
+// BenchmarkFigure3 regenerates the σxx line-scan comparison (FEM vs LS
+// vs PF) through two TSV centers at 10 µm pitch.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc, err := exp.RunLineScan(exp.Config{Quick: true}, material.BCB, 10, 20, 81)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var lsErr, pfErr float64
+		for k := range sc.X {
+			lsErr += absF(sc.LS[k] - sc.FEM[k])
+			pfErr += absF(sc.PF[k] - sc.FEM[k])
+		}
+		n := float64(len(sc.X))
+		b.ReportMetric(lsErr/n, "LSerr-MPa")
+		b.ReportMetric(pfErr/n, "PFerr-MPa")
+	}
+}
+
+// benchPair runs a two-TSV case and reports the monitored-region and
+// critical-region statistics for a component.
+func benchPair(b *testing.B, liner material.Material, d float64, comp metrics.Component) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		pc, err := exp.RunPairCase(exp.Config{Quick: true}, liner, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ls, pf, err := pc.Rows(comp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ls.Avg.AvgError, "LSavg-MPa")
+		b.ReportMetric(pf.Avg.AvgError, "PFavg-MPa")
+		b.ReportMetric(ls.Critical50.AvgErrorRate, "LScrit-pct")
+		b.ReportMetric(pf.Critical50.AvgErrorRate, "PFcrit-pct")
+	}
+}
+
+// BenchmarkTable1 regenerates the tightest-pitch row of Table 1
+// (BCB, σxx, d = 8 µm) — the paper's headline 36.8% → 14.3% case.
+func BenchmarkTable1(b *testing.B) { benchPair(b, material.BCB, 8, metrics.SigmaXX) }
+
+// BenchmarkTable3 regenerates the d = 8 row of Table 3 (BCB, von Mises).
+func BenchmarkTable3(b *testing.B) { benchPair(b, material.BCB, 8, metrics.VonMises) }
+
+// BenchmarkTable4 regenerates the d = 8 row of Table 4 (SiO2, σxx).
+func BenchmarkTable4(b *testing.B) { benchPair(b, material.SiO2, 8, metrics.SigmaXX) }
+
+// BenchmarkTable5 regenerates the d = 8 row of Table 5 (SiO2, von Mises).
+func BenchmarkTable5(b *testing.B) { benchPair(b, material.SiO2, 8, metrics.VonMises) }
+
+// BenchmarkFigure4 regenerates the d = 10 µm σxx error maps (LS vs PF).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.Config{Quick: true}
+		pc, err := exp.RunPairCase(cfg, material.BCB, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		em, err := exp.BuildErrorMaps(cfg, pc, RectAround(Pt(0, 0), 60, 30))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(em.MaxLS, "LSmax-MPa")
+		b.ReportMetric(em.MaxPF, "PFmax-MPa")
+	}
+}
+
+// BenchmarkTable2 regenerates the five-TSV statistics (σxx and von
+// Mises), and BenchmarkFigure6 its error maps; Figure 5 is the input
+// placement itself.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fc, err := exp.RunFiveCase(exp.Config{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ls, pf, err := fc.Rows(metrics.SigmaXX)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ls.Critical50.AvgErrorRate, "LScrit-pct")
+		b.ReportMetric(pf.Critical50.AvgErrorRate, "PFcrit-pct")
+	}
+}
+
+// BenchmarkFigure6 regenerates the five-TSV σxx error maps.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.Config{Quick: true}
+		fc, err := exp.RunFiveCase(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		em, err := fc.ErrorMaps(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(em.MaxLS, "LSmax-MPa")
+		b.ReportMetric(em.MaxPF, "PFmax-MPa")
+	}
+}
+
+// BenchmarkTable6 regenerates the scalability study's densest case
+// (case 1 scaled down): AR = additional PF time over LS time.
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunRuntimeCase(exp.RuntimeCase{Name: "1", NumTSV: 100, Density: 1e-2, NumPoints: 50_000}, 2013)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.AR, "AR-pct")
+	}
+}
+
+// BenchmarkAnalyzerPointLS and BenchmarkAnalyzerPointFull measure the
+// per-simulation-point cost of the two stages at the paper's densest
+// configuration — the microscopic quantities behind Table 6.
+func BenchmarkAnalyzerPointLS(b *testing.B) {
+	benchAnalyzerPoint(b, false)
+}
+
+// BenchmarkAnalyzerPointFull measures Stage I + Stage II per point.
+func BenchmarkAnalyzerPointFull(b *testing.B) {
+	benchAnalyzerPoint(b, true)
+}
+
+func benchAnalyzerPoint(b *testing.B, full bool) {
+	b.Helper()
+	pl := ArrayPlacement(10, 10, 10)
+	an, err := NewAnalyzer(Baseline(BCB), pl, AnalyzerOptions{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := Pt(5, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if full {
+			_ = an.StressAt(p)
+		} else {
+			_ = an.StressLS(p)
+		}
+	}
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

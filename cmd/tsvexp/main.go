@@ -1,0 +1,191 @@
+// Command tsvexp regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §5 for the experiment index) and writes
+// markdown reports plus CSV data into a results directory.
+//
+// Usage:
+//
+//	tsvexp -out results            # everything, full resolution
+//	tsvexp -quick -only tab1,fig3  # reduced resolution, selected ids
+//
+// Experiment ids: fig3, fig4, tab1, tab3 (BCB pair sweep shares tab1's
+// solves), tab4, tab5 (SiO2 sweep), fig6, tab2 (five-TSV), tab6
+// (scalability).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tsvstress/internal/exp"
+	"tsvstress/internal/geom"
+	"tsvstress/internal/material"
+	"tsvstress/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsvexp: ")
+	var (
+		outDir = flag.String("out", "results", "output directory")
+		quick  = flag.Bool("quick", false, "reduced resolution (for smoke runs)")
+		only   = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		seed   = flag.Int64("seed", 2013, "seed for random placements")
+	)
+	flag.Parse()
+
+	sel := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			sel[strings.TrimSpace(id)] = true
+		}
+	}
+	want := func(ids ...string) bool {
+		if len(sel) == 0 {
+			return true
+		}
+		for _, id := range ids {
+			if sel[id] {
+				return true
+			}
+		}
+		return false
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	cfg := exp.Config{Quick: *quick}
+	pitches := exp.Pitches
+	if *quick {
+		pitches = exp.QuickPitches
+	}
+
+	openOut := func(name string) *os.File {
+		f, err := os.Create(filepath.Join(*outDir, name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return f
+	}
+
+	if want("fig3") {
+		log.Print("fig3: σxx line scan, 2 TSVs, BCB, d=10 ...")
+		t0 := time.Now()
+		sc, err := exp.RunLineScan(cfg, material.BCB, 10, 25, 101)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := openOut("fig3.md")
+		fmt.Fprintf(f, "## Figure 3 — σxx along the line through two TSV centers (BCB, d=10µm)\n\n```\n")
+		if err := sc.Write(f, "sigma_xx (MPa) vs x (um)"); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(f, "```\n\nGenerated in %v.\n", time.Since(t0).Round(time.Second))
+		f.Close()
+		log.Printf("fig3 done in %v", time.Since(t0).Round(time.Second))
+	}
+
+	if want("tab1", "tab3", "fig4") {
+		log.Print("tab1/tab3/fig4: BCB pair sweep ...")
+		t0 := time.Now()
+		sw, err := exp.RunPairSweep(cfg, material.BCB, pitches)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := openOut("tab1_tab3.md")
+		fmt.Fprintf(f, "## Tables 1 and 3 — two-TSV pitch sweep, BCB liner\n\n")
+		if err := sw.WriteTable(f, metrics.SigmaXX, "Table 1 (measured): σxx"); err != nil {
+			log.Fatal(err)
+		}
+		if err := sw.WriteTable(f, metrics.VonMises, "Table 3 (measured): von Mises"); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+
+		// Figure 4 uses the d=10 case of the sweep.
+		for i, pc := range sw.Cases {
+			if pc.D != 10 && !(cfg.Quick && i == 1) {
+				continue
+			}
+			em, err := exp.BuildErrorMaps(cfg, pc, geom.RectAround(geom.Pt(0, 0), 60, 30))
+			if err != nil {
+				log.Fatal(err)
+			}
+			f := openOut("fig4.md")
+			fmt.Fprintf(f, "## Figure 4 — σxx error maps, 2 TSVs (BCB, d=%g)\n\n```\n", pc.D)
+			if err := em.Write(f, "two-TSV"); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(f, "```\n")
+			f.Close()
+			break
+		}
+		log.Printf("tab1/tab3/fig4 done in %v", time.Since(t0).Round(time.Second))
+	}
+
+	if want("tab4", "tab5") {
+		log.Print("tab4/tab5: SiO2 pair sweep ...")
+		t0 := time.Now()
+		sw, err := exp.RunPairSweep(cfg, material.SiO2, pitches)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := openOut("tab4_tab5.md")
+		fmt.Fprintf(f, "## Tables 4 and 5 — two-TSV pitch sweep, SiO2 liner\n\n")
+		if err := sw.WriteTable(f, metrics.SigmaXX, "Table 4 (measured): σxx"); err != nil {
+			log.Fatal(err)
+		}
+		if err := sw.WriteTable(f, metrics.VonMises, "Table 5 (measured): von Mises"); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		log.Printf("tab4/tab5 done in %v", time.Since(t0).Round(time.Second))
+	}
+
+	if want("tab2", "fig6", "fig5") {
+		log.Print("tab2/fig6: five-TSV placement ...")
+		t0 := time.Now()
+		fc, err := exp.RunFiveCase(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := openOut("tab2_fig6.md")
+		fmt.Fprintf(f, "## Table 2 and Figure 6 — five-TSV placement (Fig. 5, min pitch 10µm, BCB)\n\n")
+		if err := fc.WriteTable(f, "Table 2 (measured)"); err != nil {
+			log.Fatal(err)
+		}
+		em, err := fc.ErrorMaps(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(f, "```\n")
+		if err := em.Write(f, "five-TSV"); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(f, "```\n")
+		f.Close()
+		log.Printf("tab2/fig6 done in %v", time.Since(t0).Round(time.Second))
+	}
+
+	if want("tab6") {
+		log.Print("tab6: scalability ...")
+		t0 := time.Now()
+		results, err := exp.RunTable6(*quick, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := openOut("tab6.md")
+		if err := exp.WriteTable6(f, results); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		log.Printf("tab6 done in %v", time.Since(t0).Round(time.Second))
+	}
+
+	log.Printf("results written to %s", *outDir)
+}

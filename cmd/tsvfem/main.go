@@ -1,0 +1,102 @@
+// Command tsvfem runs the in-house plane-stress finite-element golden
+// solver on a placement and writes a stress map CSV — the reference the
+// analytical methods are validated against.
+//
+// Usage:
+//
+//	tsvfem -placement chip.json -region 60x30 -spacing 0.5 -o fem.csv
+//	tsvfem -placement chip.json -h 0.25 -raw     # single-mesh solve
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"tsvstress/internal/fem"
+	"tsvstress/internal/field"
+	"tsvstress/internal/geom"
+	"tsvstress/internal/placefile"
+	"tsvstress/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsvfem: ")
+	var (
+		placementPath = flag.String("placement", "", "placement JSON file (required; - for stdin)")
+		regionSpec    = flag.String("region", "", "map region WxH in µm (default: placement bounds + 25)")
+		spacing       = flag.Float64("spacing", 0.5, "simulation point spacing in µm")
+		h             = flag.Float64("h", 0.5, "global mesh size in µm")
+		margin        = flag.Float64("margin", 12, "solve-domain margin beyond the region in µm")
+		raw           = flag.Bool("raw", false, "single-mesh solve instead of the submodel golden")
+		out           = flag.String("o", "-", "output CSV path (- for stdout)")
+	)
+	flag.Parse()
+	if *placementPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pl, st, err := placefile.Load(*placementPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	region := pl.Bounds(25)
+	if *regionSpec != "" {
+		var w, hh float64
+		if _, err := fmt.Sscanf(strings.ToLower(*regionSpec), "%fx%f", &w, &hh); err != nil {
+			log.Fatalf("bad -region %q: %v", *regionSpec, err)
+		}
+		region = geom.RectAround(pl.Bounds(0).Center(), w, hh)
+	}
+	domain := fem.DomainFor(pl, st, region, *margin)
+
+	t0 := time.Now()
+	var golden fem.Field
+	if *raw {
+		res, err := fem.Solve(pl, st, domain, fem.Options{H: *h})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("raw solve: %d DOF, %d CG iterations, residual %.2g",
+			res.Stats.DOF, res.Stats.Iterations, res.Stats.Residual)
+		golden = res
+	} else {
+		sub, err := fem.SolveSubmodel(pl, st, domain, fem.SubmodelOptions{GlobalH: *h})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("submodel golden: global fine %d DOF, %d patches",
+			sub.Global.Fine.Stats.DOF, len(sub.Patches))
+		golden = sub
+	}
+	log.Printf("solved in %v", time.Since(t0).Round(time.Millisecond))
+
+	grid, err := field.NewGrid(region, *spacing)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pts := field.Masked(grid.Points(), field.OutsideTSVs(pl, st.RPrime))
+	vals := make([]tensor.Stress, len(pts))
+	for i, p := range pts {
+		vals[i] = golden.StressAt(p)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := field.WriteCSV(w, pts, map[string][]tensor.Stress{"fem": vals},
+		[]string{"xx", "yy", "xy", "vm"}); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+// Command tsvstress analyzes the TSV-induced stress of a placement with
+// the semi-analytical framework (or the linear-superposition baseline)
+// and writes a stress map CSV.
+//
+// Usage:
+//
+//	tsvstress -placement chip.json -region 60x30 -spacing 0.5 -o map.csv
+//	tsvstress -placement chip.json -ls            # baseline only
+//	tsvstress -placement chip.json -at 5,2        # single-point query
+//
+// The placement file schema is documented in internal/placefile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"tsvstress/internal/core"
+	"tsvstress/internal/field"
+	"tsvstress/internal/geom"
+	"tsvstress/internal/placefile"
+	"tsvstress/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsvstress: ")
+	var (
+		placementPath = flag.String("placement", "", "placement JSON file (required; - for stdin)")
+		regionSpec    = flag.String("region", "", "map region WxH in µm centered on the placement (default: placement bounds + 25)")
+		spacing       = flag.Float64("spacing", 0.5, "simulation point spacing in µm")
+		out           = flag.String("o", "-", "output CSV path (- for stdout)")
+		lsOnly        = flag.Bool("ls", false, "linear superposition only (skip the interactive stage)")
+		at            = flag.String("at", "", "query a single point \"x,y\" instead of a map")
+		includeVias   = flag.Bool("include-vias", false, "include points inside TSV footprints")
+	)
+	flag.Parse()
+	if *placementPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pl, st, err := placefile.Load(*placementPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := core.New(st, pl, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *at != "" {
+		var x, y float64
+		if _, err := fmt.Sscanf(*at, "%f,%f", &x, &y); err != nil {
+			log.Fatalf("bad -at %q: %v", *at, err)
+		}
+		p := geom.Pt(x, y)
+		ls := an.StressLS(p)
+		full := an.StressAt(p)
+		fmt.Printf("point (%g, %g) µm\n", x, y)
+		fmt.Printf("  LS:  σxx=%.3f σyy=%.3f σxy=%.3f vonMises=%.3f MPa\n", ls.XX, ls.YY, ls.XY, ls.VonMises())
+		fmt.Printf("  PF:  σxx=%.3f σyy=%.3f σxy=%.3f vonMises=%.3f MPa\n", full.XX, full.YY, full.XY, full.VonMises())
+		return
+	}
+
+	region := pl.Bounds(25)
+	if *regionSpec != "" {
+		var w, h float64
+		if _, err := fmt.Sscanf(strings.ToLower(*regionSpec), "%fx%f", &w, &h); err != nil {
+			log.Fatalf("bad -region %q: %v", *regionSpec, err)
+		}
+		region = geom.RectAround(pl.Bounds(0).Center(), w, h)
+	}
+	grid, err := field.NewGrid(region, *spacing)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pts := grid.Points()
+	if !*includeVias {
+		pts = field.Masked(pts, field.OutsideTSVs(pl, st.RPrime))
+	}
+
+	mode := core.ModeFull
+	name := "pf"
+	if *lsOnly {
+		mode = core.ModeLS
+		name = "ls"
+	}
+	t0 := time.Now()
+	vals := an.Map(pts, mode)
+	log.Printf("%d TSVs, %d points, %s mode: %v", pl.Len(), len(pts), name, time.Since(t0).Round(time.Millisecond))
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := field.WriteCSV(w, pts, map[string][]tensor.Stress{name: vals},
+		[]string{"xx", "yy", "xy", "vm"}); err != nil {
+		log.Fatal(err)
+	}
+}

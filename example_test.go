@@ -1,0 +1,67 @@
+package tsvstress_test
+
+import (
+	"fmt"
+
+	"tsvstress"
+)
+
+// The minimal analysis flow: build the baseline structure, place two
+// TSVs, and compare the linear-superposition baseline with the
+// interactive-stress-aware framework at the gap midpoint.
+func Example() {
+	st := tsvstress.Baseline(tsvstress.BCB)
+	pl := tsvstress.PairPlacement(10)
+	an, err := tsvstress.NewAnalyzer(st, pl, tsvstress.AnalyzerOptions{})
+	if err != nil {
+		panic(err)
+	}
+	mid := tsvstress.Pt(0, 0)
+	fmt.Printf("LS  sxx = %.1f MPa\n", an.StressLS(mid).XX)
+	fmt.Printf("PF  sxx = %.1f MPa\n", an.StressAt(mid).XX)
+	// Output:
+	// LS  sxx = 58.1 MPa
+	// PF  sxx = 37.4 MPa
+}
+
+// The analytical single-TSV solution gives the Eq. (6) decay constant
+// and the stress anywhere around an isolated via.
+func ExampleSolveSingleTSV() {
+	sol, err := tsvstress.SolveSingleTSV(tsvstress.Baseline(tsvstress.BCB))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("K = %.1f MPa*um^2\n", sol.K)
+	s := sol.StressAt(tsvstress.Pt(6, 0), tsvstress.Pt(0, 0))
+	fmt.Printf("sxx(6um) = %.2f MPa\n", s.XX)
+	// Output:
+	// K = 725.9 MPa*um^2
+	// sxx(6um) = 20.16 MPa
+}
+
+// Mobility variation and keep-out zones follow directly from the stress
+// tensor via the piezoresistance model.
+func ExampleKeepOutRadius() {
+	st := tsvstress.Baseline(tsvstress.BCB)
+	r, err := tsvstress.KeepOutRadius(st, tsvstress.PMOS, 0.01)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("PMOS 1%% KOZ radius = %.1f um\n", r)
+	// Output:
+	// PMOS 1% KOZ radius = 10.0 um
+}
+
+// Error metrics in the paper's layout: compare two sampled fields above
+// a stress threshold.
+func ExampleCompareFields() {
+	golden := []tsvstress.Stress{{XX: 100}, {XX: 60}, {XX: 5}}
+	method := []tsvstress.Stress{{XX: 110}, {XX: 57}, {XX: 9}}
+	stats, err := tsvstress.CompareFields(golden, method, "xx", 50)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("n=%d avg=%.1f MPa rate=%.1f%%\n", stats.N, stats.AvgError, stats.AvgErrorRate)
+	// Output:
+	// n=2 avg=6.5 MPa rate=7.5%
+}

@@ -1,0 +1,68 @@
+// Five-TSV validation: reproduce the Section 5.2 experiment of the
+// paper end to end — solve the in-house FEM golden for the five-TSV
+// cross placement, run both analytical methods, and print the Table-2
+// style error statistics plus an ASCII error map (Figure 6).
+//
+// This example runs the FEM solver at reduced resolution so it
+// completes in a few seconds; cmd/tsvexp regenerates the full-accuracy
+// numbers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"tsvstress"
+	"tsvstress/internal/exp"
+	"tsvstress/internal/metrics"
+)
+
+func main() {
+	fmt.Println("Solving the five-TSV cross (min pitch 10 um, BCB liner)...")
+	fc, err := exp.RunFiveCase(exp.Config{Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, c := range []struct {
+		name string
+		comp metrics.Component
+	}{{"sigma_xx", metrics.SigmaXX}, {"von Mises", metrics.VonMises}} {
+		ls, pf, err := fc.Rows(c.comp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s over the 60x60 um monitored region (%d points):\n",
+			c.name, ls.MonitoredPts)
+		fmt.Printf("  linear superposition: avg err %.2f MPa, rate@50MPa %.1f%%, critical %.1f%%\n",
+			ls.Avg.AvgError, ls.Thresh50.AvgErrorRate, ls.Critical50.AvgErrorRate)
+		fmt.Printf("  proposed framework:   avg err %.2f MPa, rate@50MPa %.1f%%, critical %.1f%%\n",
+			pf.Avg.AvgError, pf.Thresh50.AvgErrorRate, pf.Critical50.AvgErrorRate)
+	}
+
+	em, err := fc.ErrorMaps(exp.Config{Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := em.Write(os.Stdout, "five-TSV placement"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The same fields are available through the public API for custom
+	// post-processing, e.g. the worst von Mises hotspot:
+	st := tsvstress.Baseline(tsvstress.BCB)
+	an, err := tsvstress.NewAnalyzer(st, tsvstress.FiveCrossPlacement(10), tsvstress.AnalyzerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var worst tsvstress.Point
+	var worstVM float64
+	for _, p := range fc.Monitored {
+		if vm := an.StressAt(p).VonMises(); vm > worstVM {
+			worstVM, worst = vm, p
+		}
+	}
+	fmt.Printf("worst von Mises hotspot: %.1f MPa at (%.2f, %.2f) um\n", worstVM, worst.X, worst.Y)
+}

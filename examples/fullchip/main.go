@@ -1,0 +1,108 @@
+// Full-chip analysis: place 500 TSVs at realistic density, evaluate the
+// stress field over two million device-layer points with both methods,
+// and report keep-out-zone style statistics — the workload the paper's
+// introduction motivates (stress-aware placement and reliability
+// analysis).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"tsvstress"
+)
+
+func main() {
+	st := tsvstress.Baseline(tsvstress.BCB)
+
+	const (
+		numTSV  = 500
+		density = 0.5e-2 // µm⁻² (half the paper's densest case)
+		numPts  = 200_000
+	)
+	pl, err := tsvstress.RandomPlacement(numTSV, density, 8, 2013)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placement: %d TSVs, min pitch %.2f um, density %.3g /um^2\n",
+		pl.Len(), pl.MinPitch(), pl.Density(5))
+
+	t0 := time.Now()
+	an, err := tsvstress.NewAnalyzer(st, pl, tsvstress.AnalyzerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analyzer built in %v (%d interactive pair rounds)\n",
+		time.Since(t0).Round(time.Millisecond), an.NumPairRounds())
+
+	// Random device-layer simulation points over the chip.
+	rng := rand.New(rand.NewSource(7))
+	b := pl.Bounds(5)
+	pts := make([]tsvstress.Point, 0, numPts)
+	for len(pts) < numPts {
+		p := tsvstress.Pt(b.Min.X+rng.Float64()*b.W(), b.Min.Y+rng.Float64()*b.H())
+		if _, d := pl.NearestTSV(p); d < st.RPrime {
+			continue // devices cannot sit inside a via
+		}
+		pts = append(pts, p)
+	}
+
+	t1 := time.Now()
+	ls := an.Map(pts, tsvstress.ModeLS)
+	tLS := time.Since(t1)
+	t2 := time.Now()
+	full := an.Map(pts, tsvstress.ModeFull)
+	tFull := time.Since(t2)
+	fmt.Printf("stage I (linear superposition): %v for %d points\n", tLS.Round(time.Millisecond), numPts)
+	fmt.Printf("stage I+II (proposed):          %v (+%.0f%%)\n",
+		tFull.Round(time.Millisecond), 100*float64(tFull-tLS)/float64(tLS))
+
+	// Keep-out-zone style report: how many candidate device sites
+	// exceed von Mises thresholds, and how far the baseline misjudges
+	// them.
+	for _, thr := range []float64{25, 50, 100} {
+		nLS, nPF, flips := 0, 0, 0
+		for i := range pts {
+			a := ls[i].VonMises() > thr
+			b := full[i].VonMises() > thr
+			if a {
+				nLS++
+			}
+			if b {
+				nPF++
+			}
+			if a != b {
+				flips++
+			}
+		}
+		fmt.Printf("von Mises > %5.0f MPa: LS flags %6d sites, PF %6d (%d sites misclassified by LS)\n",
+			thr, nLS, nPF, flips)
+	}
+
+	// Worst hotspot under the accurate model.
+	var worstVM float64
+	var worst tsvstress.Point
+	for i, p := range pts {
+		if vm := full[i].VonMises(); vm > worstVM {
+			worstVM, worst = vm, p
+		}
+	}
+	_, dNear := pl.NearestTSV(worst)
+	fmt.Printf("worst hotspot: %.1f MPa von Mises at (%.1f, %.1f), %.2f um from the nearest TSV\n",
+		worstVM, worst.X, worst.Y, dNear)
+
+	// Interfacial reliability screening: rank vias by debonding risk
+	// (maximum radial tension on the liner/substrate interface).
+	reports, err := tsvstress.ScreenReliability(pl, st, an.StressAt, tsvstress.ReliabilityOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranked := tsvstress.RankByTension(reports)
+	fmt.Println("\ntop interfacial-tension vias (debonding screening):")
+	for _, r := range ranked[:3] {
+		fmt.Printf("  TSV %3d at (%6.1f, %6.1f): interface tension %.1f MPa, shear %.1f MPa\n",
+			r.Index, r.Center.X, r.Center.Y, r.MaxTension, r.MaxShear)
+	}
+}

@@ -1,0 +1,54 @@
+// Keep-out-zone study: turn TSV-induced stress into the device-impact
+// metric designers actually budget — carrier mobility variation — and
+// derive keep-out zones, the application of the stress-aware placement
+// literature the paper builds on (its references [1] and [2]).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tsvstress"
+)
+
+func main() {
+	for _, liner := range []tsvstress.Material{tsvstress.BCB, tsvstress.SiO2} {
+		st := tsvstress.Baseline(liner)
+		fmt.Printf("=== %s liner ===\n", liner.Name)
+
+		// Single-TSV keep-out radii at the usual mobility budgets.
+		for _, tol := range []float64{0.05, 0.02, 0.01, 0.005} {
+			rn, err := tsvstress.KeepOutRadius(st, tsvstress.NMOS, tol)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rp, err := tsvstress.KeepOutRadius(st, tsvstress.PMOS, tol)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  |dmu/mu| < %4.1f%%: KOZ radius NMOS %5.2f um, PMOS %5.2f um\n",
+				tol*100, rn, rp)
+		}
+
+		// For a tight pair, interactive stress changes the mobility map
+		// between the vias: compare the baseline and framework
+		// predictions for a PMOS channel along x at the midpoint.
+		pl := tsvstress.PairPlacement(8)
+		an, err := tsvstress.NewAnalyzer(st, pl, tsvstress.AnalyzerOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		k := tsvstress.PiezoDefaults(tsvstress.PMOS)
+		mid := tsvstress.Pt(0, 0)
+		lsShift := tsvstress.MobilityShift(an.StressLS(mid), 0, k)
+		pfShift := tsvstress.MobilityShift(an.StressAt(mid), 0, k)
+		fmt.Printf("  8um pair midpoint, PMOS along x: dmu/mu LS %+.2f%%, framework %+.2f%%\n",
+			100*lsShift, 100*pfShift)
+		worst, theta := tsvstress.WorstMobilityShift(an.StressAt(mid), k)
+		fmt.Printf("  worst orientation there: %+.2f%% at %.0f deg\n\n",
+			100*worst, theta*180/3.14159265)
+	}
+	fmt.Println("PMOS keep-out zones dominate (|piL - piT| is ~10x the NMOS value),")
+	fmt.Println("and the linear-superposition baseline misjudges mobility between")
+	fmt.Println("tightly pitched TSVs by several percentage points.")
+}

@@ -1,0 +1,44 @@
+// Pitch sweep: quantify where linear superposition breaks down as TSVs
+// get closer, using the analytical interactive-stress model directly
+// (no FEM required) — the design-space study behind the paper's
+// contribution (2): LS error grows as pitch shrinks.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"tsvstress"
+)
+
+func main() {
+	for _, liner := range []tsvstress.Material{tsvstress.BCB, tsvstress.SiO2} {
+		st := tsvstress.Baseline(liner)
+		sol, err := tsvstress.SolveSingleTSV(st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("liner %s: single-TSV substrate constant K = %.1f MPa*um^2\n", liner.Name, sol.K)
+		fmt.Printf("%8s %16s %16s %16s\n", "pitch", "LS sxx @mid", "interactive", "correction %")
+		for _, d := range []float64{8, 9, 10, 12, 15, 20, 25, 30} {
+			pl := tsvstress.PairPlacement(d)
+			an, err := tsvstress.NewAnalyzer(st, pl, tsvstress.AnalyzerOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			mid := tsvstress.Pt(0, 0)
+			ls := an.StressLS(mid).XX
+			corr := an.Interactive(mid).XX
+			pct := 0.0
+			if ls != 0 {
+				pct = 100 * math.Abs(corr) / math.Abs(ls)
+			}
+			fmt.Printf("%6.0fum %13.2f %16.2f %15.1f%%\n", d, ls, corr, pct)
+		}
+		fmt.Println()
+	}
+	fmt.Println("The interactive correction (the stress LS misses) grows like")
+	fmt.Println("(R'/d)^2 as pitch shrinks, and is far larger for the compliant")
+	fmt.Println("BCB liner than for SiO2 — exactly the paper's Section 2.2 claim.")
+}

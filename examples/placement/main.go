@@ -1,0 +1,75 @@
+// Stress-aware placement optimization: start from a deliberately bad
+// TSV cluster next to critical device sites, then let the optimizer
+// move the vias until every site meets its mobility budget — the
+// layout-optimization flow the paper's conclusion motivates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tsvstress"
+)
+
+func main() {
+	st := tsvstress.Baseline(tsvstress.BCB)
+
+	// A tight 3-TSV cluster around a block of PMOS-critical sites.
+	initial := tsvstress.NewPlacement(
+		tsvstress.Pt(-5, 0),
+		tsvstress.Pt(5, 0),
+		tsvstress.Pt(0, 7),
+	)
+	sites := []tsvstress.Point{
+		tsvstress.Pt(0, 0), tsvstress.Pt(0, 3.5), tsvstress.Pt(-2, 2),
+		tsvstress.Pt(2, 2), tsvstress.Pt(-8, 4), tsvstress.Pt(8, 4),
+	}
+
+	budget := 0.02 // 2% worst-orientation mobility shift
+	report := func(label string, pl *tsvstress.Placement) {
+		an, err := tsvstress.NewAnalyzer(st, pl, tsvstress.AnalyzerOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		k := tsvstress.PiezoDefaults(tsvstress.PMOS)
+		bad := 0
+		worstAll := 0.0
+		for _, site := range sites {
+			shift, _ := tsvstress.WorstMobilityShift(an.StressAt(site), k)
+			if -shift > budget {
+				bad++
+			}
+			if -shift > worstAll {
+				worstAll = -shift
+			}
+		}
+		fmt.Printf("%s: %d/%d sites over the %.0f%% budget; worst |dmu/mu| = %.2f%%\n",
+			label, bad, len(sites), budget*100, worstAll*100)
+		for _, t := range pl.TSVs {
+			fmt.Printf("    TSV at (%6.2f, %6.2f)\n", t.Center.X, t.Center.Y)
+		}
+	}
+
+	report("before", initial)
+
+	res, err := tsvstress.OptimizePlacement(st, initial, sites, tsvstress.OptimizeOptions{
+		Region:         tsvstress.RectAround(tsvstress.Pt(0, 0), 70, 70),
+		MobilityBudget: budget,
+		Carrier:        tsvstress.PMOS, // hole channels dominate the KOZ
+		Iterations:     1500,
+		Seed:           42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\noptimizer: cost %.3g -> %.3g, %d/%d moves accepted, violations %d -> %d\n\n",
+		res.InitialCost, res.FinalCost, res.Accepted, res.Iterations,
+		res.InitialViolations, res.FinalViolations)
+	report("after", res.Placement)
+
+	fmt.Println("\nThe optimizer uses the interactive-stress-aware model, so it")
+	fmt.Println("knows tight pairs stress their surroundings *less* than linear")
+	fmt.Println("superposition predicts between the vias — and moves vias only as")
+	fmt.Println("far as the accurate field requires.")
+}

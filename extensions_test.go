@@ -1,0 +1,79 @@
+package tsvstress
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicMobilityAPI(t *testing.T) {
+	k := PiezoDefaults(PMOS)
+	if k.PiL <= 0 {
+		t.Error("PMOS πL should be positive")
+	}
+	s := Stress{XX: 100}
+	if MobilityShift(s, 0, k) >= 0 {
+		t.Error("PMOS under longitudinal tension should lose mobility")
+	}
+	worst, _ := WorstMobilityShift(s, k)
+	// For uniaxial σxx the longitudinal channel IS the worst case;
+	// allow round-off on the equality.
+	if worst > MobilityShift(s, 0, k)+1e-12 {
+		t.Error("worst case should not exceed a specific orientation")
+	}
+	r, err := KeepOutRadius(Baseline(BCB), PMOS, 0.01)
+	if err != nil || r < 3 {
+		t.Errorf("KOZ radius = %v, %v", r, err)
+	}
+	bad := Baseline(BCB)
+	bad.R = -1
+	if _, err := KeepOutRadius(bad, PMOS, 0.01); err == nil {
+		t.Error("bad structure should fail")
+	}
+}
+
+func TestPublicPlaneStrainAPI(t *testing.T) {
+	ps, err := SolveSingleTSVPlane(Baseline(BCB), PlaneStress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := SolveSingleTSVPlane(Baseline(BCB), PlaneStrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pe.K > ps.K) {
+		t.Errorf("plane-strain K %v should exceed plane-stress K %v", pe.K, ps.K)
+	}
+	// FEM accepts the plane mode.
+	pl := NewPlacement(Pt(0, 0))
+	dom := FEMDomainFor(pl, Baseline(BCB), RectAround(Pt(0, 0), 16, 16), 4)
+	res, err := SolveFEM(pl, Baseline(BCB), dom, FEMOptions{H: 0.5, Plane: PlaneStrain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.StressAt(Pt(5, 0)).XX
+	want := pe.StressAt(Pt(5, 0), Pt(0, 0)).XX
+	if math.Abs(got-want) > 0.35*math.Abs(want) {
+		t.Errorf("plane-strain FEM σxx %v vs analytic %v", got, want)
+	}
+}
+
+func TestPublicOptimizeAPI(t *testing.T) {
+	st := Baseline(BCB)
+	initial := PairPlacement(8)
+	sites := []Point{Pt(0, 0), Pt(0, 4)}
+	res, err := OptimizePlacement(st, initial, sites, OptimizeOptions{
+		Region:     RectAround(Pt(0, 0), 50, 50),
+		Carrier:    PMOS,
+		Iterations: 200,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalCost > res.InitialCost {
+		t.Errorf("cost grew: %v → %v", res.InitialCost, res.FinalCost)
+	}
+	if res.Placement.Len() != 2 {
+		t.Error("placement size changed")
+	}
+}

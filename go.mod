@@ -1,0 +1,3 @@
+module tsvstress
+
+go 1.22

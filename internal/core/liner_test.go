@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"tsvstress/internal/geom"
+	"tsvstress/internal/material"
+)
+
+// Section 2.2 of the paper: interactive stress is severe for the
+// compliant BCB liner and mild for SiO2, because the liner/substrate
+// stiffness mismatch drives the scattering. Verify the *relative*
+// correction ordering at the pair midpoint across pitches.
+func TestBCBInteractiveStrongerThanSiO2(t *testing.T) {
+	for _, d := range []float64{8, 10, 12} {
+		rel := func(liner material.Material) float64 {
+			an, err := New(material.Baseline(liner), geom.NewPlacement(geom.Pt(-d/2, 0), geom.Pt(d/2, 0)), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mid := geom.Pt(0, 0)
+			ls := an.StressLS(mid).XX
+			corr := an.Interactive(mid).XX
+			return math.Abs(corr / ls)
+		}
+		bcb, sio2 := rel(material.BCB), rel(material.SiO2)
+		if bcb <= sio2 {
+			t.Errorf("d=%g: relative correction BCB %.3f ≤ SiO2 %.3f", d, bcb, sio2)
+		}
+	}
+}
+
+// A TSV pair aligned with y instead of x must give the mirrored field —
+// the Stage II frame rotation handles arbitrary pair orientations.
+func TestPairOrientationEquivalence(t *testing.T) {
+	st := material.Baseline(material.BCB)
+	horiz, err := New(st, geom.NewPlacement(geom.Pt(-5, 0), geom.Pt(5, 0)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vert, err := New(st, geom.NewPlacement(geom.Pt(0, -5), geom.Pt(0, 5)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 1}, {X: -3, Y: 4}} {
+		h := horiz.StressAt(p)
+		// Rotate the configuration by 90°: point (x,y) → (−y,x); the
+		// tensor components swap accordingly.
+		v := vert.StressAt(geom.Pt(-p.Y, p.X))
+		tol := 1e-9 * (1 + math.Abs(h.XX) + math.Abs(h.YY) + math.Abs(h.XY))
+		if math.Abs(h.XX-v.YY) > tol || math.Abs(h.YY-v.XX) > tol || math.Abs(h.XY+v.XY) > tol {
+			t.Fatalf("rotation equivalence broken at %v: %v vs %v", p, h, v)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Package exp contains the experiment drivers that regenerate every
+// table and figure of the paper's evaluation (see DESIGN.md §5 for the
+// experiment index). The same drivers back cmd/tsvexp and the
+// bench_test.go harness; Quick mode trades resolution for speed so the
+// full suite stays runnable in CI.
+package exp
+
+import (
+	"tsvstress/internal/material"
+)
+
+// Config carries the resolution knobs shared by all experiments.
+type Config struct {
+	// FEMH is the coarse mesh size of the Richardson golden pair in µm
+	// (default 0.25; the effective accuracy is that of the h/2 mesh
+	// extrapolated, <1% on the single-TSV K).
+	FEMH float64
+	// PointSpacing is the simulation-point lattice spacing in µm
+	// (default 0.25).
+	PointSpacing float64
+	// Margin is the FEM domain margin beyond the monitored region in
+	// µm (default 20).
+	Margin float64
+	// Quick selects reduced resolution for tests and benches.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Quick {
+		if c.FEMH <= 0 {
+			c.FEMH = 0.5
+		}
+		if c.PointSpacing <= 0 {
+			c.PointSpacing = 0.5
+		}
+		if c.Margin <= 0 {
+			c.Margin = 12
+		}
+		return c
+	}
+	if c.FEMH <= 0 {
+		c.FEMH = 0.25
+	}
+	if c.PointSpacing <= 0 {
+		c.PointSpacing = 0.25
+	}
+	if c.Margin <= 0 {
+		c.Margin = 12
+	}
+	return c
+}
+
+// Pitches is the pitch sweep of Tables 1 and 3–5 (µm).
+var Pitches = []float64{8, 9, 10, 11, 12, 18, 30}
+
+// QuickPitches is the reduced sweep used in Quick mode.
+var QuickPitches = []float64{8, 12, 30}
+
+// CriticalRadius is the paper's critical-region radius (µm).
+const CriticalRadius = 3.3
+
+// Liner returns the liner material by name ("bcb" or "sio2").
+func Liner(name string) (material.Material, bool) {
+	switch name {
+	case "bcb", "BCB":
+		return material.BCB, true
+	case "sio2", "SiO2":
+		return material.SiO2, true
+	}
+	return material.Material{}, false
+}

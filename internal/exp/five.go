@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"tsvstress/internal/core"
+	"tsvstress/internal/fem"
+	"tsvstress/internal/field"
+	"tsvstress/internal/geom"
+	"tsvstress/internal/material"
+	"tsvstress/internal/metrics"
+	"tsvstress/internal/placegen"
+	"tsvstress/internal/report"
+	"tsvstress/internal/tensor"
+)
+
+// FiveCase is the solved five-TSV experiment of Section 5.2 (Figures 5
+// and 6, Table 2).
+type FiveCase struct {
+	Placement               *geom.Placement
+	Monitored               []geom.Point
+	Critical                []geom.Point
+	GoldenMon, LSMon, PFMon []tensor.Stress
+	GoldenCrt, LSCrt, PFCrt []tensor.Stress
+	NX, NY                  int
+	Region                  geom.Rect
+}
+
+// monitoredRegion5 is the 60×60 µm monitored region of Section 5.2.
+func monitoredRegion5() geom.Rect { return geom.RectAround(geom.Pt(0, 0), 60, 60) }
+
+// RunFiveCase solves the five-TSV experiment (min pitch 10 µm, BCB).
+func RunFiveCase(cfg Config) (*FiveCase, error) {
+	cfg = cfg.withDefaults()
+	st := material.Baseline(material.BCB)
+	pl := placegen.FiveCross(10)
+	region := monitoredRegion5()
+
+	golden, err := fem.SolveSubmodel(pl, st, fem.DomainFor(pl, st, region, cfg.Margin),
+		fem.SubmodelOptions{GlobalH: cfg.FEMH})
+	if err != nil {
+		return nil, fmt.Errorf("exp: five-TSV: %w", err)
+	}
+	an, err := core.New(st, pl, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	grid, err := field.NewGrid(region, cfg.PointSpacing)
+	if err != nil {
+		return nil, err
+	}
+	outside := field.OutsideTSVs(pl, st.RPrime)
+	mon := field.Masked(grid.Points(), outside)
+	crt := field.Masked(grid.Points(), outside, field.WithinAnyTSV(pl, CriticalRadius))
+
+	fc := &FiveCase{Placement: pl, Monitored: mon, Critical: crt, NX: grid.NX, NY: grid.NY, Region: region}
+	fc.GoldenMon = sampleFEM(golden, mon)
+	fc.LSMon = an.Map(mon, core.ModeLS)
+	fc.PFMon = an.Map(mon, core.ModeFull)
+	fc.GoldenCrt = sampleFEM(golden, crt)
+	fc.LSCrt = an.Map(crt, core.ModeLS)
+	fc.PFCrt = an.Map(crt, core.ModeFull)
+	return fc, nil
+}
+
+// Rows computes the Table-2 statistics for one component.
+func (fc *FiveCase) Rows(comp metrics.Component) (ls, pf metrics.Row, err error) {
+	ls, err = metrics.TableRow(fc.GoldenMon, fc.LSMon, fc.GoldenCrt, fc.LSCrt, comp)
+	if err != nil {
+		return
+	}
+	pf, err = metrics.TableRow(fc.GoldenMon, fc.PFMon, fc.GoldenCrt, fc.PFCrt, comp)
+	return
+}
+
+// WriteTable renders Table 2 (σxx and von Mises for LS and PF).
+func (fc *FiveCase) WriteTable(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "### %s\n\n", title); err != nil {
+		return err
+	}
+	tb := &report.Table{Header: report.PaperHeader("Method", "Stress")}
+	for _, c := range []struct {
+		name string
+		comp metrics.Component
+	}{{"sxx", metrics.SigmaXX}, {"vonMises", metrics.VonMises}} {
+		ls, pf, err := fc.Rows(c.comp)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(append([]string{"LS", c.name}, report.PaperRowCells(ls)...)...)
+		tb.AddRow(append([]string{"PF", c.name}, report.PaperRowCells(pf)...)...)
+	}
+	if err := tb.WriteMarkdown(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// ErrorMaps builds the Figure-6 style |σxx error| maps.
+func (fc *FiveCase) ErrorMaps(cfg Config) (*ErrorMaps, error) {
+	cfg = cfg.withDefaults()
+	grid, err := field.NewGrid(fc.Region, cfg.PointSpacing)
+	if err != nil {
+		return nil, err
+	}
+	em := &ErrorMaps{NX: grid.NX, NY: grid.NY}
+	em.LS = make([]float64, grid.Len())
+	em.PF = make([]float64, grid.Len())
+	idx := 0
+	for i, p := range grid.Points() {
+		if idx < len(fc.Monitored) && fc.Monitored[idx] == p {
+			em.LS[i] = fc.LSMon[idx].XX - fc.GoldenMon[idx].XX
+			em.PF[i] = fc.PFMon[idx].XX - fc.GoldenMon[idx].XX
+			if a := abs(em.LS[i]); a > em.MaxLS {
+				em.MaxLS = a
+			}
+			if a := abs(em.PF[i]); a > em.MaxPF {
+				em.MaxPF = a
+			}
+			idx++
+		}
+	}
+	return em, nil
+}

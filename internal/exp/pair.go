@@ -1,0 +1,273 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"tsvstress/internal/core"
+	"tsvstress/internal/fem"
+	"tsvstress/internal/field"
+	"tsvstress/internal/geom"
+	"tsvstress/internal/material"
+	"tsvstress/internal/metrics"
+	"tsvstress/internal/placegen"
+	"tsvstress/internal/report"
+	"tsvstress/internal/tensor"
+)
+
+// PairCase is the solved two-TSV configuration at one pitch: the FEM
+// golden and both analytical fields sampled on the monitored and
+// critical point sets.
+type PairCase struct {
+	D         float64
+	Monitored []geom.Point
+	Critical  []geom.Point
+	GoldenMon []tensor.Stress
+	LSMon     []tensor.Stress
+	PFMon     []tensor.Stress
+	GoldenCrt []tensor.Stress
+	LSCrt     []tensor.Stress
+	PFCrt     []tensor.Stress
+	// Grid dimensions of the monitored lattice (for error maps).
+	NX, NY int
+}
+
+// monitoredRegion2 is the 60×30 µm monitored region of Section 5.1.
+func monitoredRegion2() geom.Rect { return geom.RectAround(geom.Pt(0, 0), 60, 30) }
+
+// RunPairCase solves the two-TSV experiment at one pitch.
+func RunPairCase(cfg Config, liner material.Material, d float64) (*PairCase, error) {
+	cfg = cfg.withDefaults()
+	st := material.Baseline(liner)
+	pl := placegen.Pair(d)
+	region := monitoredRegion2()
+
+	golden, err := fem.SolveSubmodel(pl, st, fem.DomainFor(pl, st, region, cfg.Margin),
+		fem.SubmodelOptions{GlobalH: cfg.FEMH})
+	if err != nil {
+		return nil, fmt.Errorf("exp: pair d=%g: %w", d, err)
+	}
+	an, err := core.New(st, pl, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	grid, err := field.NewGrid(region, cfg.PointSpacing)
+	if err != nil {
+		return nil, err
+	}
+	outside := field.OutsideTSVs(pl, st.RPrime)
+	mon := field.Masked(grid.Points(), outside)
+	crt := field.Masked(grid.Points(), outside, field.WithinAnyTSV(pl, CriticalRadius))
+
+	pc := &PairCase{D: d, Monitored: mon, Critical: crt, NX: grid.NX, NY: grid.NY}
+	pc.GoldenMon = sampleFEM(golden, mon)
+	pc.LSMon = an.Map(mon, core.ModeLS)
+	pc.PFMon = an.Map(mon, core.ModeFull)
+	pc.GoldenCrt = sampleFEM(golden, crt)
+	pc.LSCrt = an.Map(crt, core.ModeLS)
+	pc.PFCrt = an.Map(crt, core.ModeFull)
+	return pc, nil
+}
+
+func sampleFEM(f fem.Field, pts []geom.Point) []tensor.Stress {
+	out := make([]tensor.Stress, len(pts))
+	for i, p := range pts {
+		out[i] = f.StressAt(p)
+	}
+	return out
+}
+
+// Rows computes the Table-1-layout statistics of the case for one
+// component, for LS and PF.
+func (pc *PairCase) Rows(comp metrics.Component) (ls, pf metrics.Row, err error) {
+	ls, err = metrics.TableRow(pc.GoldenMon, pc.LSMon, pc.GoldenCrt, pc.LSCrt, comp)
+	if err != nil {
+		return
+	}
+	pf, err = metrics.TableRow(pc.GoldenMon, pc.PFMon, pc.GoldenCrt, pc.PFCrt, comp)
+	return
+}
+
+// PairSweep is the full pitch sweep for one liner: the data behind
+// Tables 1/3 (BCB) or 4/5 (SiO2).
+type PairSweep struct {
+	Liner   material.Material
+	Pitches []float64
+	Cases   []*PairCase
+}
+
+// RunPairSweep runs the pitch sweep.
+func RunPairSweep(cfg Config, liner material.Material, pitches []float64) (*PairSweep, error) {
+	sw := &PairSweep{Liner: liner, Pitches: pitches}
+	for _, d := range pitches {
+		pc, err := RunPairCase(cfg, liner, d)
+		if err != nil {
+			return nil, err
+		}
+		sw.Cases = append(sw.Cases, pc)
+	}
+	return sw, nil
+}
+
+// WriteTable renders the sweep for one component in the paper's table
+// layout.
+func (sw *PairSweep) WriteTable(w io.Writer, comp metrics.Component, title string) error {
+	if _, err := fmt.Fprintf(w, "### %s\n\n", title); err != nil {
+		return err
+	}
+	tb := &report.Table{Header: report.PaperHeader("Method", "d (um)")}
+	for _, method := range []string{"LS", "PF"} {
+		for _, pc := range sw.Cases {
+			ls, pf, err := pc.Rows(comp)
+			if err != nil {
+				return err
+			}
+			row := ls
+			if method == "PF" {
+				row = pf
+			}
+			tb.AddRow(append([]string{method, fmt.Sprintf("%g", pc.D)}, report.PaperRowCells(row)...)...)
+		}
+	}
+	if err := tb.WriteMarkdown(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// LineScan is the data behind Figure 3: σxx along the line through the
+// two TSV centers.
+type LineScan struct {
+	X           []float64
+	FEM, LS, PF []float64
+}
+
+// RunLineScan computes the Figure 3 comparison for pitch d. Points
+// inside TSV footprints are skipped (device-layer convention).
+func RunLineScan(cfg Config, liner material.Material, d float64, halfSpan float64, n int) (*LineScan, error) {
+	cfg = cfg.withDefaults()
+	st := material.Baseline(liner)
+	pl := placegen.Pair(d)
+	region := geom.RectAround(geom.Pt(0, 0), 2*halfSpan, 10)
+	golden, err := fem.SolveSubmodel(pl, st, fem.DomainFor(pl, st, region, cfg.Margin),
+		fem.SubmodelOptions{GlobalH: cfg.FEMH})
+	if err != nil {
+		return nil, err
+	}
+	an, err := core.New(st, pl, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	outside := field.OutsideTSVs(pl, st.RPrime)
+	sc := &LineScan{}
+	for _, p := range field.Line(geom.Pt(-halfSpan, 0), geom.Pt(halfSpan, 0), n) {
+		if !outside(p) {
+			continue
+		}
+		sc.X = append(sc.X, p.X)
+		sc.FEM = append(sc.FEM, golden.StressAt(p).XX)
+		sc.LS = append(sc.LS, an.StressLS(p).XX)
+		sc.PF = append(sc.PF, an.StressAt(p).XX)
+	}
+	return sc, nil
+}
+
+// Write renders the line scan as an ASCII plot plus CSV-ish rows.
+func (sc *LineScan) Write(w io.Writer, title string) error {
+	if err := report.LinePlot(w, sc.X, map[string][]float64{
+		"FEM": sc.FEM, "LS": sc.LS, "PF": sc.PF,
+	}, 18, title); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// ErrorMaps is the data behind Figures 4 and 6: |method − FEM| of σxx
+// on the monitored lattice (NaN-free; masked points carry zero error).
+type ErrorMaps struct {
+	NX, NY int
+	LS, PF []float64 // row-major over the full lattice
+	MaxLS  float64
+	MaxPF  float64
+}
+
+// BuildErrorMaps assembles error maps over the full lattice of the
+// monitored region from a solved case (points inside TSVs get zero).
+func BuildErrorMaps(cfg Config, pc *PairCase, region geom.Rect) (*ErrorMaps, error) {
+	cfg = cfg.withDefaults()
+	grid, err := field.NewGrid(region, cfg.PointSpacing)
+	if err != nil {
+		return nil, err
+	}
+	em := &ErrorMaps{NX: grid.NX, NY: grid.NY}
+	em.LS = make([]float64, grid.Len())
+	em.PF = make([]float64, grid.Len())
+	// Monitored points were produced by masking the same lattice in
+	// order, so walk both in lockstep.
+	idx := 0
+	for i, p := range grid.Points() {
+		if idx < len(pc.Monitored) && pc.Monitored[idx] == p {
+			em.LS[i] = pc.LSMon[idx].XX - pc.GoldenMon[idx].XX
+			em.PF[i] = pc.PFMon[idx].XX - pc.GoldenMon[idx].XX
+			if a := abs(em.LS[i]); a > em.MaxLS {
+				em.MaxLS = a
+			}
+			if a := abs(em.PF[i]); a > em.MaxPF {
+				em.MaxPF = a
+			}
+			idx++
+		}
+	}
+	return em, nil
+}
+
+// FracAbove returns the fraction of nonzero map entries whose |error|
+// exceeds thr — the quantitative form of the paper's "error generally
+// within X MPa" figure captions (the pointwise max is dominated by the
+// few lattice points hugging the liner interface, where the golden
+// itself carries its largest noise).
+func (em *ErrorMaps) FracAbove(thr float64) (ls, pf float64) {
+	var n, nLS, nPF int
+	for i := range em.LS {
+		if em.LS[i] == 0 && em.PF[i] == 0 {
+			continue // masked (inside a TSV footprint)
+		}
+		n++
+		if abs(em.LS[i]) > thr {
+			nLS++
+		}
+		if abs(em.PF[i]) > thr {
+			nPF++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return float64(nLS) / float64(n), float64(nPF) / float64(n)
+}
+
+// Write renders both maps as ASCII heat maps.
+func (em *ErrorMaps) Write(w io.Writer, title string) error {
+	scale := em.MaxLS
+	if err := report.HeatMap(w, em.LS, em.NX, em.NY, scale, title+" — |LS − FEM| σxx"); err != nil {
+		return err
+	}
+	if err := report.HeatMap(w, em.PF, em.NX, em.NY, scale, title+" — |PF − FEM| σxx (same scale)"); err != nil {
+		return err
+	}
+	ls25, pf25 := em.FracAbove(25)
+	_, err := fmt.Fprintf(w,
+		"max |error|: LS %.1f MPa, PF %.1f MPa; points above 25 MPa: LS %.2f%%, PF %.2f%%\n\n",
+		em.MaxLS, em.MaxPF, 100*ls25, 100*pf25)
+	return err
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

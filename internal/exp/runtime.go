@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"tsvstress/internal/core"
+	"tsvstress/internal/geom"
+	"tsvstress/internal/material"
+	"tsvstress/internal/placegen"
+	"tsvstress/internal/report"
+)
+
+// RuntimeCase is one column of Table 6 (Appendix A.3).
+type RuntimeCase struct {
+	Name      string
+	NumTSV    int
+	Density   float64 // µm⁻²
+	NumPoints int
+}
+
+// Table6Cases returns the paper's seven scalability cases; in Quick
+// mode the point counts are scaled down 10×.
+func Table6Cases(quick bool) []RuntimeCase {
+	pts := func(m float64) int {
+		if quick {
+			return int(m * 50_000)
+		}
+		return int(m * 500_000)
+	}
+	return []RuntimeCase{
+		{"1", 100, 1e-2, pts(1)},
+		{"2", 500, 1e-2, pts(1)},
+		{"3", 1000, 1e-2, pts(1)},
+		{"4", 100, 0.69e-2, pts(1)},
+		{"5", 100, 0.25e-2, pts(1)},
+		{"6", 100, 1e-2, pts(2)},
+		{"7", 100, 1e-2, pts(4)},
+	}
+}
+
+// RuntimeResult is the measured outcome of one case.
+type RuntimeResult struct {
+	Case      RuntimeCase
+	LSTime    time.Duration
+	FullTime  time.Duration
+	PairCount int
+	// AR is the paper's metric: additional run time of the proposed
+	// framework over the linear superposition run time, in percent.
+	AR float64
+}
+
+// RunRuntimeCase measures LS and full-framework map times on a random
+// placement with the case's density.
+func RunRuntimeCase(rc RuntimeCase, seed int64) (*RuntimeResult, error) {
+	st := material.Baseline(material.BCB)
+	pl, err := placegen.Random(rc.NumTSV, rc.Density, 2*st.RPrime+1, seed)
+	if err != nil {
+		return nil, err
+	}
+	an, err := core.New(st, pl, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	// Simulation points: uniform over the placement bounding box.
+	rng := rand.New(rand.NewSource(seed + 1))
+	b := pl.Bounds(5)
+	pts := make([]geom.Point, rc.NumPoints)
+	for i := range pts {
+		pts[i] = geom.Pt(b.Min.X+rng.Float64()*b.W(), b.Min.Y+rng.Float64()*b.H())
+	}
+
+	t0 := time.Now()
+	_ = an.Map(pts, core.ModeLS)
+	lsTime := time.Since(t0)
+
+	t1 := time.Now()
+	_ = an.Map(pts, core.ModeFull)
+	fullTime := time.Since(t1)
+
+	res := &RuntimeResult{Case: rc, LSTime: lsTime, FullTime: fullTime, PairCount: an.NumPairRounds()}
+	if lsTime > 0 {
+		res.AR = 100 * float64(fullTime-lsTime) / float64(lsTime)
+	}
+	return res, nil
+}
+
+// RunTable6 measures all cases.
+func RunTable6(quick bool, seed int64) ([]*RuntimeResult, error) {
+	var out []*RuntimeResult
+	for _, rc := range Table6Cases(quick) {
+		r, err := RunRuntimeCase(rc, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// WriteTable6 renders the scalability table.
+func WriteTable6(w io.Writer, results []*RuntimeResult) error {
+	if _, err := fmt.Fprintf(w, "### Table 6 — run time of the proposed framework\n\n"); err != nil {
+		return err
+	}
+	tb := &report.Table{Header: []string{
+		"Case", "TSV #", "Density (1e-2/µm²)", "Points", "LS time", "PF time", "Pair rounds", "AR (%)",
+	}}
+	for _, r := range results {
+		tb.AddRow(
+			r.Case.Name,
+			fmt.Sprintf("%d", r.Case.NumTSV),
+			fmt.Sprintf("%.2f", r.Case.Density*1e2),
+			fmt.Sprintf("%d", r.Case.NumPoints),
+			r.LSTime.Round(time.Millisecond).String(),
+			r.FullTime.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", r.PairCount),
+			fmt.Sprintf("%.0f", r.AR),
+		)
+	}
+	if err := tb.WriteMarkdown(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

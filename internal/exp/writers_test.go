@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tsvstress/internal/geom"
+	"tsvstress/internal/material"
+	"tsvstress/internal/metrics"
+	"tsvstress/internal/tensor"
+)
+
+// syntheticPairCase builds a PairCase with fabricated fields so the
+// formatting/aggregation paths can be tested without a FEM solve.
+func syntheticPairCase(t *testing.T) *PairCase {
+	t.Helper()
+	pts := []geom.Point{{X: -10, Y: 0}, {X: 0, Y: 0}, {X: 10, Y: 0}}
+	crt := []geom.Point{{X: -1, Y: 0}}
+	mk := func(base float64) []tensor.Stress {
+		out := make([]tensor.Stress, len(pts))
+		for i := range out {
+			out[i] = tensor.Stress{XX: base + float64(i)*10}
+		}
+		return out
+	}
+	return &PairCase{
+		D:         10,
+		Monitored: pts,
+		Critical:  crt,
+		GoldenMon: mk(60),
+		LSMon:     mk(72), // +12 MPa everywhere
+		PFMon:     mk(63), // +3 MPa everywhere
+		GoldenCrt: []tensor.Stress{{XX: 100}},
+		LSCrt:     []tensor.Stress{{XX: 130}},
+		PFCrt:     []tensor.Stress{{XX: 108}},
+		NX:        3, NY: 1,
+	}
+}
+
+func TestRowsFromSyntheticCase(t *testing.T) {
+	pc := syntheticPairCase(t)
+	ls, pf, err := pc.Rows(metrics.SigmaXX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Avg.AvgError != 12 || pf.Avg.AvgError != 3 {
+		t.Errorf("avg errors = %v / %v", ls.Avg.AvgError, pf.Avg.AvgError)
+	}
+	if ls.Critical50.AvgError != 30 || pf.Critical50.AvgError != 8 {
+		t.Errorf("critical errors = %v / %v", ls.Critical50.AvgError, pf.Critical50.AvgError)
+	}
+	if ls.Critical50.AvgErrorRate != 30 { // 30/100 → 30%
+		t.Errorf("critical rate = %v", ls.Critical50.AvgErrorRate)
+	}
+}
+
+func TestWriteTableSynthetic(t *testing.T) {
+	sw := &PairSweep{Liner: material.BCB, Pitches: []float64{10}, Cases: []*PairCase{syntheticPairCase(t)}}
+	var buf bytes.Buffer
+	if err := sw.WriteTable(&buf, metrics.SigmaXX, "Synthetic Table"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "### Synthetic Table") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "| LS | 10 |") || !strings.Contains(out, "| PF | 10 |") {
+		t.Errorf("method rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "12.00") || !strings.Contains(out, "3.00") {
+		t.Errorf("error values missing:\n%s", out)
+	}
+}
+
+func TestBuildErrorMapsSynthetic(t *testing.T) {
+	// Build a case whose monitored points form a full 3×1 lattice on a
+	// region, then check the maps line up.
+	region := geom.Rect{Min: geom.Pt(-15, -5), Max: geom.Pt(15, 5)}
+	cfg := Config{Quick: true, PointSpacing: 10}
+	pc := syntheticPairCase(t)
+	// Monitored points must match the lattice NewGrid produces.
+	em, err := BuildErrorMaps(cfg, pc, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.NX != 3 || em.NY != 1 {
+		t.Fatalf("map dims %dx%d", em.NX, em.NY)
+	}
+	if em.MaxLS != 12 || em.MaxPF != 3 {
+		t.Errorf("max errors = %v / %v", em.MaxLS, em.MaxPF)
+	}
+	var buf bytes.Buffer
+	if err := em.Write(&buf, "synthetic"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "max |error|: LS 12.0 MPa, PF 3.0 MPa") {
+		t.Errorf("map summary missing:\n%s", buf.String())
+	}
+}
+
+func TestFiveRowsSyntheticConsistency(t *testing.T) {
+	fc := &FiveCase{
+		GoldenMon: []tensor.Stress{{XX: 80}},
+		LSMon:     []tensor.Stress{{XX: 90}},
+		PFMon:     []tensor.Stress{{XX: 82}},
+		GoldenCrt: []tensor.Stress{{XX: 120}},
+		LSCrt:     []tensor.Stress{{XX: 140}},
+		PFCrt:     []tensor.Stress{{XX: 125}},
+	}
+	ls, pf, err := fc.Rows(metrics.SigmaXX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Avg.AvgError != 10 || pf.Avg.AvgError != 2 {
+		t.Errorf("avg = %v / %v", ls.Avg.AvgError, pf.Avg.AvgError)
+	}
+	var buf bytes.Buffer
+	if err := fc.WriteTable(&buf, "Synthetic Table 2"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "vonMises") {
+		t.Error("von Mises row missing")
+	}
+}

@@ -1,0 +1,115 @@
+package fem
+
+import (
+	"math"
+
+	"tsvstress/internal/tensor"
+)
+
+// quad holds the precomputed isoparametric machinery of the uniform
+// 4-node rectangular element (all elements share it because the mesh is
+// uniform): strain-displacement matrices at the 2×2 Gauss points and at
+// the element center, and the Jacobian determinant.
+type quad struct {
+	bGauss [4][3][8]float64 // B at the four Gauss points
+	bCent  [3][8]float64    // B at ξ = η = 0
+	detJ   float64          // |J| (constant for rectangles)
+}
+
+// shapeN returns the bilinear shape functions at (ξ, η).
+func shapeN(xi, eta float64) [4]float64 {
+	return [4]float64{
+		(1 - xi) * (1 - eta) / 4,
+		(1 + xi) * (1 - eta) / 4,
+		(1 + xi) * (1 + eta) / 4,
+		(1 - xi) * (1 + eta) / 4,
+	}
+}
+
+// shapeDeriv returns dN/dξ and dN/dη at (ξ, η).
+func shapeDeriv(xi, eta float64) (dxi, deta [4]float64) {
+	dxi = [4]float64{-(1 - eta) / 4, (1 - eta) / 4, (1 + eta) / 4, -(1 + eta) / 4}
+	deta = [4]float64{-(1 - xi) / 4, -(1 + xi) / 4, (1 + xi) / 4, (1 - xi) / 4}
+	return
+}
+
+// newQuad precomputes element matrices for a dx×dy rectangle.
+func newQuad(dx, dy float64) *quad {
+	q := &quad{detJ: dx * dy / 4}
+	g := 1 / math.Sqrt(3)
+	pts := [4][2]float64{{-g, -g}, {g, -g}, {g, g}, {-g, g}}
+	for k, p := range pts {
+		q.bGauss[k] = bMatrix(p[0], p[1], dx, dy)
+	}
+	q.bCent = bMatrix(0, 0, dx, dy)
+	return q
+}
+
+// bMatrix builds the 3×8 strain-displacement matrix at (ξ, η) for a
+// dx×dy rectangle: ε = B·ue with ε = [εxx, εyy, γxy].
+func bMatrix(xi, eta, dx, dy float64) [3][8]float64 {
+	dxi, deta := shapeDeriv(xi, eta)
+	var b [3][8]float64
+	for a := 0; a < 4; a++ {
+		dNdx := dxi[a] * 2 / dx
+		dNdy := deta[a] * 2 / dy
+		b[0][2*a] = dNdx
+		b[1][2*a+1] = dNdy
+		b[2][2*a] = dNdy
+		b[2][2*a+1] = dNdx
+	}
+	return b
+}
+
+// stiffness computes ke = Σ_gp Bᵀ·D·B·|J| into out.
+func (q *quad) stiffness(d *[3][3]float64, out *[8][8]float64) {
+	for i := range out {
+		for j := range out[i] {
+			out[i][j] = 0
+		}
+	}
+	for k := range q.bGauss {
+		b := &q.bGauss[k]
+		// db = D·B (3×8).
+		var db [3][8]float64
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 8; j++ {
+				db[i][j] = d[i][0]*b[0][j] + d[i][1]*b[1][j] + d[i][2]*b[2][j]
+			}
+		}
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				out[i][j] += (b[0][i]*db[0][j] + b[1][i]*db[1][j] + b[2][i]*db[2][j]) * q.detJ
+			}
+		}
+	}
+}
+
+// thermalLoad computes fe = Σ_gp Bᵀ·tv·|J| into out, where tv is the
+// element's thermal stress vector D·ε_th.
+func (q *quad) thermalLoad(tv *[3]float64, out *[8]float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	for k := range q.bGauss {
+		b := &q.bGauss[k]
+		for i := 0; i < 8; i++ {
+			out[i] += (b[0][i]*tv[0] + b[1][i]*tv[1] + b[2][i]*tv[2]) * q.detJ
+		}
+	}
+}
+
+// stressAtCenter evaluates σ = D·(B·ue) − tv at the element center.
+func (q *quad) stressAtCenter(d *[3][3]float64, tv *[3]float64, ue *[8]float64) tensor.Stress {
+	var eps [3]float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 8; j++ {
+			eps[i] += q.bCent[i][j] * ue[j]
+		}
+	}
+	return tensor.Stress{
+		XX: d[0][0]*eps[0] + d[0][1]*eps[1] + d[0][2]*eps[2] - tv[0],
+		YY: d[1][0]*eps[0] + d[1][1]*eps[1] + d[1][2]*eps[2] - tv[1],
+		XY: d[2][0]*eps[0] + d[2][1]*eps[1] + d[2][2]*eps[2] - tv[2],
+	}
+}

@@ -1,0 +1,169 @@
+package fem
+
+import (
+	"math"
+
+	"tsvstress/internal/geom"
+	"tsvstress/internal/material"
+	"tsvstress/internal/mesh"
+)
+
+// elemMaterials holds the per-element blended constitutive matrix and
+// thermal stress vector tv = D·ε_th, where ε_th is the eigenstrain
+// *relative to the substrate*: ε_th = (α − αs)·ΔT. Elements cut by a
+// circular interface get area-fraction (Voigt) blends, which softens
+// the staircase error of the structured mesh.
+type elemMaterials struct {
+	D  [][3][3]float64
+	TV [][3]float64
+}
+
+// thermalVec returns D·[ε, ε, 0] for isotropic relative eigenstrain ε.
+func thermalVec(m material.Material, epsRel float64, plane material.Plane) [3]float64 {
+	d := m.D(plane)
+	return [3]float64{
+		(d[0][0] + d[0][1]) * epsRel,
+		(d[1][0] + d[1][1]) * epsRel,
+		0,
+	}
+}
+
+// buildElementMaterials assigns blended materials to every element.
+func buildElementMaterials(g *mesh.Grid, pl *geom.Placement, st material.Structure, sub int, plane material.Plane) *elemMaterials {
+	ne := g.NumElems()
+	em := &elemMaterials{
+		D:  make([][3][3]float64, ne),
+		TV: make([][3]float64, ne),
+	}
+
+	dSi := st.Substrate.D(plane)
+	dCu := st.Body.D(plane)
+	dLi := st.Liner.D(plane)
+	dT := st.DeltaT
+	tvCu := thermalVec(st.Body, (st.Body.EffectiveCTE(plane)-st.Substrate.EffectiveCTE(plane))*dT, plane)
+	tvLi := thermalVec(st.Liner, (st.Liner.EffectiveCTE(plane)-st.Substrate.EffectiveCTE(plane))*dT, plane)
+	// Substrate relative eigenstrain is zero by construction.
+
+	// Start with pure substrate everywhere.
+	for e := 0; e < ne; e++ {
+		em.D[e] = dSi
+	}
+
+	// Per-TSV body/liner fractions, accumulated per element. Overlap
+	// of distinct TSVs is geometrically invalid and rejected upstream;
+	// fractions are clamped defensively anyway.
+	fBody := make([]float64, ne)
+	fLiner := make([]float64, ne)
+	diag := math.Hypot(g.DX, g.DY) / 2
+	inv := 1 / float64(sub*sub)
+	for _, t := range pl.TSVs {
+		// Element index range covered by the circle R′ plus the
+		// element half-diagonal.
+		reach := st.RPrime + diag
+		i0 := int(math.Floor((t.Center.X - reach - g.Domain.Min.X) / g.DX))
+		i1 := int(math.Ceil((t.Center.X + reach - g.Domain.Min.X) / g.DX))
+		j0 := int(math.Floor((t.Center.Y - reach - g.Domain.Min.Y) / g.DY))
+		j1 := int(math.Ceil((t.Center.Y + reach - g.Domain.Min.Y) / g.DY))
+		i0, i1 = clampI(i0, 0, g.NX-1), clampI(i1, 0, g.NX-1)
+		j0, j1 = clampI(j0, 0, g.NY-1), clampI(j1, 0, g.NY-1)
+		for j := j0; j <= j1; j++ {
+			for i := i0; i <= i1; i++ {
+				e := g.ElemID(i, j)
+				x0 := g.Domain.Min.X + float64(i)*g.DX
+				y0 := g.Domain.Min.Y + float64(j)*g.DY
+				nb, nl := 0, 0
+				for sj := 0; sj < sub; sj++ {
+					py := y0 + (float64(sj)+0.5)*g.DY/float64(sub)
+					for si := 0; si < sub; si++ {
+						px := x0 + (float64(si)+0.5)*g.DX/float64(sub)
+						r := math.Hypot(px-t.Center.X, py-t.Center.Y)
+						switch {
+						case r < st.R:
+							nb++
+						case r < st.RPrime:
+							nl++
+						}
+					}
+				}
+				fBody[e] += float64(nb) * inv
+				fLiner[e] += float64(nl) * inv
+			}
+		}
+	}
+
+	// Compliance matrices and relative eigenstrains for the Reuss
+	// (uniform-stress) blend. Reuss is the right mixing rule here: the
+	// liner is a thin *soft* ring loaded mostly in series radially, so
+	// averaging stiffness (Voigt) across cut cells would stiffen it and
+	// bias the golden field high by tens of percent; averaging
+	// compliance preserves the ring's radial compliance.
+	sSi := invert3(dSi)
+	sCu := invert3(dCu)
+	sLi := invert3(dLi)
+	epsCu := (st.Body.EffectiveCTE(plane) - st.Substrate.EffectiveCTE(plane)) * dT
+	epsLi := (st.Liner.EffectiveCTE(plane) - st.Substrate.EffectiveCTE(plane)) * dT
+
+	for e := 0; e < ne; e++ {
+		fb, fl := fBody[e], fLiner[e]
+		if fb == 0 && fl == 0 {
+			em.TV[e] = [3]float64{}
+			continue
+		}
+		if s := fb + fl; s > 1 { // defensive clamp (overlapping TSVs)
+			fb /= s
+			fl /= s
+		}
+		fs := 1 - fb - fl
+		if fb == 1 {
+			em.D[e] = dCu
+			em.TV[e] = tvCu
+			continue
+		}
+		if fl == 1 {
+			em.D[e] = dLi
+			em.TV[e] = tvLi
+			continue
+		}
+		// Reuss blend: S_eff = Σ f S_i, ε_eff = Σ f ε_i,
+		// D_eff = S_eff⁻¹, tv = D_eff · ε_eff.
+		var sEff [3][3]float64
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				sEff[i][j] = fs*sSi[i][j] + fb*sCu[i][j] + fl*sLi[i][j]
+			}
+		}
+		dEff := invert3(sEff)
+		em.D[e] = dEff
+		eps := fb*epsCu + fl*epsLi
+		em.TV[e] = [3]float64{
+			(dEff[0][0] + dEff[0][1]) * eps,
+			(dEff[1][0] + dEff[1][1]) * eps,
+			(dEff[2][0] + dEff[2][1]) * eps,
+		}
+	}
+	return em
+}
+
+// invert3 inverts a symmetric positive-definite 3×3 matrix by cofactors.
+func invert3(m [3][3]float64) [3][3]float64 {
+	a, b, c := m[0][0], m[0][1], m[0][2]
+	d, e, f := m[1][0], m[1][1], m[1][2]
+	g, h, i := m[2][0], m[2][1], m[2][2]
+	det := a*(e*i-f*h) - b*(d*i-f*g) + c*(d*h-e*g)
+	inv := 1 / det
+	return [3][3]float64{
+		{(e*i - f*h) * inv, (c*h - b*i) * inv, (b*f - c*e) * inv},
+		{(f*g - d*i) * inv, (a*i - c*g) * inv, (c*d - a*f) * inv},
+		{(d*h - e*g) * inv, (b*g - a*h) * inv, (a*e - b*d) * inv},
+	}
+}
+
+func clampI(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,53 @@
+package fem
+
+import (
+	"math"
+	"testing"
+
+	"tsvstress/internal/geom"
+	"tsvstress/internal/lame"
+	"tsvstress/internal/material"
+)
+
+// Plane-strain FEM vs the plane-strain composite-cylinder solution —
+// validates the whole plane-mode plumbing (D matrices, effective CTEs,
+// boundary drive) end to end.
+func TestPlaneStrainFEMMatchesLame(t *testing.T) {
+	st := material.Baseline(material.BCB)
+	pl := geom.NewPlacement(geom.Pt(0, 0))
+	res, err := SolveRichardson(pl, st, square(t, 20), Options{H: 0.25, Plane: material.PlaneStrain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := lame.SolvePlane(st, material.PlaneStrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []float64{4, 6, 9, 12} {
+		p := geom.Pt(r/math.Sqrt2, r/math.Sqrt2)
+		got := res.StressAt(p)
+		want := sol.StressAt(p, geom.Pt(0, 0))
+		scale := math.Abs(want.XX) + math.Abs(want.YY) + math.Abs(want.XY)
+		rel := (math.Abs(got.XX-want.XX) + math.Abs(got.YY-want.YY) + math.Abs(got.XY-want.XY)) / scale
+		if rel > 0.08 {
+			t.Errorf("r=%g: rel error %.3f (got %v want %v)", r, rel, got, want)
+		}
+	}
+	// The plane-strain field must be stronger than plane stress.
+	ps, err := lame.Solve(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.StressAt(geom.Pt(6, 0)).XX) < math.Abs(ps.StressAt(geom.Pt(6, 0), geom.Pt(0, 0)).XX) {
+		t.Error("plane-strain σxx should exceed plane-stress σxx")
+	}
+}
+
+func TestSigmaZZHelper(t *testing.T) {
+	if material.SigmaZZ(material.PlaneStress, 0.3, 10, 20) != 0 {
+		t.Error("plane-stress σzz must be 0")
+	}
+	if got := material.SigmaZZ(material.PlaneStrain, 0.3, 10, 20); math.Abs(got-9) > 1e-12 {
+		t.Errorf("plane-strain σzz = %v, want 9", got)
+	}
+}

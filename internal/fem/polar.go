@@ -1,0 +1,392 @@
+package fem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tsvstress/internal/geom"
+	"tsvstress/internal/material"
+	"tsvstress/internal/sparse"
+	"tsvstress/internal/tensor"
+)
+
+// PolarPatch is a finite-element solution on an annular patch around
+// one TSV, meshed in polar coordinates so the body/liner and
+// liner/substrate interfaces fall exactly on mesh rings. This removes
+// the staircase error that limits the Cartesian mesh near the circular
+// interfaces — precisely where the paper's critical region sits. Both
+// annulus boundaries carry Dirichlet displacements from a driving
+// (global) solution; the inner boundary lies inside the copper body
+// where that solution is smooth and accurate.
+type PolarPatch struct {
+	Center geom.Point
+	Rs     []float64 // ring radii (ascending, len = rings+1)
+	NTheta int
+	CellRR []tensor.Stress // element-center stress, [ring][sector]
+	Stats  Stats
+	midR   []float64 // element mid radii
+}
+
+// PolarPatchOptions configures SolvePolarPatch.
+type PolarPatchOptions struct {
+	// RIn is the inner annulus radius (default 1.2 µm, inside the
+	// body).
+	RIn float64
+	// ROut is the outer annulus radius (default 6 µm; shrink it when a
+	// neighbouring TSV's liner would intrude, see SolveSubmodel).
+	ROut float64
+	// DR is the target radial element size (default 0.05 µm).
+	DR float64
+	// NTheta is the number of angular sectors (default 192).
+	NTheta int
+	// SubSamples controls material blending for elements cut by
+	// *neighbouring* TSVs (the center TSV's interfaces are exact).
+	SubSamples int
+	// Tol / MaxIter / Omega: solver controls as in Options.
+	Tol     float64
+	MaxIter int
+	Omega   float64
+	// Plane selects plane stress (default) or plane strain.
+	Plane material.Plane
+	// BoundaryDisp prescribes displacement on both annulus boundaries
+	// (required).
+	BoundaryDisp func(p geom.Point) (ux, uy float64)
+}
+
+func (o PolarPatchOptions) withDefaults() PolarPatchOptions {
+	if o.RIn <= 0 {
+		o.RIn = 1.2
+	}
+	if o.ROut <= 0 {
+		o.ROut = 6
+	}
+	if o.DR <= 0 {
+		o.DR = 0.05
+	}
+	if o.NTheta <= 0 {
+		o.NTheta = 192
+	}
+	if o.SubSamples <= 0 {
+		o.SubSamples = 4
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.Omega <= 0 {
+		o.Omega = 1.5
+	}
+	return o
+}
+
+// buildRings returns ring radii from rin to rout with target spacing
+// dr, with the interface radii snapped onto rings exactly.
+func buildRings(rin, rout, dr, rBody, rLiner float64) []float64 {
+	marks := []float64{rin}
+	for _, m := range []float64{rBody, rLiner} {
+		if m > rin+1e-9 && m < rout-1e-9 {
+			marks = append(marks, m)
+		}
+	}
+	marks = append(marks, rout)
+	sort.Float64s(marks)
+	var rs []float64
+	for k := 0; k+1 < len(marks); k++ {
+		a, b := marks[k], marks[k+1]
+		n := int(math.Ceil((b - a) / dr))
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			rs = append(rs, a+(b-a)*float64(i)/float64(n))
+		}
+	}
+	rs = append(rs, rout)
+	return rs
+}
+
+// SolvePolarPatch solves the annular patch around center for the given
+// placement (the center TSV plus any neighbours whose material
+// intersects the annulus).
+func SolvePolarPatch(pl *geom.Placement, st material.Structure, center geom.Point, opt PolarPatchOptions) (*PolarPatch, error) {
+	opt = opt.withDefaults()
+	if opt.BoundaryDisp == nil {
+		return nil, fmt.Errorf("fem: polar patch requires BoundaryDisp")
+	}
+	if opt.RIn >= st.R {
+		return nil, fmt.Errorf("fem: polar patch inner radius %g must be inside the body (R=%g)", opt.RIn, st.R)
+	}
+	if opt.ROut <= st.RPrime {
+		return nil, fmt.Errorf("fem: polar patch outer radius %g must be outside the liner (R'=%g)", opt.ROut, st.RPrime)
+	}
+	rs := buildRings(opt.RIn, opt.ROut, opt.DR, st.R, st.RPrime)
+	nr := len(rs) - 1
+	nth := opt.NTheta
+
+	nodeID := func(i, j int) int { return i*nth + ((j%nth)+nth)%nth }
+	nodeXY := func(i, j int) geom.Point {
+		th := 2 * math.Pi * float64(j) / float64(nth)
+		return geom.Pt(center.X+rs[i]*math.Cos(th), center.Y+rs[i]*math.Sin(th))
+	}
+	nn := (nr + 1) * nth
+
+	// Free DOFs: rings 1..nr-1; rings 0 and nr are Dirichlet.
+	free := make([]int, 2*nn)
+	ub := make([]float64, 2*nn)
+	nFree := 0
+	for i := 0; i <= nr; i++ {
+		for j := 0; j < nth; j++ {
+			n := nodeID(i, j)
+			if i == 0 || i == nr {
+				free[2*n], free[2*n+1] = -1, -1
+				ub[2*n], ub[2*n+1] = opt.BoundaryDisp(nodeXY(i, j))
+			} else {
+				free[2*n], free[2*n+1] = nFree, nFree+1
+				nFree += 2
+			}
+		}
+	}
+	if nFree == 0 {
+		return nil, fmt.Errorf("fem: polar patch has no free DOFs (DR too large)")
+	}
+
+	// Element materials: exact by ring for the center TSV; blended by
+	// subsampling only if a neighbour intersects the element.
+	dSi := st.Substrate.D(opt.Plane)
+	dCu := st.Body.D(opt.Plane)
+	dLi := st.Liner.D(opt.Plane)
+	tvCu := thermalVec(st.Body, (st.Body.EffectiveCTE(opt.Plane)-st.Substrate.EffectiveCTE(opt.Plane))*st.DeltaT, opt.Plane)
+	tvLi := thermalVec(st.Liner, (st.Liner.EffectiveCTE(opt.Plane)-st.Substrate.EffectiveCTE(opt.Plane))*st.DeltaT, opt.Plane)
+
+	builder := sparse.NewBuilder(nFree)
+	rhs := make([]float64, nFree)
+
+	var ke [8][8]float64
+	var fe [8]float64
+	var coords [4]geom.Point
+	var dofs [8]int
+	cellStress := make([]tensor.Stress, nr*nth)
+	midR := make([]float64, nr)
+	type elemRef struct {
+		d  [3][3]float64
+		tv [3]float64
+		ue [8]int // global dof ids
+	}
+	elems := make([]elemRef, 0, nr*nth)
+
+	for i := 0; i < nr; i++ {
+		midR[i] = (rs[i] + rs[i+1]) / 2
+		for j := 0; j < nth; j++ {
+			// CCW corners: (i,j), (i+1,j), (i+1,j+1), (i,j+1).
+			coords[0] = nodeXY(i, j)
+			coords[1] = nodeXY(i+1, j)
+			coords[2] = nodeXY(i+1, j+1)
+			coords[3] = nodeXY(i, j+1)
+
+			var d [3][3]float64
+			var tv [3]float64
+			switch {
+			case midR[i] < st.R:
+				d, tv = dCu, tvCu
+			case midR[i] < st.RPrime:
+				d, tv = dLi, tvLi
+			default:
+				d, tv = dSi, [3]float64{}
+			}
+			// Neighbour intrusion: blend by subsampling when another
+			// TSV's footprint reaches this element.
+			if intruded(pl, st, center, coords) {
+				d, tv = blendQuad(pl, st, coords, opt.SubSamples, opt.Plane)
+			}
+
+			quadStiffness(coords, &d, &ke)
+			quadThermal(coords, &tv, &fe)
+			nodes := [4]int{nodeID(i, j), nodeID(i+1, j), nodeID(i+1, j+1), nodeID(i, j+1)}
+			for a := 0; a < 4; a++ {
+				dofs[2*a] = 2 * nodes[a]
+				dofs[2*a+1] = 2*nodes[a] + 1
+			}
+			for a := 0; a < 8; a++ {
+				ra := free[dofs[a]]
+				if ra < 0 {
+					continue
+				}
+				rhs[ra] += fe[a]
+				for bcol := 0; bcol < 8; bcol++ {
+					rb := free[dofs[bcol]]
+					if rb < 0 {
+						if g := ub[dofs[bcol]]; g != 0 {
+							rhs[ra] -= ke[a][bcol] * g
+						}
+						continue
+					}
+					builder.Add(ra, rb, ke[a][bcol])
+				}
+			}
+			var er elemRef
+			er.d, er.tv = d, tv
+			for a := 0; a < 8; a++ {
+				er.ue[a] = dofs[a]
+			}
+			elems = append(elems, er)
+		}
+	}
+
+	mat := builder.Build()
+	prec, err := sparse.NewSSOR(mat, opt.Omega)
+	if err != nil {
+		return nil, fmt.Errorf("fem: polar patch: %w", err)
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 20*int(math.Sqrt(float64(nFree))) + 4000
+	}
+	x := make([]float64, nFree)
+	res, err := sparse.CG(mat, rhs, x, sparse.CGOptions{Tol: opt.Tol, MaxIter: maxIter, Prec: prec})
+	if err != nil {
+		return nil, fmt.Errorf("fem: polar patch: %w", err)
+	}
+	u := make([]float64, 2*nn)
+	for d, r := range free {
+		if r >= 0 {
+			u[d] = x[r]
+		} else {
+			u[d] = ub[d]
+		}
+	}
+
+	// Element-center stress recovery.
+	var ue [8]float64
+	for e, er := range elems {
+		i := e / nth
+		j := e % nth
+		coords[0] = nodeXY(i, j)
+		coords[1] = nodeXY(i+1, j)
+		coords[2] = nodeXY(i+1, j+1)
+		coords[3] = nodeXY(i, j+1)
+		for a := 0; a < 8; a++ {
+			ue[a] = u[er.ue[a]]
+		}
+		cellStress[e] = quadStressCenter(coords, &er.d, &er.tv, &ue)
+	}
+
+	return &PolarPatch{
+		Center: center,
+		Rs:     rs,
+		NTheta: nth,
+		CellRR: cellStress,
+		Stats:  Stats{DOF: nFree, Iterations: res.Iterations, Residual: res.Residual},
+		midR:   midR,
+	}, nil
+}
+
+// intruded reports whether any TSV other than the one at center
+// reaches the quad (conservative bounding test).
+func intruded(pl *geom.Placement, st material.Structure, center geom.Point, c [4]geom.Point) bool {
+	cx := (c[0].X + c[1].X + c[2].X + c[3].X) / 4
+	cy := (c[0].Y + c[1].Y + c[2].Y + c[3].Y) / 4
+	// Quad circumradius bound.
+	rad := 0.0
+	for _, p := range c {
+		if d := math.Hypot(p.X-cx, p.Y-cy); d > rad {
+			rad = d
+		}
+	}
+	for _, t := range pl.TSVs {
+		if t.Center == center {
+			continue
+		}
+		if math.Hypot(t.Center.X-cx, t.Center.Y-cy) <= st.RPrime+rad {
+			return true
+		}
+	}
+	return false
+}
+
+// blendQuad computes Reuss-blended material properties for a quad by
+// sub-sampling in its bilinear parameter space.
+func blendQuad(pl *geom.Placement, st material.Structure, c [4]geom.Point, sub int, plane material.Plane) ([3][3]float64, [3]float64) {
+	dSi := st.Substrate.D(plane)
+	sSi := invert3(dSi)
+	sCu := invert3(st.Body.D(plane))
+	sLi := invert3(st.Liner.D(plane))
+	epsCu := (st.Body.EffectiveCTE(plane) - st.Substrate.EffectiveCTE(plane)) * st.DeltaT
+	epsLi := (st.Liner.EffectiveCTE(plane) - st.Substrate.EffectiveCTE(plane)) * st.DeltaT
+
+	var fb, fl float64
+	inv := 1 / float64(sub*sub)
+	for si := 0; si < sub; si++ {
+		xi := -1 + (2*float64(si)+1)/float64(sub)
+		for sj := 0; sj < sub; sj++ {
+			eta := -1 + (2*float64(sj)+1)/float64(sub)
+			n := shapeN(xi, eta)
+			px := n[0]*c[0].X + n[1]*c[1].X + n[2]*c[2].X + n[3]*c[3].X
+			py := n[0]*c[0].Y + n[1]*c[1].Y + n[2]*c[2].Y + n[3]*c[3].Y
+			_, d := pl.NearestTSV(geom.Pt(px, py))
+			switch {
+			case d < st.R:
+				fb += inv
+			case d < st.RPrime:
+				fl += inv
+			}
+		}
+	}
+	fs := 1 - fb - fl
+	var sEff [3][3]float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			sEff[i][j] = fs*sSi[i][j] + fb*sCu[i][j] + fl*sLi[i][j]
+		}
+	}
+	dEff := invert3(sEff)
+	eps := fb*epsCu + fl*epsLi
+	tv := [3]float64{
+		(dEff[0][0] + dEff[0][1]) * eps,
+		(dEff[1][0] + dEff[1][1]) * eps,
+		(dEff[2][0] + dEff[2][1]) * eps,
+	}
+	return dEff, tv
+}
+
+// StressAt samples the patch field by bilinear interpolation over
+// element centers in (r, θ) space (periodic in θ). Points outside the
+// annulus are clamped radially; callers restrict sampling to the core
+// band anyway.
+func (pp *PolarPatch) StressAt(p geom.Point) tensor.Stress {
+	rel := p.Sub(pp.Center)
+	r := rel.Norm()
+	th := math.Atan2(rel.Y, rel.X)
+	if th < 0 {
+		th += 2 * math.Pi
+	}
+	// Radial cell interval in element-center space.
+	i := sort.SearchFloat64s(pp.midR, r) // first midR ≥ r
+	i0 := i - 1
+	i1 := i
+	if i0 < 0 {
+		i0, i1 = 0, 0
+	}
+	if i1 >= len(pp.midR) {
+		i0, i1 = len(pp.midR)-1, len(pp.midR)-1
+	}
+	var tr float64
+	if i1 > i0 {
+		tr = (r - pp.midR[i0]) / (pp.midR[i1] - pp.midR[i0])
+	}
+	// Angular cell interval: element-center angles at (j+0.5)·Δθ.
+	dth := 2 * math.Pi / float64(pp.NTheta)
+	fj := th/dth - 0.5
+	j0 := int(math.Floor(fj))
+	tt := fj - float64(j0)
+	j0 = ((j0 % pp.NTheta) + pp.NTheta) % pp.NTheta
+	j1 := (j0 + 1) % pp.NTheta
+
+	get := func(i, j int) tensor.Stress { return pp.CellRR[i*pp.NTheta+j] }
+	s00 := get(i0, j0).Scale((1 - tr) * (1 - tt))
+	s01 := get(i0, j1).Scale((1 - tr) * tt)
+	s10 := get(i1, j0).Scale(tr * (1 - tt))
+	s11 := get(i1, j1).Scale(tr * tt)
+	return s00.Add(s01).Add(s10).Add(s11)
+}
+
+var _ Field = (*PolarPatch)(nil)

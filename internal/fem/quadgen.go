@@ -1,0 +1,98 @@
+package fem
+
+import (
+	"math"
+
+	"tsvstress/internal/geom"
+	"tsvstress/internal/tensor"
+)
+
+// General (non-rectangular) isoparametric Q4 element machinery, used by
+// the polar patches where elements are annular sector quads. The
+// uniform-rectangle fast path in element.go remains for the Cartesian
+// mesh.
+
+// quadB builds the 3×8 strain-displacement matrix and |J| at local
+// coordinates (ξ, η) for a quad with the given corner coordinates.
+func quadB(c [4]geom.Point, xi, eta float64) (b [3][8]float64, detJ float64) {
+	dxi, deta := shapeDeriv(xi, eta)
+	var j11, j12, j21, j22 float64
+	for a := 0; a < 4; a++ {
+		j11 += dxi[a] * c[a].X
+		j12 += dxi[a] * c[a].Y
+		j21 += deta[a] * c[a].X
+		j22 += deta[a] * c[a].Y
+	}
+	detJ = j11*j22 - j12*j21
+	inv := 1 / detJ
+	for a := 0; a < 4; a++ {
+		dNdx := (j22*dxi[a] - j12*deta[a]) * inv
+		dNdy := (-j21*dxi[a] + j11*deta[a]) * inv
+		b[0][2*a] = dNdx
+		b[1][2*a+1] = dNdy
+		b[2][2*a] = dNdy
+		b[2][2*a+1] = dNdx
+	}
+	return b, detJ
+}
+
+var gaussPts = [4][2]float64{
+	{-1 / sqrt3, -1 / sqrt3},
+	{1 / sqrt3, -1 / sqrt3},
+	{1 / sqrt3, 1 / sqrt3},
+	{-1 / sqrt3, 1 / sqrt3},
+}
+
+// quadStiffness computes ke = Σ_gp Bᵀ D B |J| for a general quad.
+func quadStiffness(c [4]geom.Point, d *[3][3]float64, out *[8][8]float64) {
+	for i := range out {
+		for j := range out[i] {
+			out[i][j] = 0
+		}
+	}
+	for _, gp := range gaussPts {
+		b, detJ := quadB(c, gp[0], gp[1])
+		var db [3][8]float64
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 8; j++ {
+				db[i][j] = d[i][0]*b[0][j] + d[i][1]*b[1][j] + d[i][2]*b[2][j]
+			}
+		}
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				out[i][j] += (b[0][i]*db[0][j] + b[1][i]*db[1][j] + b[2][i]*db[2][j]) * detJ
+			}
+		}
+	}
+}
+
+// quadThermal computes fe = Σ_gp Bᵀ tv |J| for a general quad.
+func quadThermal(c [4]geom.Point, tv *[3]float64, out *[8]float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	for _, gp := range gaussPts {
+		b, detJ := quadB(c, gp[0], gp[1])
+		for i := 0; i < 8; i++ {
+			out[i] += (b[0][i]*tv[0] + b[1][i]*tv[1] + b[2][i]*tv[2]) * detJ
+		}
+	}
+}
+
+// quadStressCenter evaluates σ = D(B ue) − tv at ξ = η = 0.
+func quadStressCenter(c [4]geom.Point, d *[3][3]float64, tv *[3]float64, ue *[8]float64) tensor.Stress {
+	b, _ := quadB(c, 0, 0)
+	var eps [3]float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 8; j++ {
+			eps[i] += b[i][j] * ue[j]
+		}
+	}
+	return tensor.Stress{
+		XX: d[0][0]*eps[0] + d[0][1]*eps[1] + d[0][2]*eps[2] - tv[0],
+		YY: d[1][0]*eps[0] + d[1][1]*eps[1] + d[1][2]*eps[2] - tv[1],
+		XY: d[2][0]*eps[0] + d[2][1]*eps[1] + d[2][2]*eps[2] - tv[2],
+	}
+}
+
+var sqrt3 = math.Sqrt(3)

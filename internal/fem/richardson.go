@@ -1,0 +1,63 @@
+package fem
+
+import (
+	"tsvstress/internal/geom"
+	"tsvstress/internal/material"
+	"tsvstress/internal/tensor"
+)
+
+// Field is anything that can be sampled for a stress tensor at a point.
+// Both Result and RichardsonResult implement it, as do the analytical
+// models in other packages.
+type Field interface {
+	StressAt(p geom.Point) tensor.Stress
+}
+
+// RichardsonResult combines two solutions at mesh sizes h and h/2 by
+// pointwise Richardson extrapolation, σ = 2·σ_{h/2} − σ_h.
+//
+// The dominant discretization error of the blended-material structured
+// mesh is first order in h (it comes from the O(h)-wide mixed-material
+// band at the circular interfaces), so the extrapolation cancels it:
+// measured single-TSV K error drops from ~10% (h = 0.25) to < 1%. This
+// is the accuracy the golden reference needs, because the modeling
+// errors under study are themselves a few percent at large pitch.
+type RichardsonResult struct {
+	Coarse, Fine *Result
+}
+
+// SolveRichardson runs the solver at opt.H and opt.H/2 and returns the
+// extrapolating sampler.
+func SolveRichardson(pl *geom.Placement, st material.Structure, domain geom.Rect, opt Options) (*RichardsonResult, error) {
+	opt = opt.withDefaults()
+	coarse, err := Solve(pl, st, domain, opt)
+	if err != nil {
+		return nil, err
+	}
+	fineOpt := opt
+	fineOpt.H = opt.H / 2
+	fine, err := Solve(pl, st, domain, fineOpt)
+	if err != nil {
+		return nil, err
+	}
+	return &RichardsonResult{Coarse: coarse, Fine: fine}, nil
+}
+
+// StressAt samples the extrapolated stress field.
+func (r *RichardsonResult) StressAt(p geom.Point) tensor.Stress {
+	c := r.Coarse.StressAt(p)
+	f := r.Fine.StressAt(p)
+	return f.Scale(2).Sub(c)
+}
+
+// DisplacementAt samples the extrapolated perturbation displacement.
+func (r *RichardsonResult) DisplacementAt(p geom.Point) (ux, uy float64) {
+	cx, cy := r.Coarse.DisplacementAt(p)
+	fx, fy := r.Fine.DisplacementAt(p)
+	return 2*fx - cx, 2*fy - cy
+}
+
+var (
+	_ Field = (*Result)(nil)
+	_ Field = (*RichardsonResult)(nil)
+)

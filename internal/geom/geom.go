@@ -1,0 +1,105 @@
+// Package geom provides the 2D geometric primitives used throughout the
+// TSV stress modeling framework: points, vectors, circles, rectangles and
+// TSV placements on the device layer.
+//
+// All coordinates and lengths are in micrometers (µm) unless stated
+// otherwise; the device layer is modeled as the z = 0 plane so only x/y
+// coordinates appear.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location on the device layer, in µm.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p + q treated as vectors.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q treated as vectors.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product of p and q treated as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Norm returns the Euclidean length of p treated as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Angle returns the polar angle of the vector p in radians, in (-π, π].
+func (p Point) Angle() float64 { return math.Atan2(p.Y, p.X) }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.4g, %.4g)", p.X, p.Y) }
+
+// Circle is a disk of radius R centered at C.
+type Circle struct {
+	C Point
+	R float64
+}
+
+// Contains reports whether p lies inside or on the circle.
+func (c Circle) Contains(p Point) bool { return c.C.Dist(p) <= c.R }
+
+// Rect is an axis-aligned rectangle spanning [Min.X, Max.X] × [Min.Y, Max.Y].
+type Rect struct {
+	Min, Max Point
+}
+
+// RectAround returns the rectangle of width w and height h centered at c.
+func RectAround(c Point, w, h float64) Rect {
+	return Rect{
+		Min: Point{c.X - w/2, c.Y - h/2},
+		Max: Point{c.X + w/2, c.Y + h/2},
+	}
+}
+
+// Contains reports whether p lies inside or on the rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// W returns the rectangle width.
+func (r Rect) W() float64 { return r.Max.X - r.Min.X }
+
+// H returns the rectangle height.
+func (r Rect) H() float64 { return r.Max.Y - r.Min.Y }
+
+// Center returns the rectangle center point.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Area returns the rectangle area in µm².
+func (r Rect) Area() float64 { return r.W() * r.H() }
+
+// Expand returns the rectangle grown by margin on every side.
+func (r Rect) Expand(margin float64) Rect {
+	return Rect{
+		Min: Point{r.Min.X - margin, r.Min.Y - margin},
+		Max: Point{r.Max.X + margin, r.Max.Y + margin},
+	}
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Valid reports whether Min <= Max in both dimensions.
+func (r Rect) Valid() bool { return r.Min.X <= r.Max.X && r.Min.Y <= r.Max.Y }

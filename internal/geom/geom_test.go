@@ -1,0 +1,200 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPointOps(t *testing.T) {
+	p, q := Pt(3, 4), Pt(-1, 2)
+	if got := p.Add(q); got != Pt(2, 6) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(4, 2) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 5 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := p.Dist(q); !almostEq(got, math.Sqrt(16+4), 1e-12) {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestPointAngle(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Pt(1, 0), 0},
+		{Pt(0, 1), math.Pi / 2},
+		{Pt(-1, 0), math.Pi},
+		{Pt(0, -1), -math.Pi / 2},
+		{Pt(1, 1), math.Pi / 4},
+	}
+	for _, c := range cases {
+		if got := c.p.Angle(); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Angle(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestDistSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Pt(ax, ay), Pt(bx, by)
+		return a.Dist(b) == b.Dist(a) && a.Dist(a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a := Pt(rng.NormFloat64()*10, rng.NormFloat64()*10)
+		b := Pt(rng.NormFloat64()*10, rng.NormFloat64()*10)
+		c := Pt(rng.NormFloat64()*10, rng.NormFloat64()*10)
+		if a.Dist(c) > a.Dist(b)+b.Dist(c)+1e-9 {
+			t.Fatalf("triangle inequality violated for %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestCircleContains(t *testing.T) {
+	c := Circle{C: Pt(1, 1), R: 2}
+	if !c.Contains(Pt(1, 1)) || !c.Contains(Pt(3, 1)) {
+		t.Error("Contains should include center and boundary")
+	}
+	if c.Contains(Pt(3.01, 1)) {
+		t.Error("Contains should exclude exterior")
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := RectAround(Pt(0, 0), 60, 30)
+	if r.W() != 60 || r.H() != 30 {
+		t.Fatalf("W/H = %v/%v", r.W(), r.H())
+	}
+	if r.Center() != Pt(0, 0) {
+		t.Errorf("Center = %v", r.Center())
+	}
+	if !r.Contains(Pt(30, 15)) || r.Contains(Pt(30.1, 0)) {
+		t.Error("Contains boundary check failed")
+	}
+	if r.Area() != 1800 {
+		t.Errorf("Area = %v", r.Area())
+	}
+	e := r.Expand(5)
+	if e.W() != 70 || e.H() != 40 {
+		t.Errorf("Expand = %v", e)
+	}
+	u := r.Union(RectAround(Pt(100, 0), 2, 2))
+	if u.Max.X != 101 || u.Min.X != -30 {
+		t.Errorf("Union = %v", u)
+	}
+	if !r.Valid() || (Rect{Min: Pt(1, 0), Max: Pt(0, 0)}).Valid() {
+		t.Error("Valid check failed")
+	}
+}
+
+func TestPlacementBasics(t *testing.T) {
+	p := NewPlacement(Pt(0, 0), Pt(10, 0), Pt(0, 10))
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if got := p.MinPitch(); !almostEq(got, 10, 1e-12) {
+		t.Errorf("MinPitch = %v", got)
+	}
+	if err := p.Validate(9); err != nil {
+		t.Errorf("Validate(9) = %v", err)
+	}
+	if err := p.Validate(11); err == nil {
+		t.Error("Validate(11) should fail")
+	}
+	i, d := p.NearestTSV(Pt(9, 1))
+	if i != 1 || !almostEq(d, math.Sqrt(2), 1e-12) {
+		t.Errorf("NearestTSV = %d, %v", i, d)
+	}
+}
+
+func TestPlacementEdgeCases(t *testing.T) {
+	empty := NewPlacement()
+	if !math.IsInf(empty.MinPitch(), 1) {
+		t.Error("empty MinPitch should be +Inf")
+	}
+	if i, d := empty.NearestTSV(Pt(0, 0)); i != -1 || !math.IsInf(d, 1) {
+		t.Error("empty NearestTSV should be (-1, +Inf)")
+	}
+	if empty.Density(0) != 0 {
+		t.Error("empty Density should be 0")
+	}
+	single := NewPlacement(Pt(5, 5))
+	if !math.IsInf(single.MinPitch(), 1) {
+		t.Error("single MinPitch should be +Inf")
+	}
+	if !math.IsInf(single.Density(0), 1) {
+		t.Error("single Density with zero-area box should be +Inf")
+	}
+}
+
+func TestPlacementMinPitchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		p := NewPlacement(pts...)
+		brute := math.Inf(1)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if d := pts[i].Dist(pts[j]); d < brute {
+					brute = d
+				}
+			}
+		}
+		if got := p.MinPitch(); !almostEq(got, brute, 1e-9) {
+			t.Fatalf("MinPitch = %v, brute = %v", got, brute)
+		}
+	}
+}
+
+func TestPlacementDensity(t *testing.T) {
+	// 10x10 grid at 10 µm pitch: bounding box 90x90, expanded by 5 each
+	// side → 100x100 µm; 100 TSVs → 1e-2 µm⁻², the paper's "very dense"
+	// upper bound in Appendix A.3.
+	var pts []Point
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			pts = append(pts, Pt(float64(i)*10, float64(j)*10))
+		}
+	}
+	p := NewPlacement(pts...)
+	if got := p.Density(5); !almostEq(got, 1e-2, 1e-9) {
+		t.Errorf("Density = %v, want 1e-2", got)
+	}
+	if got := p.MinPitch(); !almostEq(got, 10, 1e-9) {
+		t.Errorf("MinPitch = %v", got)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	p := NewPlacement(Pt(-5, 2), Pt(7, -3))
+	b := p.Bounds(1)
+	want := Rect{Min: Pt(-6, -4), Max: Pt(8, 3)}
+	if b != want {
+		t.Errorf("Bounds = %v, want %v", b, want)
+	}
+}

@@ -1,0 +1,118 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TSV is a single through-silicon via on the device layer. Only the
+// position is stored here; the cross-sectional structure (body radius,
+// liner thickness, materials) is shared per placement and lives in the
+// material package's Structure type.
+type TSV struct {
+	// Center of the via in µm.
+	Center Point
+	// Name is an optional designator (e.g. "V17") used in reports.
+	Name string
+}
+
+// Placement is a set of TSVs sharing one cross-sectional structure.
+type Placement struct {
+	TSVs []TSV
+}
+
+// NewPlacement builds a placement from center points.
+func NewPlacement(centers ...Point) *Placement {
+	p := &Placement{TSVs: make([]TSV, len(centers))}
+	for i, c := range centers {
+		p.TSVs[i] = TSV{Center: c, Name: fmt.Sprintf("V%d", i)}
+	}
+	return p
+}
+
+// Len returns the number of TSVs.
+func (p *Placement) Len() int { return len(p.TSVs) }
+
+// Centers returns the TSV center points in order.
+func (p *Placement) Centers() []Point {
+	cs := make([]Point, len(p.TSVs))
+	for i, t := range p.TSVs {
+		cs[i] = t.Center
+	}
+	return cs
+}
+
+// Bounds returns the bounding box of the TSV centers expanded by margin.
+// For an empty placement it returns an empty rectangle at the origin.
+func (p *Placement) Bounds(margin float64) Rect {
+	if len(p.TSVs) == 0 {
+		return Rect{}
+	}
+	r := Rect{Min: p.TSVs[0].Center, Max: p.TSVs[0].Center}
+	for _, t := range p.TSVs[1:] {
+		r.Min.X = math.Min(r.Min.X, t.Center.X)
+		r.Min.Y = math.Min(r.Min.Y, t.Center.Y)
+		r.Max.X = math.Max(r.Max.X, t.Center.X)
+		r.Max.Y = math.Max(r.Max.Y, t.Center.Y)
+	}
+	return r.Expand(margin)
+}
+
+// MinPitch returns the smallest center-to-center distance between any two
+// TSVs, or +Inf for fewer than two TSVs. It is O(n log n) via a sweep over
+// x-sorted centers with an adaptive window, which is exact because any
+// closer pair must be within the current best distance in x.
+func (p *Placement) MinPitch() float64 {
+	n := len(p.TSVs)
+	if n < 2 {
+		return math.Inf(1)
+	}
+	cs := p.Centers()
+	sort.Slice(cs, func(i, j int) bool { return cs[i].X < cs[j].X })
+	best := math.Inf(1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n && cs[j].X-cs[i].X < best; j++ {
+			if d := cs[i].Dist(cs[j]); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// Density returns the TSV count divided by the bounding-box area
+// (µm⁻²), the metric used in Table 6 of the paper. The bounding box is
+// expanded by half the given pitch guess on each side so single rows do
+// not produce a zero-area box; pass 0 to use the raw box.
+func (p *Placement) Density(margin float64) float64 {
+	if len(p.TSVs) == 0 {
+		return 0
+	}
+	area := p.Bounds(margin).Area()
+	if area <= 0 {
+		return math.Inf(1)
+	}
+	return float64(len(p.TSVs)) / area
+}
+
+// Validate returns an error if any two TSVs are closer than minPitch
+// (overlapping vias are physically impossible and break the models).
+func (p *Placement) Validate(minPitch float64) error {
+	if got := p.MinPitch(); got < minPitch {
+		return fmt.Errorf("geom: placement min pitch %.3g µm below limit %.3g µm", got, minPitch)
+	}
+	return nil
+}
+
+// NearestTSV returns the index of the TSV whose center is closest to q and
+// the distance to it. It returns (-1, +Inf) for an empty placement.
+func (p *Placement) NearestTSV(q Point) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for i, t := range p.TSVs {
+		if d := t.Center.Dist(q); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}

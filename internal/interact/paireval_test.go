@@ -1,0 +1,81 @@
+package interact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tsvstress/internal/geom"
+	"tsvstress/internal/material"
+)
+
+// The fast evaluator must agree with the general path everywhere.
+func TestPairEvalMatchesPairStress(t *testing.T) {
+	mo := newBCB(t)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		vic := geom.Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+		ang := rng.Float64() * 2 * math.Pi
+		d := 7 + rng.Float64()*15
+		agg := vic.Add(geom.Pt(d*math.Cos(ang), d*math.Sin(ang)))
+		pe := mo.NewPairEval(vic, agg)
+		for k := 0; k < 10; k++ {
+			r := 3.05 + rng.Float64()*15
+			th := rng.Float64() * 2 * math.Pi
+			p := vic.Add(geom.Pt(r*math.Cos(th), r*math.Sin(th)))
+			fast := pe.StressAt(p)
+			slow := mo.PairStress(p, vic, agg)
+			scale := math.Max(1e-9, math.Abs(slow.XX)+math.Abs(slow.YY)+math.Abs(slow.XY))
+			if math.Abs(fast.XX-slow.XX) > 1e-9*scale ||
+				math.Abs(fast.YY-slow.YY) > 1e-9*scale ||
+				math.Abs(fast.XY-slow.XY) > 1e-9*scale {
+				t.Fatalf("mismatch at %v (vic %v agg %v): fast %v slow %v", p, vic, agg, fast, slow)
+			}
+		}
+	}
+}
+
+func TestPairEvalInteriorFallback(t *testing.T) {
+	mo := newBCB(t)
+	vic, agg := geom.Pt(0, 0), geom.Pt(9, 0)
+	pe := mo.NewPairEval(vic, agg)
+	p := geom.Pt(1.5, 0.5) // inside the victim body
+	fast := pe.StressAt(p)
+	slow := mo.PairStress(p, vic, agg)
+	if fast != slow {
+		t.Errorf("interior fallback mismatch: %v vs %v", fast, slow)
+	}
+}
+
+func TestPairEvalDegenerate(t *testing.T) {
+	mo := newBCB(t)
+	pe := mo.NewPairEval(geom.Pt(1, 1), geom.Pt(1, 1))
+	if got := pe.StressAt(geom.Pt(5, 5)); got.XX != 0 || got.YY != 0 || got.XY != 0 {
+		t.Errorf("degenerate pair = %v", got)
+	}
+}
+
+func BenchmarkPairEvalStressAt(b *testing.B) {
+	mo, err := New(material.Baseline(material.BCB), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pe := mo.NewPairEval(geom.Pt(0, 0), geom.Pt(10, 0))
+	p := geom.Pt(5, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = pe.StressAt(p)
+	}
+}
+
+func BenchmarkPairStressGeneral(b *testing.B) {
+	mo, err := New(material.Baseline(material.BCB), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := geom.Pt(5, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = mo.PairStress(p, geom.Pt(0, 0), geom.Pt(10, 0))
+	}
+}

@@ -1,0 +1,45 @@
+package interact
+
+import (
+	"math"
+	"testing"
+
+	"tsvstress/internal/material"
+)
+
+func TestPlaneStrainModel(t *testing.T) {
+	st := material.Baseline(material.BCB)
+	pe, err := NewPlane(st, 0, material.PlaneStrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe.Plane != material.PlaneStrain {
+		t.Fatal("plane mode not recorded")
+	}
+	// Boundary conditions must hold in plane strain too.
+	trac, disp := pe.BoundaryResiduals(9, 24)
+	if trac > 1e-4 {
+		t.Errorf("plane-strain traction jump %g", trac)
+	}
+	if disp > 1e-8 {
+		t.Errorf("plane-strain displacement jump %g", disp)
+	}
+	// The plane-strain correction differs from plane stress (different
+	// κ and K) but has the same sign and order of magnitude.
+	ps, err := New(st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ps.PairPolar(3.3, 0.4, 9)
+	b := pe.PairPolar(3.3, 0.4, 9)
+	if a == b {
+		t.Error("plane modes should give different corrections")
+	}
+	if math.Signbit(a.RR) != math.Signbit(b.RR) {
+		t.Errorf("plane modes disagree on sign: %+v vs %+v", a, b)
+	}
+	ratio := b.RR / a.RR
+	if ratio < 0.5 || ratio > 2.5 {
+		t.Errorf("plane-strain/plane-stress ratio %v outside sanity band", ratio)
+	}
+}

@@ -1,0 +1,247 @@
+// Package lame implements the 2D plane-stress analytical model of a
+// single TSV with liner (Section 3.2 of the paper): a copper body of
+// radius R, a liner ring out to R′, embedded in an infinite silicon
+// substrate, cooled by ΔT from the stress-free annealing temperature.
+//
+// The axisymmetric displacement ansatz is
+//
+//	body:      u(r) = Ac·r
+//	liner:     u(r) = Al·r + Bl/r
+//	substrate: u(r) = αs·ΔT·r + Bs/r   (free thermal expansion + decay)
+//
+// with plane-stress thermo-elastic constitutive law
+//
+//	σrr = E/(1−ν)·(A − αΔT) − E/(1+ν)·B/r²
+//	σθθ = E/(1−ν)·(A − αΔT) + E/(1+ν)·B/r²
+//
+// Continuity of u and σrr at r = R and r = R′ gives a 4×4 linear system
+// for (Ac, Al, Bl, Bs). The substrate stress is then exactly the paper's
+// Eq. (6): σrr = K/r², σθθ = −K/r², σrθ = 0, with K = −Es·Bs/(1+νs).
+//
+// The paper's closed-form K (Appendix A.4) is provided separately as
+// PaperK for cross-checking.
+package lame
+
+import (
+	"fmt"
+	"math"
+
+	"tsvstress/internal/geom"
+	"tsvstress/internal/linalg"
+	"tsvstress/internal/material"
+	"tsvstress/internal/tensor"
+)
+
+// Region identifies which ring of the TSV structure a radius falls in.
+type Region int
+
+const (
+	// Body is the copper TSV body, r < R.
+	Body Region = iota
+	// Liner is the liner ring, R ≤ r < R′.
+	Liner
+	// Substrate is the silicon bulk, r ≥ R′.
+	Substrate
+)
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	switch r {
+	case Body:
+		return "body"
+	case Liner:
+		return "liner"
+	case Substrate:
+		return "substrate"
+	}
+	return fmt.Sprintf("Region(%d)", int(r))
+}
+
+// Solution is the solved single-TSV stress field. It is immutable and
+// safe for concurrent use.
+type Solution struct {
+	Struct material.Structure
+	// Plane records the 2D idealization the solution was computed for.
+	Plane material.Plane
+
+	// Displacement coefficients (see the package comment).
+	Ac, Al, Bl, Bs float64
+
+	// K is the substrate decay constant of Eq. (6), in MPa·µm².
+	K float64
+}
+
+// Solve computes the single-TSV solution for the given structure under
+// plane stress (the paper's device-layer assumption).
+func Solve(s material.Structure) (*Solution, error) {
+	return SolvePlane(s, material.PlaneStress)
+}
+
+// SolvePlane computes the single-TSV solution for either plane mode.
+// Plane strain uses the standard substitution: the plane modulus
+// E/((1+ν)(1−2ν)) replaces E/(1−ν) and the effective in-plane CTE is
+// α(1+ν); the q = E/(1+ν) = 2µ coefficient of the B/r² term is mode
+// independent.
+func SolvePlane(s material.Structure, plane material.Plane) (*Solution, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("lame: %w", err)
+	}
+	c, l, sub := s.Body, s.Liner, s.Substrate
+	dT := s.DeltaT
+	R, Rp := s.R, s.RPrime
+
+	// Shorthand moduli: p multiplies the uniform (A − α_eff ΔT) term,
+	// q the B/r² term. The body has no B term so qc is unneeded.
+	pc := c.PlaneModulus(plane)
+	pl := l.PlaneModulus(plane)
+	ql := l.E / (1 + l.Nu)
+	qs := sub.E / (1 + sub.Nu)
+
+	// Unknowns x = [Ac, Al, Bl, Bs].
+	a := linalg.NewMatrix(4, 4)
+	b := make([]float64, 4)
+
+	// (1) u continuity at R: Ac·R − Al·R − Bl/R = 0.
+	a.Set(0, 0, R)
+	a.Set(0, 1, -R)
+	a.Set(0, 2, -1/R)
+
+	// (2) σrr continuity at R:
+	// pc(Ac − αcΔT) − [pl(Al − αlΔT) − ql·Bl/R²] = 0.
+	a.Set(1, 0, pc)
+	a.Set(1, 1, -pl)
+	a.Set(1, 2, ql/(R*R))
+	b[1] = pc*c.EffectiveCTE(plane)*dT - pl*l.EffectiveCTE(plane)*dT
+
+	// (3) u continuity at R′: Al·R′ + Bl/R′ − αsΔT·R′ − Bs/R′ = 0.
+	a.Set(2, 1, Rp)
+	a.Set(2, 2, 1/Rp)
+	a.Set(2, 3, -1/Rp)
+	b[2] = sub.EffectiveCTE(plane) * dT * Rp
+
+	// (4) σrr continuity at R′:
+	// pl(Al − αlΔT) − ql·Bl/R′² − [ps(αsΔT − αsΔT) − qs·Bs/R′²] = 0.
+	// The substrate A-term equals its thermal strain so it drops out.
+	a.Set(3, 1, pl)
+	a.Set(3, 2, -ql/(Rp*Rp))
+	a.Set(3, 3, qs/(Rp*Rp))
+	b[3] = pl * l.EffectiveCTE(plane) * dT
+
+	x, err := linalg.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("lame: interface system: %w", err)
+	}
+	sol := &Solution{
+		Struct: s,
+		Plane:  plane,
+		Ac:     x[0], Al: x[1], Bl: x[2], Bs: x[3],
+		K: -qs * x[3],
+	}
+	return sol, nil
+}
+
+// RegionOf classifies a radius from the TSV center.
+func (sol *Solution) RegionOf(r float64) Region {
+	switch {
+	case r < sol.Struct.R:
+		return Body
+	case r < sol.Struct.RPrime:
+		return Liner
+	default:
+		return Substrate
+	}
+}
+
+// PolarAt returns the stress tensor in the TSV-centered cylindrical
+// frame at radius r (valid in every region; σrθ ≡ 0 by axisymmetry).
+func (sol *Solution) PolarAt(r float64) tensor.Polar {
+	s := sol.Struct
+	dT := s.DeltaT
+	switch sol.RegionOf(r) {
+	case Body:
+		c := s.Body
+		iso := c.PlaneModulus(sol.Plane) * (sol.Ac - c.EffectiveCTE(sol.Plane)*dT)
+		return tensor.Polar{RR: iso, TT: iso}
+	case Liner:
+		l := s.Liner
+		iso := l.PlaneModulus(sol.Plane) * (sol.Al - l.EffectiveCTE(sol.Plane)*dT)
+		dev := l.E / (1 + l.Nu) * sol.Bl / (r * r)
+		return tensor.Polar{RR: iso - dev, TT: iso + dev}
+	default:
+		// Eq. (6): σrr = K/r², σθθ = −K/r².
+		return tensor.Polar{RR: sol.K / (r * r), TT: -sol.K / (r * r)}
+	}
+}
+
+// StressAt returns the Cartesian stress tensor at point p for a TSV
+// centered at c. At the TSV center itself the field is the uniform body
+// stress.
+func (sol *Solution) StressAt(p, c geom.Point) tensor.Stress {
+	d := p.Sub(c)
+	r := d.Norm()
+	if r == 0 {
+		pol := sol.PolarAt(0)
+		return tensor.Stress{XX: pol.RR, YY: pol.TT}
+	}
+	return sol.PolarAt(r).ToCartesian(d.Angle())
+}
+
+// DisplacementAt returns the radial displacement u(r) in µm, including
+// the substrate's free thermal expansion term.
+func (sol *Solution) DisplacementAt(r float64) float64 {
+	s := sol.Struct
+	switch sol.RegionOf(r) {
+	case Body:
+		return sol.Ac * r
+	case Liner:
+		return sol.Al*r + sol.Bl/r
+	default:
+		return s.Substrate.EffectiveCTE(sol.Plane)*s.DeltaT*r + sol.Bs/r
+	}
+}
+
+// InterfaceResiduals returns the maximum violation of displacement and
+// radial-stress continuity at the two interfaces — a correctness
+// diagnostic that should be ~0 up to round-off.
+func (sol *Solution) InterfaceResiduals() (du, dsig float64) {
+	const epsRel = 1e-9
+	s := sol.Struct
+	for _, r := range []float64{s.R, s.RPrime} {
+		h := r * epsRel
+		uin := sol.DisplacementAt(r - h)
+		uout := sol.DisplacementAt(r + h)
+		if d := math.Abs(uin - uout); d > du {
+			du = d
+		}
+		sin := sol.PolarAt(r - h).RR
+		sout := sol.PolarAt(r + h).RR
+		if d := math.Abs(sin - sout); d > dsig {
+			dsig = d
+		}
+	}
+	return du, dsig
+}
+
+// PaperK evaluates the closed-form constant K of Appendix A.4 verbatim.
+// It agrees with the 4×4 interface solve of Solve to machine precision
+// for both liner materials (see TestPaperKCrossCheck), which validates
+// both derivations; Solve remains the authoritative path because it
+// extends to the in-body and in-liner fields.
+func PaperK(s material.Structure) float64 {
+	Ec, El, Es := s.Body.E, s.Liner.E, s.Substrate.E
+	vc, vl, vs := s.Body.Nu, s.Liner.Nu, s.Substrate.Nu
+	ac, al, as := s.Body.CTE, s.Liner.CTE, s.Substrate.CTE
+	T := s.DeltaT
+	Rp := s.RPrime
+	k := s.K()
+	k2 := k * k
+
+	cc := (1 - vc) / Ec
+	clP := (1 + vl) / El
+	clM := (1 - vl) / El
+	csP := (1 + vs) / Es
+
+	num := (cc+clP)*(al-as) + (cc+clP)*(ac-al)*k2 - (cc-clM)*(ac-as)*k2
+	den := (cc+clP)*(csP+clM) - (cc-clM)*(csP-clP)*k2
+	return -T * Rp * Rp * num / den
+}

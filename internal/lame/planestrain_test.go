@@ -1,0 +1,66 @@
+package lame
+
+import (
+	"math"
+	"testing"
+
+	"tsvstress/internal/material"
+)
+
+func TestPlaneStrainBasics(t *testing.T) {
+	st := material.Baseline(material.BCB)
+	ps, err := SolvePlane(st, material.PlaneStress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := SolvePlane(st, material.PlaneStrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Plane != material.PlaneStress || pe.Plane != material.PlaneStrain {
+		t.Fatal("plane mode not recorded")
+	}
+	// Same field structure, different magnitude: the plane-strain K is
+	// larger (the out-of-plane constraint amplifies the in-plane
+	// thermal mismatch by ~(1+ν)) but within a factor ~2.
+	if pe.K <= ps.K {
+		t.Errorf("plane-strain K %v should exceed plane-stress K %v", pe.K, ps.K)
+	}
+	if pe.K > 2*ps.K {
+		t.Errorf("plane-strain K %v implausibly large vs %v", pe.K, ps.K)
+	}
+	// Interface continuity holds in both modes.
+	du, dsig := pe.InterfaceResiduals()
+	if du > 1e-9 || dsig > 1e-3 {
+		t.Errorf("plane-strain interface residuals %g / %g", du, dsig)
+	}
+}
+
+// Plane-strain degenerate two-region closed form (liner = substrate):
+// continuity of σrr and u at R with plane-strain moduli gives
+// B = −pc'(αs'−αc')ΔT·R²/(pc'+qs), K = −qs·B, with primes denoting
+// plane-strain effective quantities.
+func TestPlaneStrainTwoRegionClosedForm(t *testing.T) {
+	st := material.Baseline(material.Silicon)
+	st.Liner.CTE = material.Silicon.CTE
+	sol, err := SolvePlane(st, material.PlaneStrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, sub := st.Body, st.Substrate
+	pc := c.PlaneModulus(material.PlaneStrain)
+	qs := sub.E / (1 + sub.Nu)
+	ac := c.EffectiveCTE(material.PlaneStrain)
+	as := sub.EffectiveCTE(material.PlaneStrain)
+	B := -pc * (as - ac) * st.DeltaT * st.R * st.R / (pc + qs)
+	wantK := -qs * B
+	if math.Abs(sol.K-wantK) > 1e-6*math.Abs(wantK) {
+		t.Errorf("plane-strain K = %v, want closed form %v", sol.K, wantK)
+	}
+}
+
+func TestPlaneModeString(t *testing.T) {
+	if material.PlaneStress.String() != "plane-stress" || material.PlaneStrain.String() != "plane-strain" {
+		t.Error("plane mode names wrong")
+	}
+}

@@ -1,0 +1,259 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randMatrix(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	// Diagonal boost to keep condition numbers sane for solve tests.
+	for i := 0; i < n; i++ {
+		m.AddTo(i, i, float64(n))
+	}
+	return m
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatal("At wrong")
+	}
+	m.Set(0, 0, 10)
+	m.AddTo(0, 0, 5)
+	if m.At(0, 0) != 15 {
+		t.Fatal("Set/AddTo wrong")
+	}
+	tr := m.T()
+	if tr.At(1, 0) != 2 || tr.At(0, 1) != 3 {
+		t.Fatal("T wrong")
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) != 15 {
+		t.Fatal("Clone aliases data")
+	}
+	if m.MaxAbs() != 15 {
+		t.Fatalf("MaxAbs = %v", m.MaxAbs())
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randMatrix(rng, 6)
+	i6 := Identity(6)
+	prod := a.Mul(i6)
+	for k := range a.Data {
+		if !eq(prod.Data[k], a.Data[k], 1e-12) {
+			t.Fatal("A·I != A")
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %v", i, j, c.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := a.MulVec([]float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestSolveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 5, 8, 20, 50} {
+		a := randMatrix(rng, n)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(xTrue)
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range x {
+			if !eq(x[i], xTrue[i], 1e-8*float64(n)) {
+				t.Fatalf("n=%d: x[%d] = %v, want %v", n, i, x[i], xTrue[i])
+			}
+		}
+		if r := Residual(a, x, b); r > 1e-8*float64(n) {
+			t.Fatalf("n=%d: residual %v", n, r)
+		}
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(x[0], 3, 1e-12) || !eq(x[1], 2, 1e-12) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSingularDetection(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Factorize(a); err == nil {
+		t.Error("singular matrix should not factorize")
+	}
+	if _, err := Factorize(FromRows([][]float64{{1, 2, 3}})); err == nil {
+		t.Error("non-square should error")
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := FromRows([][]float64{{2, 0}, {0, 3}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(f.Det(), 6, 1e-12) {
+		t.Errorf("Det = %v", f.Det())
+	}
+	// Pivoting flips sign bookkeeping; det must stay correct.
+	b := FromRows([][]float64{{0, 1}, {1, 0}})
+	fb, err := Factorize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(fb.Det(), -1, 1e-12) {
+		t.Errorf("Det = %v, want -1", fb.Det())
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := randMatrix(rng, 7)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := a.Mul(inv)
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 7; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !eq(prod.At(i, j), want, 1e-9) {
+				t.Fatalf("A·A⁻¹[%d][%d] = %v", i, j, prod.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSolveRHSLengthMismatch(t *testing.T) {
+	f, err := Factorize(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1, 2}); err == nil {
+		t.Error("short rhs should error")
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if Dot(x, y) != 32 {
+		t.Errorf("Dot = %v", Dot(x, y))
+	}
+	if !eq(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Errorf("Norm2 = %v", Norm2([]float64{3, 4}))
+	}
+	if Norm2(nil) != 0 {
+		t.Error("Norm2(nil) != 0")
+	}
+	if NormInf([]float64{-7, 2}) != 7 {
+		t.Error("NormInf wrong")
+	}
+	z := []float64{1, 1, 1}
+	Axpy(2, x, z)
+	if z[0] != 3 || z[2] != 7 {
+		t.Errorf("Axpy = %v", z)
+	}
+	ScaleVec(0.5, z)
+	if z[0] != 1.5 {
+		t.Errorf("ScaleVec = %v", z)
+	}
+}
+
+func TestNorm2Overflow(t *testing.T) {
+	big := math.MaxFloat64 / 2
+	got := Norm2([]float64{big, big})
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("Norm2 overflowed: %v", got)
+	}
+	if !eq(got/big, math.Sqrt(2), 1e-12) {
+		t.Fatalf("Norm2 scaled wrong: %v", got/big)
+	}
+}
+
+func TestEigSym2(t *testing.T) {
+	l1, l2 := EigSym2(3, 0, 1)
+	if !eq(l1, 3, 1e-12) || !eq(l2, 1, 1e-12) {
+		t.Errorf("EigSym2 diag = %v, %v", l1, l2)
+	}
+	// [[2,1],[1,2]] has eigenvalues 3, 1.
+	l1, l2 = EigSym2(2, 1, 2)
+	if !eq(l1, 3, 1e-12) || !eq(l2, 1, 1e-12) {
+		t.Errorf("EigSym2 = %v, %v", l1, l2)
+	}
+}
+
+func TestEigSym3(t *testing.T) {
+	// Diagonal.
+	l1, l2, l3 := EigSym3(1, 5, 3, 0, 0, 0)
+	if !eq(l1, 5, 1e-12) || !eq(l2, 3, 1e-12) || !eq(l3, 1, 1e-12) {
+		t.Errorf("diag eig = %v %v %v", l1, l2, l3)
+	}
+	// Known: [[2,1,0],[1,2,0],[0,0,4]] → 4, 3, 1.
+	l1, l2, l3 = EigSym3(2, 2, 4, 1, 0, 0)
+	if !eq(l1, 4, 1e-9) || !eq(l2, 3, 1e-9) || !eq(l3, 1, 1e-9) {
+		t.Errorf("eig = %v %v %v", l1, l2, l3)
+	}
+}
+
+func TestEigSym3Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		a11, a22, a33 := rng.NormFloat64()*10, rng.NormFloat64()*10, rng.NormFloat64()*10
+		a12, a13, a23 := rng.NormFloat64()*10, rng.NormFloat64()*10, rng.NormFloat64()*10
+		l1, l2, l3 := EigSym3(a11, a22, a33, a12, a13, a23)
+		if !(l1 >= l2-1e-9 && l2 >= l3-1e-9) {
+			t.Fatalf("eigenvalues not sorted: %v %v %v", l1, l2, l3)
+		}
+		// Invariants: trace and Frobenius norm.
+		tr := a11 + a22 + a33
+		if !eq(l1+l2+l3, tr, 1e-8*math.Max(1, math.Abs(tr))) {
+			t.Fatalf("trace mismatch")
+		}
+		frob := a11*a11 + a22*a22 + a33*a33 + 2*(a12*a12+a13*a13+a23*a23)
+		if !eq(l1*l1+l2*l2+l3*l3, frob, 1e-6*math.Max(1, frob)) {
+			t.Fatalf("Frobenius mismatch: %v vs %v", l1*l1+l2*l2+l3*l3, frob)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package linalg
+
+import "math"
+
+// EigSym2 returns the eigenvalues of the symmetric 2×2 matrix
+// [[a, b], [b, c]] sorted descending.
+func EigSym2(a, b, c float64) (l1, l2 float64) {
+	m := (a + c) / 2
+	r := math.Hypot((a-c)/2, b)
+	return m + r, m - r
+}
+
+// EigSym3 returns the eigenvalues of a symmetric 3×3 matrix
+// [[a11,a12,a13],[a12,a22,a23],[a13,a23,a33]] sorted descending, using
+// the trigonometric closed form (Smith's algorithm). It is used for the
+// maximum-tensile-stress reliability metric on full 3D tensors.
+func EigSym3(a11, a22, a33, a12, a13, a23 float64) (l1, l2, l3 float64) {
+	p1 := a12*a12 + a13*a13 + a23*a23
+	if p1 == 0 {
+		// Diagonal matrix: sort the diagonal.
+		l1, l2, l3 = a11, a22, a33
+		if l1 < l2 {
+			l1, l2 = l2, l1
+		}
+		if l2 < l3 {
+			l2, l3 = l3, l2
+		}
+		if l1 < l2 {
+			l1, l2 = l2, l1
+		}
+		return
+	}
+	q := (a11 + a22 + a33) / 3
+	p2 := (a11-q)*(a11-q) + (a22-q)*(a22-q) + (a33-q)*(a33-q) + 2*p1
+	p := math.Sqrt(p2 / 6)
+	// B = (A − qI)/p; r = det(B)/2 ∈ [−1, 1] up to round-off.
+	b11, b22, b33 := (a11-q)/p, (a22-q)/p, (a33-q)/p
+	b12, b13, b23 := a12/p, a13/p, a23/p
+	detB := b11*(b22*b33-b23*b23) - b12*(b12*b33-b23*b13) + b13*(b12*b23-b22*b13)
+	r := detB / 2
+	if r < -1 {
+		r = -1
+	} else if r > 1 {
+		r = 1
+	}
+	phi := math.Acos(r) / 3
+	l1 = q + 2*p*math.Cos(phi)
+	l3 = q + 2*p*math.Cos(phi+2*math.Pi/3)
+	l2 = 3*q - l1 - l3
+	return
+}

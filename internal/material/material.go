@@ -1,0 +1,138 @@
+// Package material defines linear-elastic isotropic material properties
+// and the TSV cross-sectional structure used by the stress models.
+//
+// Units: Young's modulus in MPa (so stresses come out in MPa with µm
+// lengths), CTE in 1/K, temperatures in K, lengths in µm.
+package material
+
+import (
+	"fmt"
+	"math"
+)
+
+// Material is a linear-elastic isotropic material.
+type Material struct {
+	Name string
+	// E is Young's modulus in MPa.
+	E float64
+	// Nu is Poisson's ratio (dimensionless).
+	Nu float64
+	// CTE is the coefficient of thermal expansion in 1/K.
+	CTE float64
+}
+
+// Mu returns the shear modulus µ = E / (2(1+ν)) in MPa.
+func (m Material) Mu() float64 { return m.E / (2 * (1 + m.Nu)) }
+
+// KappaPlaneStress returns the Kolosov constant κ = (3−ν)/(1+ν) for
+// plane stress, used by the complex variable method.
+func (m Material) KappaPlaneStress() float64 { return (3 - m.Nu) / (1 + m.Nu) }
+
+// KappaPlaneStrain returns the Kolosov constant κ = 3−4ν for plane strain.
+func (m Material) KappaPlaneStrain() float64 { return 3 - 4*m.Nu }
+
+// PlaneStressD returns the 3×3 plane-stress constitutive matrix D such
+// that [σxx σyy σxy]ᵀ = D [εxx εyy γxy]ᵀ, in MPa.
+func (m Material) PlaneStressD() [3][3]float64 {
+	c := m.E / (1 - m.Nu*m.Nu)
+	return [3][3]float64{
+		{c, c * m.Nu, 0},
+		{c * m.Nu, c, 0},
+		{0, 0, c * (1 - m.Nu) / 2},
+	}
+}
+
+// Validate returns an error for physically inadmissible properties.
+func (m Material) Validate() error {
+	if !(m.E > 0) || math.IsInf(m.E, 0) || math.IsNaN(m.E) {
+		return fmt.Errorf("material %q: Young's modulus %v must be positive and finite", m.Name, m.E)
+	}
+	if m.Nu <= -1 || m.Nu >= 0.5 {
+		return fmt.Errorf("material %q: Poisson ratio %v outside (-1, 0.5)", m.Name, m.Nu)
+	}
+	if math.IsNaN(m.CTE) || math.IsInf(m.CTE, 0) {
+		return fmt.Errorf("material %q: CTE %v must be finite", m.Name, m.CTE)
+	}
+	return nil
+}
+
+// GPa converts GPa to the package's MPa convention.
+func GPa(v float64) float64 { return v * 1e3 }
+
+// PPMPerK converts ppm/K to 1/K.
+func PPMPerK(v float64) float64 { return v * 1e-6 }
+
+// Standard materials with the constants from Section 5 of the paper
+// (E, CTE) and Poisson ratios from its reference chain (Jung et al.,
+// DAC'11).
+var (
+	// Copper is the TSV body material.
+	Copper = Material{Name: "copper", E: GPa(110), Nu: 0.35, CTE: PPMPerK(17)}
+	// BCB (benzocyclobutene) is the baseline compliant liner.
+	BCB = Material{Name: "BCB", E: GPa(3), Nu: 0.34, CTE: PPMPerK(40)}
+	// SiO2 is the alternative stiff liner (Appendix A.2).
+	SiO2 = Material{Name: "SiO2", E: GPa(71), Nu: 0.16, CTE: PPMPerK(0.5)}
+	// Silicon is the substrate.
+	Silicon = Material{Name: "silicon", E: GPa(188), Nu: 0.28, CTE: PPMPerK(2.3)}
+)
+
+// Structure is the cross-sectional specification of a TSV: a copper body
+// of radius R, surrounded by a liner out to radius RPrime, embedded in a
+// substrate, annealed with thermal load DeltaT (stress-free at annealing
+// temperature; DeltaT is the cool-down, −250 K in the paper).
+type Structure struct {
+	// R is the TSV body radius in µm.
+	R float64
+	// RPrime is the outer liner radius (body + liner) in µm.
+	RPrime float64
+	// PadDim is the landing pad dimension in µm; recorded for
+	// completeness, unused by the 2D device-layer models.
+	PadDim float64
+	// DeltaT is the thermal load in K (negative for cool-down).
+	DeltaT float64
+	// Body, Liner, Substrate are the constituent materials.
+	Body, Liner, Substrate Material
+}
+
+// Baseline returns the paper's baseline TSV structure: 2.5 µm copper
+// body, 0.5 µm liner of the given material, 6 µm landing pad, silicon
+// substrate and ΔT = −250 K.
+func Baseline(liner Material) Structure {
+	return Structure{
+		R:         2.5,
+		RPrime:    3.0,
+		PadDim:    6.0,
+		DeltaT:    -250,
+		Body:      Copper,
+		Liner:     liner,
+		Substrate: Silicon,
+	}
+}
+
+// LinerThickness returns RPrime − R in µm.
+func (s Structure) LinerThickness() float64 { return s.RPrime - s.R }
+
+// K returns R/RPrime, the radius ratio called k in Appendix A.4.
+func (s Structure) K() float64 { return s.R / s.RPrime }
+
+// Validate returns an error for inadmissible geometry or materials.
+func (s Structure) Validate() error {
+	if !(s.R > 0) {
+		return fmt.Errorf("material: body radius %v must be positive", s.R)
+	}
+	if s.RPrime < s.R {
+		return fmt.Errorf("material: liner radius %v smaller than body radius %v", s.RPrime, s.R)
+	}
+	for _, m := range []Material{s.Body, s.Liner, s.Substrate} {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (s Structure) String() string {
+	return fmt.Sprintf("TSV{R=%.3gµm, R'=%.3gµm, liner=%s, ΔT=%gK}",
+		s.R, s.RPrime, s.Liner.Name, s.DeltaT)
+}

@@ -1,0 +1,125 @@
+package material
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUnitHelpers(t *testing.T) {
+	if GPa(1) != 1000 {
+		t.Errorf("GPa(1) = %v", GPa(1))
+	}
+	if PPMPerK(17) != 17e-6 {
+		t.Errorf("PPMPerK(17) = %v", PPMPerK(17))
+	}
+}
+
+func TestStandardMaterialsValid(t *testing.T) {
+	for _, m := range []Material{Copper, BCB, SiO2, Silicon} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	// Paper constants spot check.
+	if Copper.E != 110e3 || BCB.E != 3e3 || SiO2.E != 71e3 || Silicon.E != 188e3 {
+		t.Error("Young's moduli do not match Section 5 of the paper")
+	}
+	for _, c := range []struct{ got, want float64 }{
+		{Copper.CTE, 17e-6}, {BCB.CTE, 40e-6}, {SiO2.CTE, 0.5e-6}, {Silicon.CTE, 2.3e-6},
+	} {
+		if math.Abs(c.got-c.want) > 1e-18 {
+			t.Errorf("CTE %v does not match Section 5 value %v", c.got, c.want)
+		}
+	}
+}
+
+func TestDerivedConstants(t *testing.T) {
+	m := Material{Name: "test", E: 100, Nu: 0.25, CTE: 1e-6}
+	if got, want := m.Mu(), 40.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mu = %v, want %v", got, want)
+	}
+	if got, want := m.KappaPlaneStress(), (3-0.25)/(1+0.25); math.Abs(got-want) > 1e-12 {
+		t.Errorf("KappaPlaneStress = %v, want %v", got, want)
+	}
+	if got, want := m.KappaPlaneStrain(), 2.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("KappaPlaneStrain = %v, want %v", got, want)
+	}
+}
+
+func TestPlaneStressD(t *testing.T) {
+	m := Material{Name: "test", E: 100, Nu: 0.3, CTE: 0}
+	d := m.PlaneStressD()
+	// Uniaxial strain εxx=1 should give σxx = E/(1-ν²), σyy = νE/(1-ν²).
+	c := 100 / (1 - 0.09)
+	if math.Abs(d[0][0]-c) > 1e-9 || math.Abs(d[0][1]-0.3*c) > 1e-9 {
+		t.Errorf("D row 0 = %v", d[0])
+	}
+	if math.Abs(d[2][2]-c*0.35) > 1e-9 {
+		t.Errorf("D[2][2] = %v", d[2][2])
+	}
+	// Symmetry.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if d[i][j] != d[j][i] {
+				t.Fatalf("D not symmetric at %d,%d", i, j)
+			}
+		}
+	}
+	// Pure shear: γxy = 1 → σxy = G = E/(2(1+ν)).
+	if math.Abs(d[2][2]-m.Mu()) > 1e-9 {
+		t.Errorf("D[2][2] = %v, want shear modulus %v", d[2][2], m.Mu())
+	}
+}
+
+func TestMaterialValidate(t *testing.T) {
+	bad := []Material{
+		{Name: "zeroE", E: 0, Nu: 0.3},
+		{Name: "negE", E: -5, Nu: 0.3},
+		{Name: "nanE", E: math.NaN(), Nu: 0.3},
+		{Name: "nu0.5", E: 1, Nu: 0.5},
+		{Name: "nu-1", E: 1, Nu: -1},
+		{Name: "nanCTE", E: 1, Nu: 0.3, CTE: math.NaN()},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", m.Name)
+		}
+	}
+}
+
+func TestBaselineStructure(t *testing.T) {
+	s := Baseline(BCB)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.R != 2.5 || s.RPrime != 3.0 || s.PadDim != 6.0 || s.DeltaT != -250 {
+		t.Errorf("baseline geometry mismatch: %+v", s)
+	}
+	if got := s.LinerThickness(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("LinerThickness = %v", got)
+	}
+	if got := s.K(); math.Abs(got-2.5/3.0) > 1e-12 {
+		t.Errorf("K = %v", got)
+	}
+	if s.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestStructureValidate(t *testing.T) {
+	s := Baseline(BCB)
+	s.R = 0
+	if err := s.Validate(); err == nil {
+		t.Error("zero radius should fail")
+	}
+	s = Baseline(BCB)
+	s.RPrime = 2.0
+	if err := s.Validate(); err == nil {
+		t.Error("liner radius < body radius should fail")
+	}
+	s = Baseline(BCB)
+	s.Liner.Nu = 0.7
+	if err := s.Validate(); err == nil {
+		t.Error("bad liner material should fail")
+	}
+}

@@ -1,0 +1,81 @@
+package material
+
+// Plane selects the 2D elasticity idealization. The paper's device-layer
+// analysis uses plane stress (free surface); plane strain is the right
+// idealization for cross-sections deep inside the die, and is provided
+// as an extension. The classic mapping is used throughout: plane-strain
+// formulas follow from plane-stress ones by substituting the "plane
+// modulus" and the effective thermal expansion α(1+ν).
+type Plane int
+
+const (
+	// PlaneStress is the device-layer assumption (σzz = 0).
+	PlaneStress Plane = iota
+	// PlaneStrain is the deep-cross-section assumption (εzz = 0).
+	PlaneStrain
+)
+
+// String implements fmt.Stringer.
+func (p Plane) String() string {
+	if p == PlaneStrain {
+		return "plane-strain"
+	}
+	return "plane-stress"
+}
+
+// Kappa returns the Kolosov constant for the plane mode.
+func (m Material) Kappa(p Plane) float64 {
+	if p == PlaneStrain {
+		return m.KappaPlaneStrain()
+	}
+	return m.KappaPlaneStress()
+}
+
+// PlaneModulus returns the coefficient of the uniform term in the
+// axisymmetric Lamé solution: E/(1−ν) for plane stress,
+// E/((1+ν)(1−2ν)) for plane strain.
+func (m Material) PlaneModulus(p Plane) float64 {
+	if p == PlaneStrain {
+		return m.E / ((1 + m.Nu) * (1 - 2*m.Nu))
+	}
+	return m.E / (1 - m.Nu)
+}
+
+// EffectiveCTE returns the in-plane effective thermal expansion: α for
+// plane stress, α(1+ν) for plane strain (the out-of-plane constraint
+// amplifies the in-plane thermal mismatch).
+func (m Material) EffectiveCTE(p Plane) float64 {
+	if p == PlaneStrain {
+		return m.CTE * (1 + m.Nu)
+	}
+	return m.CTE
+}
+
+// D returns the 3×3 constitutive matrix for the plane mode such that
+// [σxx σyy σxy]ᵀ = D [εxx εyy γxy]ᵀ, in MPa.
+func (m Material) D(p Plane) [3][3]float64 {
+	if p == PlaneStress {
+		return m.PlaneStressD()
+	}
+	c := m.E / ((1 + m.Nu) * (1 - 2*m.Nu))
+	return [3][3]float64{
+		{c * (1 - m.Nu), c * m.Nu, 0},
+		{c * m.Nu, c * (1 - m.Nu), 0},
+		{0, 0, m.E / (2 * (1 + m.Nu))},
+	}
+}
+
+// SigmaZZ returns the out-of-plane stress implied by in-plane stresses
+// for the perturbation problem: 0 for plane stress; for plane strain
+// σzz = ν(σxx + σyy) − E·(α−αref)·ΔT/(1−...) is material-dependent —
+// here the *elastic* part ν(σxx+σyy) is returned and the thermal part
+// must be added by the caller that knows the local eigenstrain. For
+// points in the substrate (the usual case — device regions are silicon
+// and the perturbation convention uses α−αs = 0 there) the returned
+// value is exact.
+func SigmaZZ(p Plane, nu, sxx, syy float64) float64 {
+	if p == PlaneStrain {
+		return nu * (sxx + syy)
+	}
+	return 0
+}

@@ -1,0 +1,82 @@
+package material
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlaneHelpers(t *testing.T) {
+	m := Material{Name: "t", E: 100, Nu: 0.25, CTE: 2e-6}
+
+	if got, want := m.Kappa(PlaneStress), (3-0.25)/(1+0.25); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Kappa(stress) = %v, want %v", got, want)
+	}
+	if got, want := m.Kappa(PlaneStrain), 3-4*0.25; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Kappa(strain) = %v, want %v", got, want)
+	}
+
+	if got, want := m.PlaneModulus(PlaneStress), 100/(1-0.25); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PlaneModulus(stress) = %v, want %v", got, want)
+	}
+	if got, want := m.PlaneModulus(PlaneStrain), 100/((1+0.25)*(1-0.5)); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PlaneModulus(strain) = %v, want %v", got, want)
+	}
+
+	if got := m.EffectiveCTE(PlaneStress); got != 2e-6 {
+		t.Errorf("EffectiveCTE(stress) = %v", got)
+	}
+	if got, want := m.EffectiveCTE(PlaneStrain), 2e-6*1.25; math.Abs(got-want) > 1e-18 {
+		t.Errorf("EffectiveCTE(strain) = %v, want %v", got, want)
+	}
+}
+
+func TestDMatrixModes(t *testing.T) {
+	m := Material{Name: "t", E: 100, Nu: 0.3, CTE: 0}
+	ds := m.D(PlaneStress)
+	if ds != m.PlaneStressD() {
+		t.Error("D(PlaneStress) should equal PlaneStressD")
+	}
+	de := m.D(PlaneStrain)
+	// Plane strain is stiffer in the normal directions...
+	if de[0][0] <= ds[0][0] {
+		t.Errorf("plane-strain D11 %v should exceed plane-stress %v", de[0][0], ds[0][0])
+	}
+	// ...but the shear modulus is identical.
+	if math.Abs(de[2][2]-ds[2][2]) > 1e-12 {
+		t.Errorf("shear moduli differ: %v vs %v", de[2][2], ds[2][2])
+	}
+	// Known closed form: D11 = E(1−ν)/((1+ν)(1−2ν)).
+	want := 100 * 0.7 / (1.3 * 0.4)
+	if math.Abs(de[0][0]-want) > 1e-9 {
+		t.Errorf("plane-strain D11 = %v, want %v", de[0][0], want)
+	}
+	// Symmetry.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if de[i][j] != de[j][i] {
+				t.Fatal("plane-strain D not symmetric")
+			}
+		}
+	}
+}
+
+func TestSigmaZZModes(t *testing.T) {
+	if SigmaZZ(PlaneStress, 0.3, 10, 20) != 0 {
+		t.Error("plane-stress σzz != 0")
+	}
+	if got := SigmaZZ(PlaneStrain, 0.25, 40, 20); math.Abs(got-15) > 1e-12 {
+		t.Errorf("plane-strain σzz = %v, want 15", got)
+	}
+}
+
+// Uniaxial plane-strain consistency: for εxx = e, εyy = γ = 0,
+// σxx/σyy = (1−ν)/ν.
+func TestPlaneStrainUniaxialRatio(t *testing.T) {
+	m := Material{Name: "t", E: 50, Nu: 0.2, CTE: 0}
+	d := m.D(PlaneStrain)
+	sxx := d[0][0]
+	syy := d[1][0]
+	if math.Abs(sxx/syy-(1-0.2)/0.2) > 1e-9 {
+		t.Errorf("σxx/σyy = %v, want %v", sxx/syy, (1-0.2)/0.2)
+	}
+}

@@ -1,0 +1,149 @@
+// Package mesh provides the structured quadrilateral mesh used by the
+// plane-stress FEM substrate. The mesh covers an axis-aligned
+// rectangular domain with a uniform grid of 4-node quadrilateral
+// elements; all geometric queries (node/element indexing, point
+// location, bilinear interpolation weights) live here.
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"tsvstress/internal/geom"
+)
+
+// Grid is a uniform structured quad mesh over Domain with NX×NY
+// elements of size DX×DY.
+type Grid struct {
+	Domain geom.Rect
+	NX, NY int
+	DX, DY float64
+}
+
+// New builds a grid over domain with target element size h; the actual
+// element sizes divide the domain exactly.
+func New(domain geom.Rect, h float64) (*Grid, error) {
+	if !domain.Valid() || domain.W() <= 0 || domain.H() <= 0 {
+		return nil, fmt.Errorf("mesh: invalid domain %+v", domain)
+	}
+	if h <= 0 {
+		return nil, fmt.Errorf("mesh: element size %g must be positive", h)
+	}
+	nx := int(math.Ceil(domain.W() / h))
+	ny := int(math.Ceil(domain.H() / h))
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	return &Grid{
+		Domain: domain,
+		NX:     nx,
+		NY:     ny,
+		DX:     domain.W() / float64(nx),
+		DY:     domain.H() / float64(ny),
+	}, nil
+}
+
+// NumNodes returns the node count (NX+1)·(NY+1).
+func (g *Grid) NumNodes() int { return (g.NX + 1) * (g.NY + 1) }
+
+// NumElems returns the element count NX·NY.
+func (g *Grid) NumElems() int { return g.NX * g.NY }
+
+// NodeID maps grid indices (i ∈ [0,NX], j ∈ [0,NY]) to a node id.
+func (g *Grid) NodeID(i, j int) int { return j*(g.NX+1) + i }
+
+// NodeXY returns the coordinates of node (i, j).
+func (g *Grid) NodeXY(i, j int) geom.Point {
+	return geom.Pt(g.Domain.Min.X+float64(i)*g.DX, g.Domain.Min.Y+float64(j)*g.DY)
+}
+
+// ElemID maps element indices (i ∈ [0,NX), j ∈ [0,NY)) to an element id.
+func (g *Grid) ElemID(i, j int) int { return j*g.NX + i }
+
+// ElemIJ inverts ElemID.
+func (g *Grid) ElemIJ(e int) (i, j int) { return e % g.NX, e / g.NX }
+
+// ElemNodes returns the four node ids of element e in counter-clockwise
+// order starting at the lower-left corner.
+func (g *Grid) ElemNodes(e int) [4]int {
+	i, j := g.ElemIJ(e)
+	return [4]int{
+		g.NodeID(i, j),
+		g.NodeID(i+1, j),
+		g.NodeID(i+1, j+1),
+		g.NodeID(i, j+1),
+	}
+}
+
+// ElemCenter returns the centroid of element e.
+func (g *Grid) ElemCenter(e int) geom.Point {
+	i, j := g.ElemIJ(e)
+	return geom.Pt(
+		g.Domain.Min.X+(float64(i)+0.5)*g.DX,
+		g.Domain.Min.Y+(float64(j)+0.5)*g.DY,
+	)
+}
+
+// IsBoundaryNode reports whether node (i, j) lies on the domain boundary.
+func (g *Grid) IsBoundaryNode(i, j int) bool {
+	return i == 0 || j == 0 || i == g.NX || j == g.NY
+}
+
+// Locate returns the element containing p and the local isoparametric
+// coordinates (ξ, η) ∈ [−1, 1]². Points outside the domain are clamped
+// to the nearest element; ok reports whether p was inside.
+func (g *Grid) Locate(p geom.Point) (e int, xi, eta float64, ok bool) {
+	fx := (p.X - g.Domain.Min.X) / g.DX
+	fy := (p.Y - g.Domain.Min.Y) / g.DY
+	ok = fx >= 0 && fy >= 0 && fx <= float64(g.NX) && fy <= float64(g.NY)
+	i := int(math.Floor(fx))
+	j := int(math.Floor(fy))
+	i = clamp(i, 0, g.NX-1)
+	j = clamp(j, 0, g.NY-1)
+	xi = 2*(fx-float64(i)) - 1
+	eta = 2*(fy-float64(j)) - 1
+	xi = clampF(xi, -1, 1)
+	eta = clampF(eta, -1, 1)
+	return g.ElemID(i, j), xi, eta, ok
+}
+
+// CellInterp returns, for a field stored at element centers, the four
+// surrounding cell ids and bilinear weights for point p. Cells are
+// clamped at the domain edge (constant extrapolation).
+func (g *Grid) CellInterp(p geom.Point) (cells [4]int, w [4]float64) {
+	// Cell-center coordinates form a grid offset by half a cell.
+	fx := (p.X-g.Domain.Min.X)/g.DX - 0.5
+	fy := (p.Y-g.Domain.Min.Y)/g.DY - 0.5
+	i0 := clamp(int(math.Floor(fx)), 0, g.NX-1)
+	j0 := clamp(int(math.Floor(fy)), 0, g.NY-1)
+	i1 := clamp(i0+1, 0, g.NX-1)
+	j1 := clamp(j0+1, 0, g.NY-1)
+	tx := clampF(fx-float64(i0), 0, 1)
+	ty := clampF(fy-float64(j0), 0, 1)
+	cells = [4]int{g.ElemID(i0, j0), g.ElemID(i1, j0), g.ElemID(i1, j1), g.ElemID(i0, j1)}
+	w = [4]float64{(1 - tx) * (1 - ty), tx * (1 - ty), tx * ty, (1 - tx) * ty}
+	return cells, w
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,175 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"tsvstress/internal/geom"
+)
+
+func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func grid10(t *testing.T) *Grid {
+	t.Helper()
+	g, err := New(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(10, 5)}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(geom.Rect{Min: geom.Pt(1, 0), Max: geom.Pt(0, 1)}, 1); err == nil {
+		t.Error("inverted domain should fail")
+	}
+	if _, err := New(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}, 0); err == nil {
+		t.Error("zero h should fail")
+	}
+	if _, err := New(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(0, 1)}, 1); err == nil {
+		t.Error("zero-width domain should fail")
+	}
+}
+
+func TestGridDimensions(t *testing.T) {
+	g := grid10(t)
+	if g.NX != 10 || g.NY != 5 {
+		t.Fatalf("NX/NY = %d/%d", g.NX, g.NY)
+	}
+	if g.NumNodes() != 66 || g.NumElems() != 50 {
+		t.Fatalf("nodes/elems = %d/%d", g.NumNodes(), g.NumElems())
+	}
+	if !eq(g.DX, 1, 1e-12) || !eq(g.DY, 1, 1e-12) {
+		t.Fatalf("DX/DY = %v/%v", g.DX, g.DY)
+	}
+	// Non-divisible h shrinks to fit exactly.
+	g2, err := New(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(10, 5)}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(float64(g2.NX)*g2.DX, 10, 1e-12) || !eq(float64(g2.NY)*g2.DY, 5, 1e-12) {
+		t.Error("elements do not tile the domain exactly")
+	}
+}
+
+func TestNodeIndexing(t *testing.T) {
+	g := grid10(t)
+	if g.NodeID(0, 0) != 0 || g.NodeID(10, 0) != 10 || g.NodeID(0, 1) != 11 {
+		t.Fatal("NodeID wrong")
+	}
+	if p := g.NodeXY(3, 2); p != geom.Pt(3, 2) {
+		t.Fatalf("NodeXY = %v", p)
+	}
+	// All node ids unique and within range.
+	seen := make(map[int]bool)
+	for j := 0; j <= g.NY; j++ {
+		for i := 0; i <= g.NX; i++ {
+			id := g.NodeID(i, j)
+			if id < 0 || id >= g.NumNodes() || seen[id] {
+				t.Fatalf("bad node id %d at (%d,%d)", id, i, j)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestElemIndexing(t *testing.T) {
+	g := grid10(t)
+	for e := 0; e < g.NumElems(); e++ {
+		i, j := g.ElemIJ(e)
+		if g.ElemID(i, j) != e {
+			t.Fatalf("ElemID/ElemIJ roundtrip failed at %d", e)
+		}
+		n := g.ElemNodes(e)
+		// CCW order: lower-left, lower-right, upper-right, upper-left.
+		if n[1] != n[0]+1 || n[3] != n[0]+g.NX+1 || n[2] != n[3]+1 {
+			t.Fatalf("ElemNodes(%d) = %v not CCW-consistent", e, n)
+		}
+	}
+	if c := g.ElemCenter(0); c != geom.Pt(0.5, 0.5) {
+		t.Fatalf("ElemCenter(0) = %v", c)
+	}
+}
+
+func TestBoundaryNodes(t *testing.T) {
+	g := grid10(t)
+	if !g.IsBoundaryNode(0, 3) || !g.IsBoundaryNode(10, 0) || !g.IsBoundaryNode(4, 5) {
+		t.Error("boundary nodes not detected")
+	}
+	if g.IsBoundaryNode(5, 2) {
+		t.Error("interior node misclassified")
+	}
+}
+
+func TestLocate(t *testing.T) {
+	g := grid10(t)
+	e, xi, eta, ok := g.Locate(geom.Pt(2.5, 1.5))
+	if !ok || e != g.ElemID(2, 1) {
+		t.Fatalf("Locate center: e=%d ok=%v", e, ok)
+	}
+	if !eq(xi, 0, 1e-12) || !eq(eta, 0, 1e-12) {
+		t.Fatalf("center local coords = %v, %v", xi, eta)
+	}
+	// Corner of the domain.
+	e, xi, eta, ok = g.Locate(geom.Pt(0, 0))
+	if !ok || e != 0 || !eq(xi, -1, 1e-12) || !eq(eta, -1, 1e-12) {
+		t.Fatalf("corner locate: e=%d ξ=%v η=%v ok=%v", e, xi, eta, ok)
+	}
+	// Outside: clamped, not ok.
+	e, xi, _, ok = g.Locate(geom.Pt(-3, 1.5))
+	if ok || e != g.ElemID(0, 1) || xi != -1 {
+		t.Fatalf("outside locate: e=%d ξ=%v ok=%v", e, xi, ok)
+	}
+}
+
+func TestCellInterpPartitionOfUnity(t *testing.T) {
+	g := grid10(t)
+	for _, p := range []geom.Point{{X: 2.5, Y: 1.5}, {X: 0.1, Y: 0.1}, {X: 9.9, Y: 4.9}, {X: 5.0, Y: 2.0}} {
+		cells, w := g.CellInterp(p)
+		sum := 0.0
+		for k, wk := range w {
+			if wk < -1e-12 || wk > 1+1e-12 {
+				t.Fatalf("weight %v out of range at %v", wk, p)
+			}
+			if cells[k] < 0 || cells[k] >= g.NumElems() {
+				t.Fatalf("cell %d out of range at %v", cells[k], p)
+			}
+			sum += wk
+		}
+		if !eq(sum, 1, 1e-12) {
+			t.Fatalf("weights sum to %v at %v", sum, p)
+		}
+	}
+}
+
+func TestCellInterpReproducesLinearField(t *testing.T) {
+	g := grid10(t)
+	// Field f(x,y) = 2x − 3y sampled at cell centers must be
+	// reproduced exactly by bilinear interpolation away from edges.
+	vals := make([]float64, g.NumElems())
+	for e := range vals {
+		c := g.ElemCenter(e)
+		vals[e] = 2*c.X - 3*c.Y
+	}
+	for _, p := range []geom.Point{{X: 3.3, Y: 2.2}, {X: 6.7, Y: 1.9}, {X: 5.0, Y: 2.5}} {
+		cells, w := g.CellInterp(p)
+		got := 0.0
+		for k := range cells {
+			got += w[k] * vals[cells[k]]
+		}
+		want := 2*p.X - 3*p.Y
+		if !eq(got, want, 1e-10) {
+			t.Errorf("interp at %v = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestElemCenterOfLocate(t *testing.T) {
+	g := grid10(t)
+	for e := 0; e < g.NumElems(); e++ {
+		c := g.ElemCenter(e)
+		le, xi, eta, ok := g.Locate(c)
+		if !ok || le != e || !eq(xi, 0, 1e-9) || !eq(eta, 0, 1e-9) {
+			t.Fatalf("Locate(ElemCenter(%d)) = %d (%v,%v)", e, le, xi, eta)
+		}
+	}
+}

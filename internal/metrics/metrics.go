@@ -1,0 +1,127 @@
+// Package metrics implements the error statistics of the paper's
+// evaluation: average absolute error and average error rate between a
+// method's stress field and the FEM golden, restricted to simulation
+// points whose golden intensity exceeds a threshold, over a monitored
+// or critical region (Section 5).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"tsvstress/internal/tensor"
+)
+
+// Component is a scalar extracted from a stress tensor for comparison.
+type Component func(tensor.Stress) float64
+
+// SigmaXX extracts σxx, the component of Tables 1, 2 and 4.
+func SigmaXX(s tensor.Stress) float64 { return s.XX }
+
+// SigmaYY extracts σyy.
+func SigmaYY(s tensor.Stress) float64 { return s.YY }
+
+// VonMises extracts the von Mises stress, the reliability metric of
+// Tables 2, 3 and 5.
+func VonMises(s tensor.Stress) float64 { return s.VonMises() }
+
+// MaxTensile extracts the maximum tensile stress (alternative
+// reliability metric mentioned in the paper's conclusion).
+func MaxTensile(s tensor.Stress) float64 { return s.MaxTensile() }
+
+// ByName returns the component extractor for "xx", "yy", "vm" or "mts".
+func ByName(name string) (Component, error) {
+	switch name {
+	case "xx":
+		return SigmaXX, nil
+	case "yy":
+		return SigmaYY, nil
+	case "vm":
+		return VonMises, nil
+	case "mts":
+		return MaxTensile, nil
+	}
+	return nil, fmt.Errorf("metrics: unknown component %q", name)
+}
+
+// Stats summarizes the error of a method field against a golden field.
+type Stats struct {
+	// N is the number of points that passed the threshold.
+	N int
+	// AvgError is the mean |method − golden| in MPa.
+	AvgError float64
+	// AvgErrorRate is the mean |method − golden| / |golden| in percent.
+	AvgErrorRate float64
+	// MaxError is the largest |method − golden| in MPa.
+	MaxError float64
+}
+
+// Compare computes error statistics between two sampled fields over
+// points whose |golden component| exceeds threshold (in MPa). Pass
+// threshold 0 to include every point.
+func Compare(golden, method []tensor.Stress, comp Component, threshold float64) (Stats, error) {
+	if len(golden) != len(method) {
+		return Stats{}, fmt.Errorf("metrics: field lengths differ: %d vs %d", len(golden), len(method))
+	}
+	var st Stats
+	var sumErr, sumRate float64
+	for i := range golden {
+		g := comp(golden[i])
+		if math.Abs(g) < threshold {
+			continue
+		}
+		m := comp(method[i])
+		e := math.Abs(m - g)
+		sumErr += e
+		if g != 0 {
+			sumRate += e / math.Abs(g)
+		}
+		if e > st.MaxError {
+			st.MaxError = e
+		}
+		st.N++
+	}
+	if st.N > 0 {
+		st.AvgError = sumErr / float64(st.N)
+		st.AvgErrorRate = 100 * sumRate / float64(st.N)
+	}
+	return st, nil
+}
+
+// Row is one method's full set of Table-1-style statistics: the
+// monitored region unthresholded, with 10 MPa and 50 MPa thresholds,
+// and the critical region with a 50 MPa threshold.
+type Row struct {
+	Avg          Stats // monitored region, no threshold
+	Thresh10     Stats // monitored region, 10 MPa threshold
+	Thresh50     Stats // monitored region, 50 MPa threshold
+	Critical50   Stats // critical region, 50 MPa threshold
+	CriticalAll  Stats // critical region, no threshold (extra diagnostics)
+	MonitoredPts int
+	CriticalPts  int
+}
+
+// TableRow computes a Row given golden/method samples over the
+// monitored region and over the critical region.
+func TableRow(goldenMon, methodMon, goldenCrit, methodCrit []tensor.Stress, comp Component) (Row, error) {
+	var r Row
+	var err error
+	if r.Avg, err = Compare(goldenMon, methodMon, comp, 0); err != nil {
+		return r, err
+	}
+	if r.Thresh10, err = Compare(goldenMon, methodMon, comp, 10); err != nil {
+		return r, err
+	}
+	if r.Thresh50, err = Compare(goldenMon, methodMon, comp, 50); err != nil {
+		return r, err
+	}
+	if r.Critical50, err = Compare(goldenCrit, methodCrit, comp, 50); err != nil {
+		return r, err
+	}
+	if r.CriticalAll, err = Compare(goldenCrit, methodCrit, comp, 0); err != nil {
+		return r, err
+	}
+	r.MonitoredPts = len(goldenMon)
+	r.CriticalPts = len(goldenCrit)
+	return r, nil
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"tsvstress/internal/tensor"
+)
+
+func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCompareBasics(t *testing.T) {
+	golden := []tensor.Stress{{XX: 100}, {XX: -50}, {XX: 5}}
+	method := []tensor.Stress{{XX: 110}, {XX: -45}, {XX: 6}}
+	st, err := Compare(golden, method, SigmaXX, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 3 {
+		t.Fatalf("N = %d", st.N)
+	}
+	if !eq(st.AvgError, (10.0+5+1)/3, 1e-12) {
+		t.Errorf("AvgError = %v", st.AvgError)
+	}
+	wantRate := 100 * (10.0/100 + 5.0/50 + 1.0/5) / 3
+	if !eq(st.AvgErrorRate, wantRate, 1e-9) {
+		t.Errorf("AvgErrorRate = %v, want %v", st.AvgErrorRate, wantRate)
+	}
+	if st.MaxError != 10 {
+		t.Errorf("MaxError = %v", st.MaxError)
+	}
+}
+
+func TestCompareThreshold(t *testing.T) {
+	golden := []tensor.Stress{{XX: 100}, {XX: -50}, {XX: 5}}
+	method := []tensor.Stress{{XX: 110}, {XX: -45}, {XX: 50}}
+	st, err := Compare(golden, method, SigmaXX, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 2 {
+		t.Fatalf("N = %d, want 2 (threshold on |golden|)", st.N)
+	}
+	if !eq(st.AvgError, 7.5, 1e-12) {
+		t.Errorf("AvgError = %v", st.AvgError)
+	}
+	// Negative golden counts by magnitude.
+	st, _ = Compare(golden, method, SigmaXX, 50)
+	if st.N != 2 {
+		t.Errorf("N = %d, want 2 at 50 MPa threshold", st.N)
+	}
+}
+
+func TestCompareEmptyAndMismatch(t *testing.T) {
+	if _, err := Compare([]tensor.Stress{{}}, nil, SigmaXX, 0); err == nil {
+		t.Error("length mismatch should error")
+	}
+	st, err := Compare(nil, nil, SigmaXX, 0)
+	if err != nil || st.N != 0 || st.AvgError != 0 {
+		t.Errorf("empty compare = %+v, %v", st, err)
+	}
+	// All below threshold.
+	st, _ = Compare([]tensor.Stress{{XX: 1}}, []tensor.Stress{{XX: 2}}, SigmaXX, 10)
+	if st.N != 0 {
+		t.Error("all points should be filtered")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	s := tensor.Stress{XX: 3, YY: -4, XY: 1}
+	if SigmaXX(s) != 3 || SigmaYY(s) != -4 {
+		t.Error("component extractors wrong")
+	}
+	if VonMises(s) != s.VonMises() || MaxTensile(s) != s.MaxTensile() {
+		t.Error("derived extractors wrong")
+	}
+	for _, name := range []string{"xx", "yy", "vm", "mts"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q) = %v", name, err)
+		}
+	}
+	if _, err := ByName("zz"); err == nil {
+		t.Error("unknown name should error")
+	}
+}
+
+func TestTableRow(t *testing.T) {
+	gm := []tensor.Stress{{XX: 100}, {XX: 20}, {XX: 5}}
+	mm := []tensor.Stress{{XX: 90}, {XX: 25}, {XX: 5.5}}
+	gc := []tensor.Stress{{XX: 120}, {XX: 60}}
+	mc := []tensor.Stress{{XX: 100}, {XX: 70}}
+	r, err := TableRow(gm, mm, gc, mc, SigmaXX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MonitoredPts != 3 || r.CriticalPts != 2 {
+		t.Errorf("point counts %d/%d", r.MonitoredPts, r.CriticalPts)
+	}
+	if r.Avg.N != 3 || r.Thresh10.N != 2 || r.Thresh50.N != 1 {
+		t.Errorf("threshold Ns: %d %d %d", r.Avg.N, r.Thresh10.N, r.Thresh50.N)
+	}
+	if r.Critical50.N != 2 || !eq(r.Critical50.AvgError, 15, 1e-12) {
+		t.Errorf("critical = %+v", r.Critical50)
+	}
+}

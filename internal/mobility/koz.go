@@ -1,0 +1,38 @@
+package mobility
+
+import (
+	"math"
+
+	"tsvstress/internal/lame"
+	"tsvstress/internal/tensor"
+)
+
+// KeepOutRadius returns the keep-out-zone radius of a single TSV for a
+// carrier: the distance from the via center beyond which the
+// worst-orientation |Δµ/µ| stays below tol (e.g. 0.01 for the common
+// "1% mobility shift" KOZ rule). The single-TSV field magnitude decays
+// monotonically as K/r², so the radius solves |shift|(r) = tol in
+// closed form; the returned value is never below the via radius R′.
+func KeepOutRadius(sol *lame.Solution, k Coefficients, tol float64) float64 {
+	if tol <= 0 {
+		return math.Inf(1)
+	}
+	// In the substrate the field is σrr = K/r², σθθ = −K/r², a pure
+	// deviator: the worst-case shift is ±(πL−πT)·K/r² plus zero mean
+	// term... mean = −(πL+πT)(σxx+σyy)/2 = 0 since trace is zero. So
+	// |shift|(r) = |πL−πT|·K/r².
+	amp := math.Abs((k.PiL - k.PiT) * sol.K)
+	r := math.Sqrt(amp / tol)
+	if r < sol.Struct.RPrime {
+		return sol.Struct.RPrime
+	}
+	return r
+}
+
+// ShiftAtField is a convenience helper mapping a sampled stress to the
+// worst-case mobility shift (used by keep-out-zone scans over full
+// placements, where superposed fields are no longer pure deviators).
+func ShiftAtField(s tensor.Stress, k Coefficients) float64 {
+	worst, _ := WorstCase(s, k)
+	return worst
+}

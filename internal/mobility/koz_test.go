@@ -1,0 +1,67 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"tsvstress/internal/geom"
+	"tsvstress/internal/lame"
+	"tsvstress/internal/material"
+)
+
+func TestKeepOutRadius(t *testing.T) {
+	sol, err := lame.Solve(material.Baseline(material.BCB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, carrier := range []Carrier{NMOS, PMOS} {
+		k := Default110(carrier)
+		r := KeepOutRadius(sol, k, 0.01)
+		if r < sol.Struct.RPrime {
+			t.Fatalf("%v: KOZ radius %v below via radius", carrier, r)
+		}
+		// At the KOZ boundary the worst-case shift equals the
+		// tolerance (field sampled via the actual solution).
+		s := sol.StressAt(geom.Pt(r, 0), geom.Pt(0, 0))
+		worst, _ := WorstCase(s, k)
+		if math.Abs(math.Abs(worst)-0.01) > 1e-3 {
+			t.Errorf("%v: |shift| at KOZ boundary = %v, want ≈ 0.01", carrier, math.Abs(worst))
+		}
+		// Just outside it must be below tolerance.
+		s2 := sol.StressAt(geom.Pt(r*1.2, 0), geom.Pt(0, 0))
+		if w, _ := WorstCase(s2, k); math.Abs(w) > 0.01 {
+			t.Errorf("%v: shift beyond KOZ = %v", carrier, w)
+		}
+	}
+	// PMOS KOZ is much larger than NMOS (|πL−πT| is ~10× bigger).
+	if KeepOutRadius(sol, Default110(PMOS), 0.01) <= KeepOutRadius(sol, Default110(NMOS), 0.01) {
+		t.Error("PMOS KOZ should exceed NMOS KOZ")
+	}
+}
+
+func TestKeepOutRadiusEdgeCases(t *testing.T) {
+	sol, err := lame.Solve(material.Baseline(material.BCB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(KeepOutRadius(sol, Default110(PMOS), 0), 1) {
+		t.Error("zero tolerance should give infinite KOZ")
+	}
+	// Huge tolerance clamps at the via radius.
+	if got := KeepOutRadius(sol, Default110(NMOS), 100); got != sol.Struct.RPrime {
+		t.Errorf("huge tolerance KOZ = %v", got)
+	}
+}
+
+func TestShiftAtField(t *testing.T) {
+	sol, err := lame.Solve(material.Baseline(material.BCB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sol.StressAt(geom.Pt(5, 2), geom.Pt(0, 0))
+	k := Default110(PMOS)
+	worst, _ := WorstCase(s, k)
+	if ShiftAtField(s, k) != worst {
+		t.Error("ShiftAtField should equal WorstCase value")
+	}
+}

@@ -1,0 +1,114 @@
+// Package mobility converts TSV-induced stress into carrier-mobility
+// variation via the linear piezoresistance model — the device-impact
+// application the paper's introduction motivates (its reference [2],
+// Yang et al., "TSV stress aware timing analysis", DAC 2010).
+//
+// For a MOSFET channel along direction l̂ in the (001) silicon device
+// plane, the first-order mobility shift is
+//
+//	Δµ/µ = −( π_L σ_L + π_T σ_T )
+//
+// where σ_L and σ_T are the normal stresses along and across the
+// channel and π_L, π_T are the longitudinal/transverse piezoresistance
+// coefficients of the carrier type. Positive Δµ/µ is a mobility gain.
+//
+// Default coefficients are the widely used bulk values for standard
+// <110> channels on (001) silicon (Smith's data rotated to <110>, in
+// 1/MPa): they reproduce the behaviour exploited by the stress-aware
+// placement literature — NMOS speeds up under tensile channel stress,
+// PMOS slows down, and vice versa.
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"tsvstress/internal/tensor"
+)
+
+// Carrier selects electron or hole mobility.
+type Carrier int
+
+const (
+	// NMOS is the electron channel.
+	NMOS Carrier = iota
+	// PMOS is the hole channel.
+	PMOS
+)
+
+// String implements fmt.Stringer.
+func (c Carrier) String() string {
+	if c == NMOS {
+		return "NMOS"
+	}
+	return "PMOS"
+}
+
+// Coefficients are piezoresistance coefficients in 1/MPa. πL couples to
+// stress along the channel, πT across it. Note the sign convention:
+// mobility shift is Δµ/µ = −(πL σL + πT σT), matching piezoresistance
+// (resistivity increase = mobility decrease).
+type Coefficients struct {
+	PiL, PiT float64
+}
+
+// Default110 returns the bulk piezoresistance coefficients for <110>
+// channels on (001) silicon, in 1/MPa.
+func Default110(c Carrier) Coefficients {
+	switch c {
+	case NMOS:
+		// π11 = −102.2e-5, π12 = 53.4e-5, π44 = −13.6e-5 (1/MPa·1e-5
+		// in the usual 1e-11/Pa units); rotated to <110>:
+		// πL = (π11+π12+π44)/2, πT = (π11+π12−π44)/2.
+		return Coefficients{PiL: -31.2e-5, PiT: -17.6e-5}
+	default:
+		// Holes: π11 = 6.6e-5, π12 = −1.1e-5, π44 = 138.1e-5.
+		return Coefficients{PiL: 71.8e-5, PiT: -66.3e-5}
+	}
+}
+
+// Shift returns Δµ/µ (dimensionless, e.g. +0.05 = +5%) for a channel
+// whose direction makes angle theta with the x-axis, under the given
+// device-layer stress.
+func Shift(s tensor.Stress, theta float64, k Coefficients) float64 {
+	// Rotate the stress into channel coordinates: σL is the normal
+	// stress along the channel, σT across it.
+	p := s.ToPolar(theta)
+	return -(k.PiL*p.RR + k.PiT*p.TT)
+}
+
+// ShiftXY returns Δµ/µ for the two canonical channel orientations
+// (along x and along y).
+func ShiftXY(s tensor.Stress, k Coefficients) (alongX, alongY float64) {
+	return Shift(s, 0, k), Shift(s, math.Pi/2, k)
+}
+
+// WorstCase returns the most negative Δµ/µ over all channel
+// orientations and the angle at which it occurs. Because Δµ/µ is a
+// quadratic form in the channel direction, the extrema occur along the
+// principal axes of an effective tensor; they are found here by direct
+// closed form.
+func WorstCase(s tensor.Stress, k Coefficients) (shift, theta float64) {
+	// Δµ/µ(θ) = −(πL σL(θ) + πT σT(θ))
+	//         = −(πL+πT)(σxx+σyy)/2 − (πL−πT)[(σxx−σyy)/2 cos2θ + σxy sin2θ]
+	mean := -(k.PiL + k.PiT) * (s.XX + s.YY) / 2
+	ax := (s.XX - s.YY) / 2
+	amp := (k.PiL - k.PiT) * math.Hypot(ax, s.XY)
+	// Worst case is mean − |amp|; the minimizing angle solves
+	// cos(2θ−φ) = ±1 with φ = atan2(σxy, ax).
+	phi := math.Atan2(s.XY, ax)
+	if amp >= 0 {
+		return mean - amp, phi / 2
+	}
+	return mean + amp, phi/2 + math.Pi/2
+}
+
+// Validate rejects non-finite coefficients.
+func (k Coefficients) Validate() error {
+	for _, v := range []float64{k.PiL, k.PiT} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("mobility: non-finite coefficient %v", v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tsvstress/internal/tensor"
+)
+
+func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCarrierString(t *testing.T) {
+	if NMOS.String() != "NMOS" || PMOS.String() != "PMOS" {
+		t.Error("carrier names wrong")
+	}
+}
+
+func TestDefaultCoefficients(t *testing.T) {
+	n := Default110(NMOS)
+	p := Default110(PMOS)
+	// Rotated-Smith values for <110>/(001).
+	if !eq(n.PiL, -31.2e-5, 1e-9) || !eq(n.PiT, -17.6e-5, 1e-9) {
+		t.Errorf("NMOS coefficients = %+v", n)
+	}
+	if !eq(p.PiL, 71.8e-5, 1e-9) || !eq(p.PiT, -66.3e-5, 1e-9) {
+		t.Errorf("PMOS coefficients = %+v", p)
+	}
+	if n.Validate() != nil || p.Validate() != nil {
+		t.Error("default coefficients should validate")
+	}
+	if (Coefficients{PiL: math.NaN()}).Validate() == nil {
+		t.Error("NaN coefficient should fail")
+	}
+}
+
+func TestShiftSigns(t *testing.T) {
+	// Uniaxial tension along the channel: NMOS gains mobility
+	// (πL < 0 → Δµ/µ = −πL·σ > 0), PMOS loses (πL > 0).
+	s := tensor.Stress{XX: 100}
+	nm := Shift(s, 0, Default110(NMOS))
+	pm := Shift(s, 0, Default110(PMOS))
+	if nm <= 0 {
+		t.Errorf("NMOS under longitudinal tension: Δµ/µ = %v, want > 0", nm)
+	}
+	if pm >= 0 {
+		t.Errorf("PMOS under longitudinal tension: Δµ/µ = %v, want < 0", pm)
+	}
+	// Magnitudes: 100 MPa × 31.2e-5 ≈ 3.1% for NMOS.
+	if !eq(nm, 100*31.2e-5, 1e-9) {
+		t.Errorf("NMOS shift = %v", nm)
+	}
+}
+
+func TestShiftRotationConsistency(t *testing.T) {
+	// Shifting the channel by θ equals rotating the stress by −θ.
+	rng := rand.New(rand.NewSource(4))
+	k := Default110(PMOS)
+	for i := 0; i < 200; i++ {
+		s := tensor.Stress{XX: rng.NormFloat64() * 100, YY: rng.NormFloat64() * 100, XY: rng.NormFloat64() * 100}
+		th := rng.Float64() * 2 * math.Pi
+		a := Shift(s, th, k)
+		b := Shift(s.Rotate(th), 0, k)
+		if !eq(a, b, 1e-9*(1+math.Abs(a))) {
+			t.Fatalf("rotation inconsistency: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestShiftXY(t *testing.T) {
+	s := tensor.Stress{XX: 50, YY: -30}
+	k := Default110(NMOS)
+	ax, ay := ShiftXY(s, k)
+	if !eq(ax, Shift(s, 0, k), 1e-12) || !eq(ay, Shift(s, math.Pi/2, k), 1e-12) {
+		t.Error("ShiftXY inconsistent with Shift")
+	}
+	// Equibiaxial stress: orientation independent.
+	iso := tensor.Stress{XX: 80, YY: 80}
+	ax, ay = ShiftXY(iso, k)
+	if !eq(ax, ay, 1e-12) {
+		t.Error("equibiaxial shift should be isotropic")
+	}
+}
+
+func TestWorstCaseIsMinimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, carrier := range []Carrier{NMOS, PMOS} {
+		k := Default110(carrier)
+		for i := 0; i < 100; i++ {
+			s := tensor.Stress{XX: rng.NormFloat64() * 100, YY: rng.NormFloat64() * 100, XY: rng.NormFloat64() * 100}
+			worst, theta := WorstCase(s, k)
+			// The reported angle must attain the reported value...
+			if got := Shift(s, theta, k); !eq(got, worst, 1e-9*(1+math.Abs(worst))) {
+				t.Fatalf("%v: WorstCase angle does not attain value: %v vs %v", carrier, got, worst)
+			}
+			// ...and no sampled angle may be lower.
+			for j := 0; j < 64; j++ {
+				th := 2 * math.Pi * float64(j) / 64
+				if Shift(s, th, k) < worst-1e-9*(1+math.Abs(worst)) {
+					t.Fatalf("%v: found lower shift than WorstCase at θ=%v", carrier, th)
+				}
+			}
+		}
+	}
+}
+
+func TestWorstCaseUnderTSVField(t *testing.T) {
+	// The single-TSV field σrr = K/r², σθθ = −K/r² (K > 0, cool-down):
+	// a PMOS channel pointing at the via sits under radial tension and
+	// tangential compression — both terms hurt (πL > 0, πT < 0), so the
+	// worst orientation is radial.
+	K := 700.0
+	r := 5.0
+	s := tensor.Polar{RR: K / (r * r), TT: -K / (r * r)}.ToCartesian(0)
+	worst, theta := WorstCase(s, Default110(PMOS))
+	if worst >= 0 {
+		t.Fatalf("PMOS near TSV should lose mobility: %v", worst)
+	}
+	// θ = 0 is the radial direction here.
+	if math.Abs(math.Mod(theta+math.Pi, math.Pi)) > 1e-6 && math.Abs(theta) > 1e-6 {
+		t.Errorf("worst angle = %v, want radial (0 mod π)", theta)
+	}
+}

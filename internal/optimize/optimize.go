@@ -1,0 +1,246 @@
+// Package optimize implements stress-aware TSV placement optimization —
+// the layout-optimization application the paper's conclusion points at
+// (its references [1] and [2]: stress-driven 3D-IC placement with TSV
+// keep-out zones).
+//
+// Given fixed device sites and a movable TSV placement, the optimizer
+// perturbs TSV positions with simulated annealing to minimize
+//
+//	cost = Σ_sites w(site) · max(0, |Δµ/µ|worst − budget)²  +  λ · Σ_TSV ‖move‖²
+//
+// where the mobility shift is evaluated with the full semi-analytical
+// framework (linear superposition + pairwise interactive stress), so the
+// optimizer sees the interaction error that a plain-LS flow misses at
+// tight pitch. All randomness is seeded; runs are deterministic.
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tsvstress/internal/geom"
+	"tsvstress/internal/interact"
+	"tsvstress/internal/lame"
+	"tsvstress/internal/material"
+	"tsvstress/internal/mobility"
+	"tsvstress/internal/tensor"
+)
+
+// Options configures Minimize. Zero values select documented defaults.
+type Options struct {
+	// Region constrains TSV centers; required.
+	Region geom.Rect
+	// MinPitch is the legal center-to-center distance (default 2R′+1).
+	MinPitch float64
+	// MobilityBudget is the allowed |Δµ/µ| at device sites (default
+	// 0.02 = 2%).
+	MobilityBudget float64
+	// Carrier selects the piezoresistance coefficients; the zero value
+	// is NMOS — pass mobility.PMOS explicitly for hole channels, whose
+	// keep-out zones are ~3× larger and usually dominate.
+	Carrier mobility.Carrier
+	// MoveWeight is λ, the quadratic penalty on displacement from the
+	// initial position in (Δµ/µ)²/µm² units (default 1e-6 — mobility
+	// violations dominate unless moves get large).
+	MoveWeight float64
+	// Iterations bounds annealing steps (default 300·#TSV).
+	Iterations int
+	// InitialStep is the starting move size in µm (default 2).
+	InitialStep float64
+	// Cutoff bounds stress interaction distances (default 25 µm).
+	Cutoff float64
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+func (o Options) withDefaults(st material.Structure, n int) Options {
+	if o.MinPitch <= 0 {
+		o.MinPitch = 2*st.RPrime + 1
+	}
+	if o.MobilityBudget <= 0 {
+		o.MobilityBudget = 0.02
+	}
+	if o.MoveWeight <= 0 {
+		o.MoveWeight = 1e-6
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 300 * n
+	}
+	if o.InitialStep <= 0 {
+		o.InitialStep = 2
+	}
+	if o.Cutoff <= 0 {
+		o.Cutoff = 25
+	}
+	return o
+}
+
+// Result reports the optimization outcome.
+type Result struct {
+	Placement   *geom.Placement
+	InitialCost float64
+	FinalCost   float64
+	Accepted    int
+	Iterations  int
+	// Violations counts sites whose worst-orientation |Δµ/µ| exceeds
+	// the budget before and after.
+	InitialViolations, FinalViolations int
+}
+
+// evaluator computes full-framework stress at sites for a candidate
+// placement, without rebuilding structure-level models.
+type evaluator struct {
+	st    material.Structure
+	sol   *lame.Solution
+	model *interact.Model
+	piezo mobility.Coefficients
+	opt   Options
+}
+
+// stressAt evaluates LS + interactive stress at p for centers cs.
+func (ev *evaluator) stressAt(p geom.Point, cs []geom.Point) tensor.Stress {
+	var s tensor.Stress
+	cut := ev.opt.Cutoff
+	for _, c := range cs {
+		if p.Dist(c) <= cut {
+			s = s.Add(ev.sol.StressAt(p, c))
+		}
+	}
+	// Pairwise interactive rounds: victim j near the point, aggressor i
+	// within the pitch cutoff of j.
+	for j, vic := range cs {
+		if p.Dist(vic) > cut {
+			continue
+		}
+		for i, agg := range cs {
+			if i == j {
+				continue
+			}
+			if vic.Dist(agg) > cut {
+				continue
+			}
+			s = s.Add(ev.model.PairStress(p, vic, agg))
+		}
+	}
+	return s
+}
+
+// cost evaluates the objective for centers cs against fixed sites.
+func (ev *evaluator) cost(cs, initial []geom.Point, sites []geom.Point) (float64, int) {
+	total := 0.0
+	violations := 0
+	budget := ev.opt.MobilityBudget
+	for _, site := range sites {
+		s := ev.stressAt(site, cs)
+		worst, _ := mobility.WorstCase(s, ev.piezo)
+		if v := math.Abs(worst) - budget; v > 0 {
+			total += v * v
+			violations++
+		}
+	}
+	for i := range cs {
+		d := cs[i].Dist(initial[i])
+		total += ev.opt.MoveWeight * d * d
+	}
+	return total, violations
+}
+
+// Minimize runs the annealing. Device sites inside a TSV footprint are
+// rejected (they would be destroyed by the via, not stressed by it).
+func Minimize(st material.Structure, initial *geom.Placement, sites []geom.Point, opt Options) (*Result, error) {
+	n := initial.Len()
+	opt = opt.withDefaults(st, n)
+	if !opt.Region.Valid() || opt.Region.Area() <= 0 {
+		return nil, fmt.Errorf("optimize: invalid region %+v", opt.Region)
+	}
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("optimize: no device sites given")
+	}
+	for _, t := range initial.TSVs {
+		if !opt.Region.Contains(t.Center) {
+			return nil, fmt.Errorf("optimize: initial TSV %v outside region", t.Center)
+		}
+	}
+	if err := initial.Validate(opt.MinPitch); err != nil {
+		return nil, fmt.Errorf("optimize: %w", err)
+	}
+	sol, err := lame.Solve(st)
+	if err != nil {
+		return nil, err
+	}
+	model, err := interact.New(st, 0)
+	if err != nil {
+		return nil, err
+	}
+	ev := &evaluator{st: st, sol: sol, model: model, piezo: mobility.Default110(opt.Carrier), opt: opt}
+
+	init := initial.Centers()
+	for _, site := range sites {
+		for _, c := range init {
+			if site.Dist(c) < st.RPrime {
+				return nil, fmt.Errorf("optimize: device site %v inside TSV footprint at %v", site, c)
+			}
+		}
+	}
+
+	cur := append([]geom.Point(nil), init...)
+	curCost, initViol := ev.cost(cur, init, sites)
+	res := &Result{InitialCost: curCost, InitialViolations: initViol}
+
+	best := append([]geom.Point(nil), cur...)
+	bestCost := curCost
+	rng := rand.New(rand.NewSource(opt.Seed))
+	temp := curCost/10 + 1e-12
+
+	legal := func(cs []geom.Point, moved int) bool {
+		p := cs[moved]
+		if !opt.Region.Contains(p) {
+			return false
+		}
+		for i, c := range cs {
+			if i != moved && c.Dist(p) < opt.MinPitch {
+				return false
+			}
+		}
+		for _, site := range sites {
+			if site.Dist(p) < st.RPrime {
+				return false
+			}
+		}
+		return true
+	}
+
+	for it := 0; it < opt.Iterations; it++ {
+		frac := float64(it) / float64(opt.Iterations)
+		step := opt.InitialStep * (1 - 0.9*frac)
+		k := rng.Intn(n)
+		old := cur[k]
+		cur[k] = geom.Pt(old.X+rng.NormFloat64()*step, old.Y+rng.NormFloat64()*step)
+		if !legal(cur, k) {
+			cur[k] = old
+			continue
+		}
+		cand, _ := ev.cost(cur, init, sites)
+		accept := cand <= curCost
+		if !accept && temp > 0 {
+			accept = rng.Float64() < math.Exp((curCost-cand)/temp)
+		}
+		if accept {
+			curCost = cand
+			res.Accepted++
+			if cand < bestCost {
+				bestCost = cand
+				copy(best, cur)
+			}
+		} else {
+			cur[k] = old
+		}
+		temp *= 0.995
+	}
+
+	res.Iterations = opt.Iterations
+	res.Placement = geom.NewPlacement(best...)
+	res.FinalCost, res.FinalViolations = ev.cost(best, init, sites)
+	return res, nil
+}

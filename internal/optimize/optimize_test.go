@@ -1,0 +1,116 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"tsvstress/internal/geom"
+	"tsvstress/internal/material"
+)
+
+func region() geom.Rect { return geom.RectAround(geom.Pt(0, 0), 60, 60) }
+
+func TestMinimizeValidation(t *testing.T) {
+	st := material.Baseline(material.BCB)
+	pl := geom.NewPlacement(geom.Pt(0, 0))
+	sites := []geom.Point{{X: 10, Y: 0}}
+	if _, err := Minimize(st, pl, sites, Options{}); err == nil {
+		t.Error("missing region should fail")
+	}
+	if _, err := Minimize(st, pl, nil, Options{Region: region()}); err == nil {
+		t.Error("no sites should fail")
+	}
+	if _, err := Minimize(st, geom.NewPlacement(geom.Pt(100, 0)), sites, Options{Region: region()}); err == nil {
+		t.Error("TSV outside region should fail")
+	}
+	if _, err := Minimize(st, geom.NewPlacement(geom.Pt(0, 0), geom.Pt(3, 0)), sites, Options{Region: region()}); err == nil {
+		t.Error("illegal initial pitch should fail")
+	}
+	if _, err := Minimize(st, pl, []geom.Point{{X: 1, Y: 0}}, Options{Region: region()}); err == nil {
+		t.Error("site inside via should fail")
+	}
+}
+
+func TestMinimizeReducesViolations(t *testing.T) {
+	st := material.Baseline(material.BCB)
+	// Two tightly pitched TSVs flanked by device sites well inside the
+	// PMOS keep-out distance (~10 µm at 1%; budget 2% → KOZ ~7 µm).
+	pl := geom.NewPlacement(geom.Pt(-4, 0), geom.Pt(4, 0))
+	sites := []geom.Point{
+		{X: 0, Y: 0}, {X: 0, Y: 4}, {X: 0, Y: -4},
+		{X: -9, Y: 0}, {X: 9, Y: 0}, {X: 5, Y: 5},
+	}
+	res, err := Minimize(st, pl, sites, Options{
+		Region:     region(),
+		Iterations: 800,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InitialViolations == 0 {
+		t.Fatal("test setup should start with violations")
+	}
+	if res.FinalCost >= res.InitialCost {
+		t.Errorf("cost did not decrease: %g → %g", res.InitialCost, res.FinalCost)
+	}
+	if res.FinalViolations > res.InitialViolations {
+		t.Errorf("violations grew: %d → %d", res.InitialViolations, res.FinalViolations)
+	}
+	if res.Accepted == 0 {
+		t.Error("no accepted moves")
+	}
+	// Legality of the result.
+	if err := res.Placement.Validate(2*st.RPrime + 1); err != nil {
+		t.Errorf("result violates min pitch: %v", err)
+	}
+	for _, tsv := range res.Placement.TSVs {
+		if !region().Contains(tsv.Center) {
+			t.Errorf("TSV %v escaped the region", tsv.Center)
+		}
+	}
+	t.Logf("cost %.3g→%.3g, violations %d→%d, accepted %d",
+		res.InitialCost, res.FinalCost, res.InitialViolations, res.FinalViolations, res.Accepted)
+}
+
+func TestMinimizeDeterministic(t *testing.T) {
+	st := material.Baseline(material.BCB)
+	pl := geom.NewPlacement(geom.Pt(-4, 0), geom.Pt(4, 0))
+	sites := []geom.Point{{X: 0, Y: 0}, {X: 0, Y: 5}}
+	opt := Options{Region: region(), Iterations: 150, Seed: 3}
+	a, err := Minimize(st, pl, sites, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Minimize(st, pl, sites, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Placement.TSVs {
+		if a.Placement.TSVs[i].Center != b.Placement.TSVs[i].Center {
+			t.Fatal("same seed should give identical placements")
+		}
+	}
+	if a.FinalCost != b.FinalCost {
+		t.Fatal("same seed should give identical cost")
+	}
+}
+
+func TestMinimizeAlreadyClean(t *testing.T) {
+	st := material.Baseline(material.BCB)
+	// A lone TSV far from its only site: no violations; the optimizer
+	// must not move it away from the initial position (move penalty).
+	pl := geom.NewPlacement(geom.Pt(-20, -20))
+	sites := []geom.Point{{X: 20, Y: 20}}
+	res, err := Minimize(st, pl, sites, Options{Region: region(), Iterations: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InitialViolations != 0 || res.FinalViolations != 0 {
+		t.Fatal("setup should be violation free")
+	}
+	if d := res.Placement.TSVs[0].Center.Dist(geom.Pt(-20, -20)); d > 1.5 {
+		t.Errorf("TSV drifted %g µm with no pressure to move", d)
+	}
+	_ = math.Pi
+}

@@ -1,0 +1,60 @@
+package placefile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode exercises the placement-file parser with arbitrary input:
+// it must never panic, and any accepted input must round-trip through
+// Encode/Decode without changing the TSV set.
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		`{"liner":"bcb","tsvs":[{"x":0,"y":0},{"x":10,"y":0}]}`,
+		`{"liner":"sio2","tsvs":[]}`,
+		`{"tsvs":[{"x":-3.5,"y":2.25}]}`,
+		`{"structure":{"r_body_um":2,"r_liner_um":2.4,"delta_t_k":-200,` +
+			`"body":{"name":"cu","e_gpa":110,"nu":0.35,"cte_ppm_per_k":17},` +
+			`"liner":{"name":"ox","e_gpa":71,"nu":0.16,"cte_ppm_per_k":0.5},` +
+			`"substrate":{"name":"si","e_gpa":188,"nu":0.28,"cte_ppm_per_k":2.3}},"tsvs":[]}`,
+		`{`,
+		`[]`,
+		`{"tsvs":[{"x":1e308,"y":-1e308}]}`,
+		`{"liner":"bcb","tsvs":[{"x":0,"y":0},{"x":0,"y":0}]}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		pl, st, err := Decode(strings.NewReader(src))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted input must satisfy the documented invariants.
+		if err := st.Validate(); err != nil {
+			t.Fatalf("accepted structure fails validation: %v", err)
+		}
+		if pl.MinPitch() < 2*st.RPrime {
+			t.Fatalf("accepted placement violates min pitch")
+		}
+		// Round trip preserves the TSV set (baseline-liner inputs only;
+		// custom structures encode through the liner name anyway).
+		var buf bytes.Buffer
+		if err := Encode(&buf, pl, "bcb"); err != nil {
+			t.Fatalf("encode of accepted placement failed: %v", err)
+		}
+		pl2, _, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if pl2.Len() != pl.Len() {
+			t.Fatalf("round trip changed TSV count: %d vs %d", pl2.Len(), pl.Len())
+		}
+		for i := range pl.TSVs {
+			if pl.TSVs[i].Center != pl2.TSVs[i].Center {
+				t.Fatalf("round trip moved TSV %d", i)
+			}
+		}
+	})
+}

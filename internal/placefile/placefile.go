@@ -1,0 +1,120 @@
+// Package placefile reads and writes the JSON placement files the
+// command-line tools exchange: a TSV structure specification plus a
+// list of via centers.
+package placefile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"tsvstress/internal/geom"
+	"tsvstress/internal/material"
+)
+
+// File is the on-disk schema.
+type File struct {
+	// Liner is "bcb" or "sio2" (selects the paper's baseline
+	// structure); ignored when Structure is set.
+	Liner string `json:"liner,omitempty"`
+	// Structure optionally overrides the full cross-section.
+	Structure *StructureSpec `json:"structure,omitempty"`
+	// TSVs are the via centers in µm.
+	TSVs []XY `json:"tsvs"`
+}
+
+// XY is a point in µm.
+type XY struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// StructureSpec mirrors material.Structure with JSON tags.
+type StructureSpec struct {
+	R      float64      `json:"r_body_um"`
+	RPrime float64      `json:"r_liner_um"`
+	DeltaT float64      `json:"delta_t_k"`
+	Body   MaterialSpec `json:"body"`
+	Liner  MaterialSpec `json:"liner"`
+	Subst  MaterialSpec `json:"substrate"`
+}
+
+// MaterialSpec mirrors material.Material with JSON tags (E in GPa for
+// human-friendliness, CTE in ppm/K).
+type MaterialSpec struct {
+	Name    string  `json:"name"`
+	EGPa    float64 `json:"e_gpa"`
+	Nu      float64 `json:"nu"`
+	CTEppmK float64 `json:"cte_ppm_per_k"`
+}
+
+func (m MaterialSpec) toMaterial() material.Material {
+	return material.Material{
+		Name: m.Name,
+		E:    material.GPa(m.EGPa),
+		Nu:   m.Nu,
+		CTE:  material.PPMPerK(m.CTEppmK),
+	}
+}
+
+// Decode parses a placement file.
+func Decode(r io.Reader) (*geom.Placement, material.Structure, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, material.Structure{}, fmt.Errorf("placefile: %w", err)
+	}
+	var st material.Structure
+	switch {
+	case f.Structure != nil:
+		s := f.Structure
+		st = material.Structure{
+			R: s.R, RPrime: s.RPrime, DeltaT: s.DeltaT,
+			Body: s.Body.toMaterial(), Liner: s.Liner.toMaterial(), Substrate: s.Subst.toMaterial(),
+		}
+	case f.Liner == "bcb" || f.Liner == "":
+		st = material.Baseline(material.BCB)
+	case f.Liner == "sio2":
+		st = material.Baseline(material.SiO2)
+	default:
+		return nil, st, fmt.Errorf("placefile: unknown liner %q (want bcb or sio2)", f.Liner)
+	}
+	if err := st.Validate(); err != nil {
+		return nil, st, fmt.Errorf("placefile: %w", err)
+	}
+	pts := make([]geom.Point, len(f.TSVs))
+	for i, t := range f.TSVs {
+		pts[i] = geom.Pt(t.X, t.Y)
+	}
+	pl := geom.NewPlacement(pts...)
+	if err := pl.Validate(2 * st.RPrime); err != nil {
+		return nil, st, fmt.Errorf("placefile: %w", err)
+	}
+	return pl, st, nil
+}
+
+// Encode writes a placement using a named baseline liner.
+func Encode(w io.Writer, pl *geom.Placement, liner string) error {
+	f := File{Liner: liner}
+	for _, t := range pl.TSVs {
+		f.TSVs = append(f.TSVs, XY{X: t.Center.X, Y: t.Center.Y})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Load reads a placement from a path ("-" for stdin).
+func Load(path string) (*geom.Placement, material.Structure, error) {
+	if path == "-" {
+		return Decode(os.Stdin)
+	}
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, material.Structure{}, err
+	}
+	defer fh.Close()
+	return Decode(fh)
+}

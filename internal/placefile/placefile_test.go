@@ -1,0 +1,95 @@
+package placefile
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"tsvstress/internal/geom"
+)
+
+func TestRoundTrip(t *testing.T) {
+	pl := geom.NewPlacement(geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(0, 10))
+	var buf bytes.Buffer
+	if err := Encode(&buf, pl, "bcb"); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("len = %d", got.Len())
+	}
+	if st.Liner.Name != "BCB" {
+		t.Errorf("liner = %q", st.Liner.Name)
+	}
+	for i := range pl.TSVs {
+		if got.TSVs[i].Center != pl.TSVs[i].Center {
+			t.Fatal("centers changed in round trip")
+		}
+	}
+}
+
+func TestDecodeLiners(t *testing.T) {
+	_, st, err := Decode(strings.NewReader(`{"liner":"sio2","tsvs":[{"x":0,"y":0}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Liner.Name != "SiO2" {
+		t.Errorf("liner = %q", st.Liner.Name)
+	}
+	// Default liner is BCB.
+	_, st, err = Decode(strings.NewReader(`{"tsvs":[{"x":0,"y":0}]}`))
+	if err != nil || st.Liner.Name != "BCB" {
+		t.Errorf("default liner = %q, %v", st.Liner.Name, err)
+	}
+	if _, _, err := Decode(strings.NewReader(`{"liner":"teflon","tsvs":[]}`)); err == nil {
+		t.Error("unknown liner should fail")
+	}
+}
+
+func TestDecodeCustomStructure(t *testing.T) {
+	src := `{
+	  "structure": {
+	    "r_body_um": 2.0, "r_liner_um": 2.4, "delta_t_k": -200,
+	    "body": {"name":"cu", "e_gpa":110, "nu":0.35, "cte_ppm_per_k":17},
+	    "liner": {"name":"ox", "e_gpa":71, "nu":0.16, "cte_ppm_per_k":0.5},
+	    "substrate": {"name":"si", "e_gpa":188, "nu":0.28, "cte_ppm_per_k":2.3}
+	  },
+	  "tsvs": [{"x":0,"y":0},{"x":8,"y":0}]
+	}`
+	pl, st, err := Decode(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.R != 2.0 || st.RPrime != 2.4 || st.DeltaT != -200 {
+		t.Errorf("structure = %+v", st)
+	}
+	if math.Abs(st.Body.E-110e3) > 1e-9 || math.Abs(st.Liner.CTE-0.5e-6) > 1e-15 {
+		t.Error("unit conversion wrong")
+	}
+	if pl.Len() != 2 {
+		t.Errorf("len = %d", pl.Len())
+	}
+}
+
+func TestDecodeRejectsBad(t *testing.T) {
+	cases := []string{
+		`{"tsvs":[{"x":0,"y":0},{"x":1,"y":0}]}`, // overlapping vias
+		`{"unknown_field":1,"tsvs":[]}`,          // schema violation
+		`not json`,
+	}
+	for _, src := range cases {
+		if _, _, err := Decode(strings.NewReader(src)); err == nil {
+			t.Errorf("Decode(%q) should fail", src)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, _, err := Load("/nonexistent/path.json"); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,125 @@
+// Package placegen generates the TSV placements used in the paper's
+// evaluation: the two-TSV pitch-sweep pair, the five-TSV cross of
+// Figure 5, regular arrays, and density-controlled random placements
+// for the Table 6 scalability study. All randomness is seeded for
+// reproducibility.
+package placegen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tsvstress/internal/geom"
+)
+
+// Pair returns two TSVs at pitch d centered on the origin, on the
+// x-axis — the placement of Section 5.1.
+func Pair(d float64) *geom.Placement {
+	return geom.NewPlacement(geom.Pt(-d/2, 0), geom.Pt(d/2, 0))
+}
+
+// FiveCross returns the five-TSV placement of Figure 5: a center TSV
+// with four neighbours at the given minimal pitch in a cross
+// arrangement (the paper states minimal pitch 10 µm).
+func FiveCross(minPitch float64) *geom.Placement {
+	return geom.NewPlacement(
+		geom.Pt(0, 0),
+		geom.Pt(minPitch, 0),
+		geom.Pt(-minPitch, 0),
+		geom.Pt(0, minPitch),
+		geom.Pt(0, -minPitch),
+	)
+}
+
+// Array returns an nx×ny regular TSV array with the given pitch,
+// centered on the origin — the "very dense square TSV array" of
+// Appendix A.3.
+func Array(nx, ny int, pitch float64) *geom.Placement {
+	pts := make([]geom.Point, 0, nx*ny)
+	x0 := -pitch * float64(nx-1) / 2
+	y0 := -pitch * float64(ny-1) / 2
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			pts = append(pts, geom.Pt(x0+float64(i)*pitch, y0+float64(j)*pitch))
+		}
+	}
+	return geom.NewPlacement(pts...)
+}
+
+// Random returns n TSVs placed uniformly in a square chosen so the
+// placement density (n / area) equals the requested density in µm⁻²,
+// with a minimum pitch constraint enforced by dart throwing. It is
+// deterministic for a given seed.
+func Random(n int, density, minPitch float64, seed int64) (*geom.Placement, error) {
+	if n <= 0 {
+		return geom.NewPlacement(), nil
+	}
+	if density <= 0 {
+		return nil, fmt.Errorf("placegen: density %g must be positive", density)
+	}
+	side := math.Sqrt(float64(n) / density)
+	if maxN := (side / minPitch) * (side / minPitch) * 0.55; float64(n) > maxN {
+		return nil, fmt.Errorf("placegen: cannot pack %d TSVs at min pitch %g in %.3gx%.3g µm (max ≈ %.0f)",
+			n, minPitch, side, side, maxN)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, 0, n)
+	// Grid-bucketed dart throwing keeps this O(n) per dart.
+	cell := minPitch
+	nxCells := int(side/cell) + 1
+	buckets := make([][]int, nxCells*nxCells)
+	bucketOf := func(p geom.Point) (int, int) {
+		return clamp(int(p.X/cell), 0, nxCells-1), clamp(int(p.Y/cell), 0, nxCells-1)
+	}
+	const maxAttempts = 10000
+	for len(pts) < n {
+		placed := false
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			cand := geom.Pt(rng.Float64()*side, rng.Float64()*side)
+			bx, by := bucketOf(cand)
+			okPlace := true
+		scan:
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					cx, cy := bx+dx, by+dy
+					if cx < 0 || cy < 0 || cx >= nxCells || cy >= nxCells {
+						continue
+					}
+					for _, idx := range buckets[cy*nxCells+cx] {
+						if pts[idx].Dist(cand) < minPitch {
+							okPlace = false
+							break scan
+						}
+					}
+				}
+			}
+			if okPlace {
+				buckets[by*nxCells+bx] = append(buckets[by*nxCells+bx], len(pts))
+				pts = append(pts, cand)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("placegen: dart throwing failed after %d attempts with %d/%d placed",
+				maxAttempts, len(pts), n)
+		}
+	}
+	// Center on the origin for convenience.
+	half := side / 2
+	for i := range pts {
+		pts[i] = pts[i].Sub(geom.Pt(half, half))
+	}
+	return geom.NewPlacement(pts...), nil
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

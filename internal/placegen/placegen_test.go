@@ -1,0 +1,127 @@
+package placegen
+
+import (
+	"math"
+	"testing"
+
+	"tsvstress/internal/geom"
+)
+
+func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPair(t *testing.T) {
+	p := Pair(10)
+	if p.Len() != 2 {
+		t.Fatal("pair should have 2 TSVs")
+	}
+	if !eq(p.MinPitch(), 10, 1e-12) {
+		t.Errorf("pitch = %v", p.MinPitch())
+	}
+	mid := p.TSVs[0].Center.Add(p.TSVs[1].Center).Scale(0.5)
+	if mid != geom.Pt(0, 0) {
+		t.Errorf("pair not centered: %v", mid)
+	}
+}
+
+func TestFiveCross(t *testing.T) {
+	p := FiveCross(10)
+	if p.Len() != 5 {
+		t.Fatal("five-cross should have 5 TSVs")
+	}
+	if !eq(p.MinPitch(), 10, 1e-12) {
+		t.Errorf("min pitch = %v", p.MinPitch())
+	}
+	// Symmetric about both axes.
+	var sum geom.Point
+	for _, tsv := range p.TSVs {
+		sum = sum.Add(tsv.Center)
+	}
+	if sum.Norm() > 1e-12 {
+		t.Errorf("centroid = %v", sum)
+	}
+}
+
+func TestArray(t *testing.T) {
+	p := Array(10, 10, 10)
+	if p.Len() != 100 {
+		t.Fatal("array should have 100 TSVs")
+	}
+	if !eq(p.MinPitch(), 10, 1e-12) {
+		t.Errorf("pitch = %v", p.MinPitch())
+	}
+	// Density with half-pitch margin is 1e-2 µm⁻² (Appendix A.3).
+	if !eq(p.Density(5), 1e-2, 1e-9) {
+		t.Errorf("density = %v", p.Density(5))
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, err := Random(50, 0.005, 7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(50, 0.005, 7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.TSVs {
+		if a.TSVs[i].Center != b.TSVs[i].Center {
+			t.Fatal("same seed should give identical placement")
+		}
+	}
+	c, err := Random(50, 0.005, 7, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.TSVs {
+		if a.TSVs[i].Center != c.TSVs[i].Center {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestRandomRespectsConstraints(t *testing.T) {
+	n := 100
+	density := 0.01
+	p, err := Random(n, density, 6.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != n {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if mp := p.MinPitch(); mp < 6.5 {
+		t.Errorf("min pitch %v below constraint", mp)
+	}
+	// Every point within the intended square.
+	side := math.Sqrt(float64(n) / density)
+	for _, tsv := range p.TSVs {
+		if math.Abs(tsv.Center.X) > side/2 || math.Abs(tsv.Center.Y) > side/2 {
+			t.Fatalf("TSV %v outside square of side %g", tsv.Center, side)
+		}
+	}
+}
+
+func TestRandomRejectsImpossible(t *testing.T) {
+	// 100 TSVs at density 0.01 → 100x100 µm; min pitch 11 µm can hold
+	// at most ~81... the packing guard must reject clearly impossible
+	// requests.
+	if _, err := Random(100, 0.01, 25, 1); err == nil {
+		t.Error("over-dense request should fail")
+	}
+	if _, err := Random(10, -1, 5, 1); err == nil {
+		t.Error("negative density should fail")
+	}
+}
+
+func TestRandomEmpty(t *testing.T) {
+	p, err := Random(0, 0.01, 5, 1)
+	if err != nil || p.Len() != 0 {
+		t.Errorf("empty random: %v, %v", p, err)
+	}
+}

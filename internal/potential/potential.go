@@ -1,0 +1,145 @@
+// Package potential implements the Muskhelishvili complex-potential
+// machinery used to characterize interactive stress (Section 3 of the
+// paper).
+//
+// A 2D elastic field is represented by two analytic functions φ(z),
+// ψ(z) with (Eqs. 3–5 of the paper)
+//
+//	σrr + σθθ            = 4·Re φ′(z)
+//	σθθ − σrr + 2iσrθ    = 2 e^{2iθ} ( z̄ φ″(z) + ψ′(z) )
+//	2µ (ur + i uθ)       = e^{−iθ} ( κ φ(z) − z·conj(φ′(z)) − conj(ψ(z)) )
+//
+// For the TSV-pair problem the geometry is symmetric about the line
+// joining the two centers, so the potentials have power series with
+// *real* coefficients: φ′(z) = Σ aₙ zⁿ, ψ′(z) = Σ bₙ zⁿ. On a circle of
+// radius ρ the traction and displacement combinations decompose into
+// Fourier harmonics e^{imθ} with real coefficients:
+//
+//	t_m(ρ)      = (1−m) a_m ρ^m + a_{−m} ρ^{−m} − b_{m−2} ρ^{m−2}
+//	2µ d_m(ρ)   = κ a_m ρ^{m+1}/(m+1) − a_{−m} ρ^{1−m} + b_{−m−2} ρ^{−m−1}/(m+1)
+//
+// where σrr − iσrθ = Σ t_m e^{imθ} and ur + i uθ = Σ d_m e^{imθ}.
+// These identities, plus the per-harmonic stress evaluation below, are
+// everything the interactive-stress solver needs. All radii here are
+// non-dimensional (scaled by the TSV outer radius R′), which keeps the
+// per-harmonic boundary systems well conditioned up to high m.
+package potential
+
+import "math"
+
+// HarmCoeffs holds the four potential coefficients that participate in
+// the ±m harmonic pair of a symmetric field: a_m, a_{−m} of φ′ and
+// b_{m−2}, b_{−m−2} of ψ′. Coefficients that do not exist in a region
+// (e.g. positive powers in an exterior domain) are simply zero.
+type HarmCoeffs struct {
+	APos float64 // a_m
+	ANeg float64 // a_{−m}
+	BPos float64 // b_{m−2}
+	BNeg float64 // b_{−m−2}
+}
+
+// Scale returns the coefficients multiplied by s (fields are linear in
+// their potentials).
+func (c HarmCoeffs) Scale(s float64) HarmCoeffs {
+	return HarmCoeffs{c.APos * s, c.ANeg * s, c.BPos * s, c.BNeg * s}
+}
+
+// Add returns the coefficient-wise sum.
+func (c HarmCoeffs) Add(d HarmCoeffs) HarmCoeffs {
+	return HarmCoeffs{c.APos + d.APos, c.ANeg + d.ANeg, c.BPos + d.BPos, c.BNeg + d.BNeg}
+}
+
+// TractionPlus returns t_{+m}(ρ), the e^{+imθ} Fourier coefficient of
+// σrr − iσrθ on the circle of radius ρ.
+func (c HarmCoeffs) TractionPlus(m int, rho float64) float64 {
+	fm := float64(m)
+	return (1-fm)*c.APos*math.Pow(rho, fm) +
+		c.ANeg*math.Pow(rho, -fm) -
+		c.BPos*math.Pow(rho, fm-2)
+}
+
+// TractionMinus returns t_{−m}(ρ), the e^{−imθ} Fourier coefficient of
+// σrr − iσrθ on the circle of radius ρ.
+func (c HarmCoeffs) TractionMinus(m int, rho float64) float64 {
+	fm := float64(m)
+	return (1+fm)*c.ANeg*math.Pow(rho, -fm) +
+		c.APos*math.Pow(rho, fm) -
+		c.BNeg*math.Pow(rho, -fm-2)
+}
+
+// DispPlus returns 2µ·d_{+m}(ρ), the e^{+imθ} Fourier coefficient of
+// 2µ(ur + i uθ) on the circle of radius ρ, for Kolosov constant κ.
+// Divide by 2µ of the region's material to obtain physical displacement
+// (in units of R′).
+func (c HarmCoeffs) DispPlus(m int, rho, kappa float64) float64 {
+	fm := float64(m)
+	return kappa*c.APos*math.Pow(rho, fm+1)/(fm+1) -
+		c.ANeg*math.Pow(rho, 1-fm) +
+		c.BNeg*math.Pow(rho, -fm-1)/(fm+1)
+}
+
+// DispMinus returns 2µ·d_{−m}(ρ), the e^{−imθ} coefficient of
+// 2µ(ur + i uθ). Valid for m ≥ 2 (m = 1 would need a log term).
+func (c HarmCoeffs) DispMinus(m int, rho, kappa float64) float64 {
+	fm := float64(m)
+	return kappa*c.ANeg*math.Pow(rho, 1-fm)/(1-fm) -
+		c.APos*math.Pow(rho, fm+1) +
+		c.BPos*math.Pow(rho, fm-1)/(1-fm)
+}
+
+// PolarHarm is the stress contribution of one harmonic at a point
+// (ρ, θ): σrr and σθθ vary as cos(mθ) and σrθ as sin(mθ) with the
+// radial profiles returned by StressProfiles.
+type PolarHarm struct {
+	RR, TT, RT float64
+}
+
+// StressProfiles returns the radial profiles (σrr, σθθ, σrθ) of the
+// harmonic m at radius ρ, i.e. the full components are
+//
+//	σrr(ρ,θ) = RR·cos(mθ),  σθθ(ρ,θ) = TT·cos(mθ),  σrθ(ρ,θ) = RT·sin(mθ).
+func (c HarmCoeffs) StressProfiles(m int, rho float64) PolarHarm {
+	fm := float64(m)
+	rp := math.Pow(rho, fm)    // ρ^m
+	rn := math.Pow(rho, -fm)   // ρ^−m
+	rp2 := math.Pow(rho, fm-2) // ρ^{m−2}
+	rn2 := math.Pow(rho, -fm-2)
+	return PolarHarm{
+		RR: (2-fm)*c.APos*rp + (2+fm)*c.ANeg*rn - c.BPos*rp2 - c.BNeg*rn2,
+		TT: (2+fm)*c.APos*rp + (2-fm)*c.ANeg*rn + c.BPos*rp2 + c.BNeg*rn2,
+		RT: fm*c.APos*rp + fm*c.ANeg*rn + c.BPos*rp2 - c.BNeg*rn2,
+	}
+}
+
+// DispProfiles returns the radial profiles (ur, uθ) of the harmonic m
+// at radius ρ for a material with shear modulus 2µ = twoMu and Kolosov
+// constant κ: ur(ρ,θ) = UR·cos(mθ), uθ(ρ,θ) = UT·sin(mθ), in units of
+// R′. Derived from ur + iuθ = d_m e^{imθ} + d_{−m} e^{−imθ}:
+// UR = d_m + d_{−m}, UT = d_m − d_{−m}.
+func (c HarmCoeffs) DispProfiles(m int, rho, twoMu, kappa float64) (ur, ut float64) {
+	dp := c.DispPlus(m, rho, kappa) / twoMu
+	dn := c.DispMinus(m, rho, kappa) / twoMu
+	return dp + dn, dp - dn
+}
+
+// IncidentCoeff returns the ψ′ Taylor coefficient b̂_n (n ≥ 0, scaled
+// radii) of the aggressor's ideal stress field expanded about the
+// victim center. The ideal single-TSV field σrr = K/r², σθθ = −K/r² is
+// generated by φ₀ = 0, ψ₀′(w) = −K/(w − d)² in the victim frame with
+// the aggressor on the +x axis at distance d. Expanding about w = 0 and
+// rescaling radii by R′ gives
+//
+//	b̂_n = −(K/R′²)·(n+1)/ d̂^{n+2},  d̂ = d/R′.
+//
+// Its harmonic-m traction on the circle ρ̂ = 1 is −b̂_{m−2}, which
+// reproduces Eq. (7) of the paper exactly.
+func IncidentCoeff(n int, K, rPrime, d float64) float64 {
+	dHat := d / rPrime
+	return -(K / (rPrime * rPrime)) * float64(n+1) / math.Pow(dHat, float64(n+2))
+}
+
+// IncidentHarm returns the HarmCoeffs of the incident (aggressor ideal)
+// field for harmonic m ≥ 2: only b_{m−2} is present.
+func IncidentHarm(m int, K, rPrime, d float64) HarmCoeffs {
+	return HarmCoeffs{BPos: IncidentCoeff(m-2, K, rPrime, d)}
+}

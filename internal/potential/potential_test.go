@@ -1,0 +1,195 @@
+package potential
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tsvstress/internal/material"
+	"tsvstress/internal/tensor"
+)
+
+func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestScaleAdd(t *testing.T) {
+	c := HarmCoeffs{1, 2, 3, 4}
+	if got := c.Scale(2); got != (HarmCoeffs{2, 4, 6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := c.Add(HarmCoeffs{1, 1, 1, 1}); got != (HarmCoeffs{2, 3, 4, 5}) {
+		t.Errorf("Add = %v", got)
+	}
+}
+
+// The σrr profile must equal t_m + t_{−m} and the σrθ profile
+// −(t_m − t_{−m}), since σrr − iσrθ = Σ t_m e^{imθ} with real t_m.
+func TestTractionStressConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		c := HarmCoeffs{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		m := 2 + rng.Intn(9)
+		rho := 0.5 + rng.Float64()*2
+		p := c.StressProfiles(m, rho)
+		tp := c.TractionPlus(m, rho)
+		tm := c.TractionMinus(m, rho)
+		scale := math.Max(1, math.Abs(tp)+math.Abs(tm))
+		if !eq(p.RR, tp+tm, 1e-10*scale) {
+			t.Fatalf("m=%d ρ=%g: σrr profile %v != t+ + t− = %v", m, rho, p.RR, tp+tm)
+		}
+		if !eq(p.RT, -(tp - tm), 1e-10*scale) {
+			t.Fatalf("m=%d ρ=%g: σrθ profile %v != −(t+ − t−) = %v", m, rho, p.RT, -(tp - tm))
+		}
+	}
+}
+
+// Differentiating the displacement profiles must reproduce the stress
+// profiles through the plane-stress constitutive law — this jointly
+// validates every formula in the package.
+func TestDisplacementStressCompatibility(t *testing.T) {
+	mat := material.Silicon
+	twoMu := 2 * mat.Mu()
+	kappa := mat.KappaPlaneStress()
+	rng := rand.New(rand.NewSource(7))
+
+	for trial := 0; trial < 60; trial++ {
+		c := HarmCoeffs{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		m := 2 + rng.Intn(7)
+		rho := 0.6 + rng.Float64()*1.5
+		theta := rng.Float64() * 2 * math.Pi
+
+		ur := func(r, th float64) float64 {
+			u, _ := c.DispProfiles(m, r, twoMu, kappa)
+			return u * math.Cos(float64(m)*th)
+		}
+		ut := func(r, th float64) float64 {
+			_, u := c.DispProfiles(m, r, twoMu, kappa)
+			return u * math.Sin(float64(m)*th)
+		}
+		h := 1e-6
+		durDr := (ur(rho+h, theta) - ur(rho-h, theta)) / (2 * h)
+		durDt := (ur(rho, theta+h) - ur(rho, theta-h)) / (2 * h)
+		dutDr := (ut(rho+h, theta) - ut(rho-h, theta)) / (2 * h)
+		dutDt := (ut(rho, theta+h) - ut(rho, theta-h)) / (2 * h)
+
+		err := durDr // εrr
+		ett := ur(rho, theta)/rho + dutDt/rho
+		ert := 0.5 * (durDt/rho + dutDr - ut(rho, theta)/rho)
+
+		cfac := mat.E / (1 - mat.Nu*mat.Nu)
+		srr := cfac * (err + mat.Nu*ett)
+		stt := cfac * (ett + mat.Nu*err)
+		srt := mat.E / (1 + mat.Nu) * ert
+
+		p := c.StressProfiles(m, rho)
+		wantRR := p.RR * math.Cos(float64(m)*theta)
+		wantTT := p.TT * math.Cos(float64(m)*theta)
+		wantRT := p.RT * math.Sin(float64(m)*theta)
+
+		scale := math.Max(1, math.Abs(wantRR)+math.Abs(wantTT)+math.Abs(wantRT))
+		if !eq(srr, wantRR, 2e-4*scale) || !eq(stt, wantTT, 2e-4*scale) || !eq(srt, wantRT, 2e-4*scale) {
+			t.Fatalf("m=%d ρ=%.3f θ=%.3f: FD stress (%g,%g,%g) != profile (%g,%g,%g)",
+				m, rho, theta, srr, stt, srt, wantRR, wantTT, wantRT)
+		}
+	}
+}
+
+// Summing the incident harmonic series must reproduce the aggressor's
+// closed-form ideal field σrr = K/r², σθθ = −K/r² (rotated into the
+// victim-centered polar frame). This validates IncidentCoeff and the
+// claim that it reproduces Eqs. (7)–(8) of the paper.
+func TestIncidentSeriesMatchesClosedForm(t *testing.T) {
+	K := 725.93 // MPa·µm² (BCB baseline magnitude)
+	rPrime := 3.0
+	d := 10.0
+	mmax := 60 // generous truncation for near-machine agreement
+
+	evalSeries := func(r, theta float64) tensor.Polar {
+		rho := r / rPrime
+		var out tensor.Polar
+		for m := 2; m <= mmax; m++ {
+			c := IncidentHarm(m, K, rPrime, d)
+			p := c.StressProfiles(m, rho)
+			cm, sm := math.Cos(float64(m)*theta), math.Sin(float64(m)*theta)
+			out.RR += p.RR * cm
+			out.TT += p.TT * cm
+			out.RT += p.RT * sm
+		}
+		return out
+	}
+
+	closedForm := func(r, theta float64) tensor.Polar {
+		// Point in victim frame; aggressor at (d, 0).
+		x := r*math.Cos(theta) - d
+		y := r * math.Sin(theta)
+		ra := math.Hypot(x, y)
+		pol := tensor.Polar{RR: K / (ra * ra), TT: -K / (ra * ra)}
+		cart := pol.ToCartesian(math.Atan2(y, x))
+		return cart.ToPolar(theta)
+	}
+
+	for _, pt := range []struct{ r, theta float64 }{
+		{1.0, 0}, {3.0, 0.4}, {4.5, 1.2}, {2.0, math.Pi / 2}, {3.3, -2.5}, {5.0, math.Pi},
+	} {
+		got := evalSeries(pt.r, pt.theta)
+		want := closedForm(pt.r, pt.theta)
+		scale := math.Max(1, math.Abs(want.RR)+math.Abs(want.TT)+math.Abs(want.RT))
+		if !eq(got.RR, want.RR, 1e-6*scale) || !eq(got.TT, want.TT, 1e-6*scale) || !eq(got.RT, want.RT, 1e-6*scale) {
+			t.Errorf("(r=%g θ=%g): series (%g,%g,%g) != closed form (%g,%g,%g)",
+				pt.r, pt.theta, got.RR, got.TT, got.RT, want.RR, want.TT, want.RT)
+		}
+	}
+}
+
+// The incident traction harmonic on the victim boundary must match
+// Eq. (7): (σrr − iσrθ)|Γ1 = Σ_{m≥2} K(m−1)/R′² (R′/d)^m e^{imθ}.
+func TestIncidentReproducesPaperEq7(t *testing.T) {
+	K, rPrime, d := 500.0, 3.0, 9.0
+	for m := 2; m <= 12; m++ {
+		c := IncidentHarm(m, K, rPrime, d)
+		got := c.TractionPlus(m, 1.0) // ρ̂ = 1 is the victim boundary
+		want := K * float64(m-1) / (rPrime * rPrime) * math.Pow(rPrime/d, float64(m))
+		if !eq(got, want, 1e-12*math.Abs(want)) {
+			t.Errorf("m=%d: traction %v, want Eq.(7) value %v", m, got, want)
+		}
+		// And the negative harmonic must vanish (Eq. 7 has none).
+		if gotNeg := c.TractionMinus(m, 1.0); !eq(gotNeg, 0, 1e-14) {
+			t.Errorf("m=%d: negative traction harmonic %v, want 0", m, gotNeg)
+		}
+	}
+}
+
+// The incident displacement harmonic on Γ1 must match Eq. (8):
+// (ur + ivθ)|Γ1 = Σ_{m≤−1} (K/R′)(1+νs)/Es (d/R′)^m e^{imθ}, i.e. the
+// e^{−imθ} coefficient is K(1+νs)/Es · R′^{m−1}/d^m for m ≥ 2 (in µm;
+// our profiles are in units of R′).
+func TestIncidentReproducesPaperEq8(t *testing.T) {
+	K, rPrime, d := 500.0, 3.0, 9.0
+	s := material.Silicon
+	twoMu := 2 * s.Mu()
+	kappa := s.KappaPlaneStress()
+	for m := 2; m <= 12; m++ {
+		c := IncidentHarm(m, K, rPrime, d)
+		got := c.DispMinus(m, 1.0, kappa) / twoMu * rPrime // convert to µm
+		want := K * (1 + s.Nu) / s.E * math.Pow(rPrime, float64(m-1)) / math.Pow(d, float64(m))
+		if !eq(got, want, 1e-12*math.Abs(want)) {
+			t.Errorf("m=%d: displacement %v, want Eq.(8) value %v", m, got, want)
+		}
+		if gotPos := c.DispPlus(m, 1.0, kappa); !eq(gotPos, 0, 1e-14) {
+			t.Errorf("m=%d: positive displacement harmonic %v, want 0", m, gotPos)
+		}
+	}
+}
+
+func TestStressProfileDecay(t *testing.T) {
+	// An exterior-domain coefficient set (ANeg, BNeg only) must decay
+	// at least as fast as ρ^{−m}.
+	c := HarmCoeffs{ANeg: 1, BNeg: 1}
+	for _, m := range []int{2, 4, 8} {
+		near := c.StressProfiles(m, 1.5)
+		far := c.StressProfiles(m, 3.0)
+		ratio := math.Abs(far.RR) / math.Abs(near.RR)
+		if ratio > math.Pow(2, -float64(m))*1.5 {
+			t.Errorf("m=%d: decay ratio %v too slow", m, ratio)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package reliability implements the interfacial-reliability screening
+// the paper motivates with its references [3] and [4] (Ryu et al. on
+// near-surface interfacial reliability of TSVs; Jung et al. on
+// full-chip interfacial crack analysis): for each TSV, the radial
+// tensile stress acting on the liner/substrate interface drives
+// debonding and crack growth, and the von Mises stress nearby drives
+// plastic yielding.
+//
+// Given a stress evaluator (the full semi-analytical framework or the
+// baseline), the package samples the interface ring of every TSV and
+// ranks the vias by their worst interfacial traction, so a designer can
+// find the pairs/clusters that need attention — the screening that the
+// paper's accurate interactive-stress model exists to make trustworthy.
+package reliability
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tsvstress/internal/geom"
+	"tsvstress/internal/material"
+	"tsvstress/internal/tensor"
+)
+
+// Evaluator is any stress field (core.Analyzer.StressAt, a FEM field,
+// or a single method stage).
+type Evaluator func(p geom.Point) tensor.Stress
+
+// RingSample is one probed location on a TSV's interface ring.
+type RingSample struct {
+	Theta float64 // ring angle (radians)
+	// SigmaRR is the radial (interface-normal) stress in MPa:
+	// positive = interface tension (debonding driver).
+	SigmaRR float64
+	// SigmaRT is the interfacial shear in MPa.
+	SigmaRT float64
+	// VonMises is the equivalent stress in MPa (yield driver).
+	VonMises float64
+}
+
+// TSVReport is the reliability screening result of one via.
+type TSVReport struct {
+	Index  int
+	Center geom.Point
+	// MaxTension is the largest interface-normal tensile stress found
+	// on the ring (0 if the whole ring is compressive).
+	MaxTension float64
+	// MaxTensionTheta is where it occurs.
+	MaxTensionTheta float64
+	// MaxShear is the largest |interfacial shear|.
+	MaxShear float64
+	// MaxVonMises is the largest von Mises stress on the ring.
+	MaxVonMises float64
+	Samples     []RingSample
+}
+
+// Options configures the screening.
+type Options struct {
+	// NTheta is the number of ring samples per TSV (default 72).
+	NTheta int
+	// Offset is the probing distance beyond R′ in µm (default 0.05;
+	// probing exactly on the interface is ambiguous for sampled golden
+	// fields).
+	Offset float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.NTheta <= 0 {
+		o.NTheta = 72
+	}
+	if o.Offset <= 0 {
+		o.Offset = 0.05
+	}
+	return o
+}
+
+// Screen probes the interface ring of every TSV in the placement.
+func Screen(pl *geom.Placement, st material.Structure, eval Evaluator, opt Options) ([]TSVReport, error) {
+	if eval == nil {
+		return nil, fmt.Errorf("reliability: nil evaluator")
+	}
+	opt = opt.withDefaults()
+	r := st.RPrime + opt.Offset
+	reports := make([]TSVReport, 0, pl.Len())
+	for i, t := range pl.TSVs {
+		rep := TSVReport{Index: i, Center: t.Center}
+		rep.Samples = make([]RingSample, 0, opt.NTheta)
+		for k := 0; k < opt.NTheta; k++ {
+			th := 2 * math.Pi * float64(k) / float64(opt.NTheta)
+			p := geom.Pt(t.Center.X+r*math.Cos(th), t.Center.Y+r*math.Sin(th))
+			s := eval(p)
+			pol := s.ToPolar(th)
+			sample := RingSample{Theta: th, SigmaRR: pol.RR, SigmaRT: pol.RT, VonMises: s.VonMises()}
+			rep.Samples = append(rep.Samples, sample)
+			if pol.RR > rep.MaxTension {
+				rep.MaxTension = pol.RR
+				rep.MaxTensionTheta = th
+			}
+			if a := math.Abs(pol.RT); a > rep.MaxShear {
+				rep.MaxShear = a
+			}
+			if sample.VonMises > rep.MaxVonMises {
+				rep.MaxVonMises = sample.VonMises
+			}
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// RankByTension sorts reports by MaxTension descending (worst first),
+// returning a new slice.
+func RankByTension(reports []TSVReport) []TSVReport {
+	out := append([]TSVReport(nil), reports...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].MaxTension > out[j].MaxTension })
+	return out
+}
+
+// CountAbove returns how many TSVs exceed the tension threshold (MPa).
+func CountAbove(reports []TSVReport, threshold float64) int {
+	n := 0
+	for _, r := range reports {
+		if r.MaxTension > threshold {
+			n++
+		}
+	}
+	return n
+}

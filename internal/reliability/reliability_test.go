@@ -1,0 +1,127 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"tsvstress/internal/core"
+	"tsvstress/internal/geom"
+	"tsvstress/internal/lame"
+	"tsvstress/internal/material"
+	"tsvstress/internal/tensor"
+)
+
+func TestScreenValidation(t *testing.T) {
+	pl := geom.NewPlacement(geom.Pt(0, 0))
+	if _, err := Screen(pl, material.Baseline(material.BCB), nil, Options{}); err == nil {
+		t.Fatal("nil evaluator should fail")
+	}
+}
+
+// A single isolated TSV on cool-down: the interface is in uniform
+// radial tension σrr = K/r² (K > 0), no shear, the same at every angle.
+func TestScreenSingleTSV(t *testing.T) {
+	st := material.Baseline(material.BCB)
+	sol, err := lame.Solve(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := geom.NewPlacement(geom.Pt(3, -2))
+	eval := func(p geom.Point) tensor.Stress { return sol.StressAt(p, geom.Pt(3, -2)) }
+	reports, err := Screen(pl, st, eval, Options{NTheta: 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	rep := reports[0]
+	r := st.RPrime + 0.05
+	want := sol.K / (r * r)
+	if math.Abs(rep.MaxTension-want) > 1e-6*want {
+		t.Errorf("MaxTension = %v, want %v", rep.MaxTension, want)
+	}
+	if rep.MaxShear > 1e-9 {
+		t.Errorf("isolated TSV should have no interfacial shear: %v", rep.MaxShear)
+	}
+	// Ring uniformity.
+	for _, s := range rep.Samples {
+		if math.Abs(s.SigmaRR-want) > 1e-6*want {
+			t.Fatalf("ring tension not uniform at θ=%v: %v", s.Theta, s.SigmaRR)
+		}
+	}
+	if rep.MaxVonMises <= 0 {
+		t.Error("von Mises should be positive")
+	}
+}
+
+// A tight pair: the interactive framework must report *different* ring
+// profiles than the baseline, shear must appear, and ranking/threshold
+// helpers must behave.
+func TestScreenPairWithFramework(t *testing.T) {
+	st := material.Baseline(material.BCB)
+	pl := geom.NewPlacement(geom.Pt(-4, 0), geom.Pt(4, 0), geom.Pt(0, 30))
+	an, err := core.New(st, pl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := Screen(pl, st, an.StressAt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	// The two pair members see shear (asymmetric neighbourhood); the
+	// isolated third TSV sees almost none.
+	if reports[0].MaxShear < 1 || reports[1].MaxShear < 1 {
+		t.Errorf("pair members should see interfacial shear: %v, %v",
+			reports[0].MaxShear, reports[1].MaxShear)
+	}
+	if reports[2].MaxShear > reports[0].MaxShear/4 {
+		t.Errorf("isolated TSV shear %v should be far below pair member %v",
+			reports[2].MaxShear, reports[0].MaxShear)
+	}
+	// Ranking puts a pair member first; both orderings legal but the
+	// lone via cannot win.
+	ranked := RankByTension(reports)
+	if ranked[0].Index == 2 {
+		t.Error("isolated TSV should not have the worst interface tension")
+	}
+	// CountAbove is monotone in the threshold.
+	if CountAbove(reports, 0) != 3 {
+		t.Error("all vias are in tension on cool-down")
+	}
+	if CountAbove(reports, 1e6) != 0 {
+		t.Error("nothing exceeds an absurd threshold")
+	}
+	lo := CountAbove(reports, 50)
+	hi := CountAbove(reports, 80)
+	if hi > lo {
+		t.Error("CountAbove not monotone")
+	}
+}
+
+// The framework and the baseline disagree on the pair's interface
+// tension (that disagreement is the paper's subject); the screening
+// must surface it.
+func TestScreenFrameworkVsBaseline(t *testing.T) {
+	st := material.Baseline(material.BCB)
+	pl := geom.NewPlacement(geom.Pt(-4, 0), geom.Pt(4, 0))
+	an, err := core.New(st, pl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Screen(pl, st, an.StressAt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := Screen(pl, st, an.StressLS, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full[0].MaxTension-ls[0].MaxTension) < 0.5 {
+		t.Errorf("interactive stress should move the interface tension: %v vs %v",
+			full[0].MaxTension, ls[0].MaxTension)
+	}
+}

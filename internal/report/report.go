@@ -1,0 +1,171 @@
+// Package report renders the experiment outputs: markdown tables
+// matching the layout of the paper's Tables 1–6, ASCII heat maps
+// standing in for the error-map figures, and ASCII line plots for the
+// line-scan figure.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"tsvstress/internal/metrics"
+)
+
+// Table is a simple markdown table builder.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteMarkdown renders the table.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(r, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PaperRowCells formats a metrics.Row in the column layout of the
+// paper's Tables 1 and 3–5: Avg Error, then (error, rate) at the 10 and
+// 50 MPa thresholds, then (error, rate) in the critical region at
+// 50 MPa.
+func PaperRowCells(r metrics.Row) []string {
+	return []string{
+		fmt.Sprintf("%.2f", r.Avg.AvgError),
+		fmt.Sprintf("%.2f", r.Thresh10.AvgError),
+		fmt.Sprintf("%.1f", r.Thresh10.AvgErrorRate),
+		fmt.Sprintf("%.2f", r.Thresh50.AvgError),
+		fmt.Sprintf("%.1f", r.Thresh50.AvgErrorRate),
+		fmt.Sprintf("%.2f", r.Critical50.AvgError),
+		fmt.Sprintf("%.1f", r.Critical50.AvgErrorRate),
+	}
+}
+
+// PaperHeader returns the column header matching PaperRowCells,
+// prefixed by the given leading columns.
+func PaperHeader(leading ...string) []string {
+	return append(leading,
+		"Avg Err (MPa)",
+		"Err@10MPa (MPa)", "Rate@10MPa (%)",
+		"Err@50MPa (MPa)", "Rate@50MPa (%)",
+		"Crit Err@50MPa (MPa)", "Crit Rate@50MPa (%)")
+}
+
+// HeatMap renders a W×H scalar field as an ASCII intensity map; values
+// map onto the ramp " .:-=+*#%@" between 0 and vmax (values are taken
+// in absolute value). Rows are emitted top (max y) first.
+func HeatMap(w io.Writer, vals []float64, nx, ny int, vmax float64, title string) error {
+	if len(vals) != nx*ny {
+		return fmt.Errorf("report: %d values for %dx%d map", len(vals), nx, ny)
+	}
+	if vmax <= 0 {
+		for _, v := range vals {
+			if a := math.Abs(v); a > vmax {
+				vmax = a
+			}
+		}
+		if vmax == 0 {
+			vmax = 1
+		}
+	}
+	const ramp = " .:-=+*#%@"
+	if _, err := fmt.Fprintf(w, "%s (scale: %s = 0..%.3g)\n", title, ramp, vmax); err != nil {
+		return err
+	}
+	line := make([]byte, nx)
+	for j := ny - 1; j >= 0; j-- {
+		for i := 0; i < nx; i++ {
+			a := math.Abs(vals[j*nx+i]) / vmax
+			idx := int(a * float64(len(ramp)-1))
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			line[i] = ramp[idx]
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LinePlot renders series sampled on a shared x-axis as a fixed-height
+// ASCII chart, one glyph per series.
+func LinePlot(w io.Writer, x []float64, series map[string][]float64, height int, title string) error {
+	if height < 4 {
+		height = 16
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	names := make([]string, 0, len(series))
+	for name, ys := range series {
+		if len(ys) != len(x) {
+			return fmt.Errorf("report: series %q has %d values for %d x", name, len(ys), len(x))
+		}
+		names = append(names, name)
+		for _, v := range ys {
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+	}
+	sortStrings(names)
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	glyphs := "ox+*#&%"
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(x)))
+	}
+	for si, name := range names {
+		g := glyphs[si%len(glyphs)]
+		for i, v := range series[name] {
+			r := int((v - ymin) / (ymax - ymin) * float64(height-1))
+			grid[height-1-r][i] = g
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s  [y: %.3g..%.3g]", title, ymin, ymax); err != nil {
+		return err
+	}
+	for si, name := range names {
+		if _, err := fmt.Fprintf(w, "  %c=%s", glyphs[si%len(glyphs)], name); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "|%s\n", row); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "+%s\n x: %.3g..%.3g\n", strings.Repeat("-", len(x)), x[0], x[len(x)-1]); err != nil {
+		return err
+	}
+	return nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

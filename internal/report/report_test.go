@@ -1,0 +1,101 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tsvstress/internal/metrics"
+)
+
+func TestTableMarkdown(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("3", "4")
+	var buf bytes.Buffer
+	if err := tb.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "| a | b |" || lines[1] != "| --- | --- |" || lines[3] != "| 3 | 4 |" {
+		t.Errorf("markdown = %q", buf.String())
+	}
+}
+
+func TestPaperRowCells(t *testing.T) {
+	r := metrics.Row{
+		Avg:        metrics.Stats{AvgError: 3.24},
+		Thresh10:   metrics.Stats{AvgError: 6.42, AvgErrorRate: 13.5},
+		Thresh50:   metrics.Stats{AvgError: 20.5, AvgErrorRate: 20.7},
+		Critical50: metrics.Stats{AvgError: 35.3, AvgErrorRate: 36.8},
+	}
+	cells := PaperRowCells(r)
+	if len(cells) != 7 {
+		t.Fatalf("cells = %v", cells)
+	}
+	if cells[0] != "3.24" || cells[2] != "13.5" || cells[6] != "36.8" {
+		t.Errorf("cells = %v", cells)
+	}
+	if got := PaperHeader("d (um)", "Method"); len(got) != 9 {
+		t.Errorf("header = %v", got)
+	}
+}
+
+func TestHeatMap(t *testing.T) {
+	vals := []float64{0, 5, 10, 0, -10, 5}
+	var buf bytes.Buffer
+	if err := HeatMap(&buf, vals, 3, 2, 10, "test"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	// Top row is j=1: {0, -10, 5} → " @=" with the default ramp.
+	if lines[1] != " @=" {
+		t.Errorf("top row = %q", lines[1])
+	}
+	if lines[2] != " =@" {
+		t.Errorf("bottom row = %q", lines[2])
+	}
+	// Auto-scale path and size validation.
+	if err := HeatMap(&buf, vals, 3, 2, 0, "auto"); err != nil {
+		t.Fatal(err)
+	}
+	if err := HeatMap(&buf, vals, 4, 2, 10, "bad"); err == nil {
+		t.Error("size mismatch should fail")
+	}
+}
+
+func TestLinePlot(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	series := map[string][]float64{
+		"fem": {0, 1, 2, 3},
+		"ls":  {3, 2, 1, 0},
+	}
+	var buf bytes.Buffer
+	if err := LinePlot(&buf, x, series, 8, "scan"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "o=fem") || !strings.Contains(out, "x=ls") {
+		t.Errorf("legend missing: %q", out)
+	}
+	if !strings.Contains(out, "x: 0..3") {
+		t.Errorf("x range missing: %q", out)
+	}
+	// Mismatched series length.
+	if err := LinePlot(&buf, x, map[string][]float64{"bad": {1}}, 8, "t"); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestLinePlotConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := LinePlot(&buf, []float64{0, 1}, map[string][]float64{"c": {5, 5}}, 4, "const"); err != nil {
+		t.Fatal(err)
+	}
+}

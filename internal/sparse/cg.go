@@ -1,0 +1,200 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Preconditioner applies z = M⁻¹ r for some SPD approximation M ≈ A.
+type Preconditioner interface {
+	Apply(r, z []float64)
+}
+
+// IdentityPrec is the trivial (no-op) preconditioner.
+type IdentityPrec struct{}
+
+// Apply copies r into z.
+func (IdentityPrec) Apply(r, z []float64) { copy(z, r) }
+
+// JacobiPrec is diagonal scaling: z_i = r_i / A_ii.
+type JacobiPrec struct {
+	invDiag []float64
+}
+
+// NewJacobi builds a Jacobi preconditioner from the matrix diagonal.
+// Zero or negative diagonal entries (inadmissible for SPD systems)
+// yield an error.
+func NewJacobi(a *CSR) (*JacobiPrec, error) {
+	d := a.Diag()
+	inv := make([]float64, len(d))
+	for i, v := range d {
+		if v <= 0 {
+			return nil, fmt.Errorf("sparse: non-positive diagonal %g at row %d", v, i)
+		}
+		inv[i] = 1 / v
+	}
+	return &JacobiPrec{invDiag: inv}, nil
+}
+
+// Apply implements Preconditioner.
+func (p *JacobiPrec) Apply(r, z []float64) {
+	for i, v := range r {
+		z[i] = v * p.invDiag[i]
+	}
+}
+
+// SSORPrec is a symmetric successive over-relaxation preconditioner
+// M = (D/ω + L) (ω/(2−ω)) D⁻¹ (D/ω + U), a strong smoother for the
+// ill-conditioned high-contrast elasticity systems here.
+type SSORPrec struct {
+	a     *CSR
+	diag  []float64
+	omega float64
+	tmp   []float64
+}
+
+// NewSSOR builds an SSOR preconditioner with relaxation factor ω ∈ (0, 2).
+func NewSSOR(a *CSR, omega float64) (*SSORPrec, error) {
+	if omega <= 0 || omega >= 2 {
+		return nil, fmt.Errorf("sparse: SSOR omega %g outside (0,2)", omega)
+	}
+	d := a.Diag()
+	for i, v := range d {
+		if v <= 0 {
+			return nil, fmt.Errorf("sparse: non-positive diagonal %g at row %d", v, i)
+		}
+	}
+	return &SSORPrec{a: a, diag: d, omega: omega, tmp: make([]float64, a.N)}, nil
+}
+
+// Apply implements Preconditioner via a forward then backward sweep.
+func (p *SSORPrec) Apply(r, z []float64) {
+	a, d, w, y := p.a, p.diag, p.omega, p.tmp
+	n := a.N
+	// Forward: (D/ω + L) y = r.
+	for i := 0; i < n; i++ {
+		s := r[i]
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if j := a.Col[k]; j < i {
+				s -= a.Val[k] * y[j]
+			}
+		}
+		y[i] = s * w / d[i]
+	}
+	// Scale: y ← ((2−ω)/ω) D y.
+	c := (2 - w) / w
+	for i := 0; i < n; i++ {
+		y[i] *= c * d[i]
+	}
+	// Backward: (D/ω + U) z = y.
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if j := a.Col[k]; j > i {
+				s -= a.Val[k] * z[j]
+			}
+		}
+		z[i] = s * w / d[i]
+	}
+}
+
+// ErrNoConvergence is returned when CG exhausts its iteration budget.
+var ErrNoConvergence = errors.New("sparse: conjugate gradient did not converge")
+
+// CGOptions controls the conjugate-gradient solver.
+type CGOptions struct {
+	// Tol is the relative residual target ‖r‖₂ / ‖b‖₂. Default 1e-8.
+	Tol float64
+	// MaxIter caps the iterations. Default 10·N.
+	MaxIter int
+	// Prec is the preconditioner. Default Jacobi.
+	Prec Preconditioner
+}
+
+// CGResult reports solver statistics.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final relative residual
+}
+
+// CG solves A·x = b for SPD A, starting from x (commonly zero), in place.
+func CG(a *CSR, b, x []float64, opt CGOptions) (CGResult, error) {
+	n := a.N
+	if len(b) != n || len(x) != n {
+		return CGResult{}, fmt.Errorf("sparse: CG dimension mismatch")
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-8
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 10 * n
+	}
+	if opt.Prec == nil {
+		j, err := NewJacobi(a)
+		if err != nil {
+			return CGResult{}, err
+		}
+		opt.Prec = j
+	}
+
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	a.MulVec(x, ap)
+	for i := range r {
+		r[i] = b[i] - ap[i]
+	}
+	bnorm := norm2(b)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return CGResult{Iterations: 0, Residual: 0}, nil
+	}
+
+	opt.Prec.Apply(r, z)
+	copy(p, z)
+	rz := dot(r, z)
+
+	var res CGResult
+	for it := 1; it <= opt.MaxIter; it++ {
+		a.MulVec(p, ap)
+		pap := dot(p, ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			return res, fmt.Errorf("sparse: CG breakdown (pᵀAp = %g); matrix may not be SPD", pap)
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rel := norm2(r) / bnorm
+		res = CGResult{Iterations: it, Residual: rel}
+		if rel <= opt.Tol {
+			return res, nil
+		}
+		opt.Prec.Apply(r, z)
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return res, fmt.Errorf("%w after %d iterations (residual %.3g)", ErrNoConvergence, opt.MaxIter, res.Residual)
+}
+
+func dot(x, y []float64) float64 {
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+func norm2(x []float64) float64 {
+	return math.Sqrt(dot(x, x))
+}

@@ -1,0 +1,135 @@
+// Package sparse implements the sparse linear algebra used by the FEM
+// substrate: compressed-sparse-row matrices assembled from triplets, and
+// a preconditioned conjugate-gradient solver for the symmetric
+// positive-definite systems arising from plane-stress elasticity.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates (row, col, value) triplets; duplicate entries are
+// summed, which matches finite-element assembly semantics.
+type Builder struct {
+	n       int
+	rows    [][]entry
+	entries int
+}
+
+type entry struct {
+	col int
+	val float64
+}
+
+// NewBuilder creates a builder for an n×n matrix.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, rows: make([][]entry, n)}
+}
+
+// Add accumulates v into position (i, j).
+func (b *Builder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of range for n=%d", i, j, b.n))
+	}
+	if v == 0 {
+		return
+	}
+	b.rows[i] = append(b.rows[i], entry{col: j, val: v})
+	b.entries++
+}
+
+// N returns the matrix dimension.
+func (b *Builder) N() int { return b.n }
+
+// Build compacts the triplets into a CSR matrix, summing duplicates.
+func (b *Builder) Build() *CSR {
+	m := &CSR{N: b.n, RowPtr: make([]int, b.n+1)}
+	// First pass: sort and deduplicate each row.
+	for i, row := range b.rows {
+		sort.Slice(row, func(a, c int) bool { return row[a].col < row[c].col })
+		w := 0
+		for r := 0; r < len(row); {
+			col, sum := row[r].col, 0.0
+			for ; r < len(row) && row[r].col == col; r++ {
+				sum += row[r].val
+			}
+			row[w] = entry{col: col, val: sum}
+			w++
+		}
+		b.rows[i] = row[:w]
+		m.RowPtr[i+1] = m.RowPtr[i] + w
+	}
+	nnz := m.RowPtr[b.n]
+	m.Col = make([]int, nnz)
+	m.Val = make([]float64, nnz)
+	for i, row := range b.rows {
+		base := m.RowPtr[i]
+		for k, e := range row {
+			m.Col[base+k] = e.col
+			m.Val[base+k] = e.val
+		}
+	}
+	return m
+}
+
+// CSR is a compressed-sparse-row matrix.
+type CSR struct {
+	N      int
+	RowPtr []int
+	Col    []int
+	Val    []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// At returns the entry at (i, j); absent entries are zero. O(log nnz_row).
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	k := lo + sort.SearchInts(m.Col[lo:hi], j)
+	if k < hi && m.Col[k] == j {
+		return m.Val[k]
+	}
+	return 0
+}
+
+// MulVec computes y = A·x; y must have length N and is overwritten.
+func (m *CSR) MulVec(x, y []float64) {
+	if len(x) != m.N || len(y) != m.N {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	for i := 0; i < m.N; i++ {
+		s := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.Col[k]]
+		}
+		y[i] = s
+	}
+}
+
+// Diag extracts the diagonal into a new slice.
+func (m *CSR) Diag() []float64 {
+	d := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		d[i] = m.At(i, i)
+	}
+	return d
+}
+
+// SymmetryError returns max |A_ij − A_ji| over stored entries — a sanity
+// check for assembled stiffness matrices.
+func (m *CSR) SymmetryError() float64 {
+	mx := 0.0
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.Col[k]
+			if d := m.Val[k] - m.At(j, i); d > mx {
+				mx = d
+			} else if -d > mx {
+				mx = -d
+			}
+		}
+	}
+	return mx
+}

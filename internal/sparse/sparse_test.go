@@ -1,0 +1,253 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tsvstress/internal/linalg"
+)
+
+func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// laplacian1D builds the SPD tridiagonal matrix of a 1D Poisson problem.
+func laplacian1D(n int) *CSR {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 2)
+		if i > 0 {
+			b.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			b.Add(i, i+1, -1)
+		}
+	}
+	return b.Build()
+}
+
+// randSPD builds a random SPD matrix as Aᵀ·A + n·I in dense form and
+// converts it to CSR (dense conversion keeps the reference comparable).
+func randSPD(rng *rand.Rand, n int) (*CSR, *linalg.Matrix) {
+	a := linalg.NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	spd := a.T().Mul(a)
+	for i := 0; i < n; i++ {
+		spd.AddTo(i, i, float64(n))
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Add(i, j, spd.At(i, j))
+		}
+	}
+	return b.Build(), spd
+}
+
+func TestBuilderDuplicateSum(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, 2.5)
+	b.Add(0, 2, -1)
+	b.Add(2, 0, 4)
+	b.Add(1, 1, 0) // zero entries are dropped
+	m := b.Build()
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", m.NNZ())
+	}
+	if m.At(0, 0) != 3.5 || m.At(0, 2) != -1 || m.At(2, 0) != 4 {
+		t.Fatal("entries wrong after dedup")
+	}
+	if m.At(1, 1) != 0 || m.At(0, 1) != 0 {
+		t.Fatal("absent entries should read as zero")
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add out of range should panic")
+		}
+	}()
+	NewBuilder(2).Add(2, 0, 1)
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	csr, dense := randSPD(rng, 12)
+	x := make([]float64, 12)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, 12)
+	csr.MulVec(x, y)
+	want := dense.MulVec(x)
+	for i := range y {
+		if !eq(y[i], want[i], 1e-9) {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestDiagAndSymmetry(t *testing.T) {
+	m := laplacian1D(5)
+	d := m.Diag()
+	for _, v := range d {
+		if v != 2 {
+			t.Fatalf("Diag = %v", d)
+		}
+	}
+	if m.SymmetryError() != 0 {
+		t.Fatalf("SymmetryError = %v", m.SymmetryError())
+	}
+	// Asymmetric matrix detected.
+	b := NewBuilder(2)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 3)
+	if got := b.Build().SymmetryError(); got != 2 {
+		t.Fatalf("SymmetryError = %v, want 2", got)
+	}
+}
+
+func TestCGLaplacian(t *testing.T) {
+	n := 200
+	a := laplacian1D(n)
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = math.Sin(float64(i) / 10)
+	}
+	b := make([]float64, n)
+	a.MulVec(xTrue, b)
+	for name, prec := range map[string]Preconditioner{
+		"identity": IdentityPrec{},
+		"jacobi":   nil, // default
+		"ssor":     mustSSOR(t, a, 1.2),
+	} {
+		x := make([]float64, n)
+		res, err := CG(a, b, x, CGOptions{Tol: 1e-10, Prec: prec})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range x {
+			if !eq(x[i], xTrue[i], 1e-6) {
+				t.Fatalf("%s: x[%d] = %v, want %v (iters=%d)", name, i, x[i], xTrue[i], res.Iterations)
+			}
+		}
+	}
+}
+
+func mustSSOR(t *testing.T, a *CSR, w float64) *SSORPrec {
+	t.Helper()
+	p, err := NewSSOR(a, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCGAgainstDenseLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{5, 20, 60} {
+		csr, dense := randSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := make([]float64, n)
+		if _, err := CG(csr, b, x, CGOptions{Tol: 1e-12}); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want, err := linalg.Solve(dense, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if !eq(x[i], want[i], 1e-7) {
+				t.Fatalf("n=%d: x[%d] = %v, want %v", n, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	a := laplacian1D(10)
+	x := make([]float64, 10)
+	for i := range x {
+		x[i] = 1 // non-zero start must be reset
+	}
+	res, err := CG(a, make([]float64, 10), x, CGOptions{})
+	if err != nil || res.Iterations != 0 {
+		t.Fatalf("zero rhs: %v %v", res, err)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("x should be zeroed")
+		}
+	}
+}
+
+func TestCGNoConvergence(t *testing.T) {
+	a := laplacian1D(300)
+	b := make([]float64, 300)
+	b[150] = 1
+	x := make([]float64, 300)
+	_, err := CG(a, b, x, CGOptions{Tol: 1e-14, MaxIter: 3, Prec: IdentityPrec{}})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("want ErrNoConvergence, got %v", err)
+	}
+}
+
+func TestCGRejectsIndefinite(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(1, 1, -1)
+	a := b.Build()
+	x := make([]float64, 2)
+	_, err := CG(a, []float64{1, 1}, x, CGOptions{Prec: IdentityPrec{}})
+	if err == nil {
+		t.Fatal("indefinite matrix should break down")
+	}
+}
+
+func TestJacobiRejectsBadDiagonal(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 0, 1)
+	// (1,1) left empty → zero diagonal.
+	if _, err := NewJacobi(b.Build()); err == nil {
+		t.Fatal("zero diagonal should be rejected")
+	}
+}
+
+func TestSSORValidation(t *testing.T) {
+	a := laplacian1D(4)
+	if _, err := NewSSOR(a, 0); err == nil {
+		t.Error("omega=0 should be rejected")
+	}
+	if _, err := NewSSOR(a, 2); err == nil {
+		t.Error("omega=2 should be rejected")
+	}
+}
+
+func TestSSORBeatsJacobiOnLaplacian(t *testing.T) {
+	n := 400
+	a := laplacian1D(n)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	xj := make([]float64, n)
+	resJ, err := CG(a, b, xj, CGOptions{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, n)
+	resS, err := CG(a, b, xs, CGOptions{Tol: 1e-8, Prec: mustSSOR(t, a, 1.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resS.Iterations >= resJ.Iterations {
+		t.Errorf("SSOR (%d iters) should beat Jacobi (%d iters) on Laplacian", resS.Iterations, resJ.Iterations)
+	}
+}

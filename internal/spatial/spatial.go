@@ -1,0 +1,112 @@
+// Package spatial provides a uniform hash-grid index over TSV centers
+// for the O(1) nearby-TSV queries both stages of the full-chip
+// framework rely on (Algorithm 1 of the paper: only TSVs within a
+// cutoff distance of a simulation point contribute).
+package spatial
+
+import (
+	"math"
+
+	"tsvstress/internal/geom"
+)
+
+// Index is an immutable uniform-grid spatial index over points.
+type Index struct {
+	cell    float64
+	minX    float64
+	minY    float64
+	nx, ny  int
+	buckets [][]int32
+	pts     []geom.Point
+}
+
+// NewIndex builds an index with the given cell size (commonly the query
+// radius, so a query touches at most 3×3 cells). cellSize must be
+// positive; an empty point set is allowed.
+func NewIndex(pts []geom.Point, cellSize float64) *Index {
+	if cellSize <= 0 {
+		panic("spatial: cell size must be positive")
+	}
+	ix := &Index{cell: cellSize, pts: append([]geom.Point(nil), pts...)}
+	if len(pts) == 0 {
+		ix.nx, ix.ny = 1, 1
+		ix.buckets = make([][]int32, 1)
+		return ix
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	ix.minX, ix.minY = minX, minY
+	ix.nx = int((maxX-minX)/cellSize) + 1
+	ix.ny = int((maxY-minY)/cellSize) + 1
+	ix.buckets = make([][]int32, ix.nx*ix.ny)
+	for i, p := range pts {
+		b := ix.bucketOf(p)
+		ix.buckets[b] = append(ix.buckets[b], int32(i))
+	}
+	return ix
+}
+
+func (ix *Index) bucketOf(p geom.Point) int {
+	cx := int((p.X - ix.minX) / ix.cell)
+	cy := int((p.Y - ix.minY) / ix.cell)
+	cx = clampInt(cx, 0, ix.nx-1)
+	cy = clampInt(cy, 0, ix.ny-1)
+	return cy*ix.nx + cx
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return len(ix.pts) }
+
+// At returns indexed point i.
+func (ix *Index) At(i int) geom.Point { return ix.pts[i] }
+
+// Near calls fn for every indexed point within radius of q (inclusive).
+// Order is unspecified.
+func (ix *Index) Near(q geom.Point, radius float64, fn func(i int, d float64)) {
+	if len(ix.pts) == 0 {
+		return
+	}
+	r2 := radius * radius
+	cx0 := int(math.Floor((q.X - radius - ix.minX) / ix.cell))
+	cx1 := int(math.Floor((q.X + radius - ix.minX) / ix.cell))
+	cy0 := int(math.Floor((q.Y - radius - ix.minY) / ix.cell))
+	cy1 := int(math.Floor((q.Y + radius - ix.minY) / ix.cell))
+	cx0 = clampInt(cx0, 0, ix.nx-1)
+	cx1 = clampInt(cx1, 0, ix.nx-1)
+	cy0 = clampInt(cy0, 0, ix.ny-1)
+	cy1 = clampInt(cy1, 0, ix.ny-1)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, i := range ix.buckets[cy*ix.nx+cx] {
+				p := ix.pts[i]
+				dx, dy := p.X-q.X, p.Y-q.Y
+				if d2 := dx*dx + dy*dy; d2 <= r2 {
+					fn(int(i), math.Sqrt(d2))
+				}
+			}
+		}
+	}
+}
+
+// NearIDs returns the indices within radius of q, in unspecified order.
+func (ix *Index) NearIDs(q geom.Point, radius float64) []int {
+	var out []int
+	ix.Near(q, radius, func(i int, _ float64) { out = append(out, i) })
+	return out
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

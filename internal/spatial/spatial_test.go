@@ -1,0 +1,107 @@
+package spatial
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tsvstress/internal/geom"
+)
+
+func TestEmptyIndex(t *testing.T) {
+	ix := NewIndex(nil, 10)
+	if ix.Len() != 0 {
+		t.Fatal("empty index should have Len 0")
+	}
+	called := false
+	ix.Near(geom.Pt(0, 0), 100, func(int, float64) { called = true })
+	if called {
+		t.Fatal("Near on empty index should not call fn")
+	}
+	if ids := ix.NearIDs(geom.Pt(0, 0), 100); len(ids) != 0 {
+		t.Fatal("NearIDs should be empty")
+	}
+}
+
+func TestBadCellSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero cell size should panic")
+		}
+	}()
+	NewIndex(nil, 0)
+}
+
+func TestSinglePoint(t *testing.T) {
+	ix := NewIndex([]geom.Point{geom.Pt(5, 5)}, 3)
+	if ix.At(0) != geom.Pt(5, 5) {
+		t.Fatal("At wrong")
+	}
+	if got := ix.NearIDs(geom.Pt(5, 6), 1.0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("NearIDs = %v", got)
+	}
+	if got := ix.NearIDs(geom.Pt(5, 7), 1.0); len(got) != 0 {
+		t.Fatalf("NearIDs = %v, want empty", got)
+	}
+	// Boundary inclusive.
+	if got := ix.NearIDs(geom.Pt(5, 7), 2.0); len(got) != 1 {
+		t.Fatalf("boundary point should be included: %v", got)
+	}
+}
+
+func TestNearMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(200)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*200-100, rng.Float64()*200-100)
+		}
+		cell := 1 + rng.Float64()*30
+		ix := NewIndex(pts, cell)
+		for q := 0; q < 10; q++ {
+			query := geom.Pt(rng.Float64()*240-120, rng.Float64()*240-120)
+			radius := rng.Float64() * 50
+			got := ix.NearIDs(query, radius)
+			sort.Ints(got)
+			var want []int
+			for i, p := range pts {
+				if p.Dist(query) <= radius {
+					want = append(want, i)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: got %d ids, want %d", trial, len(got), len(want))
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("trial %d: ids differ: %v vs %v", trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestNearReportsDistance(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(3, 4)}
+	ix := NewIndex(pts, 5)
+	ix.Near(geom.Pt(0, 0), 10, func(i int, d float64) {
+		want := pts[i].Dist(geom.Pt(0, 0))
+		if d != want {
+			t.Errorf("distance for %d = %v, want %v", i, d, want)
+		}
+	})
+}
+
+func TestDegenerateColinear(t *testing.T) {
+	// All points on one horizontal line: grid has ny == 1.
+	var pts []geom.Point
+	for i := 0; i < 50; i++ {
+		pts = append(pts, geom.Pt(float64(i)*2, 7))
+	}
+	ix := NewIndex(pts, 5)
+	got := ix.NearIDs(geom.Pt(50, 7), 4.1)
+	if len(got) != 5 { // x ∈ {46,48,50,52,54}
+		t.Fatalf("NearIDs = %v", got)
+	}
+}

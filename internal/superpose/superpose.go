@@ -1,0 +1,158 @@
+// Package superpose implements the linear-superposition (LS) baseline
+// method of Jung et al. (DAC'11), the paper's reference [9] and the
+// Stage I of its Algorithm 1: every TSV contributes its isolated
+// single-TSV stress field, and contributions of TSVs within a cutoff
+// distance of the simulation point are superposed.
+//
+// Two evaluation modes are provided: exact analytical evaluation of the
+// Lamé field, and the paper's table look-up (a precomputed radial
+// profile with linear interpolation), which is the production mode and
+// the one whose run time Table 6 normalizes against.
+package superpose
+
+import (
+	"fmt"
+
+	"tsvstress/internal/geom"
+	"tsvstress/internal/lame"
+	"tsvstress/internal/material"
+	"tsvstress/internal/spatial"
+	"tsvstress/internal/tensor"
+)
+
+// DefaultCutoff is the nearby-TSV distance of the paper (25 µm).
+const DefaultCutoff = 25.0
+
+// Options configures the LS engine.
+type Options struct {
+	// Cutoff is the nearby-TSV distance in µm (default 25).
+	Cutoff float64
+	// Exact disables the radial look-up table and evaluates the Lamé
+	// field analytically at every point (slower; used for ablation).
+	Exact bool
+	// TableStep is the radial table resolution in µm (default 0.01).
+	TableStep float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cutoff <= 0 {
+		o.Cutoff = DefaultCutoff
+	}
+	if o.TableStep <= 0 {
+		o.TableStep = 0.01
+	}
+	return o
+}
+
+// LS is the linear-superposition engine for one TSV structure. It is
+// immutable and safe for concurrent use.
+type LS struct {
+	Struct material.Structure
+	Sol    *lame.Solution
+	opt    Options
+	table  *radialTable
+}
+
+// New builds the LS engine.
+func New(st material.Structure, opt Options) (*LS, error) {
+	opt = opt.withDefaults()
+	sol, err := lame.Solve(st)
+	if err != nil {
+		return nil, fmt.Errorf("superpose: %w", err)
+	}
+	ls := &LS{Struct: st, Sol: sol, opt: opt}
+	if !opt.Exact {
+		ls.table = newRadialTable(sol, opt.Cutoff, opt.TableStep)
+	}
+	return ls, nil
+}
+
+// Cutoff returns the nearby-TSV distance in use.
+func (ls *LS) Cutoff() float64 { return ls.opt.Cutoff }
+
+// Contribution returns the stress contribution of a single TSV centered
+// at c to the point p (zero beyond the cutoff).
+func (ls *LS) Contribution(p, c geom.Point) tensor.Stress {
+	rel := p.Sub(c)
+	r := rel.Norm()
+	if r > ls.opt.Cutoff {
+		return tensor.Stress{}
+	}
+	if r == 0 {
+		pol := ls.Sol.PolarAt(0)
+		return tensor.Stress{XX: pol.RR, YY: pol.TT}
+	}
+	var pol tensor.Polar
+	if ls.table != nil {
+		pol = ls.table.at(r)
+	} else {
+		pol = ls.Sol.PolarAt(r)
+	}
+	return pol.ToCartesian(rel.Angle())
+}
+
+// StressAt superposes the contributions of all indexed TSVs within the
+// cutoff of p. The index must have been built over the placement's
+// center points.
+func (ls *LS) StressAt(p geom.Point, ix *spatial.Index) tensor.Stress {
+	var s tensor.Stress
+	ls.Near(p, ix, func(c geom.Point, r float64) {
+		s = s.Add(ls.contributionAt(p, c, r))
+	})
+	return s
+}
+
+// Near visits the TSVs within the cutoff of p.
+func (ls *LS) Near(p geom.Point, ix *spatial.Index, fn func(c geom.Point, r float64)) {
+	ix.Near(p, ls.opt.Cutoff, func(i int, d float64) {
+		fn(ix.At(i), d)
+	})
+}
+
+func (ls *LS) contributionAt(p, c geom.Point, r float64) tensor.Stress {
+	if r == 0 {
+		pol := ls.Sol.PolarAt(0)
+		return tensor.Stress{XX: pol.RR, YY: pol.TT}
+	}
+	var pol tensor.Polar
+	if ls.table != nil {
+		pol = ls.table.at(r)
+	} else {
+		pol = ls.Sol.PolarAt(r)
+	}
+	rel := p.Sub(c)
+	return pol.ToCartesian(rel.Angle())
+}
+
+// radialTable stores the axisymmetric single-TSV polar stress profile
+// on a uniform radial grid for linear interpolation — the paper's
+// "table look-up method".
+type radialTable struct {
+	step float64
+	rr   []float64
+	tt   []float64
+}
+
+func newRadialTable(sol *lame.Solution, cutoff, step float64) *radialTable {
+	n := int(cutoff/step) + 2
+	t := &radialTable{step: step, rr: make([]float64, n), tt: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		p := sol.PolarAt(float64(i) * step)
+		t.rr[i] = p.RR
+		t.tt[i] = p.TT
+	}
+	return t
+}
+
+func (t *radialTable) at(r float64) tensor.Polar {
+	f := r / t.step
+	i := int(f)
+	if i >= len(t.rr)-1 {
+		i = len(t.rr) - 2
+	}
+	w := f - float64(i)
+	return tensor.Polar{
+		RR: t.rr[i]*(1-w) + t.rr[i+1]*w,
+		TT: t.tt[i]*(1-w) + t.tt[i+1]*w,
+	}
+}

@@ -1,0 +1,165 @@
+// Package tensor provides 2D symmetric stress tensors with the
+// coordinate transforms, reliability metrics (von Mises, principal /
+// maximum tensile stress) and invariants used by the TSV stress models.
+//
+// The device layer is analyzed under the plane-stress assumption
+// (Section 3.2 of the paper), so the out-of-plane components σzz, σxz,
+// σyz are zero and a 2×2 symmetric tensor suffices. Components are in
+// MPa.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stress is a symmetric 2D (plane-stress) stress tensor in Cartesian
+// coordinates.
+type Stress struct {
+	XX, YY, XY float64
+}
+
+// Polar is a symmetric 2D stress tensor in cylindrical (polar)
+// coordinates attached to some origin: σrr, σθθ, σrθ.
+type Polar struct {
+	RR, TT, RT float64
+}
+
+// Add returns s + t componentwise (linear superposition of stress fields).
+func (s Stress) Add(t Stress) Stress {
+	return Stress{s.XX + t.XX, s.YY + t.YY, s.XY + t.XY}
+}
+
+// Sub returns s − t componentwise.
+func (s Stress) Sub(t Stress) Stress {
+	return Stress{s.XX - t.XX, s.YY - t.YY, s.XY - t.XY}
+}
+
+// Scale returns s scaled by a.
+func (s Stress) Scale(a float64) Stress {
+	return Stress{a * s.XX, a * s.YY, a * s.XY}
+}
+
+// Add returns p + q componentwise. Both must be expressed in the same
+// polar frame for the sum to be meaningful.
+func (p Polar) Add(q Polar) Polar {
+	return Polar{p.RR + q.RR, p.TT + q.TT, p.RT + q.RT}
+}
+
+// Scale returns p scaled by a.
+func (p Polar) Scale(a float64) Polar {
+	return Polar{a * p.RR, a * p.TT, a * p.RT}
+}
+
+// ToCartesian rotates the polar tensor into Cartesian components given
+// the angle θ between the x-axis and the local r-axis, implementing
+// Eq. (2) of the paper: σxyz = Q σrθz Qᵀ with Q the rotation by θ.
+func (p Polar) ToCartesian(theta float64) Stress {
+	c, s := math.Cos(theta), math.Sin(theta)
+	c2, s2, cs := c*c, s*s, c*s
+	return Stress{
+		XX: p.RR*c2 - 2*p.RT*cs + p.TT*s2,
+		YY: p.RR*s2 + 2*p.RT*cs + p.TT*c2,
+		XY: (p.RR-p.TT)*cs + p.RT*(c2-s2),
+	}
+}
+
+// ToPolar rotates the Cartesian tensor into the polar frame whose r-axis
+// makes angle θ with the x-axis (the inverse of Polar.ToCartesian).
+func (s Stress) ToPolar(theta float64) Polar {
+	c, sn := math.Cos(theta), math.Sin(theta)
+	c2, s2, cs := c*c, sn*sn, c*sn
+	return Polar{
+		RR: s.XX*c2 + 2*s.XY*cs + s.YY*s2,
+		TT: s.XX*s2 - 2*s.XY*cs + s.YY*c2,
+		RT: (s.YY-s.XX)*cs + s.XY*(c2-s2),
+	}
+}
+
+// Rotate returns the tensor expressed in axes rotated by θ
+// counter-clockwise relative to the current ones.
+func (s Stress) Rotate(theta float64) Stress {
+	p := s.ToPolar(theta)
+	return Stress{XX: p.RR, YY: p.TT, XY: p.RT}
+}
+
+// Trace returns σxx + σyy, the first invariant (σzz = 0 in plane stress).
+func (s Stress) Trace() float64 { return s.XX + s.YY }
+
+// VonMises returns the von Mises equivalent stress under plane stress
+// (σzz = σxz = σyz = 0), the reliability metric of Appendix A.2:
+//
+//	σv = sqrt(σxx² − σxx σyy + σyy² + 3 σxy²)
+func (s Stress) VonMises() float64 {
+	v := s.XX*s.XX - s.XX*s.YY + s.YY*s.YY + 3*s.XY*s.XY
+	if v < 0 { // round-off guard; the quadratic form is PSD
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// VonMisesWithZZ returns the von Mises stress of the full tensor
+// [σxx σxy 0; σxy σyy 0; 0 0 σzz] — used for plane-strain fields, where
+// σzz = ν(σxx + σyy) for the (eigenstrain-free) substrate instead of
+// the plane-stress zero.
+func (s Stress) VonMisesWithZZ(szz float64) float64 {
+	d1 := s.XX - s.YY
+	d2 := s.YY - szz
+	d3 := szz - s.XX
+	v := (d1*d1+d2*d2+d3*d3)/2 + 3*s.XY*s.XY
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Principal returns the in-plane principal stresses with σ1 ≥ σ2.
+func (s Stress) Principal() (s1, s2 float64) {
+	m := (s.XX + s.YY) / 2
+	r := math.Hypot((s.XX-s.YY)/2, s.XY)
+	return m + r, m - r
+}
+
+// PrincipalAngle returns the angle of the σ1 principal direction with
+// the x-axis, in (−π/2, π/2].
+func (s Stress) PrincipalAngle() float64 {
+	if s.XY == 0 && s.XX == s.YY {
+		return 0
+	}
+	return 0.5 * math.Atan2(2*s.XY, s.XX-s.YY)
+}
+
+// MaxTensile returns the maximum tensile stress, i.e. the largest
+// eigenvalue of the 3D stress tensor clamped at zero (σzz = 0 is itself
+// an eigenvalue in plane stress). Used as an alternative reliability
+// metric in the paper's conclusion.
+func (s Stress) MaxTensile() float64 {
+	s1, _ := s.Principal()
+	return math.Max(s1, 0)
+}
+
+// Component extracts a named component; recognized names are "xx",
+// "yy", "xy", "vm" (von Mises), "s1" (max principal) and "trace".
+func (s Stress) Component(name string) (float64, error) {
+	switch name {
+	case "xx":
+		return s.XX, nil
+	case "yy":
+		return s.YY, nil
+	case "xy":
+		return s.XY, nil
+	case "vm":
+		return s.VonMises(), nil
+	case "s1":
+		s1, _ := s.Principal()
+		return s1, nil
+	case "trace":
+		return s.Trace(), nil
+	}
+	return 0, fmt.Errorf("tensor: unknown stress component %q", name)
+}
+
+// String implements fmt.Stringer.
+func (s Stress) String() string {
+	return fmt.Sprintf("[σxx=%.4g σyy=%.4g σxy=%.4g]", s.XX, s.YY, s.XY)
+}

@@ -1,0 +1,237 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randStress(rng *rand.Rand) Stress {
+	return Stress{
+		XX: rng.NormFloat64() * 100,
+		YY: rng.NormFloat64() * 100,
+		XY: rng.NormFloat64() * 100,
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := Stress{1, 2, 3}
+	b := Stress{10, 20, 30}
+	if got := a.Add(b); got != (Stress{11, 22, 33}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != (Stress{9, 18, 27}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(-2); got != (Stress{-2, -4, -6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	p := Polar{1, 2, 3}
+	if got := p.Add(Polar{1, 1, 1}); got != (Polar{2, 3, 4}) {
+		t.Errorf("Polar.Add = %v", got)
+	}
+	if got := p.Scale(2); got != (Polar{2, 4, 6}) {
+		t.Errorf("Polar.Scale = %v", got)
+	}
+}
+
+func TestPolarCartesianRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		s := randStress(rng)
+		theta := rng.Float64()*4*math.Pi - 2*math.Pi
+		back := s.ToPolar(theta).ToCartesian(theta)
+		if !eq(back.XX, s.XX, 1e-9) || !eq(back.YY, s.YY, 1e-9) || !eq(back.XY, s.XY, 1e-9) {
+			t.Fatalf("round trip failed: %v -> %v (θ=%v)", s, back, theta)
+		}
+	}
+}
+
+func TestTransformAtZeroAngle(t *testing.T) {
+	p := Polar{RR: 5, TT: -3, RT: 2}
+	s := p.ToCartesian(0)
+	if !eq(s.XX, 5, 1e-12) || !eq(s.YY, -3, 1e-12) || !eq(s.XY, 2, 1e-12) {
+		t.Errorf("θ=0 should be identity: %v", s)
+	}
+	// θ = π/2: r-axis along y, so σrr maps to σyy.
+	s = p.ToCartesian(math.Pi / 2)
+	if !eq(s.YY, 5, 1e-12) || !eq(s.XX, -3, 1e-12) || !eq(s.XY, -2, 1e-12) {
+		t.Errorf("θ=π/2 transform wrong: %v", s)
+	}
+}
+
+func TestLameFieldTransform(t *testing.T) {
+	// The single-TSV field σrr = K/r², σθθ = −K/r² at a point on the
+	// x-axis has σxx = K/r², σyy = −K/r²; on the y-axis they swap.
+	K := 300.0
+	p := Polar{RR: K / 4, TT: -K / 4}
+	onX := p.ToCartesian(0)
+	if !eq(onX.XX, K/4, 1e-12) || !eq(onX.YY, -K/4, 1e-12) {
+		t.Errorf("on x-axis: %v", onX)
+	}
+	onY := p.ToCartesian(math.Pi / 2)
+	if !eq(onY.XX, -K/4, 1e-12) || !eq(onY.YY, K/4, 1e-12) {
+		t.Errorf("on y-axis: %v", onY)
+	}
+	// At 45°, the normal components vanish and the field is pure shear
+	// σxy = (σrr − σθθ)/2 = K/r².
+	on45 := p.ToCartesian(math.Pi / 4)
+	if !eq(on45.XX, 0, 1e-10) || !eq(on45.YY, 0, 1e-10) || !eq(on45.XY, K/4, 1e-10) {
+		t.Errorf("on 45°: %v", on45)
+	}
+}
+
+func TestInvariantsUnderRotationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		s := randStress(rng)
+		theta := rng.Float64() * 2 * math.Pi
+		r := s.Rotate(theta)
+		if !eq(r.Trace(), s.Trace(), 1e-8) {
+			t.Fatalf("trace not invariant: %v vs %v", r.Trace(), s.Trace())
+		}
+		if !eq(r.VonMises(), s.VonMises(), 1e-8) {
+			t.Fatalf("von Mises not invariant: %v vs %v", r.VonMises(), s.VonMises())
+		}
+		s1a, s2a := s.Principal()
+		s1b, s2b := r.Principal()
+		if !eq(s1a, s1b, 1e-8) || !eq(s2a, s2b, 1e-8) {
+			t.Fatalf("principal stresses not invariant")
+		}
+	}
+}
+
+func TestVonMisesKnownValues(t *testing.T) {
+	cases := []struct {
+		s    Stress
+		want float64
+	}{
+		{Stress{100, 0, 0}, 100},                   // uniaxial
+		{Stress{0, 0, 100}, 100 * math.Sqrt(3)},    // pure shear
+		{Stress{100, 100, 0}, 100},                 // equibiaxial
+		{Stress{100, -100, 0}, 100 * math.Sqrt(3)}, // pure shear in principal axes
+		{Stress{}, 0},
+	}
+	for _, c := range cases {
+		if got := c.s.VonMises(); !eq(got, c.want, 1e-9) {
+			t.Errorf("VonMises(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestPrincipal(t *testing.T) {
+	s := Stress{XX: 50, YY: -30, XY: 0}
+	s1, s2 := s.Principal()
+	if !eq(s1, 50, 1e-12) || !eq(s2, -30, 1e-12) {
+		t.Errorf("Principal = %v, %v", s1, s2)
+	}
+	// Pure shear τ: principal = ±τ at 45°.
+	s = Stress{XY: 40}
+	s1, s2 = s.Principal()
+	if !eq(s1, 40, 1e-12) || !eq(s2, -40, 1e-12) {
+		t.Errorf("Principal = %v, %v", s1, s2)
+	}
+	if ang := s.PrincipalAngle(); !eq(ang, math.Pi/4, 1e-12) {
+		t.Errorf("PrincipalAngle = %v", ang)
+	}
+	if ang := (Stress{XX: 1, YY: 1}).PrincipalAngle(); ang != 0 {
+		t.Errorf("isotropic PrincipalAngle = %v", ang)
+	}
+}
+
+func TestPrincipalOrderingProperty(t *testing.T) {
+	clamp := func(v float64) float64 {
+		if !(math.Abs(v) < 1e6) { // also remaps NaN/Inf from quick
+			return math.Mod(v, 1e6)
+		}
+		return v
+	}
+	f := func(xx, yy, xy float64) bool {
+		s := Stress{clamp(xx), clamp(yy), clamp(xy)}
+		s1, s2 := s.Principal()
+		// σ1 ≥ σ2, trace preserved, and they diagonalize the tensor:
+		// det(σ) = σ1 σ2.
+		det := s.XX*s.YY - s.XY*s.XY
+		scale := math.Max(1, math.Abs(s1)+math.Abs(s2))
+		return s1 >= s2-1e-9 &&
+			eq(s1+s2, s.Trace(), 1e-6*scale) &&
+			eq(s1*s2, det, 1e-6*scale*scale)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxTensile(t *testing.T) {
+	if got := (Stress{XX: -10, YY: -50}).MaxTensile(); got != 0 {
+		t.Errorf("fully compressive MaxTensile = %v, want 0", got)
+	}
+	if got := (Stress{XX: 30, YY: -50}).MaxTensile(); !eq(got, 30, 1e-12) {
+		t.Errorf("MaxTensile = %v", got)
+	}
+}
+
+func TestComponent(t *testing.T) {
+	s := Stress{XX: 1, YY: 2, XY: 3}
+	for name, want := range map[string]float64{
+		"xx": 1, "yy": 2, "xy": 3, "trace": 3,
+	} {
+		got, err := s.Component(name)
+		if err != nil || !eq(got, want, 1e-12) {
+			t.Errorf("Component(%q) = %v, %v", name, got, err)
+		}
+	}
+	if got, err := s.Component("vm"); err != nil || !eq(got, s.VonMises(), 1e-12) {
+		t.Errorf("Component(vm) = %v, %v", got, err)
+	}
+	if got, err := s.Component("s1"); err != nil {
+		t.Errorf("Component(s1) error: %v", err)
+	} else if s1, _ := s.Principal(); !eq(got, s1, 1e-12) {
+		t.Errorf("Component(s1) = %v", got)
+	}
+	if _, err := s.Component("bogus"); err == nil {
+		t.Error("unknown component should error")
+	}
+}
+
+func TestAdditivityProperty(t *testing.T) {
+	// Linear superposition: transforms are linear maps.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		a, b := randStress(rng), randStress(rng)
+		theta := rng.Float64() * 2 * math.Pi
+		lhs := a.Add(b).ToPolar(theta)
+		rhs := a.ToPolar(theta).Add(b.ToPolar(theta))
+		if !eq(lhs.RR, rhs.RR, 1e-8) || !eq(lhs.TT, rhs.TT, 1e-8) || !eq(lhs.RT, rhs.RT, 1e-8) {
+			t.Fatal("ToPolar is not linear")
+		}
+	}
+}
+
+func TestVonMisesWithZZ(t *testing.T) {
+	s := Stress{XX: 100, YY: 40, XY: 10}
+	// σzz = 0 must reduce to the plane-stress formula.
+	if !eq(s.VonMisesWithZZ(0), s.VonMises(), 1e-12) {
+		t.Error("σzz=0 should match plane-stress von Mises")
+	}
+	// Hydrostatic 3D state has zero von Mises.
+	h := Stress{XX: 70, YY: 70}
+	if got := h.VonMisesWithZZ(70); got > 1e-12 {
+		t.Errorf("hydrostatic von Mises = %v", got)
+	}
+	// Plane-strain trace-free substrate field (σyy = −σxx): σzz = 0 by
+	// ν(σxx+σyy) = 0, so plane strain and plane stress agree there.
+	d := Stress{XX: 50, YY: -50, XY: 5}
+	if !eq(d.VonMisesWithZZ(0.28*(d.XX+d.YY)), d.VonMises(), 1e-12) {
+		t.Error("trace-free field should be mode independent")
+	}
+	// Adding a tensile σzz to a uniaxial σxx lowers the deviator.
+	u := Stress{XX: 100}
+	if u.VonMisesWithZZ(50) >= u.VonMises() {
+		t.Error("σzz between 0 and σxx should reduce von Mises")
+	}
+}

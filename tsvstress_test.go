@@ -1,0 +1,94 @@
+package tsvstress
+
+import (
+	"math"
+	"testing"
+)
+
+// End-to-end smoke test of the public API surface.
+func TestPublicAPIFlow(t *testing.T) {
+	st := Baseline(BCB)
+	pl := PairPlacement(10)
+	an, err := NewAnalyzer(st, pl, AnalyzerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Pt(0, 2)
+	ls := an.StressLS(p)
+	full := an.StressAt(p)
+	if ls == full {
+		t.Error("interactive correction should change the stress at a near point")
+	}
+	if full.VonMises() <= 0 {
+		t.Error("von Mises should be positive near TSVs")
+	}
+	// Map over a small lattice in both modes.
+	pts := []Point{Pt(0, 2), Pt(3, 3), Pt(-4, 1)}
+	fullMap := an.Map(pts, ModeFull)
+	lsMap := an.Map(pts, ModeLS)
+	if len(fullMap) != 3 || len(lsMap) != 3 {
+		t.Fatal("map sizes wrong")
+	}
+	stats, err := CompareFields(fullMap, lsMap, "xx", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.N != 3 || stats.AvgError <= 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if _, err := CompareFields(fullMap, lsMap, "bogus", 0); err == nil {
+		t.Error("unknown component should fail")
+	}
+}
+
+func TestPublicSingleTSV(t *testing.T) {
+	sol, err := SolveSingleTSV(Baseline(BCB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.K <= 0 {
+		t.Errorf("K = %v", sol.K)
+	}
+	m, err := NewInteractModel(Baseline(SiO2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MMax != 10 {
+		t.Errorf("MMax = %d", m.MMax)
+	}
+}
+
+func TestPublicPlacements(t *testing.T) {
+	if FiveCrossPlacement(10).Len() != 5 {
+		t.Error("five cross wrong")
+	}
+	if ArrayPlacement(3, 4, 10).Len() != 12 {
+		t.Error("array wrong")
+	}
+	pl, err := RandomPlacement(20, 0.005, 7, 1)
+	if err != nil || pl.Len() != 20 {
+		t.Errorf("random placement: %v %v", pl.Len(), err)
+	}
+	if _, err := RandomPlacement(10, -1, 7, 1); err == nil {
+		t.Error("bad density should fail")
+	}
+}
+
+func TestPublicFEM(t *testing.T) {
+	st := Baseline(BCB)
+	pl := NewPlacement(Pt(0, 0))
+	dom := FEMDomainFor(pl, st, RectAround(Pt(0, 0), 20, 20), 5)
+	res, err := SolveFEM(pl, st, dom, FEMOptions{H: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveSingleTSV(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.StressAt(Pt(6, 0)).XX
+	want := sol.StressAt(Pt(6, 0), Pt(0, 0)).XX
+	if math.Abs(got-want) > 0.35*math.Abs(want) {
+		t.Errorf("raw FEM σxx = %v, analytic %v", got, want)
+	}
+}
