@@ -35,6 +35,7 @@ func main() {
 		quick  = flag.Bool("quick", false, "reduced resolution (for smoke runs)")
 		only   = flag.String("only", "", "comma-separated experiment ids (default: all)")
 		seed   = flag.Int64("seed", 2013, "seed for random placements")
+		bench  = flag.Bool("bench", false, "run only the full-chip map benchmark and write BENCH_fullchip.json")
 	)
 	flag.Parse()
 
@@ -58,6 +59,35 @@ func main() {
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)
+	}
+
+	if *bench {
+		// Full-chip map throughput: 1000 TSVs, ~200k device-layer grid
+		// points (20k in quick mode), LS and Full through the
+		// tile-batched engine. The JSON record tracks the perf
+		// trajectory across PRs.
+		numPts := 200_000
+		if *quick {
+			numPts = 20_000
+		}
+		log.Printf("bench: full-chip map, 1000 TSVs, ~%d points ...", numPts)
+		t0 := time.Now()
+		r, err := exp.RunFullChipBench(1000, numPts, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(filepath.Join(*outDir, "BENCH_fullchip.json"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := exp.WriteFullChipJSON(f, r); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		log.Printf("bench done in %v: LS %.0f ns/point, Full %.0f ns/point (%d points, %d pair rounds, %d cached pitches)",
+			time.Since(t0).Round(time.Millisecond), r.LSNsPerPoint, r.FullNsPerPoint, r.NumPoints, r.PairRounds, r.CoeffCacheSize)
+		log.Printf("results written to %s", *outDir)
+		return
 	}
 	cfg := exp.Config{Quick: *quick}
 	pitches := exp.Pitches

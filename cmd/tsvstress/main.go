@@ -91,7 +91,10 @@ func main() {
 		name = "ls"
 	}
 	t0 := time.Now()
-	vals := an.Map(pts, mode)
+	vals := make([]tensor.Stress, len(pts))
+	if err := an.MapInto(vals, pts, mode); err != nil {
+		log.Fatal(err)
+	}
 	log.Printf("%d TSVs, %d points, %s mode: %v", pl.Len(), len(pts), name, time.Since(t0).Round(time.Millisecond))
 
 	w := os.Stdout

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"tsvstress/internal/geom"
+	"tsvstress/internal/interact"
+	"tsvstress/internal/tensor"
+)
+
+// The tile-batched evaluation engine behind Map/MapInto.
+//
+// Pointwise evaluation pays a 3×3 spatial-hash query per stage per
+// point plus an Atan2 per Stage I contribution. The batched engine
+// instead partitions the query points into square spatial tiles, and
+// per tile gathers once (a) the TSVs that can contribute to Stage I for
+// any point in the tile and (b) the victims whose pair rounds can
+// contribute to Stage II — using radius cutoff + tile half-diagonal.
+// Tile points are then evaluated in tight loops over structure-of-
+// arrays candidate data: the per-point membership test collapses to one
+// squared-distance compare (the same `d² ≤ cutoff²` the hash query
+// performs, so inclusion decisions are bit-identical to the pointwise
+// path), rotations derive cos φ/sin φ from the relative vector and r
+// with no Atan2, and Stage II runs through interact.VictimRounds slabs.
+//
+// Tiles are drained from a shared queue with an atomic cursor, so idle
+// workers steal whatever tile is next regardless of cost imbalance, and
+// every worker owns one scratch buffer set reused across its tiles.
+
+// pointwiseBatchThreshold is the point count below which tiling
+// overhead is not worth it and Map falls back to the pointwise path.
+const pointwiseBatchThreshold = 32
+
+// maxTileGridDim caps the tile grid along either axis so pathological
+// extents cannot blow up the counting-sort arrays; the tile size grows
+// instead.
+const maxTileGridDim = 1024
+
+// tileSlack absorbs floating-point rounding in the gather radius and
+// the point→tile binning, keeping the candidate list a strict superset
+// of every point's true neighbor set.
+const tileSlack = 1e-6
+
+// tile is one spatial cell: its center and its range in the
+// tile-sorted point order.
+type tile struct {
+	cx, cy float64
+	lo, hi int32
+}
+
+// mapScratch holds the per-call tiling state, pooled across MapInto
+// calls so steady-state sweeps allocate nothing but goroutines.
+type mapScratch struct {
+	tileOf []int32
+	counts []int32
+	order  []int32
+	tiles  []tile
+}
+
+// tileScratch is one worker's reusable candidate buffers.
+type tileScratch struct {
+	lsIdx    []int32
+	vicIdx   []int32
+	lsX, lsY []float64
+	vicX     []float64
+	vicY     []float64
+	rounds   []*interact.VictimRounds
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func clampI(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// partition bins pts into square tiles of side ~cutoff/2, counting-sorts
+// the point indices by tile, and returns the tile half-diagonal.
+func (ms *mapScratch) partition(pts []geom.Point, cutoff float64) (halfDiag float64) {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	t := cutoff / 2
+	if t <= 0 {
+		t = 1
+	}
+	w, h := maxX-minX, maxY-minY
+	if w > t*maxTileGridDim {
+		t = w / maxTileGridDim
+	}
+	if h > t*maxTileGridDim {
+		t = h / maxTileGridDim
+	}
+	nx := int(w/t) + 1
+	ny := int(h/t) + 1
+
+	ms.tileOf = growI32(ms.tileOf, len(pts))
+	ms.counts = growI32(ms.counts, nx*ny)
+	clear(ms.counts)
+	for i, p := range pts {
+		tx := clampI(int((p.X-minX)/t), 0, nx-1)
+		ty := clampI(int((p.Y-minY)/t), 0, ny-1)
+		id := int32(ty*nx + tx)
+		ms.tileOf[i] = id
+		ms.counts[id]++
+	}
+	ms.order = growI32(ms.order, len(pts))
+	ms.tiles = ms.tiles[:0]
+	start := int32(0)
+	for id, n := range ms.counts {
+		if n == 0 {
+			continue
+		}
+		ms.tiles = append(ms.tiles, tile{
+			cx: minX + (float64(id%nx)+0.5)*t,
+			cy: minY + (float64(id/nx)+0.5)*t,
+			lo: start,
+			hi: start + n,
+		})
+		ms.counts[id] = start // repurpose as the running insert offset
+		start += n
+	}
+	for i := range pts {
+		id := ms.tileOf[i]
+		ms.order[ms.counts[id]] = int32(i)
+		ms.counts[id]++
+	}
+	return t * math.Sqrt2 / 2
+}
+
+// MapInto evaluates the selected field at every point into dst, which
+// must have the same length as pts. It is the streaming variant of Map:
+// large sweeps reuse one destination buffer across calls instead of
+// materializing a fresh slice per evaluation. Results are identical to
+// calling StressLS/StressAt/Interactive per point (to round-off; the
+// parity test pins the agreement to 1e-9 MPa).
+func (a *Analyzer) MapInto(dst []tensor.Stress, pts []geom.Point, mode Mode) error {
+	if len(dst) != len(pts) {
+		return errDstLen(len(dst), len(pts))
+	}
+	if len(pts) == 0 {
+		return nil
+	}
+	if len(pts) <= pointwiseBatchThreshold {
+		a.mapPointwise(dst, pts, mode)
+		return nil
+	}
+	a.mapBatched(dst, pts, mode)
+	return nil
+}
+
+func (a *Analyzer) mapBatched(dst []tensor.Stress, pts []geom.Point, mode Mode) {
+	doLS := mode == ModeLS || mode == ModeFull
+	doPair := mode == ModeFull || mode == ModeInteractive
+	cutoff := 0.0
+	if doLS {
+		cutoff = a.opt.LSCutoff
+	}
+	if doPair && a.opt.PairDistCutoff > cutoff {
+		cutoff = a.opt.PairDistCutoff
+	}
+
+	ms, _ := a.mapPool.Get().(*mapScratch)
+	if ms == nil {
+		ms = &mapScratch{}
+	}
+	halfDiag := ms.partition(pts, cutoff)
+	tiles := ms.tiles
+
+	workers := a.opt.Workers
+	if workers > len(tiles) {
+		workers = len(tiles)
+	}
+	if workers <= 1 {
+		ts := a.getTileScratch()
+		for i := range tiles {
+			a.evalTile(dst, pts, ms.order, tiles[i], halfDiag, doLS, doPair, ts)
+		}
+		a.tilePool.Put(ts)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ts := a.getTileScratch()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(len(tiles)) {
+						break
+					}
+					a.evalTile(dst, pts, ms.order, tiles[i], halfDiag, doLS, doPair, ts)
+				}
+				a.tilePool.Put(ts)
+			}()
+		}
+		wg.Wait()
+	}
+	a.mapPool.Put(ms)
+}
+
+func (a *Analyzer) getTileScratch() *tileScratch {
+	ts, _ := a.tilePool.Get().(*tileScratch)
+	if ts == nil {
+		ts = &tileScratch{}
+	}
+	return ts
+}
+
+// evalTile gathers the tile's candidate lists once and evaluates every
+// tile point against them.
+func (a *Analyzer) evalTile(dst []tensor.Stress, pts []geom.Point, order []int32, t tile, halfDiag float64, doLS, doPair bool, ts *tileScratch) {
+	center := geom.Pt(t.cx, t.cy)
+	ls2 := a.opt.LSCutoff * a.opt.LSCutoff
+	pd2 := a.opt.PairDistCutoff * a.opt.PairDistCutoff
+	if doLS {
+		ts.lsIdx = a.idx.AppendNear(ts.lsIdx[:0], center, a.opt.LSCutoff+halfDiag+tileSlack)
+		ts.lsX, ts.lsY = ts.lsX[:0], ts.lsY[:0]
+		for _, i := range ts.lsIdx {
+			c := a.idx.At(int(i))
+			ts.lsX = append(ts.lsX, c.X)
+			ts.lsY = append(ts.lsY, c.Y)
+		}
+	}
+	if doPair {
+		ts.vicIdx = a.idx.AppendNear(ts.vicIdx[:0], center, a.opt.PairDistCutoff+halfDiag+tileSlack)
+		ts.vicX, ts.vicY, ts.rounds = ts.vicX[:0], ts.vicY[:0], ts.rounds[:0]
+		for _, j := range ts.vicIdx {
+			vr := a.victimRounds[j]
+			if vr == nil {
+				continue
+			}
+			c := a.idx.At(int(j))
+			ts.vicX = append(ts.vicX, c.X)
+			ts.vicY = append(ts.vicY, c.Y)
+			ts.rounds = append(ts.rounds, vr)
+		}
+	}
+	lsX, lsY := ts.lsX, ts.lsY
+	vicX, vicY, rounds := ts.vicX, ts.vicY, ts.rounds
+	for _, oi := range order[t.lo:t.hi] {
+		p := pts[oi]
+		var s tensor.Stress
+		if doLS {
+			var sxx, syy, sxy float64
+			for k := range lsX {
+				dx := p.X - lsX[k]
+				dy := p.Y - lsY[k]
+				d2 := dx*dx + dy*dy
+				if d2 > ls2 {
+					continue
+				}
+				if d2 == 0 {
+					// Point at a TSV center: uniform body stress, no
+					// rotation (matches the pointwise r == 0 branch).
+					pol := a.LS.Polar(0)
+					sxx += pol.RR
+					syy += pol.TT
+					continue
+				}
+				r := math.Sqrt(d2)
+				pol := a.LS.Polar(r)
+				cphi, sphi := dx/r, dy/r
+				c2, s2, cs := cphi*cphi, sphi*sphi, cphi*sphi
+				// σrθ ≡ 0 for the axisymmetric single-TSV field.
+				sxx += pol.RR*c2 + pol.TT*s2
+				syy += pol.RR*s2 + pol.TT*c2
+				sxy += (pol.RR - pol.TT) * cs
+			}
+			s.XX, s.YY, s.XY = sxx, syy, sxy
+		}
+		if doPair {
+			for k := range vicX {
+				dx := p.X - vicX[k]
+				dy := p.Y - vicY[k]
+				if dx*dx+dy*dy > pd2 {
+					continue
+				}
+				rounds[k].AccumulateAt(p.X, p.Y, &s)
+			}
+		}
+		dst[oi] = s
+	}
+}

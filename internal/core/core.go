@@ -76,7 +76,14 @@ type Analyzer struct {
 	// pairEvals[j] holds one evaluator per aggressor→victim round with
 	// victim j (aggressors within PairPitchCutoff of TSV j).
 	pairEvals [][]interact.PairEval
-	numPairs  int
+	// victimRounds[j] is the structure-of-arrays packing of pairEvals[j]
+	// used by the tile-batched engine (nil when TSV j has no rounds).
+	victimRounds []*interact.VictimRounds
+	numPairs     int
+
+	// Scratch pools for the batched engine (see batch.go).
+	mapPool  sync.Pool
+	tilePool sync.Pool
 }
 
 // New builds the analyzer: it solves the single-TSV model, solves the
@@ -103,8 +110,10 @@ func New(st material.Structure, pl *geom.Placement, opt Options) (*Analyzer, err
 		opt:       opt,
 		idx:       spatial.NewIndex(pl.Centers(), maxF(opt.LSCutoff, opt.PairDistCutoff)),
 	}
-	// Build per-victim pair rounds.
+	// Build per-victim pair rounds; rounds at equal pitch share one
+	// coefficient pair via the model's pitch-keyed cache.
 	a.pairEvals = make([][]interact.PairEval, pl.Len())
+	a.victimRounds = make([]*interact.VictimRounds, pl.Len())
 	for j, vic := range pl.TSVs {
 		a.idx.Near(vic.Center, opt.PairPitchCutoff, func(i int, d float64) {
 			if i == j || d <= 0 {
@@ -113,6 +122,7 @@ func New(st material.Structure, pl *geom.Placement, opt Options) (*Analyzer, err
 			a.pairEvals[j] = append(a.pairEvals[j], model.NewPairEval(vic.Center, pl.TSVs[i].Center))
 			a.numPairs++
 		})
+		a.victimRounds[j] = interact.PackRounds(a.pairEvals[j])
 	}
 	return a, nil
 }
@@ -160,9 +170,19 @@ const (
 	ModeInteractive
 )
 
-// Map evaluates the selected field at every point in parallel.
+// Map evaluates the selected field at every point in parallel through
+// the tile-batched engine (see batch.go); use MapInto to stream into a
+// reusable destination buffer instead.
 func (a *Analyzer) Map(pts []geom.Point, mode Mode) []tensor.Stress {
 	out := make([]tensor.Stress, len(pts))
+	_ = a.MapInto(out, pts, mode) // length matches by construction
+	return out
+}
+
+// mapPointwise is the reference evaluation path: per-point hash queries
+// with static chunking across workers. It backs tiny Map calls, the
+// parity tests and the before/after benchmarks.
+func (a *Analyzer) mapPointwise(dst []tensor.Stress, pts []geom.Point, mode Mode) {
 	var eval func(geom.Point) tensor.Stress
 	switch mode {
 	case ModeLS:
@@ -178,9 +198,9 @@ func (a *Analyzer) Map(pts []geom.Point, mode Mode) []tensor.Stress {
 	}
 	if workers <= 1 {
 		for i, p := range pts {
-			out[i] = eval(p)
+			dst[i] = eval(p)
 		}
-		return out
+		return
 	}
 	var wg sync.WaitGroup
 	chunk := (len(pts) + workers - 1) / workers
@@ -197,12 +217,15 @@ func (a *Analyzer) Map(pts []geom.Point, mode Mode) []tensor.Stress {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				out[i] = eval(pts[i])
+				dst[i] = eval(pts[i])
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
+}
+
+func errDstLen(dst, pts int) error {
+	return fmt.Errorf("core: MapInto dst has %d slots for %d points", dst, pts)
 }
 
 func maxF(a, b float64) float64 {

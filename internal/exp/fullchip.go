@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"time"
+
+	"tsvstress/internal/core"
+	"tsvstress/internal/field"
+	"tsvstress/internal/material"
+	"tsvstress/internal/placegen"
+	"tsvstress/internal/tensor"
+)
+
+// FullChipBench is one measured full-chip sweep, emitted as
+// BENCH_fullchip.json so the performance trajectory is tracked across
+// PRs. Times are wall-clock through the tile-batched engine.
+type FullChipBench struct {
+	NumTSV          int     `json:"num_tsv"`
+	Density         float64 `json:"density_per_um2"`
+	NumPoints       int     `json:"num_points"`
+	PairRounds      int     `json:"pair_rounds"`
+	Workers         int     `json:"workers"`
+	BuildMillis     float64 `json:"build_ms"`
+	LSMillis        float64 `json:"ls_ms"`
+	FullMillis      float64 `json:"full_ms"`
+	LSNsPerPoint    float64 `json:"ls_ns_per_point"`
+	FullNsPerPoint  float64 `json:"full_ns_per_point"`
+	CoeffCacheSize  int     `json:"coeff_cache_entries"`
+	CoeffCacheHits  int     `json:"coeff_cache_hits"`
+	GeneratedAtUnix int64   `json:"generated_at_unix"`
+}
+
+// RunFullChipBench builds a numTSV random placement at the paper's
+// 1e-2/µm² density, lays a device-layer grid of about numPoints
+// simulation points over it (TSV footprints masked), and times one LS
+// and one Full sweep through Map's tile-batched engine, reusing a
+// single destination buffer across the sweeps.
+func RunFullChipBench(numTSV, numPoints int, seed int64) (*FullChipBench, error) {
+	st := material.Baseline(material.BCB)
+	pl, err := placegen.Random(numTSV, 1e-2, 2*st.RPrime+1, seed)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	an, err := core.New(st, pl, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	build := time.Since(t0)
+
+	region := pl.Bounds(5)
+	// Oversample ~15% so the footprint mask still leaves ~numPoints.
+	spacing := spacingFor(region.Area(), float64(numPoints)*1.15)
+	g, err := field.NewGrid(region, spacing)
+	if err != nil {
+		return nil, err
+	}
+	pts := field.Masked(g.Points(), field.OutsideTSVs(pl, st.RPrime))
+
+	dst := make([]tensor.Stress, len(pts))
+	t1 := time.Now()
+	if err := an.MapInto(dst, pts, core.ModeLS); err != nil {
+		return nil, err
+	}
+	lsTime := time.Since(t1)
+	t2 := time.Now()
+	if err := an.MapInto(dst, pts, core.ModeFull); err != nil {
+		return nil, err
+	}
+	fullTime := time.Since(t2)
+
+	entries, hits := an.Model.CoeffCacheStats()
+	n := float64(len(pts))
+	return &FullChipBench{
+		NumTSV:          numTSV,
+		Density:         1e-2,
+		NumPoints:       len(pts),
+		PairRounds:      an.NumPairRounds(),
+		Workers:         an.Options().Workers,
+		BuildMillis:     float64(build.Microseconds()) / 1e3,
+		LSMillis:        float64(lsTime.Microseconds()) / 1e3,
+		FullMillis:      float64(fullTime.Microseconds()) / 1e3,
+		LSNsPerPoint:    float64(lsTime.Nanoseconds()) / n,
+		FullNsPerPoint:  float64(fullTime.Nanoseconds()) / n,
+		CoeffCacheSize:  entries,
+		CoeffCacheHits:  hits,
+		GeneratedAtUnix: time.Now().Unix(),
+	}, nil
+}
+
+// spacingFor returns the grid spacing that yields about want points
+// over an area in µm².
+func spacingFor(area, want float64) float64 {
+	if want <= 0 || area <= 0 {
+		return 1
+	}
+	return math.Sqrt(area / want)
+}
+
+// WriteFullChipJSON writes the benchmark record as indented JSON.
+func WriteFullChipJSON(w io.Writer, r *FullChipBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -5,8 +5,11 @@
 package field
 
 import (
+	"bufio"
 	"fmt"
 	"io"
+	"sort"
+	"strconv"
 
 	"tsvstress/internal/geom"
 	"tsvstress/internal/tensor"
@@ -124,24 +127,30 @@ func WriteCSV(w io.Writer, pts []geom.Point, fields map[string][]tensor.Stress, 
 		}
 		names = append(names, name)
 	}
-	sortStrings(names)
-	if _, err := io.WriteString(w, "x,y"); err != nil {
+	sort.Strings(names)
+	// Buffer the writer and assemble each row with strconv appends: the
+	// per-value Fprintf calls this replaces dominated export time for
+	// large grids.
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString("x,y"); err != nil {
 		return err
 	}
 	for _, name := range names {
 		for _, c := range columns {
-			if _, err := fmt.Fprintf(w, ",%s_%s", name, c); err != nil {
+			if _, err := fmt.Fprintf(bw, ",%s_%s", name, c); err != nil {
 				return err
 			}
 		}
 	}
-	if _, err := io.WriteString(w, "\n"); err != nil {
+	if err := bw.WriteByte('\n'); err != nil {
 		return err
 	}
+	row := make([]byte, 0, 16*(2+len(names)*len(columns)))
 	for i, p := range pts {
-		if _, err := fmt.Fprintf(w, "%.6g,%.6g", p.X, p.Y); err != nil {
-			return err
-		}
+		row = row[:0]
+		row = strconv.AppendFloat(row, p.X, 'g', 6, 64)
+		row = append(row, ',')
+		row = strconv.AppendFloat(row, p.Y, 'g', 6, 64)
 		for _, name := range names {
 			s := fields[name][i]
 			for _, c := range columns {
@@ -149,22 +158,14 @@ func WriteCSV(w io.Writer, pts []geom.Point, fields map[string][]tensor.Stress, 
 				if err != nil {
 					return err
 				}
-				if _, err := fmt.Fprintf(w, ",%.6g", v); err != nil {
-					return err
-				}
+				row = append(row, ',')
+				row = strconv.AppendFloat(row, v, 'g', 6, 64)
 			}
 		}
-		if _, err := io.WriteString(w, "\n"); err != nil {
+		row = append(row, '\n')
+		if _, err := bw.Write(row); err != nil {
 			return err
 		}
 	}
-	return nil
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
+	return bw.Flush()
 }

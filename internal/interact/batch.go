@@ -1,0 +1,133 @@
+package interact
+
+import (
+	"math"
+
+	"tsvstress/internal/geom"
+	"tsvstress/internal/tensor"
+)
+
+// VictimRounds packs every aggressor→victim round sharing one victim
+// TSV into an aggregated per-harmonic form for tile-batched Stage II
+// evaluation.
+//
+// Every round of a victim sees the same point geometry (relative
+// vector, its norm r, the polar angle φ and the decay base R′/r); a
+// round only differs by its axis angle ψ and its pitch-dependent
+// coefficients a_m, b_m. Writing the local angle as θ = φ − ψ and
+// expanding cos(mθ) and sin(mθ), the sum over rounds factorizes:
+//
+//	Σ_r a_m^r cos(mθ_r) = cos(mφ) Σ_r a_m^r cos(mψ_r) + sin(mφ) Σ_r a_m^r sin(mψ_r)
+//
+// so the four per-harmonic aggregates Σ a cos(mψ), Σ a sin(mψ),
+// Σ b cos(mψ), Σ b sin(mψ) are point independent and computed once at
+// pack time. AccumulateAt then costs O(MMax) per point regardless of
+// how many rounds the victim participates in — the structural speedup
+// that makes dense full-chip Stage II tractable.
+//
+// A VictimRounds is immutable after Pack and safe for concurrent use.
+type VictimRounds struct {
+	vicX, vicY float64
+	rPrime     float64
+	nm         int // harmonics (MMax−1)
+	// Aggregated coefficients, each of length nm (index m−2):
+	// ca[i] = Σ_r a_i^r cos(mψ_r), sa[i] = Σ_r a_i^r sin(mψ_r),
+	// cb/sb likewise for b. Backed by one slab.
+	ca, sa, cb, sb []float64
+	evs            []PairEval // fallback path for points inside the victim
+}
+
+// PackRounds builds the aggregated view over rounds, which must all
+// share one victim center (as the per-victim lists built by the
+// analyzer do). Degenerate rounds (non-positive pitch) contribute zero
+// and are dropped. Returns nil when no evaluable round remains.
+func PackRounds(evs []PairEval) *VictimRounds {
+	kept := make([]PairEval, 0, len(evs))
+	for _, pe := range evs {
+		if pe.d > 0 {
+			kept = append(kept, pe)
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	nm := len(kept[0].a)
+	slab := make([]float64, 4*nm)
+	vr := &VictimRounds{
+		vicX:   kept[0].vic.X,
+		vicY:   kept[0].vic.Y,
+		rPrime: kept[0].rPrime,
+		nm:     nm,
+		ca:     slab[0*nm : 1*nm],
+		sa:     slab[1*nm : 2*nm],
+		cb:     slab[2*nm : 3*nm],
+		sb:     slab[3*nm : 4*nm],
+		evs:    kept,
+	}
+	for _, pe := range kept {
+		// cos/sin(mψ) recurrence over the round's axis angle ψ,
+		// starting at m = 2.
+		c1, s1 := pe.axX, pe.axY
+		cm := c1*c1 - s1*s1
+		sm := 2 * s1 * c1
+		for i := 0; i < nm; i++ {
+			vr.ca[i] += pe.a[i] * cm
+			vr.sa[i] += pe.a[i] * sm
+			vr.cb[i] += pe.b[i] * cm
+			vr.sb[i] += pe.b[i] * sm
+			cm, sm = cm*c1-sm*s1, sm*c1+cm*s1
+		}
+	}
+	return vr
+}
+
+// NumRounds returns the number of packed (non-degenerate) rounds.
+func (vr *VictimRounds) NumRounds() int { return len(vr.evs) }
+
+// Vic returns the shared victim center.
+func (vr *VictimRounds) Vic() geom.Point { return geom.Pt(vr.vicX, vr.vicY) }
+
+// AccumulateAt adds the summed interactive stress of all packed rounds
+// at (px, py) into acc. It matches summing PairEval.StressAt over the
+// rounds to round-off: the factorization above is an exact trig
+// identity, so only summation order and recurrence rounding differ.
+func (vr *VictimRounds) AccumulateAt(px, py float64, acc *tensor.Stress) {
+	relX := px - vr.vicX
+	relY := py - vr.vicY
+	r := math.Hypot(relX, relY)
+	if r < vr.rPrime {
+		// Interior of the victim footprint: rare for device-layer
+		// points; take the general transmitted-field path per round.
+		p := geom.Pt(px, py)
+		for k := range vr.evs {
+			*acc = acc.Add(vr.evs[k].StressAt(p))
+		}
+		return
+	}
+	cphi, sphi := relX/r, relY/r
+	inv := vr.rPrime / r // 1/ρ̂ < 1
+	inv2 := inv * inv
+	pm := inv2 // ρ̂^{−m} starting at m = 2
+	// cos/sin(mφ) recurrence starting at m = 2.
+	cm := cphi*cphi - sphi*sphi
+	sm := 2 * sphi * cphi
+	var rr, tt, rt float64
+	for i := 0; i < vr.nm; i++ {
+		fm := float64(i + 2)
+		ac := cm*vr.ca[i] + sm*vr.sa[i] // Σ_r a cos(mθ_r)
+		as := sm*vr.ca[i] - cm*vr.sa[i] // Σ_r a sin(mθ_r)
+		bc := (cm*vr.cb[i] + sm*vr.sb[i]) * inv2
+		bs := (sm*vr.cb[i] - cm*vr.sb[i]) * inv2
+		rr += pm * ((2+fm)*ac - bc)
+		tt += pm * ((2-fm)*ac + bc)
+		rt += pm * (fm*as - bs)
+		pm *= inv
+		cm, sm = cm*cphi-sm*sphi, sm*cphi+cm*sphi
+	}
+	// One polar→Cartesian rotation for the victim's whole round set
+	// (the r-axis at angle φ is shared by every round).
+	c2, s2, cs := cphi*cphi, sphi*sphi, cphi*sphi
+	acc.XX += rr*c2 - 2*rt*cs + tt*s2
+	acc.YY += rr*s2 + 2*rt*cs + tt*c2
+	acc.XY += (rr-tt)*cs + rt*(c2-s2)
+}

@@ -20,6 +20,7 @@ package interact
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"tsvstress/internal/geom"
 	"tsvstress/internal/lame"
@@ -53,6 +54,23 @@ type Model struct {
 	MMax int
 
 	units []unitSol // index m−2
+
+	// Pitch-keyed cache of scattered-coefficient slices shared by every
+	// pair round at the same pitch (the transfer coefficients depend on
+	// the structure and the pitch only). Keyed by the float64 bit
+	// pattern of the pitch, so sharing is exact and parity-safe: on
+	// regular arrays the handful of distinct center-to-center distances
+	// collapses thousands of per-round allocations to a few entries.
+	cacheMu    sync.Mutex
+	coeffCache map[uint64]pairCoeffs
+	cacheHits  int
+}
+
+// pairCoeffs is one cached entry: the per-harmonic scattered substrate
+// coefficients of a round at a fixed pitch (index m−2). The slices are
+// shared across rounds and must never be mutated.
+type pairCoeffs struct {
+	a, b []float64
 }
 
 // New builds the plane-stress model (the paper's device-layer setting),
@@ -75,7 +93,8 @@ func NewPlane(s material.Structure, mmax int, plane material.Plane) (*Model, err
 	if err != nil {
 		return nil, err
 	}
-	m := &Model{Struct: s, Plane: plane, Lame: sol, MMax: mmax}
+	m := &Model{Struct: s, Plane: plane, Lame: sol, MMax: mmax,
+		coeffCache: make(map[uint64]pairCoeffs)}
 	k := s.K() // scaled body radius (R′ = 1)
 	if k <= 0 || k >= 1 {
 		return nil, fmt.Errorf("interact: radius ratio k=%g outside (0,1)", k)

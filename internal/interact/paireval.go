@@ -26,6 +26,7 @@ type PairEval struct {
 }
 
 // NewPairEval builds the evaluator for a pair; pitch must be positive.
+// Rounds at bit-identical pitch share one cached coefficient pair.
 func (mo *Model) NewPairEval(vic, agg geom.Point) PairEval {
 	axis := agg.Sub(vic)
 	d := axis.Norm()
@@ -35,19 +36,50 @@ func (mo *Model) NewPairEval(vic, agg geom.Point) PairEval {
 		agg:    agg,
 		d:      d,
 		rPrime: mo.Struct.RPrime,
-		a:      make([]float64, mo.MMax-1),
-		b:      make([]float64, mo.MMax-1),
 	}
 	if d <= 0 {
 		return pe // degenerate; StressAt returns zero
 	}
 	pe.axX, pe.axY = axis.X/d, axis.Y/d
+	pe.a, pe.b = mo.pitchCoeffs(d)
+	return pe
+}
+
+// pitchCoeffs returns the shared scattered-coefficient slices for pitch
+// d, computing and caching them on first use. Safe for concurrent use.
+func (mo *Model) pitchCoeffs(d float64) (a, b []float64) {
+	key := math.Float64bits(d)
+	mo.cacheMu.Lock()
+	if c, ok := mo.coeffCache[key]; ok {
+		mo.cacheHits++
+		mo.cacheMu.Unlock()
+		return c.a, c.b
+	}
+	mo.cacheMu.Unlock()
+	a = make([]float64, mo.MMax-1)
+	b = make([]float64, mo.MMax-1)
 	for m := 2; m <= mo.MMax; m++ {
 		scale := potential.IncidentCoeff(m-2, mo.Lame.K, mo.Struct.RPrime, d)
-		pe.a[m-2] = mo.units[m-2].sub.ANeg * scale
-		pe.b[m-2] = mo.units[m-2].sub.BNeg * scale
+		a[m-2] = mo.units[m-2].sub.ANeg * scale
+		b[m-2] = mo.units[m-2].sub.BNeg * scale
 	}
-	return pe
+	mo.cacheMu.Lock()
+	if c, ok := mo.coeffCache[key]; ok { // lost the race: share the winner
+		mo.cacheHits++
+		a, b = c.a, c.b
+	} else {
+		mo.coeffCache[key] = pairCoeffs{a: a, b: b}
+	}
+	mo.cacheMu.Unlock()
+	return a, b
+}
+
+// CoeffCacheStats reports the pitch-keyed coefficient cache state:
+// distinct pitches solved and the number of rounds that reused one.
+func (mo *Model) CoeffCacheStats() (entries, hits int) {
+	mo.cacheMu.Lock()
+	defer mo.cacheMu.Unlock()
+	return len(mo.coeffCache), mo.cacheHits
 }
 
 // StressAt returns the interactive stress of this round at p (global

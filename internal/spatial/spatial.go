@@ -94,6 +94,33 @@ func (ix *Index) Near(q geom.Point, radius float64, fn func(i int, d float64)) {
 	}
 }
 
+// AppendNear appends to dst the indices of the points within radius of
+// q (inclusive), in the same unspecified order Near uses, and returns
+// the extended slice. It performs no allocation when dst has capacity —
+// batched engines reuse one scratch slice across many queries.
+func (ix *Index) AppendNear(dst []int32, q geom.Point, radius float64) []int32 {
+	if len(ix.pts) == 0 {
+		return dst
+	}
+	r2 := radius * radius
+	cx0 := clampInt(int(math.Floor((q.X-radius-ix.minX)/ix.cell)), 0, ix.nx-1)
+	cx1 := clampInt(int(math.Floor((q.X+radius-ix.minX)/ix.cell)), 0, ix.nx-1)
+	cy0 := clampInt(int(math.Floor((q.Y-radius-ix.minY)/ix.cell)), 0, ix.ny-1)
+	cy1 := clampInt(int(math.Floor((q.Y+radius-ix.minY)/ix.cell)), 0, ix.ny-1)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, i := range ix.buckets[cy*ix.nx+cx] {
+				p := ix.pts[i]
+				dx, dy := p.X-q.X, p.Y-q.Y
+				if dx*dx+dy*dy <= r2 {
+					dst = append(dst, i)
+				}
+			}
+		}
+	}
+	return dst
+}
+
 // NearIDs returns the indices within radius of q, in unspecified order.
 func (ix *Index) NearIDs(q geom.Point, radius float64) []int {
 	var out []int

@@ -105,3 +105,36 @@ func TestDegenerateColinear(t *testing.T) {
 		t.Fatalf("NearIDs = %v", got)
 	}
 }
+
+func TestAppendNearMatchesNear(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(3, 4), geom.Pt(10, 10), geom.Pt(-2, 1), geom.Pt(5, -5), geom.Pt(25, 0)}
+	ix := NewIndex(pts, 5)
+	for _, q := range []geom.Point{geom.Pt(0, 0), geom.Pt(4, 4), geom.Pt(30, 30), geom.Pt(-3, -3)} {
+		for _, r := range []float64{0, 2, 5, 12, 100} {
+			want := map[int]bool{}
+			ix.Near(q, r, func(i int, _ float64) { want[i] = true })
+			got := ix.AppendNear(nil, q, r)
+			if len(got) != len(want) {
+				t.Fatalf("q=%v r=%g: AppendNear %d ids, Near %d", q, r, len(got), len(want))
+			}
+			for _, i := range got {
+				if !want[int(i)] {
+					t.Fatalf("q=%v r=%g: unexpected id %d", q, r, i)
+				}
+			}
+		}
+	}
+	// Reuse without reallocation.
+	buf := make([]int32, 0, 16)
+	out := ix.AppendNear(buf[:0], geom.Pt(0, 0), 100)
+	if len(out) != len(pts) || &out[0] != &buf[:1][0] {
+		t.Error("AppendNear must reuse the provided buffer capacity")
+	}
+}
+
+func TestAppendNearEmptyIndex(t *testing.T) {
+	ix := NewIndex(nil, 5)
+	if got := ix.AppendNear(nil, geom.Pt(0, 0), 10); len(got) != 0 {
+		t.Errorf("empty index returned %d ids", len(got))
+	}
+}

@@ -70,6 +70,19 @@ func New(st material.Structure, opt Options) (*LS, error) {
 // Cutoff returns the nearby-TSV distance in use.
 func (ls *LS) Cutoff() float64 { return ls.opt.Cutoff }
 
+// Polar returns the axisymmetric single-TSV stress profile at radial
+// distance r ≥ 0 from the center (σrr, σθθ in the TSV's polar frame;
+// σrθ is identically zero), using the table look-up or the exact Lamé
+// solution per Options. Batched engines use it to rotate polar→
+// Cartesian in place without a per-point Atan2. Beyond the cutoff the
+// value is not meaningful (callers gate on Cutoff).
+func (ls *LS) Polar(r float64) tensor.Polar {
+	if ls.table != nil {
+		return ls.table.at(r)
+	}
+	return ls.Sol.PolarAt(r)
+}
+
 // Contribution returns the stress contribution of a single TSV centered
 // at c to the point p (zero beyond the cutoff).
 func (ls *LS) Contribution(p, c geom.Point) tensor.Stress {
@@ -82,13 +95,7 @@ func (ls *LS) Contribution(p, c geom.Point) tensor.Stress {
 		pol := ls.Sol.PolarAt(0)
 		return tensor.Stress{XX: pol.RR, YY: pol.TT}
 	}
-	var pol tensor.Polar
-	if ls.table != nil {
-		pol = ls.table.at(r)
-	} else {
-		pol = ls.Sol.PolarAt(r)
-	}
-	return pol.ToCartesian(rel.Angle())
+	return ls.Polar(r).ToCartesian(rel.Angle())
 }
 
 // StressAt superposes the contributions of all indexed TSVs within the
@@ -114,14 +121,8 @@ func (ls *LS) contributionAt(p, c geom.Point, r float64) tensor.Stress {
 		pol := ls.Sol.PolarAt(0)
 		return tensor.Stress{XX: pol.RR, YY: pol.TT}
 	}
-	var pol tensor.Polar
-	if ls.table != nil {
-		pol = ls.table.at(r)
-	} else {
-		pol = ls.Sol.PolarAt(r)
-	}
 	rel := p.Sub(c)
-	return pol.ToCartesian(rel.Angle())
+	return ls.Polar(r).ToCartesian(rel.Angle())
 }
 
 // radialTable stores the axisymmetric single-TSV polar stress profile
