@@ -83,7 +83,7 @@ func main() {
 		if err := exp.WriteFullChipJSON(f, r); err != nil {
 			log.Fatal(err)
 		}
-		f.Close()
+		closeOut(f)
 		log.Printf("bench done in %v: LS %.0f ns/point, Full %.0f ns/point (%d points, %d pair rounds, %d cached pitches)",
 			time.Since(t0).Round(time.Millisecond), r.LSNsPerPoint, r.FullNsPerPoint, r.NumPoints, r.PairRounds, r.CoeffCacheSize)
 		log.Printf("results written to %s", *outDir)
@@ -111,12 +111,12 @@ func main() {
 			log.Fatal(err)
 		}
 		f := openOut("fig3.md")
-		fmt.Fprintf(f, "## Figure 3 — σxx along the line through two TSV centers (BCB, d=10µm)\n\n```\n")
+		outf(f, "## Figure 3 — σxx along the line through two TSV centers (BCB, d=10µm)\n\n```\n")
 		if err := sc.Write(f, "sigma_xx (MPa) vs x (um)"); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(f, "```\n\nGenerated in %v.\n", time.Since(t0).Round(time.Second))
-		f.Close()
+		outf(f, "```\n\nGenerated in %v.\n", time.Since(t0).Round(time.Second))
+		closeOut(f)
 		log.Printf("fig3 done in %v", time.Since(t0).Round(time.Second))
 	}
 
@@ -128,14 +128,14 @@ func main() {
 			log.Fatal(err)
 		}
 		f := openOut("tab1_tab3.md")
-		fmt.Fprintf(f, "## Tables 1 and 3 — two-TSV pitch sweep, BCB liner\n\n")
+		outf(f, "## Tables 1 and 3 — two-TSV pitch sweep, BCB liner\n\n")
 		if err := sw.WriteTable(f, metrics.SigmaXX, "Table 1 (measured): σxx"); err != nil {
 			log.Fatal(err)
 		}
 		if err := sw.WriteTable(f, metrics.VonMises, "Table 3 (measured): von Mises"); err != nil {
 			log.Fatal(err)
 		}
-		f.Close()
+		closeOut(f)
 
 		// Figure 4 uses the d=10 case of the sweep.
 		for i, pc := range sw.Cases {
@@ -147,12 +147,12 @@ func main() {
 				log.Fatal(err)
 			}
 			f := openOut("fig4.md")
-			fmt.Fprintf(f, "## Figure 4 — σxx error maps, 2 TSVs (BCB, d=%g)\n\n```\n", pc.D)
+			outf(f, "## Figure 4 — σxx error maps, 2 TSVs (BCB, d=%g)\n\n```\n", pc.D)
 			if err := em.Write(f, "two-TSV"); err != nil {
 				log.Fatal(err)
 			}
-			fmt.Fprintf(f, "```\n")
-			f.Close()
+			outf(f, "```\n")
+			closeOut(f)
 			break
 		}
 		log.Printf("tab1/tab3/fig4 done in %v", time.Since(t0).Round(time.Second))
@@ -166,14 +166,14 @@ func main() {
 			log.Fatal(err)
 		}
 		f := openOut("tab4_tab5.md")
-		fmt.Fprintf(f, "## Tables 4 and 5 — two-TSV pitch sweep, SiO2 liner\n\n")
+		outf(f, "## Tables 4 and 5 — two-TSV pitch sweep, SiO2 liner\n\n")
 		if err := sw.WriteTable(f, metrics.SigmaXX, "Table 4 (measured): σxx"); err != nil {
 			log.Fatal(err)
 		}
 		if err := sw.WriteTable(f, metrics.VonMises, "Table 5 (measured): von Mises"); err != nil {
 			log.Fatal(err)
 		}
-		f.Close()
+		closeOut(f)
 		log.Printf("tab4/tab5 done in %v", time.Since(t0).Round(time.Second))
 	}
 
@@ -185,7 +185,7 @@ func main() {
 			log.Fatal(err)
 		}
 		f := openOut("tab2_fig6.md")
-		fmt.Fprintf(f, "## Table 2 and Figure 6 — five-TSV placement (Fig. 5, min pitch 10µm, BCB)\n\n")
+		outf(f, "## Table 2 and Figure 6 — five-TSV placement (Fig. 5, min pitch 10µm, BCB)\n\n")
 		if err := fc.WriteTable(f, "Table 2 (measured)"); err != nil {
 			log.Fatal(err)
 		}
@@ -193,12 +193,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(f, "```\n")
+		outf(f, "```\n")
 		if err := em.Write(f, "five-TSV"); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(f, "```\n")
-		f.Close()
+		outf(f, "```\n")
+		closeOut(f)
 		log.Printf("tab2/fig6 done in %v", time.Since(t0).Round(time.Second))
 	}
 
@@ -213,9 +213,26 @@ func main() {
 		if err := exp.WriteTable6(f, results); err != nil {
 			log.Fatal(err)
 		}
-		f.Close()
+		closeOut(f)
 		log.Printf("tab6 done in %v", time.Since(t0).Round(time.Second))
 	}
 
 	log.Printf("results written to %s", *outDir)
+}
+
+// outf writes formatted report text, treating a write failure (full
+// disk, dead pipe) as fatal: a silently truncated results file is
+// worse than no file.
+func outf(f *os.File, format string, args ...any) {
+	if _, err := fmt.Fprintf(f, format, args...); err != nil {
+		log.Fatalf("writing %s: %v", f.Name(), err)
+	}
+}
+
+// closeOut closes a results file and fails the run if the close
+// reports an error (the last chance to hear about lost writes).
+func closeOut(f *os.File) {
+	if err := f.Close(); err != nil {
+		log.Fatalf("closing %s: %v", f.Name(), err)
+	}
 }

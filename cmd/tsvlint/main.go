@@ -1,0 +1,91 @@
+// Command tsvlint is the repository's domain-aware static-analysis
+// suite: five analyzers enforcing the numerical, hot-path and
+// API-boundary invariants the framework's correctness and performance
+// claims rest on (DESIGN.md §9).
+//
+//	floatcmp       no ==/!= on computed floats; use internal/floats
+//	hotpath        no Atan2/Pow/closures/map-ranges/growing appends in
+//	               //tsvlint:hotpath files
+//	panicboundary  no kernel panic reachable from an unvalidated
+//	               exported entry point
+//	nonfinite      API-boundary constructors must reject NaN/Inf
+//	unitdoc        exported physical-quantity functions document units
+//
+// Standalone:
+//
+//	go run ./cmd/tsvlint ./...          # whole module, all analyzers
+//	tsvlint -tests ./...                # include test packages
+//
+// As a vet tool (package analyzers only — program analyzers need the
+// whole module loaded at once):
+//
+//	go vet -vettool=$(which tsvlint) ./...
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on
+// operational errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tsvstress/internal/analysis"
+	"tsvstress/internal/analysis/floatcmp"
+	"tsvstress/internal/analysis/hotpath"
+	"tsvstress/internal/analysis/nonfinite"
+	"tsvstress/internal/analysis/panicboundary"
+	"tsvstress/internal/analysis/unitdoc"
+)
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		floatcmp.Analyzer,
+		hotpath.Analyzer,
+		panicboundary.Analyzer,
+		nonfinite.Analyzer,
+		unitdoc.Analyzer,
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsvlint: ")
+
+	if analysis.UnitMain("tsvlint", analyzers()) {
+		return // unreachable; UnitMain exits when it handles the args
+	}
+
+	var (
+		tests = flag.Bool("tests", false, "also load and analyze test packages")
+		dir   = flag.String("C", ".", "module directory to analyze")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tsvlint [-tests] [-C dir] [package patterns]\n\n")
+		fmt.Fprintf(os.Stderr, "Analyzers:\n")
+		for _, a := range analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := analysis.Load(analysis.LoadOptions{Dir: *dir, Patterns: patterns, Tests: *tests})
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	findings, err := analysis.RunAnalyzers(prog, analyzers())
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	if analysis.PrintFindings(os.Stderr, findings) > 0 {
+		os.Exit(1)
+	}
+}

@@ -103,11 +103,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := field.WriteCSV(w, pts, map[string][]tensor.Stress{name: vals},
 		[]string{"xx", "yy", "xy", "vm"}); err != nil {
 		log.Fatal(err)
+	}
+	// Close (when writing a real file) is the last chance to learn the
+	// kernel lost our CSV; a defer would swallow that error.
+	if w != os.Stdout {
+		if err := w.Close(); err != nil {
+			log.Fatalf("closing %s: %v", *out, err)
+		}
 	}
 }

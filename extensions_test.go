@@ -1,8 +1,8 @@
 package tsvstress
 
 import (
-	"math"
 	"testing"
+	"tsvstress/internal/floats"
 )
 
 func TestPublicMobilityAPI(t *testing.T) {
@@ -52,7 +52,7 @@ func TestPublicPlaneStrainAPI(t *testing.T) {
 	}
 	got := res.StressAt(Pt(5, 0)).XX
 	want := pe.StressAt(Pt(5, 0), Pt(0, 0)).XX
-	if math.Abs(got-want) > 0.35*math.Abs(want) {
+	if !floats.AlmostEqualRel(got, want, 0.35) {
 		t.Errorf("plane-strain FEM σxx %v vs analytic %v", got, want)
 	}
 }

@@ -1,0 +1,115 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis model, sized for this repository:
+// it defines the Analyzer/Pass/Diagnostic vocabulary, a go-list-based
+// package loader, a runner, and the //tsvlint: directive conventions
+// the domain analyzers (floatcmp, hotpath, panicboundary, nonfinite,
+// unitdoc) build on. cmd/tsvlint drives it both standalone
+// (`tsvlint ./...`) and as a `go vet -vettool` backend.
+//
+// Two analyzer shapes exist:
+//
+//   - package analyzers (Run) see one type-checked package at a time
+//     and work in both standalone and vettool mode;
+//   - program analyzers (RunProgram) see every package of the module
+//     at once — call-graph checks like panicboundary need cross-package
+//     bodies — and run in standalone mode only, where the loader has
+//     source for the whole module.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named static check. Exactly one of Run or RunProgram
+// must be set.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //tsvlint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run analyzes a single package.
+	Run func(*Pass) error
+	// RunProgram analyzes the whole module at once.
+	RunProgram func(*ProgramPass) error
+}
+
+// Pass carries one package's type-checked syntax to a package analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ProgramPass carries the whole loaded module to a program analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Program  *Program
+	Report   func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Package is one type-checked module package inside a Program.
+type Package struct {
+	// Path is the import path as go list reports it (test variants keep
+	// their bracketed suffix, e.g. "tsvstress [tsvstress.test]").
+	Path      string
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Program is the set of module packages loaded for program analyzers,
+// sharing one FileSet.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+
+	byPath map[string]*Package
+}
+
+// ByPath returns the package with the given import path, or nil.
+func (pr *Program) ByPath(path string) *Package {
+	if pr.byPath == nil {
+		pr.byPath = make(map[string]*Package, len(pr.Packages))
+		for _, p := range pr.Packages {
+			pr.byPath[p.Path] = p
+		}
+	}
+	return pr.byPath[path]
+}
+
+// NewInfo returns a types.Info with every map the analyzers rely on
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}

@@ -1,0 +1,174 @@
+// Package analysistest runs analyzers over fixture packages and checks
+// their diagnostics against // want "regexp" comments, mirroring the
+// x/tools harness of the same name.
+//
+// Fixtures live under <dir>/testdata/src/<importpath>/*.go. A line
+// expecting a diagnostic ends with:
+//
+//	x := a == b // want "floating-point"
+//
+// Every want must be matched by a diagnostic on its line whose message
+// matches the regexp, and every diagnostic must be covered by a want.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"tsvstress/internal/analysis"
+)
+
+// Run loads the fixture packages (in dependency order) from
+// dir/testdata/src and runs the analyzer over all of them, comparing
+// diagnostics against want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string, pkgPaths ...string) {
+	t.Helper()
+	prog, err := loadFixtures(dir, pkgPaths)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	findings, err := analysis.RunAnalyzers(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkWants(t, prog, findings)
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+func checkWants(t *testing.T, prog *analysis.Program, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					re, err := regexp.Compile(strings.ReplaceAll(m[1], `\"`, `"`))
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", m[1], err)
+					}
+					pos := prog.Fset.Position(c.Pos())
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		covered := false
+		for _, w := range wants {
+			if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				covered = true
+			}
+		}
+		if !covered {
+			t.Errorf("unexpected diagnostic %s", f)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// loadFixtures parses and type-checks the fixture packages. Imports
+// between fixtures resolve within the set; all other imports resolve
+// through compiled export data.
+func loadFixtures(dir string, pkgPaths []string) (*analysis.Program, error) {
+	srcRoot := filepath.Join(dir, "testdata", "src")
+
+	// First pass: parse everything and gather external imports.
+	fset := token.NewFileSet()
+	parsed := make(map[string][]*ast.File)
+	external := make(map[string]bool)
+	inSet := make(map[string]bool)
+	for _, p := range pkgPaths {
+		inSet[p] = true
+	}
+	for _, p := range pkgPaths {
+		entries, err := os.ReadDir(filepath.Join(srcRoot, p))
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(srcRoot, p, e.Name()), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			parsed[p] = append(parsed[p], f)
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if !inSet[path] {
+					external[path] = true
+				}
+			}
+		}
+	}
+	var extPaths []string
+	for p := range external {
+		extPaths = append(extPaths, p)
+	}
+	sort.Strings(extPaths)
+	extImp, err := analysis.ExportImporter(fset, dir, extPaths)
+	if err != nil {
+		return nil, err
+	}
+
+	prog := &analysis.Program{Fset: fset}
+	checked := make(map[string]*types.Package)
+	for _, p := range pkgPaths {
+		info := analysis.NewInfo()
+		conf := &types.Config{Importer: mapImporter{checked: checked, fallback: extImp}}
+		pkg, err := conf.Check(p, fset, parsed[p], info)
+		if err != nil {
+			return nil, err
+		}
+		checked[p] = pkg
+		prog.Packages = append(prog.Packages, &analysis.Package{
+			Path: p, Files: parsed[p], Pkg: pkg, TypesInfo: info,
+		})
+	}
+	return prog, nil
+}
+
+type mapImporter struct {
+	checked  map[string]*types.Package
+	fallback types.Importer
+}
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.checked[path]; ok {
+		return pkg, nil
+	}
+	return m.fallback.Import(path)
+}

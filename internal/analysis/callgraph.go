@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Call-graph utilities shared by the program analyzers (panicboundary,
+// nonfinite). The graph is the static one: direct calls whose callee
+// resolves to a *types.Func with a body somewhere in the module.
+// Dynamic dispatch (interface methods, function values) is out of
+// scope — the boundary invariants these analyzers enforce concern the
+// concrete internal call chains.
+
+// FuncBodies maps every function and method declared in the module to
+// its declaration, so callees can be traversed cross-package.
+func FuncBodies(prog *Program) map[*types.Func]*ast.FuncDecl {
+	m := make(map[*types.Func]*ast.FuncDecl)
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				if obj, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					m[obj] = fd
+				}
+			}
+		}
+	}
+	return m
+}
+
+// InfoFor returns the types.Info of the package that type-checked the
+// given object, or nil.
+func InfoFor(prog *Program, obj types.Object) *types.Info {
+	if obj.Pkg() == nil {
+		return nil
+	}
+	// Test variants share the plain path; prefer an exact match first.
+	for _, pkg := range prog.Packages {
+		if pkg.Pkg == obj.Pkg() {
+			return pkg.TypesInfo
+		}
+	}
+	return nil
+}
+
+// StaticCallee resolves a call expression to the called named function
+// or method, or nil for dynamic calls, conversions and builtins.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// Reachable walks the static call graph from entry (whose body must be
+// in bodies) and calls visit for every reachable declared function,
+// including entry itself. visit returning false prunes traversal below
+// that function.
+func Reachable(prog *Program, bodies map[*types.Func]*ast.FuncDecl, entry *types.Func, visit func(fn *types.Func, decl *ast.FuncDecl) bool) {
+	seen := make(map[*types.Func]bool)
+	var walk func(fn *types.Func)
+	walk = func(fn *types.Func) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		decl, ok := bodies[fn]
+		if !ok || decl.Body == nil {
+			return
+		}
+		if !visit(fn, decl) {
+			return
+		}
+		info := InfoFor(prog, fn)
+		if info == nil {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := StaticCallee(info, call); callee != nil {
+				walk(callee)
+			}
+			return true
+		})
+	}
+	walk(entry)
+}
+
+// validationName matches identifiers that perform input validation:
+// explicit validators plus the floats finiteness helpers.
+func validationName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "validate") ||
+		strings.Contains(lower, "finite") ||
+		strings.Contains(lower, "isnan") ||
+		strings.Contains(lower, "isinf")
+}
+
+// ReachesValidation reports whether entry's static call closure
+// contains a call to a validation function: math.IsNaN/math.IsInf, the
+// internal/floats helpers, or any function or method whose name
+// contains "validate"/"finite".
+func ReachesValidation(prog *Program, bodies map[*types.Func]*ast.FuncDecl, entry *types.Func) bool {
+	found := false
+	Reachable(prog, bodies, entry, func(fn *types.Func, decl *ast.FuncDecl) bool {
+		if found {
+			return false
+		}
+		info := InfoFor(prog, fn)
+		if info == nil {
+			return false
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := StaticCallee(info, call)
+			if callee == nil {
+				return true
+			}
+			if validationName(callee.Name()) {
+				found = true
+				return false
+			}
+			if pkg := callee.Pkg(); pkg != nil {
+				if pkg.Path() == "math" && (callee.Name() == "IsNaN" || callee.Name() == "IsInf") {
+					found = true
+					return false
+				}
+				if strings.HasSuffix(pkg.Path(), "internal/floats") {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return !found
+	})
+	return found
+}

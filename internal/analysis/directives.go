@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// tsvlint directive conventions (DESIGN.md §9):
+//
+//	//tsvlint:hotpath
+//	    File-level marker: the file's loops are performance-critical;
+//	    the hotpath analyzer enforces its allocation/transcendental
+//	    rules on every function in the file.
+//
+//	//tsvlint:apiboundary
+//	    File-level marker: the file declares public API entry points;
+//	    the nonfinite analyzer requires error-returning functions with
+//	    float parameters to reachably validate finiteness.
+//
+//	//tsvlint:ignore name1,name2 reason...
+//	    Line-level suppression: diagnostics from the named analyzers on
+//	    this line (or the line directly below, for a comment on its own
+//	    line) are dropped. A reason is required.
+
+const directivePrefix = "//tsvlint:"
+
+// FileHasDirective reports whether f carries the file-level directive
+// (e.g. "hotpath") anywhere in its comments.
+func FileHasDirective(f *ast.File, name string) bool {
+	want := directivePrefix + name
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if text == want || strings.HasPrefix(text, want+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ignoreDirective is one parsed //tsvlint:ignore comment.
+type ignoreDirective struct {
+	line      int
+	analyzers []string
+	hasReason bool
+}
+
+// IgnoreIndex maps source lines to the analyzers suppressed there.
+type IgnoreIndex struct {
+	fset    *token.FileSet
+	ignores map[string][]ignoreDirective // filename -> directives
+}
+
+// NewIgnoreIndex scans the files' comments for //tsvlint:ignore
+// directives.
+func NewIgnoreIndex(fset *token.FileSet, files []*ast.File) *IgnoreIndex {
+	ix := &IgnoreIndex{fset: fset, ignores: make(map[string][]ignoreDirective)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				rest, ok := strings.CutPrefix(text, directivePrefix+"ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ix.ignores[pos.Filename] = append(ix.ignores[pos.Filename], ignoreDirective{
+					line:      pos.Line,
+					analyzers: strings.Split(fields[0], ","),
+					hasReason: len(fields) > 1,
+				})
+			}
+		}
+	}
+	return ix
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at
+// pos is covered by an ignore directive on the same line or the line
+// directly above.
+func (ix *IgnoreIndex) Suppressed(analyzer string, pos token.Pos) bool {
+	p := ix.fset.Position(pos)
+	for _, d := range ix.ignores[p.Filename] {
+		if d.line != p.Line && d.line != p.Line-1 {
+			continue
+		}
+		for _, name := range d.analyzers {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether the file at pos is a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,108 @@
+// Package floatcmp defines an analyzer that forbids == and != on
+// floating-point values outside the approved epsilon helpers.
+//
+// Rounding makes direct equality on computed floats meaningless — the
+// engine's parity guarantees are stated as ≤ 1e-9 MPa bounds, never as
+// bit equality — so comparisons must go through
+// tsvstress/internal/floats (AlmostEqual, WithinMPa). Two comparison
+// shapes remain legal:
+//
+//   - comparison against a compile-time constant that is exactly
+//     representable in the operand's type (0, 1, 0.5, …): these are
+//     sentinel tests, not tolerance tests — e.g. the hot-path r == 0
+//     branch for a point sitting exactly on a TSV center;
+//   - anything inside internal/floats itself or a _test.go file, where
+//     exact comparison against a freshly stored constant is idiomatic.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tsvstress/internal/analysis"
+)
+
+// Analyzer flags float equality comparisons outside the epsilon
+// helpers.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid ==/!= on floating-point values outside approved epsilon helpers (use internal/floats)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/floats") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if !floatish(pass.TypesInfo, cmp.X) && !floatish(pass.TypesInfo, cmp.Y) {
+				return true
+			}
+			if exactConst(pass.TypesInfo, cmp.X) || exactConst(pass.TypesInfo, cmp.Y) {
+				return true
+			}
+			pass.Reportf(cmp.OpPos,
+				"floating-point %s comparison; use internal/floats.AlmostEqual/WithinMPa or compare against an exactly representable constant",
+				cmp.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// floatish reports whether the expression's type contains
+// floating-point components: a float, a complex, or a struct/array
+// built from them (struct equality compares the float fields).
+func floatish(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return containsFloat(tv.Type, 0)
+}
+
+func containsFloat(t types.Type, depth int) bool {
+	if depth > 10 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsFloat(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsFloat(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// exactConst reports whether e is a compile-time constant whose value
+// converts to float64 without rounding (and, for struct comparisons,
+// never: constants are only basic-typed).
+func exactConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	_, exact := constant.Float64Val(v)
+	return exact
+}

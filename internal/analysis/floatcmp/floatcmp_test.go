@@ -1,0 +1,12 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"tsvstress/internal/analysis/analysistest"
+	"tsvstress/internal/analysis/floatcmp"
+)
+
+func TestFloatcmp(t *testing.T) {
+	analysistest.Run(t, floatcmp.Analyzer, ".", "floatcmptest")
+}

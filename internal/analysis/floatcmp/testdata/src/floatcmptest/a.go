@@ -1,0 +1,43 @@
+// Package floatcmptest is the floatcmp fixture.
+package floatcmptest
+
+type stress struct{ XX, YY float64 }
+
+func computed(a, b float64, s, t stress) bool {
+	if a == b { // want "floating-point == comparison"
+		return true
+	}
+	if a != b { // want "floating-point != comparison"
+		return true
+	}
+	if s == t { // want "floating-point == comparison"
+		return true
+	}
+	if a*2 == b/3 { // want "floating-point == comparison"
+		return true
+	}
+	return false
+}
+
+func exactConstants(a, b float64) bool {
+	if a == 0 { // exactly representable: allowed
+		return true
+	}
+	if b != 0.5 { // exactly representable: allowed
+		return true
+	}
+	if a-b == 0 { // zero on one side: allowed
+		return true
+	}
+	if a == 0.1 { // constant literal (recorded at float64 precision): allowed
+		return true
+	}
+	return false
+}
+
+func suppressed(a, b float64) bool {
+	//tsvlint:ignore floatcmp fixture: identity compare on a verbatim copy
+	return a == b
+}
+
+func integers(n, m int) bool { return n == m } // not floats: allowed

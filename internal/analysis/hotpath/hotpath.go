@@ -1,0 +1,260 @@
+// Package hotpath defines an analyzer that guards the per-point cost
+// model of files marked //tsvlint:hotpath (the tile-batched Stage I /
+// Stage II engines and the spatial index — the source of PR 1's
+// batched-vs-pointwise speedup). In a marked file it forbids:
+//
+//   - math.Atan2 and math.Pow calls: the engines derive rotations from
+//     relative vectors (cos φ = dx/r) and powers from recurrences, and
+//     a single Atan2 per contribution is what the batched rewrite
+//     removed;
+//   - capturing closures outside `go`/`defer` statements: a capture
+//     forces heap allocation per construction, and escapes inliner
+//     budgets — worker-spawn closures are exempt because they amortize
+//     over a whole tile queue;
+//   - map iteration: nondeterministic order and hash-bucket walking
+//     have no place in a per-point loop;
+//   - append to a local slice with no visible preallocation: growth
+//     reallocations inside tile loops destroy the zero-steady-state-
+//     allocation property. Appends to parameters, receivers and their
+//     fields are trusted (callers own the amortization, e.g.
+//     Index.AppendNear and the pooled scratch buffers), as are locals
+//     assigned from make(len, cap), a [:0] reslice, or a grow helper.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tsvstress/internal/analysis"
+)
+
+// Analyzer enforces the hot-path cost rules in marked files.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid math.Atan2/math.Pow, capturing closures, map iteration and unpreallocated append in //tsvlint:hotpath files",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if !analysis.FileHasDirective(f, "hotpath") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	pre := preallocated(pass, fd)
+
+	// Walk with enough context to know whether a FuncLit sits directly
+	// under a go or defer statement.
+	var deferred []ast.Node // parents stack
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			deferred = deferred[:len(deferred)-1]
+			return true
+		}
+		deferred = append(deferred, n)
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, pre, fd, n)
+		case *ast.FuncLit:
+			if !spawnPosition(deferred) && captures(pass, fd, n) {
+				pass.Reportf(n.Pos(), "capturing closure in hot path; hoist the state or restructure the loop")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Range, "map iteration in hot path; use a slice with deterministic order")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// spawnPosition reports whether the node on top of the stack is the
+// immediate call of a go or defer statement (go func(){...}() /
+// defer func(){...}()).
+func spawnPosition(stack []ast.Node) bool {
+	// stack: ... [GoStmt|DeferStmt] CallExpr FuncLit
+	if len(stack) < 3 {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok || call.Fun != stack[len(stack)-1] {
+		return false
+	}
+	switch s := stack[len(stack)-3].(type) {
+	case *ast.GoStmt:
+		return s.Call == call
+	case *ast.DeferStmt:
+		return s.Call == call
+	}
+	return false
+}
+
+func checkCall(pass *analysis.Pass, pre map[string]bool, fd *ast.FuncDecl, call *ast.CallExpr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "math" {
+			if fn.Name() == "Atan2" || fn.Name() == "Pow" {
+				pass.Reportf(call.Pos(), "math.%s in hot path; derive angles from vector components / powers from recurrences", fn.Name())
+			}
+		}
+	case *ast.Ident:
+		if isBuiltin(pass.TypesInfo, fun, "append") && len(call.Args) > 0 {
+			checkAppend(pass, pre, fd, call)
+		}
+	}
+}
+
+func isBuiltin(info *types.Info, id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func checkAppend(pass *analysis.Pass, pre map[string]bool, fd *ast.FuncDecl, call *ast.CallExpr) {
+	dst := call.Args[0]
+	path, root := selectorPath(dst)
+	if root == nil {
+		pass.Reportf(call.Pos(), "append to a computed destination in hot path; preallocate a named buffer")
+		return
+	}
+	if obj := pass.TypesInfo.Uses[root]; obj != nil && isParamOrReceiver(obj, pass.TypesInfo, fd) {
+		return // caller-owned buffer: amortization is the caller's contract
+	}
+	if pre[path] {
+		return
+	}
+	pass.Reportf(call.Pos(), "append to %s without visible preallocation in hot path; make(len, cap), reslice [:0], or reuse a scratch buffer", path)
+}
+
+// preallocated scans the function for assignments that establish
+// amortized capacity: x = make(T, n, c) / make(T, n) with n > 0 known,
+// x = x[:0], or x = grow*(...). Keys are selector-path strings.
+func preallocated(pass *analysis.Pass, fd *ast.FuncDecl) map[string]bool {
+	pre := make(map[string]bool)
+	mark := func(lhs, rhs ast.Expr) {
+		path, root := selectorPath(lhs)
+		if root == nil || !preallocating(pass, rhs) {
+			return
+		}
+		pre[path] = true
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					mark(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					mark(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return pre
+}
+
+// preallocating reports whether rhs visibly supplies capacity.
+func preallocating(pass *analysis.Pass, rhs ast.Expr) bool {
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.SliceExpr:
+		// x[:0] (or any reslice of an existing buffer).
+		return true
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(e.Fun).(type) {
+		case *ast.Ident:
+			if isBuiltin(pass.TypesInfo, fun, "make") {
+				return len(e.Args) >= 2 // make with explicit length/capacity
+			}
+			return strings.HasPrefix(strings.ToLower(fun.Name), "grow")
+		case *ast.SelectorExpr:
+			return strings.HasPrefix(strings.ToLower(fun.Sel.Name), "grow")
+		}
+	}
+	return false
+}
+
+// selectorPath renders a plain ident/selector chain (x, x.f.g) as a
+// key and returns its root identifier; any other destination shape
+// returns nil.
+func selectorPath(e ast.Expr) (string, *ast.Ident) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name, e
+	case *ast.SelectorExpr:
+		path, root := selectorPath(e.X)
+		if root == nil {
+			return "", nil
+		}
+		return path + "." + e.Sel.Name, root
+	}
+	return "", nil
+}
+
+// captures reports whether the function literal references any
+// variable declared outside it (other than package-level ones):
+// exactly the captures that force a heap-allocated closure.
+func captures(pass *analysis.Pass, fd *ast.FuncDecl, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level variable: linked, not captured
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isParamOrReceiver reports whether obj is a parameter or the receiver
+// of fd.
+func isParamOrReceiver(obj types.Object, info *types.Info, fd *ast.FuncDecl) bool {
+	check := func(fields *ast.FieldList) bool {
+		if fields == nil {
+			return false
+		}
+		for _, field := range fields.List {
+			for _, name := range field.Names {
+				if info.Defs[name] == obj {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return check(fd.Recv) || check(fd.Type.Params)
+}

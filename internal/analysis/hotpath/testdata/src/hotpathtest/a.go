@@ -1,0 +1,51 @@
+//tsvlint:hotpath
+
+// Package hotpathtest is the hotpath fixture: this file is marked.
+package hotpathtest
+
+import "math"
+
+type index struct{ buckets [][]int32 }
+
+func flagged(pts []float64, m map[int]float64, ix *index) float64 {
+	sum := math.Atan2(1, 2) // want "math.Atan2 in hot path"
+	sum += math.Pow(2, 8)   // want "math.Pow in hot path"
+
+	var out []int
+	out = append(out, 1) // want "append to out without visible preallocation"
+
+	ix.buckets[0] = append(ix.buckets[0], 3) // want "append to a computed destination"
+
+	add := func() { sum++ } // want "capturing closure in hot path"
+	add()
+
+	for k := range m { // want "map iteration in hot path"
+		sum += float64(k)
+	}
+	_ = out
+	return sum
+}
+
+func allowed(dst []int32, pts []float64) []int32 {
+	buf := make([]int32, 0, len(pts))
+	buf = append(buf, 1) // preallocated local: allowed
+	dst = append(dst, 2) // parameter: the caller owns amortization
+
+	scratch := buf[:0]
+	scratch = append(scratch, 3) // reslice of an existing buffer: allowed
+
+	go func() { _ = pts }() // worker spawn: allowed even though it captures
+
+	double := func(x int32) int32 { return 2 * x } // non-capturing: allowed
+	_ = double(1)
+	_ = scratch
+	return dst
+}
+
+func (ix *index) grow(n int) []int32 { return make([]int32, 0, n) }
+
+func growHelper(ix *index, n int) []int32 {
+	b := ix.grow(n)
+	b = append(b, 1) // grow helper establishes capacity: allowed
+	return b
+}

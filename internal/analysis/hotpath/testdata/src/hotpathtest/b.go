@@ -1,0 +1,17 @@
+// This file carries no //tsvlint:hotpath marker: the same constructs
+// the analyzer forbids in a.go are fine here.
+package hotpathtest
+
+import "math"
+
+func unmarked(m map[int]float64) float64 {
+	var out []float64
+	out = append(out, math.Pow(2, 2), math.Atan2(1, 1))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sum := 0.0
+	acc := func() { sum++ }
+	acc()
+	return out[0] + sum
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// LoadOptions configures Load.
+type LoadOptions struct {
+	// Dir is the module directory go list runs in (default ".").
+	Dir string
+	// Patterns are the package patterns (default "./...").
+	Patterns []string
+	// Tests includes _test.go files and external test packages.
+	Tests bool
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	ForTest    string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	Error      *struct{ Err string }
+	Module     *struct{ Path, GoVersion string }
+}
+
+// Load resolves the patterns with `go list -deps -export`, type-checks
+// every module package from source (dependencies first, as go list
+// orders them), and imports out-of-module dependencies from their
+// compiled export data. The returned Program holds syntax and type
+// information for the module packages only.
+func Load(opts LoadOptions) (*Program, error) {
+	if opts.Dir == "" {
+		opts.Dir = "."
+	}
+	if len(opts.Patterns) == 0 {
+		opts.Patterns = []string{"./..."}
+	}
+	args := []string{"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,Standard,ForTest,GoFiles,CgoFiles,Imports,Error,Module"}
+	if opts.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, opts.Patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = opts.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	fset := token.NewFileSet()
+	cat := &exportCatalog{exports: make(map[string]string)}
+	gc := cat.Importer(fset)
+	checked := make(map[string]*types.Package)
+	prog := &Program{Fset: fset}
+
+	for _, lp := range pkgs {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		switch {
+		case lp.ImportPath == "unsafe":
+			checked["unsafe"] = types.Unsafe
+		case lp.Standard || lp.Module == nil:
+			// Out-of-module dependency: import lazily from export data.
+			if lp.Export != "" {
+				cat.exports[lp.ImportPath] = lp.Export
+			}
+		case strings.HasSuffix(lp.ImportPath, ".test"):
+			// Synthesized test-binary main; its files live in the build
+			// cache and hold nothing worth analyzing.
+		case len(lp.CgoFiles) > 0:
+			return nil, fmt.Errorf("analysis: %s uses cgo, which the loader does not support", lp.ImportPath)
+		default:
+			pkg, err := checkModulePackage(fset, lp, checked, gc)
+			if err != nil {
+				return nil, err
+			}
+			checked[lp.ImportPath] = pkg.Pkg
+			prog.Packages = append(prog.Packages, pkg)
+		}
+	}
+	return prog, nil
+}
+
+// checkModulePackage parses and type-checks one module package from
+// source.
+func checkModulePackage(fset *token.FileSet, lp *listPackage, checked map[string]*types.Package, fallback types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := &types.Config{
+		Importer: resolverFor(lp.ImportPath, checked, fallback),
+	}
+	if lp.Module != nil && lp.Module.GoVersion != "" {
+		conf.GoVersion = "go" + lp.Module.GoVersion
+	}
+	// go list strips the bracketed test-variant suffix from nothing we
+	// feed to the type checker; check under the plain path.
+	plainPath, _, _ := strings.Cut(lp.ImportPath, " [")
+	pkg, err := conf.Check(plainPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{Path: lp.ImportPath, Files: files, Pkg: pkg, TypesInfo: info}, nil
+}
+
+// resolverFor returns the importer used while checking the package with
+// the given (possibly test-variant) import path: module packages come
+// from the already-checked map — preferring the importer's own test
+// variant, which is how external test packages see the augmented
+// package under test — and everything else from export data.
+func resolverFor(importerPath string, checked map[string]*types.Package, fallback types.Importer) types.Importer {
+	variant := ""
+	if _, v, ok := strings.Cut(importerPath, " ["); ok {
+		variant = " [" + v
+	}
+	return importerFunc(func(path string) (*types.Package, error) {
+		if variant != "" {
+			if pkg, ok := checked[path+variant]; ok {
+				return pkg, nil
+			}
+		}
+		if pkg, ok := checked[path]; ok {
+			return pkg, nil
+		}
+		return fallback.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// exportCatalog maps import paths to compiled export-data files and
+// builds a caching gc importer over them.
+type exportCatalog struct {
+	exports map[string]string
+}
+
+func (c *exportCatalog) Importer(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := c.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// ExportImporter resolves export-data files for the given
+// out-of-module import paths (and their dependencies) by invoking
+// go list in dir, and returns an importer over them bound to fset.
+// The analysistest fixture loader uses it to satisfy fixture imports.
+func ExportImporter(fset *token.FileSet, dir string, paths []string) (types.Importer, error) {
+	cat := &exportCatalog{exports: make(map[string]string)}
+	if len(paths) > 0 {
+		args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, paths...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = dir
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("analysis: go list %v: %v\n%s", paths, err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listPackage
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				cat.exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return cat.Importer(fset), nil
+}

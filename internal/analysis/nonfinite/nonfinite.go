@@ -1,0 +1,113 @@
+// Package nonfinite defines a program analyzer enforcing NaN/Inf
+// rejection at the API boundary. In files marked //tsvlint:apiboundary
+// every exported function that takes float-bearing parameters AND can
+// return an error must reachably validate finiteness — a call, in its
+// static call closure within the module, to math.IsNaN/math.IsInf, an
+// internal/floats helper, or any *Validate*/*Finite* function.
+//
+// The error result is the gate: a function that can say no must say no
+// to NaN coordinates and Inf material properties, because both sail
+// through every < and > comparison downstream (a NaN pitch passes a
+// min-pitch check, a NaN extent turns a tile-grid dimension into a
+// runtime panic). Pure evaluators without an error result stay
+// garbage-in/garbage-out by design and are out of scope.
+package nonfinite
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tsvstress/internal/analysis"
+)
+
+// Analyzer flags unvalidated float-accepting API entry points.
+var Analyzer = &analysis.Analyzer{
+	Name:       "nonfinite",
+	Doc:        "require error-returning exported functions in //tsvlint:apiboundary files to validate float parameters for NaN/Inf",
+	RunProgram: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	prog := pass.Program
+	bodies := analysis.FuncBodies(prog)
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			if !analysis.FileHasDirective(f, "apiboundary") {
+				continue
+			}
+			if analysis.IsTestFile(prog.Fset, f.Pos()) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !fd.Name.IsExported() || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				sig := fn.Type().(*types.Signature)
+				if !returnsError(sig) || !hasFloatParams(sig) {
+					continue
+				}
+				if !analysis.ReachesValidation(prog, bodies, fn) {
+					pass.Reportf(fd.Name.Pos(),
+						"exported %s accepts float parameters and returns error but never validates finiteness; reject NaN/Inf (internal/floats.AllFinite) before use",
+						fd.Name.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := types.Unalias(res.At(i).Type()).(*types.Named); ok {
+			if named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func hasFloatParams(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if containsFloat(params.At(i).Type(), 0, make(map[types.Type]bool)) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsFloat reports whether t transitively holds floating-point
+// state a caller could smuggle a NaN through.
+func containsFloat(t types.Type, depth int, seen map[types.Type]bool) bool {
+	if depth > 8 || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsFloat(u.Field(i).Type(), depth+1, seen) {
+				return true
+			}
+		}
+	case *types.Slice:
+		return containsFloat(u.Elem(), depth+1, seen)
+	case *types.Array:
+		return containsFloat(u.Elem(), depth+1, seen)
+	case *types.Pointer:
+		return containsFloat(u.Elem(), depth+1, seen)
+	case *types.Map:
+		return containsFloat(u.Key(), depth+1, seen) || containsFloat(u.Elem(), depth+1, seen)
+	}
+	return false
+}

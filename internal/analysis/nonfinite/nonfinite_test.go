@@ -1,0 +1,12 @@
+package nonfinite_test
+
+import (
+	"testing"
+
+	"tsvstress/internal/analysis/analysistest"
+	"tsvstress/internal/analysis/nonfinite"
+)
+
+func TestNonfinite(t *testing.T) {
+	analysistest.Run(t, nonfinite.Analyzer, ".", "nonfinitetest")
+}

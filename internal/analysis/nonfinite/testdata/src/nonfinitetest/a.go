@@ -1,0 +1,65 @@
+//tsvlint:apiboundary
+
+// Package nonfinitetest is the nonfinite fixture: an API-boundary file.
+package nonfinitetest
+
+import (
+	"errors"
+	"math"
+)
+
+type point struct{ X, Y float64 }
+
+// Bad accepts floats and can say no, yet never checks finiteness.
+func Bad(x, y float64) (float64, error) { // want "exported Bad accepts float parameters and returns error but never validates finiteness"
+	if x < 0 {
+		return 0, errors.New("negative")
+	}
+	return x + y, nil
+}
+
+// BadStruct smuggles the floats in through a struct parameter.
+func BadStruct(p point) error { // want "exported BadStruct accepts float parameters and returns error but never validates finiteness"
+	if p.X < p.Y {
+		return errors.New("unordered")
+	}
+	return nil
+}
+
+// Direct rejects NaN/Inf inline.
+func Direct(x float64) (float64, error) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0, errors.New("not finite")
+	}
+	return x, nil
+}
+
+// Indirect validates through a helper two hops down the call graph.
+func Indirect(x float64) (float64, error) {
+	return checked(x)
+}
+
+func checked(x float64) (float64, error) {
+	if err := validateFinite(x); err != nil {
+		return 0, err
+	}
+	return x, nil
+}
+
+func validateFinite(x float64) error {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return errors.New("not finite")
+	}
+	return nil
+}
+
+// Pure has no error result: garbage-in/garbage-out by design.
+func Pure(x float64) float64 { return 2 * x }
+
+// NoFloats carries no float-bearing parameters.
+func NoFloats(n int) error {
+	if n < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}

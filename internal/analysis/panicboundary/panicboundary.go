@@ -1,0 +1,175 @@
+// Package panicboundary defines a program analyzer that walks the
+// static call graph from every exported entry point of the root
+// package — exported functions plus the exported methods of every
+// type the root package re-exports — and flags reachable panic sites
+// in the numerical kernels (internal/linalg, internal/sparse,
+// internal/spatial), unless the entry point reachably validates its
+// inputs first.
+//
+// The kernels keep panics for internal-invariant violations (dimension
+// mismatches that can only arise from a bug), which is fine exactly as
+// long as every public path in validates user input before reaching
+// them; this analyzer pins that contract.
+package panicboundary
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"tsvstress/internal/analysis"
+)
+
+// Config scopes the analyzer.
+type Config struct {
+	// RootPkg is the import path of the public API package.
+	RootPkg string
+	// TargetSuffixes are import-path suffixes of the kernel packages
+	// whose panics must not be publicly reachable unvalidated.
+	TargetSuffixes []string
+}
+
+// DefaultConfig pins the repository's API boundary.
+var DefaultConfig = Config{
+	RootPkg:        "tsvstress",
+	TargetSuffixes: []string{"internal/linalg", "internal/sparse", "internal/spatial"},
+}
+
+// Analyzer is panicboundary with the repository scope.
+var Analyzer = NewAnalyzer(DefaultConfig)
+
+// NewAnalyzer builds a panicboundary analyzer for the given scope.
+func NewAnalyzer(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "panicboundary",
+		Doc:  "flag kernel panics reachable from unvalidated exported API entry points",
+		RunProgram: func(pass *analysis.ProgramPass) error {
+			return run(pass, cfg)
+		},
+	}
+}
+
+func run(pass *analysis.ProgramPass, cfg Config) error {
+	prog := pass.Program
+	root := prog.ByPath(cfg.RootPkg)
+	if root == nil {
+		// Not an error: linting a subset (or a foreign module) simply
+		// loads no API-boundary entry points to walk from.
+		return nil
+	}
+	bodies := analysis.FuncBodies(prog)
+	panicSites := collectPanicSites(prog, bodies, cfg.TargetSuffixes)
+
+	for _, entry := range entryPoints(root) {
+		if _, ok := bodies[entry]; !ok {
+			continue
+		}
+		var hits []panicSite
+		analysis.Reachable(prog, bodies, entry, func(fn *types.Func, decl *ast.FuncDecl) bool {
+			if sites, ok := panicSites[fn]; ok {
+				hits = append(hits, sites...)
+			}
+			return true
+		})
+		if len(hits) == 0 {
+			continue
+		}
+		if analysis.ReachesValidation(prog, bodies, entry) {
+			continue
+		}
+		sort.Slice(hits, func(i, j int) bool { return hits[i].fn.FullName() < hits[j].fn.FullName() })
+		pass.Reportf(entryPos(bodies, entry),
+			"exported %s can reach panic in %s without validating inputs first; validate at the boundary or convert the kernel to return an error",
+			entry.Name(), hits[0].fn.FullName())
+	}
+	return nil
+}
+
+type panicSite struct {
+	fn  *types.Func
+	pos token.Pos
+}
+
+// collectPanicSites finds every declared function in a target package
+// whose body contains an explicit panic call.
+func collectPanicSites(prog *analysis.Program, bodies map[*types.Func]*ast.FuncDecl, suffixes []string) map[*types.Func][]panicSite {
+	sites := make(map[*types.Func][]panicSite)
+	for fn, decl := range bodies {
+		pkg := fn.Pkg()
+		if pkg == nil || !pathMatches(pkg.Path(), suffixes) {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				info := analysis.InfoFor(prog, fn)
+				if info != nil {
+					if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+						return true
+					}
+				}
+				sites[fn] = append(sites[fn], panicSite{fn: fn, pos: call.Pos()})
+			}
+			return true
+		})
+	}
+	return sites
+}
+
+func pathMatches(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// entryPoints returns the root package's exported functions plus the
+// exported methods of every named type visible through its scope
+// (covering the alias-re-export pattern the public surface uses).
+func entryPoints(root *analysis.Package) []*types.Func {
+	var entries []*types.Func
+	seen := make(map[*types.Func]bool)
+	add := func(fn *types.Func) {
+		if fn != nil && !seen[fn] {
+			seen[fn] = true
+			entries = append(entries, fn)
+		}
+	}
+	scope := root.Pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch obj := obj.(type) {
+		case *types.Func:
+			add(obj)
+		case *types.TypeName:
+			named, ok := types.Unalias(obj.Type()).(*types.Named)
+			if !ok {
+				continue
+			}
+			for i := 0; i < named.NumMethods(); i++ {
+				if m := named.Method(i); m.Exported() {
+					add(m)
+				}
+			}
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].FullName() < entries[j].FullName() })
+	return entries
+}
+
+func entryPos(bodies map[*types.Func]*ast.FuncDecl, fn *types.Func) token.Pos {
+	if decl, ok := bodies[fn]; ok {
+		return decl.Name.Pos()
+	}
+	return fn.Pos()
+}

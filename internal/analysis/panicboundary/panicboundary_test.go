@@ -1,0 +1,16 @@
+package panicboundary_test
+
+import (
+	"testing"
+
+	"tsvstress/internal/analysis/analysistest"
+	"tsvstress/internal/analysis/panicboundary"
+)
+
+func TestPanicboundary(t *testing.T) {
+	a := panicboundary.NewAnalyzer(panicboundary.Config{
+		RootPkg:        "pbroot",
+		TargetSuffixes: []string{"pbkernel"},
+	})
+	analysistest.Run(t, a, ".", "pbkernel", "pbroot")
+}

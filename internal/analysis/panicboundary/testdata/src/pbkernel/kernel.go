@@ -1,0 +1,14 @@
+// Package pbkernel is a stand-in numerical kernel for the
+// panicboundary fixture: it keeps a panic for invariant violations.
+package pbkernel
+
+// Solve doubles n and panics on a negative size.
+func Solve(n int) int {
+	if n < 0 {
+		panic("pbkernel: negative size")
+	}
+	return 2 * n
+}
+
+// Clean has no panic at all.
+func Clean(n int) int { return n + 1 }

@@ -1,0 +1,32 @@
+// Package pbroot is the public-API boundary of the panicboundary
+// fixture.
+package pbroot
+
+import (
+	"errors"
+
+	"pbkernel"
+)
+
+// Unguarded reaches the kernel panic with no validation on the way.
+func Unguarded(n int) int { // want "exported Unguarded can reach panic in pbkernel.Solve"
+	return pbkernel.Solve(n)
+}
+
+// Guarded validates before entering the kernel.
+func Guarded(n int) (int, error) {
+	if err := validateSize(n); err != nil {
+		return 0, err
+	}
+	return pbkernel.Solve(n), nil
+}
+
+// Harmless only calls a panic-free kernel function.
+func Harmless(n int) int { return pbkernel.Clean(n) }
+
+func validateSize(n int) error {
+	if n < 0 {
+		return errors.New("pbroot: negative size")
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// Finding is one resolved diagnostic: a position plus the analyzer
+// that produced it.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// RunAnalyzers executes every analyzer over the program — package
+// analyzers per package, program analyzers once — applies the
+// //tsvlint:ignore suppressions, and returns the surviving findings
+// sorted by position.
+func RunAnalyzers(prog *Program, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, a := range analyzers {
+		diags, err := runOne(prog, a)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+		findings = append(findings, diags...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+func runOne(prog *Program, a *Analyzer) ([]Finding, error) {
+	var findings []Finding
+	collect := func(pkg *Package) func(Diagnostic) {
+		ix := NewIgnoreIndex(prog.Fset, pkg.Files)
+		return func(d Diagnostic) {
+			if ix.Suppressed(a.Name, d.Pos) {
+				return
+			}
+			findings = append(findings, Finding{
+				Analyzer: a.Name,
+				Pos:      prog.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+	}
+	switch {
+	case a.Run != nil:
+		for _, pkg := range prog.Packages {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+				Report:    collect(pkg),
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	case a.RunProgram != nil:
+		// Program analyzers report into whichever package owns the
+		// position; build one suppression index over everything.
+		var all []Finding
+		var allFiles []*ast.File
+		for _, pkg := range prog.Packages {
+			allFiles = append(allFiles, pkg.Files...)
+		}
+		ixAll := NewIgnoreIndex(prog.Fset, allFiles)
+		pass := &ProgramPass{
+			Analyzer: a,
+			Program:  prog,
+			Report: func(d Diagnostic) {
+				if ixAll.Suppressed(a.Name, d.Pos) {
+					return
+				}
+				all = append(all, Finding{
+					Analyzer: a.Name,
+					Pos:      prog.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			},
+		}
+		if err := a.RunProgram(pass); err != nil {
+			return nil, err
+		}
+		findings = append(findings, all...)
+	default:
+		return nil, fmt.Errorf("analyzer %s has neither Run nor RunProgram", a.Name)
+	}
+	return findings, nil
+}
+
+// PrintFindings writes findings one per line and returns how many were
+// written.
+func PrintFindings(w io.Writer, findings []Finding) int {
+	for _, f := range findings {
+		fmt.Fprintln(w, f)
+	}
+	return len(findings)
+}

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Unitchecker mode: the command-line protocol `go vet -vettool=...`
+// drives (modelled on x/tools' unitchecker). The build tool invokes
+// the tool as
+//
+//	tsvlint -V=full                 # identify for build caching
+//	tsvlint -flags                  # enumerate tool flags (JSON)
+//	tsvlint <unit>.cfg              # analyze one compilation unit
+//
+// where the cfg file describes one package: its Go files, the export
+// data of its dependencies, and where to write fact output. Only
+// package analyzers run in this mode — a unit sees a single package,
+// so program analyzers (which need module-wide syntax) are standalone
+// only.
+
+// unitConfig mirrors the JSON config go vet writes for each unit.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// UnitMain implements the vettool protocol for the given package
+// analyzers. It returns false if the arguments do not select
+// unitchecker mode (so the caller can fall through to standalone
+// mode), and otherwise never returns.
+func UnitMain(progname string, analyzers []*Analyzer) bool {
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			describeExecutable(progname)
+			os.Exit(0)
+		case args[0] == "-flags" || args[0] == "--flags":
+			// No tool-specific flags are exposed to go vet.
+			fmt.Println("[]")
+			os.Exit(0)
+		case strings.HasSuffix(args[0], ".cfg"):
+			unitRun(args[0], analyzers)
+			os.Exit(0)
+		}
+	}
+	return false
+}
+
+// describeExecutable prints the -V=full line the go command hashes for
+// build caching: "<name> version devel ... buildID=<content hash>".
+func describeExecutable(progname string) {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", filepath.Base(progname), h.Sum(nil))
+}
+
+func unitRun(cfgFile string, analyzers []*Analyzer) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx(cfg)
+				os.Exit(0)
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return compilerImporter.Import(path)
+		}),
+		GoVersion: cfg.GoVersion,
+	}
+	info := NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg)
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+
+	writeVetx(cfg)
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	ix := NewIgnoreIndex(fset, files)
+	exit := 0
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue // program analyzers need the whole module
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d Diagnostic) {
+				if ix.Suppressed(a.Name, d.Pos) {
+					return
+				}
+				p := fset.Position(d.Pos)
+				fmt.Fprintf(os.Stderr, "%s:%d:%d: %s [%s]\n", p.Filename, p.Line, p.Column, d.Message, a.Name)
+				exit = 1
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			log.Fatalf("%s: %v", a.Name, err)
+		}
+	}
+	os.Exit(exit)
+}
+
+// writeVetx writes an (empty) fact file: these analyzers exchange no
+// facts, but the build system expects the output to exist for caching.
+func writeVetx(cfg *unitConfig) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		log.Fatalf("failed to write facts: %v", err)
+	}
+}

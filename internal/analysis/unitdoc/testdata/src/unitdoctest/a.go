@@ -1,0 +1,30 @@
+// Package unitdoctest is the unitdoc fixture.
+package unitdoctest
+
+// Stress is a plane-stress tensor in MPa.
+type Stress struct{ XX, YY, XY float64 }
+
+// Distance returns the separation in µm.
+func Distance(x float64) float64 { return x } // non-ASCII unit must match
+
+// Evaluate returns the stress tensor in MPa.
+func Evaluate() Stress { return Stress{} }
+
+// Angle returns the principal direction in radians.
+func Angle() float64 { return 0 }
+
+// Ratio returns a dimensionless fraction.
+func Ratio() float64 { return 1 }
+
+// Vague returns a value whose measure goes unstated.
+func Vague(x float64) float64 { return x } // want "doc comment of Vague does not state the units"
+
+// VagueStress returns something stress-shaped without saying how big.
+func VagueStress() Stress { return Stress{} } // want "doc comment of VagueStress does not state the units"
+
+func Undocumented() float64 { return 2 } // want "exported Undocumented returns a physical quantity but has no doc comment"
+
+// Count returns how many samples were taken.
+func Count() int { return 0 } // not a physical quantity: allowed
+
+func unexported() float64 { return 3 } // unexported: allowed

@@ -1,0 +1,132 @@
+// Package unitdoc defines an analyzer requiring exported functions
+// that return physical quantities to declare their units in the doc
+// comment. The framework mixes MPa, µm, kelvin, radians and
+// dimensionless ratios in float64-shaped APIs; a stated unit in the
+// doc is the only machine-checkable trace of which one a function
+// speaks.
+package unitdoc
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"tsvstress/internal/analysis"
+)
+
+// Config scopes the analyzer.
+type Config struct {
+	// PackageSuffixes lists import-path suffixes the requirement
+	// applies to (physical packages; pure math like linalg/sparse is
+	// exempt). Empty means every package.
+	PackageSuffixes []string
+	// StructResults names result struct types (by type name) that also
+	// carry units, e.g. a stress tensor.
+	StructResults []string
+}
+
+// unitPattern matches an acceptable unit declaration in a doc comment.
+// Word-bounded so that prose cannot satisfy it by accident. The
+// boundaries are explicit character classes rather than \b because \b
+// is ASCII-only in Go regexps: µ is not a word character, so \bµm\b
+// could never match.
+var unitPattern = regexp.MustCompile(
+	`(?i)(?:^|[^0-9A-Za-z_])(MPa|µm(?:²|⁻²)?|um|GPa|1/K|1/MPa|kelvin|radians?|degrees?|percent|dimensionless|unitless|ratio|fraction|nanoseconds?|ns/point|seconds?)(?:$|[^0-9A-Za-z_])|%`)
+
+// DefaultConfig covers the repository's physical packages.
+var DefaultConfig = Config{
+	PackageSuffixes: []string{
+		"tsvstress", "internal/core", "internal/interact", "internal/lame",
+		"internal/superpose", "internal/geom", "internal/tensor",
+		"internal/material", "internal/mobility", "internal/metrics",
+		"internal/reliability", "internal/fem", "internal/field",
+		"internal/potential", "internal/optimize",
+	},
+	StructResults: []string{"Stress", "Polar"},
+}
+
+// Analyzer is unitdoc with the default repository scope.
+var Analyzer = NewAnalyzer(DefaultConfig)
+
+// NewAnalyzer builds a unitdoc analyzer for the given scope.
+func NewAnalyzer(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "unitdoc",
+		Doc:  "require exported float- or stress-returning functions to state units (MPa, µm, …) in their doc comment",
+		Run: func(pass *analysis.Pass) error {
+			return run(pass, cfg)
+		},
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) error {
+	if !inScope(pass.Pkg.Path(), cfg.PackageSuffixes) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() {
+				continue
+			}
+			if !returnsPhysical(pass, fd, cfg) {
+				continue
+			}
+			if fd.Doc == nil {
+				pass.Reportf(fd.Name.Pos(), "exported %s returns a physical quantity but has no doc comment; document its units (MPa, µm, …)", fd.Name.Name)
+				continue
+			}
+			if !unitPattern.MatchString(fd.Doc.Text()) {
+				pass.Reportf(fd.Name.Pos(), "doc comment of %s does not state the units of its result (MPa, µm, radians, dimensionless, …)", fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func inScope(path string, suffixes []string) bool {
+	if len(suffixes) == 0 {
+		return true
+	}
+	// Test variants keep a bracketed suffix; scope by the plain path.
+	path, _, _ = strings.Cut(path, " [")
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// returnsPhysical reports whether any result of fd is float-typed or a
+// configured unit-carrying struct.
+func returnsPhysical(pass *analysis.Pass, fd *ast.FuncDecl, cfg Config) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, field := range fd.Type.Results.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		t := tv.Type
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if basic, ok := t.Underlying().(*types.Basic); ok && basic.Info()&types.IsFloat != 0 {
+			return true
+		}
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			for _, name := range cfg.StructResults {
+				if named.Obj().Name() == name {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package unitdoc_test
+
+import (
+	"testing"
+
+	"tsvstress/internal/analysis/analysistest"
+	"tsvstress/internal/analysis/unitdoc"
+)
+
+func TestUnitdoc(t *testing.T) {
+	a := unitdoc.NewAnalyzer(unitdoc.Config{
+		PackageSuffixes: []string{"unitdoctest"},
+		StructResults:   []string{"Stress"},
+	})
+	analysistest.Run(t, a, ".", "unitdoctest")
+}

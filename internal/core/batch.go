@@ -1,3 +1,5 @@
+//tsvlint:hotpath
+
 package core
 
 import (
@@ -5,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tsvstress/internal/floats"
 	"tsvstress/internal/geom"
 	"tsvstress/internal/interact"
 	"tsvstress/internal/tensor"
@@ -154,6 +157,14 @@ func (ms *mapScratch) partition(pts []geom.Point, cutoff float64) (halfDiag floa
 func (a *Analyzer) MapInto(dst []tensor.Stress, pts []geom.Point, mode Mode) error {
 	if len(dst) != len(pts) {
 		return errDstLen(len(dst), len(pts))
+	}
+	// A NaN/Inf coordinate would poison the tile binning (int(NaN) is
+	// unspecified and can produce a negative grid size), so reject the
+	// batch up front instead of panicking mid-partition.
+	for i := range pts {
+		if !floats.IsFinite(pts[i].X) || !floats.IsFinite(pts[i].Y) {
+			return errNonFinitePoint(i, pts[i])
+		}
 	}
 	if len(pts) == 0 {
 		return nil

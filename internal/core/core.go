@@ -12,6 +12,8 @@
 // the paper. Both stages are O(n) in the number of simulation points.
 package core
 
+//tsvlint:apiboundary
+
 import (
 	"fmt"
 	"runtime"
@@ -133,14 +135,15 @@ func (a *Analyzer) NumPairRounds() int { return a.numPairs }
 // Options returns the effective options (after defaulting).
 func (a *Analyzer) Options() Options { return a.opt }
 
-// StressLS returns the Stage I (linear superposition) stress at p —
-// the baseline method of [9].
+// StressLS returns the Stage I (linear superposition) stress at p in
+// MPa — the baseline method of [9].
 func (a *Analyzer) StressLS(p geom.Point) tensor.Stress {
 	return a.LS.StressAt(p, a.idx)
 }
 
-// Interactive returns the Stage II correction at p: the superposed
-// interactive-stress contributions of all nearby pair rounds.
+// Interactive returns the Stage II correction at p in MPa: the
+// superposed interactive-stress contributions of all nearby pair
+// rounds.
 func (a *Analyzer) Interactive(p geom.Point) tensor.Stress {
 	var s tensor.Stress
 	a.idx.Near(p, a.opt.PairDistCutoff, func(j int, _ float64) {
@@ -152,8 +155,8 @@ func (a *Analyzer) Interactive(p geom.Point) tensor.Stress {
 	return s
 }
 
-// StressAt returns the proposed-framework stress at p: Stage I plus
-// Stage II.
+// StressAt returns the proposed-framework stress at p in MPa: Stage I
+// plus Stage II.
 func (a *Analyzer) StressAt(p geom.Point) tensor.Stress {
 	return a.StressLS(p).Add(a.Interactive(p))
 }
@@ -226,6 +229,10 @@ func (a *Analyzer) mapPointwise(dst []tensor.Stress, pts []geom.Point, mode Mode
 
 func errDstLen(dst, pts int) error {
 	return fmt.Errorf("core: MapInto dst has %d slots for %d points", dst, pts)
+}
+
+func errNonFinitePoint(i int, p geom.Point) error {
+	return fmt.Errorf("core: point %d (%g, %g) is not finite", i, p.X, p.Y)
 }
 
 func maxF(a, b float64) float64 {

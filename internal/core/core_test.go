@@ -3,13 +3,14 @@ package core
 import (
 	"math"
 	"testing"
+	"tsvstress/internal/floats"
 
 	"tsvstress/internal/geom"
 	"tsvstress/internal/material"
 	"tsvstress/internal/tensor"
 )
 
-func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+func eq(a, b, tol float64) bool { return floats.AlmostEqual(a, b, tol) }
 
 func pairAnalyzer(t *testing.T, d float64) *Analyzer {
 	t.Helper()

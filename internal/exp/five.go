@@ -110,6 +110,7 @@ func (fc *FiveCase) ErrorMaps(cfg Config) (*ErrorMaps, error) {
 	em.PF = make([]float64, grid.Len())
 	idx := 0
 	for i, p := range grid.Points() {
+		//tsvlint:ignore floatcmp lockstep lattice identity: Monitored holds verbatim copies of these grid points
 		if idx < len(fc.Monitored) && fc.Monitored[idx] == p {
 			em.LS[i] = fc.LSMon[idx].XX - fc.GoldenMon[idx].XX
 			em.PF[i] = fc.PFMon[idx].XX - fc.GoldenMon[idx].XX

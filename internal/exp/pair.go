@@ -209,6 +209,7 @@ func BuildErrorMaps(cfg Config, pc *PairCase, region geom.Rect) (*ErrorMaps, err
 	// order, so walk both in lockstep.
 	idx := 0
 	for i, p := range grid.Points() {
+		//tsvlint:ignore floatcmp lockstep lattice identity: Monitored holds verbatim copies of these grid points
 		if idx < len(pc.Monitored) && pc.Monitored[idx] == p {
 			em.LS[i] = pc.LSMon[idx].XX - pc.GoldenMon[idx].XX
 			em.PF[i] = pc.PFMon[idx].XX - pc.GoldenMon[idx].XX

@@ -249,8 +249,9 @@ func Solve(pl *geom.Placement, st material.Structure, domain geom.Rect, opt Opti
 	}, nil
 }
 
-// StressAt samples the stress field at p by bilinear interpolation of
-// element-center stresses (clamped at the domain edge).
+// StressAt samples the stress field at p, in MPa, by bilinear
+// interpolation of element-center stresses (clamped at the domain
+// edge).
 func (r *Result) StressAt(p geom.Point) tensor.Stress {
 	cells, w := r.Grid.CellInterp(p)
 	var s tensor.Stress
@@ -260,8 +261,8 @@ func (r *Result) StressAt(p geom.Point) tensor.Stress {
 	return s
 }
 
-// DisplacementAt samples the perturbation displacement (relative to the
-// substrate's free thermal expansion) at p via the element shape
+// DisplacementAt samples the perturbation displacement in µm (relative
+// to the substrate's free thermal expansion) at p via the element shape
 // functions.
 func (r *Result) DisplacementAt(p geom.Point) (ux, uy float64) {
 	e, xi, eta, _ := r.Grid.Locate(p)

@@ -3,13 +3,14 @@ package fem
 import (
 	"math"
 	"testing"
+	"tsvstress/internal/floats"
 
 	"tsvstress/internal/geom"
 	"tsvstress/internal/lame"
 	"tsvstress/internal/material"
 )
 
-func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+func eq(a, b, tol float64) bool { return floats.AlmostEqual(a, b, tol) }
 
 func square(t *testing.T, half float64) geom.Rect {
 	t.Helper()

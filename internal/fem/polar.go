@@ -293,6 +293,7 @@ func intruded(pl *geom.Placement, st material.Structure, center geom.Point, c [4
 		}
 	}
 	for _, t := range pl.TSVs {
+		//tsvlint:ignore floatcmp identity test: center is a verbatim copy of one pl.TSVs entry
 		if t.Center == center {
 			continue
 		}
@@ -348,10 +349,10 @@ func blendQuad(pl *geom.Placement, st material.Structure, c [4]geom.Point, sub i
 	return dEff, tv
 }
 
-// StressAt samples the patch field by bilinear interpolation over
-// element centers in (r, θ) space (periodic in θ). Points outside the
-// annulus are clamped radially; callers restrict sampling to the core
-// band anyway.
+// StressAt samples the patch field, in MPa, by bilinear interpolation
+// over element centers in (r, θ) space (periodic in θ). Points outside
+// the annulus are clamped radially; callers restrict sampling to the
+// core band anyway.
 func (pp *PolarPatch) StressAt(p geom.Point) tensor.Stress {
 	rel := p.Sub(pp.Center)
 	r := rel.Norm()

@@ -43,14 +43,15 @@ func SolveRichardson(pl *geom.Placement, st material.Structure, domain geom.Rect
 	return &RichardsonResult{Coarse: coarse, Fine: fine}, nil
 }
 
-// StressAt samples the extrapolated stress field.
+// StressAt samples the extrapolated stress field in MPa.
 func (r *RichardsonResult) StressAt(p geom.Point) tensor.Stress {
 	c := r.Coarse.StressAt(p)
 	f := r.Fine.StressAt(p)
 	return f.Scale(2).Sub(c)
 }
 
-// DisplacementAt samples the extrapolated perturbation displacement.
+// DisplacementAt samples the extrapolated perturbation displacement in
+// µm.
 func (r *RichardsonResult) DisplacementAt(p geom.Point) (ux, uy float64) {
 	cx, cy := r.Coarse.DisplacementAt(p)
 	fx, fy := r.Fine.DisplacementAt(p)

@@ -144,8 +144,8 @@ func SolveSubmodel(pl *geom.Placement, st material.Structure, domain geom.Rect, 
 	return sm, nil
 }
 
-// StressAt samples the two-scale field: the nearest patch wins inside
-// its core radius, the global field elsewhere.
+// StressAt samples the two-scale field in MPa: the nearest patch wins
+// inside its core radius, the global field elsewhere.
 func (sm *Submodel) StressAt(p geom.Point) tensor.Stress {
 	best := -1
 	bestD := math.Inf(1)

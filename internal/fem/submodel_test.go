@@ -35,7 +35,7 @@ func TestSubmodelSingleTSV(t *testing.T) {
 	}
 	// Near-interface accuracy: 0.2 µm from the liner (r = 3.2) the
 	// blended-interface discretization leaves ~10% pointwise noise even
-	// in the patches (documented in DESIGN.md §10); one radius further
+	// in the patches (documented in DESIGN.md §11); one radius further
 	// out it must be a few percent.
 	for _, ring := range []struct{ r, tol float64 }{{3.2, 0.16}, {4.0, 0.08}} {
 		for _, th := range []float64{0, 0.7, 1.9, 3.0} {

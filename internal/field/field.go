@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 
+	"tsvstress/internal/floats"
 	"tsvstress/internal/geom"
 	"tsvstress/internal/tensor"
 )
@@ -28,8 +29,8 @@ func NewGrid(region geom.Rect, spacing float64) (*Grid, error) {
 	if !region.Valid() || region.Area() <= 0 {
 		return nil, fmt.Errorf("field: invalid region %+v", region)
 	}
-	if spacing <= 0 {
-		return nil, fmt.Errorf("field: spacing %g must be positive", spacing)
+	if !floats.IsFinite(spacing) || spacing <= 0 {
+		return nil, fmt.Errorf("field: spacing %g must be positive and finite", spacing)
 	}
 	nx := int(region.W() / spacing)
 	ny := int(region.H() / spacing)

@@ -1,0 +1,60 @@
+// Package floats centralizes the floating-point comparison and
+// finiteness discipline of the framework. Direct == / != on computed
+// float64 values is forbidden repo-wide (enforced by the floatcmp
+// analyzer in internal/analysis); code compares through the epsilon
+// helpers here instead, so every tolerance is named, auditable and
+// consistent with the parity bounds the engine is pinned to.
+package floats
+
+import "math"
+
+// EpsMPa is the default stress-agreement tolerance in MPa: the bound
+// the tile-batched engine's parity with the pointwise evaluators is
+// pinned to (DESIGN.md §8).
+const EpsMPa = 1e-9
+
+// AlmostEqual reports whether a and b agree within the absolute
+// tolerance tol. It is false when either value is NaN, and true when
+// both are the same infinity (their difference is meaningless but the
+// values agree exactly). tol is in the units of a and b.
+func AlmostEqual(a, b, tol float64) bool {
+	if a == b { // exact agreement, including matching infinities
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// AlmostEqualRel reports whether a and b agree within tol relative to
+// the larger magnitude, falling back to absolute comparison below
+// magnitude 1 so the test does not collapse near zero. tol is
+// dimensionless.
+func AlmostEqualRel(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= tol*scale
+}
+
+// WithinMPa reports whether two stresses in MPa agree within the
+// engine parity bound EpsMPa.
+func WithinMPa(a, b float64) bool { return AlmostEqual(a, b, EpsMPa) }
+
+// IsFinite reports whether v is neither NaN nor ±Inf.
+func IsFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// AllFinite reports whether every value is finite (vacuously true for
+// an empty argument list).
+func AllFinite(vs ...float64) bool {
+	for _, v := range vs {
+		if !IsFinite(v) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,67 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 1 + 1e-6, 1e-9, false},
+		{-5, -5.0000000001, 1e-9, true},
+		{0, 1e-10, 1e-9, true},
+		{math.Inf(1), math.Inf(1), 1e-9, true},
+		{math.Inf(1), math.Inf(-1), 1e-9, false},
+		{math.NaN(), math.NaN(), 1e-9, false},
+		{math.NaN(), 0, 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("AlmostEqual(%g, %g, %g) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestAlmostEqualRel(t *testing.T) {
+	if !AlmostEqualRel(1e6, 1e6*(1+1e-12), 1e-9) {
+		t.Error("relative comparison should absorb magnitude")
+	}
+	if AlmostEqualRel(1e6, 1e6*(1+1e-6), 1e-9) {
+		t.Error("relative comparison should reject large relative error")
+	}
+	if !AlmostEqualRel(0, 1e-12, 1e-9) {
+		t.Error("near zero the comparison must fall back to absolute")
+	}
+	if AlmostEqualRel(math.NaN(), math.NaN(), 1) {
+		t.Error("NaN never compares equal")
+	}
+}
+
+func TestWithinMPa(t *testing.T) {
+	if !WithinMPa(100, 100+1e-10) {
+		t.Error("1e-10 MPa apart should be within the parity bound")
+	}
+	if WithinMPa(100, 100+1e-6) {
+		t.Error("1e-6 MPa apart exceeds the parity bound")
+	}
+}
+
+func TestFinite(t *testing.T) {
+	if !IsFinite(0) || !IsFinite(-1e300) {
+		t.Error("finite values misclassified")
+	}
+	if IsFinite(math.NaN()) || IsFinite(math.Inf(1)) || IsFinite(math.Inf(-1)) {
+		t.Error("non-finite values misclassified")
+	}
+	if !AllFinite() || !AllFinite(1, 2, 3) {
+		t.Error("AllFinite false negatives")
+	}
+	if AllFinite(1, math.NaN(), 3) || AllFinite(math.Inf(-1)) {
+		t.Error("AllFinite false positives")
+	}
+}

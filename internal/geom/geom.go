@@ -29,13 +29,13 @@ func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
 // Scale returns p scaled by s.
 func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
 
-// Dot returns the dot product of p and q treated as vectors.
+// Dot returns the dot product of p and q treated as vectors, in µm².
 func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
 
-// Norm returns the Euclidean length of p treated as a vector.
+// Norm returns the Euclidean length of p treated as a vector, in µm.
 func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
 
-// Dist returns the Euclidean distance between p and q.
+// Dist returns the Euclidean distance between p and q in µm.
 func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
 
 // Angle returns the polar angle of the vector p in radians, in (-π, π].
@@ -71,10 +71,10 @@ func (r Rect) Contains(p Point) bool {
 	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
 }
 
-// W returns the rectangle width.
+// W returns the rectangle width in µm.
 func (r Rect) W() float64 { return r.Max.X - r.Min.X }
 
-// H returns the rectangle height.
+// H returns the rectangle height in µm.
 func (r Rect) H() float64 { return r.Max.Y - r.Min.Y }
 
 // Center returns the rectangle center point.

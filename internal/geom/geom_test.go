@@ -5,9 +5,10 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"tsvstress/internal/floats"
 )
 
-func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+func almostEq(a, b, tol float64) bool { return floats.AlmostEqual(a, b, tol) }
 
 func TestPointOps(t *testing.T) {
 	p, q := Pt(3, 4), Pt(-1, 2)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"tsvstress/internal/floats"
 )
 
 // TSV is a single through-silicon via on the device layer. Only the
@@ -60,7 +62,7 @@ func (p *Placement) Bounds(margin float64) Rect {
 }
 
 // MinPitch returns the smallest center-to-center distance between any two
-// TSVs, or +Inf for fewer than two TSVs. It is O(n log n) via a sweep over
+// TSVs in µm, or +Inf for fewer than two TSVs. It is O(n log n) via a sweep over
 // x-sorted centers with an adaptive window, which is exact because any
 // closer pair must be within the current best distance in x.
 func (p *Placement) MinPitch() float64 {
@@ -96,9 +98,17 @@ func (p *Placement) Density(margin float64) float64 {
 	return float64(len(p.TSVs)) / area
 }
 
-// Validate returns an error if any two TSVs are closer than minPitch
-// (overlapping vias are physically impossible and break the models).
+// Validate returns an error if any TSV center is NaN or infinite, or if
+// any two TSVs are closer than minPitch (overlapping vias are
+// physically impossible and break the models). Note a NaN center would
+// otherwise pass the pitch check: every distance through it is NaN and
+// NaN < minPitch is false.
 func (p *Placement) Validate(minPitch float64) error {
+	for i, t := range p.TSVs {
+		if !floats.AllFinite(t.Center.X, t.Center.Y) {
+			return fmt.Errorf("geom: TSV %d center (%g, %g) is not finite", i, t.Center.X, t.Center.Y)
+		}
+	}
 	if got := p.MinPitch(); got < minPitch {
 		return fmt.Errorf("geom: placement min pitch %.3g µm below limit %.3g µm", got, minPitch)
 	}
@@ -106,7 +116,7 @@ func (p *Placement) Validate(minPitch float64) error {
 }
 
 // NearestTSV returns the index of the TSV whose center is closest to q and
-// the distance to it. It returns (-1, +Inf) for an empty placement.
+// the distance to it in µm. It returns (-1, +Inf) for an empty placement.
 func (p *Placement) NearestTSV(q Point) (int, float64) {
 	best, bestD := -1, math.Inf(1)
 	for i, t := range p.TSVs {

@@ -1,3 +1,5 @@
+//tsvlint:hotpath
+
 package interact
 
 import (

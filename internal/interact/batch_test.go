@@ -18,9 +18,9 @@ func TestPitchCoeffCacheShares(t *testing.T) {
 	}
 	vic := geom.Pt(0, 0)
 	p1 := mo.NewPairEval(vic, geom.Pt(10, 0))
-	p2 := mo.NewPairEval(vic, geom.Pt(0, 10))  // same pitch, rotated 90°
-	p3 := mo.NewPairEval(geom.Pt(10, 0), vic)  // reversed round, same pitch
-	p4 := mo.NewPairEval(vic, geom.Pt(12, 0))  // different pitch
+	p2 := mo.NewPairEval(vic, geom.Pt(0, 10)) // same pitch, rotated 90°
+	p3 := mo.NewPairEval(geom.Pt(10, 0), vic) // reversed round, same pitch
+	p4 := mo.NewPairEval(vic, geom.Pt(12, 0)) // different pitch
 	if &p1.a[0] != &p2.a[0] || &p1.b[0] != &p3.b[0] {
 		t.Error("equal-pitch rounds must share cached coefficient slices")
 	}

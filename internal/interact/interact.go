@@ -201,7 +201,8 @@ func solveHarmonic(s material.Structure, m int, k float64, plane material.Plane)
 	}, nil
 }
 
-// MinPairPitch returns the smallest admissible pitch (touching TSVs).
+// MinPairPitch returns the smallest admissible pitch in µm (touching
+// TSVs).
 func (mo *Model) MinPairPitch() float64 { return 2 * mo.Struct.RPrime }
 
 // PairPolar returns the interactive stress of one aggressor→victim
@@ -241,9 +242,9 @@ func (mo *Model) PairPolar(r, theta, d float64) tensor.Polar {
 	return out
 }
 
-// PairStress returns the interactive stress (Cartesian, global axes) at
-// point p for the round with victim TSV centered at vic and aggressor
-// at agg. It returns the zero tensor when p coincides with the victim
+// PairStress returns the interactive stress in MPa (Cartesian, global
+// axes) at point p for the round with victim TSV centered at vic and
+// aggressor at agg. It returns the zero tensor when p coincides with the victim
 // center direction degeneracies cannot occur (the field is evaluated in
 // the rotated frame and rotated back).
 func (mo *Model) PairStress(p, vic, agg geom.Point) tensor.Stress {

@@ -82,8 +82,8 @@ func (mo *Model) CoeffCacheStats() (entries, hits int) {
 	return len(mo.coeffCache), mo.cacheHits
 }
 
-// StressAt returns the interactive stress of this round at p (global
-// Cartesian axes). Points inside the victim footprint fall back to the
+// StressAt returns the interactive stress of this round at p, in MPa
+// (global Cartesian axes). Points inside the victim footprint fall back to the
 // general evaluator.
 func (pe *PairEval) StressAt(p geom.Point) tensor.Stress {
 	if pe.d <= 0 {

@@ -37,8 +37,8 @@ func (mo *Model) DerivedH(m int) HSub {
 	}
 }
 
-// PairPolarEq18 evaluates the substrate interactive stress using the
-// Eq. (18) series form with the given transfer functions; it must agree
+// PairPolarEq18 evaluates the substrate interactive stress in MPa using
+// the Eq. (18) series form with the given transfer functions; it must agree
 // with PairPolar for r ≥ R′ when fed DerivedH. Exposed so the verbatim
 // Appendix-A.4 coefficients can be compared on equal footing.
 func (mo *Model) PairPolarEq18(h func(m int) HSub, r, theta, d float64) tensor.Polar {
@@ -59,7 +59,8 @@ func (mo *Model) PairPolarEq18(h func(m int) HSub, r, theta, d float64) tensor.P
 	return out
 }
 
-// PaperA1A2 returns the a1, a2 constants of Appendix A.4, verbatim.
+// PaperA1A2 returns the dimensionless a1, a2 constants of Appendix A.4,
+// verbatim.
 func (mo *Model) PaperA1A2() (a1, a2 float64) {
 	c, l := mo.Struct.Body, mo.Struct.Liner
 	r := c.E / l.E

@@ -152,8 +152,9 @@ func (sol *Solution) RegionOf(r float64) Region {
 	}
 }
 
-// PolarAt returns the stress tensor in the TSV-centered cylindrical
-// frame at radius r (valid in every region; σrθ ≡ 0 by axisymmetry).
+// PolarAt returns the stress tensor in MPa in the TSV-centered
+// cylindrical frame at radius r (valid in every region; σrθ ≡ 0 by
+// axisymmetry).
 func (sol *Solution) PolarAt(r float64) tensor.Polar {
 	s := sol.Struct
 	dT := s.DeltaT
@@ -173,9 +174,9 @@ func (sol *Solution) PolarAt(r float64) tensor.Polar {
 	}
 }
 
-// StressAt returns the Cartesian stress tensor at point p for a TSV
-// centered at c. At the TSV center itself the field is the uniform body
-// stress.
+// StressAt returns the Cartesian stress tensor in MPa at point p for a
+// TSV centered at c. At the TSV center itself the field is the uniform
+// body stress.
 func (sol *Solution) StressAt(p, c geom.Point) tensor.Stress {
 	d := p.Sub(c)
 	r := d.Norm()
@@ -200,9 +201,10 @@ func (sol *Solution) DisplacementAt(r float64) float64 {
 	}
 }
 
-// InterfaceResiduals returns the maximum violation of displacement and
-// radial-stress continuity at the two interfaces — a correctness
-// diagnostic that should be ~0 up to round-off.
+// InterfaceResiduals returns the maximum violation of displacement
+// continuity (µm) and radial-stress continuity (MPa) at the two
+// interfaces — a correctness diagnostic that should be ~0 up to
+// round-off.
 func (sol *Solution) InterfaceResiduals() (du, dsig float64) {
 	const epsRel = 1e-9
 	s := sol.Struct
@@ -222,7 +224,8 @@ func (sol *Solution) InterfaceResiduals() (du, dsig float64) {
 	return du, dsig
 }
 
-// PaperK evaluates the closed-form constant K of Appendix A.4 verbatim.
+// PaperK evaluates the closed-form constant K of Appendix A.4 (MPa·µm²)
+// verbatim.
 // It agrees with the 4×4 interface solve of Solve to machine precision
 // for both liner materials (see TestPaperKCrossCheck), which validates
 // both derivations; Solve remains the authoritative path because it

@@ -3,13 +3,14 @@ package lame
 import (
 	"math"
 	"testing"
+	"tsvstress/internal/floats"
 
 	"tsvstress/internal/geom"
 	"tsvstress/internal/material"
 	"tsvstress/internal/tensor"
 )
 
-func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+func eq(a, b, tol float64) bool { return floats.AlmostEqual(a, b, tol) }
 
 func solveBCB(t *testing.T) *Solution {
 	t.Helper()

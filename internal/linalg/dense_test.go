@@ -4,9 +4,10 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"tsvstress/internal/floats"
 )
 
-func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+func eq(a, b, tol float64) bool { return floats.AlmostEqual(a, b, tol) }
 
 func randMatrix(rng *rand.Rand, n int) *Matrix {
 	m := NewMatrix(n, n)

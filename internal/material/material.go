@@ -24,11 +24,13 @@ type Material struct {
 // Mu returns the shear modulus µ = E / (2(1+ν)) in MPa.
 func (m Material) Mu() float64 { return m.E / (2 * (1 + m.Nu)) }
 
-// KappaPlaneStress returns the Kolosov constant κ = (3−ν)/(1+ν) for
-// plane stress, used by the complex variable method.
+// KappaPlaneStress returns the dimensionless Kolosov constant
+// κ = (3−ν)/(1+ν) for plane stress, used by the complex variable
+// method.
 func (m Material) KappaPlaneStress() float64 { return (3 - m.Nu) / (1 + m.Nu) }
 
-// KappaPlaneStrain returns the Kolosov constant κ = 3−4ν for plane strain.
+// KappaPlaneStrain returns the dimensionless Kolosov constant κ = 3−4ν
+// for plane strain.
 func (m Material) KappaPlaneStrain() float64 { return 3 - 4*m.Nu }
 
 // PlaneStressD returns the 3×3 plane-stress constitutive matrix D such

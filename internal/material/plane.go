@@ -23,7 +23,7 @@ func (p Plane) String() string {
 	return "plane-stress"
 }
 
-// Kappa returns the Kolosov constant for the plane mode.
+// Kappa returns the dimensionless Kolosov constant for the plane mode.
 func (m Material) Kappa(p Plane) float64 {
 	if p == PlaneStrain {
 		return m.KappaPlaneStrain()
@@ -32,7 +32,7 @@ func (m Material) Kappa(p Plane) float64 {
 }
 
 // PlaneModulus returns the coefficient of the uniform term in the
-// axisymmetric Lamé solution: E/(1−ν) for plane stress,
+// axisymmetric Lamé solution, in MPa: E/(1−ν) for plane stress,
 // E/((1+ν)(1−2ν)) for plane strain.
 func (m Material) PlaneModulus(p Plane) float64 {
 	if p == PlaneStrain {
@@ -41,9 +41,9 @@ func (m Material) PlaneModulus(p Plane) float64 {
 	return m.E / (1 - m.Nu)
 }
 
-// EffectiveCTE returns the in-plane effective thermal expansion: α for
-// plane stress, α(1+ν) for plane strain (the out-of-plane constraint
-// amplifies the in-plane thermal mismatch).
+// EffectiveCTE returns the in-plane effective thermal expansion in 1/K:
+// α for plane stress, α(1+ν) for plane strain (the out-of-plane
+// constraint amplifies the in-plane thermal mismatch).
 func (m Material) EffectiveCTE(p Plane) float64 {
 	if p == PlaneStrain {
 		return m.CTE * (1 + m.Nu)
@@ -65,8 +65,8 @@ func (m Material) D(p Plane) [3][3]float64 {
 	}
 }
 
-// SigmaZZ returns the out-of-plane stress implied by in-plane stresses
-// for the perturbation problem: 0 for plane stress; for plane strain
+// SigmaZZ returns the out-of-plane stress in MPa implied by in-plane
+// stresses for the perturbation problem: 0 for plane stress; for plane strain
 // σzz = ν(σxx + σyy) − E·(α−αref)·ΔT/(1−...) is material-dependent —
 // here the *elastic* part ν(σxx+σyy) is returned and the thermal part
 // must be added by the caller that knows the local eigenstrain. For

@@ -1,13 +1,13 @@
 package mesh
 
 import (
-	"math"
 	"testing"
+	"tsvstress/internal/floats"
 
 	"tsvstress/internal/geom"
 )
 
-func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+func eq(a, b, tol float64) bool { return floats.AlmostEqual(a, b, tol) }
 
 func grid10(t *testing.T) *Grid {
 	t.Helper()

@@ -9,23 +9,24 @@ import (
 	"fmt"
 	"math"
 
+	"tsvstress/internal/floats"
 	"tsvstress/internal/tensor"
 )
 
 // Component is a scalar extracted from a stress tensor for comparison.
 type Component func(tensor.Stress) float64
 
-// SigmaXX extracts σxx, the component of Tables 1, 2 and 4.
+// SigmaXX extracts σxx in MPa, the component of Tables 1, 2 and 4.
 func SigmaXX(s tensor.Stress) float64 { return s.XX }
 
-// SigmaYY extracts σyy.
+// SigmaYY extracts σyy in MPa.
 func SigmaYY(s tensor.Stress) float64 { return s.YY }
 
-// VonMises extracts the von Mises stress, the reliability metric of
-// Tables 2, 3 and 5.
+// VonMises extracts the von Mises stress in MPa, the reliability metric
+// of Tables 2, 3 and 5.
 func VonMises(s tensor.Stress) float64 { return s.VonMises() }
 
-// MaxTensile extracts the maximum tensile stress (alternative
+// MaxTensile extracts the maximum tensile stress in MPa (alternative
 // reliability metric mentioned in the paper's conclusion).
 func MaxTensile(s tensor.Stress) float64 { return s.MaxTensile() }
 
@@ -62,6 +63,9 @@ type Stats struct {
 func Compare(golden, method []tensor.Stress, comp Component, threshold float64) (Stats, error) {
 	if len(golden) != len(method) {
 		return Stats{}, fmt.Errorf("metrics: field lengths differ: %d vs %d", len(golden), len(method))
+	}
+	if !floats.IsFinite(threshold) {
+		return Stats{}, fmt.Errorf("metrics: threshold %g is not finite", threshold)
 	}
 	var st Stats
 	var sumErr, sumRate float64

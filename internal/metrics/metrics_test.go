@@ -1,13 +1,13 @@
 package metrics
 
 import (
-	"math"
 	"testing"
+	"tsvstress/internal/floats"
 
 	"tsvstress/internal/tensor"
 )
 
-func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+func eq(a, b, tol float64) bool { return floats.AlmostEqual(a, b, tol) }
 
 func TestCompareBasics(t *testing.T) {
 	golden := []tensor.Stress{{XX: 100}, {XX: -50}, {XX: 5}}

@@ -30,8 +30,9 @@ func KeepOutRadius(sol *lame.Solution, k Coefficients, tol float64) float64 {
 }
 
 // ShiftAtField is a convenience helper mapping a sampled stress to the
-// worst-case mobility shift (used by keep-out-zone scans over full
-// placements, where superposed fields are no longer pure deviators).
+// worst-case mobility shift Δµ/µ as a dimensionless fraction (used by
+// keep-out-zone scans over full placements, where superposed fields are
+// no longer pure deviators).
 func ShiftAtField(s tensor.Stress, k Coefficients) float64 {
 	worst, _ := WorstCase(s, k)
 	return worst

@@ -77,14 +77,15 @@ func Shift(s tensor.Stress, theta float64, k Coefficients) float64 {
 	return -(k.PiL*p.RR + k.PiT*p.TT)
 }
 
-// ShiftXY returns Δµ/µ for the two canonical channel orientations
-// (along x and along y).
+// ShiftXY returns Δµ/µ, as a dimensionless fraction, for the two
+// canonical channel orientations (along x and along y).
 func ShiftXY(s tensor.Stress, k Coefficients) (alongX, alongY float64) {
 	return Shift(s, 0, k), Shift(s, math.Pi/2, k)
 }
 
-// WorstCase returns the most negative Δµ/µ over all channel
-// orientations and the angle at which it occurs. Because Δµ/µ is a
+// WorstCase returns the most negative Δµ/µ (a dimensionless fraction)
+// over all channel orientations and the angle at which it occurs, in
+// radians. Because Δµ/µ is a
 // quadratic form in the channel direction, the extrema occur along the
 // principal axes of an effective tensor; they are found here by direct
 // closed form.

@@ -4,11 +4,12 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"tsvstress/internal/floats"
 
 	"tsvstress/internal/tensor"
 )
 
-func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+func eq(a, b, tol float64) bool { return floats.AlmostEqual(a, b, tol) }
 
 func TestCarrierString(t *testing.T) {
 	if NMOS.String() != "NMOS" || PMOS.String() != "PMOS" {

@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 
+	"tsvstress/internal/floats"
 	"tsvstress/internal/geom"
 )
 
@@ -54,6 +55,9 @@ func Array(nx, ny int, pitch float64) *geom.Placement {
 func Random(n int, density, minPitch float64, seed int64) (*geom.Placement, error) {
 	if n <= 0 {
 		return geom.NewPlacement(), nil
+	}
+	if !floats.AllFinite(density, minPitch) {
+		return nil, fmt.Errorf("placegen: non-finite density %g or min pitch %g", density, minPitch)
 	}
 	if density <= 0 {
 		return nil, fmt.Errorf("placegen: density %g must be positive", density)

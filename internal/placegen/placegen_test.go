@@ -3,11 +3,12 @@ package placegen
 import (
 	"math"
 	"testing"
+	"tsvstress/internal/floats"
 
 	"tsvstress/internal/geom"
 )
 
-func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+func eq(a, b, tol float64) bool { return floats.AlmostEqual(a, b, tol) }
 
 func TestPair(t *testing.T) {
 	p := Pair(10)

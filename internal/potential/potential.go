@@ -49,8 +49,8 @@ func (c HarmCoeffs) Add(d HarmCoeffs) HarmCoeffs {
 	return HarmCoeffs{c.APos + d.APos, c.ANeg + d.ANeg, c.BPos + d.BPos, c.BNeg + d.BNeg}
 }
 
-// TractionPlus returns t_{+m}(ρ), the e^{+imθ} Fourier coefficient of
-// σrr − iσrθ on the circle of radius ρ.
+// TractionPlus returns t_{+m}(ρ) in MPa, the e^{+imθ} Fourier
+// coefficient of σrr − iσrθ on the circle of radius ρ.
 func (c HarmCoeffs) TractionPlus(m int, rho float64) float64 {
 	fm := float64(m)
 	return (1-fm)*c.APos*math.Pow(rho, fm) +
@@ -58,8 +58,8 @@ func (c HarmCoeffs) TractionPlus(m int, rho float64) float64 {
 		c.BPos*math.Pow(rho, fm-2)
 }
 
-// TractionMinus returns t_{−m}(ρ), the e^{−imθ} Fourier coefficient of
-// σrr − iσrθ on the circle of radius ρ.
+// TractionMinus returns t_{−m}(ρ) in MPa, the e^{−imθ} Fourier
+// coefficient of σrr − iσrθ on the circle of radius ρ.
 func (c HarmCoeffs) TractionMinus(m int, rho float64) float64 {
 	fm := float64(m)
 	return (1+fm)*c.ANeg*math.Pow(rho, -fm) +
@@ -67,10 +67,10 @@ func (c HarmCoeffs) TractionMinus(m int, rho float64) float64 {
 		c.BNeg*math.Pow(rho, -fm-2)
 }
 
-// DispPlus returns 2µ·d_{+m}(ρ), the e^{+imθ} Fourier coefficient of
-// 2µ(ur + i uθ) on the circle of radius ρ, for Kolosov constant κ.
-// Divide by 2µ of the region's material to obtain physical displacement
-// (in units of R′).
+// DispPlus returns 2µ·d_{+m}(ρ) in MPa, the e^{+imθ} Fourier
+// coefficient of 2µ(ur + i uθ) on the circle of radius ρ, for Kolosov
+// constant κ. Divide by 2µ of the region's material to obtain the
+// physical displacement as a fraction of R′.
 func (c HarmCoeffs) DispPlus(m int, rho, kappa float64) float64 {
 	fm := float64(m)
 	return kappa*c.APos*math.Pow(rho, fm+1)/(fm+1) -
@@ -78,7 +78,7 @@ func (c HarmCoeffs) DispPlus(m int, rho, kappa float64) float64 {
 		c.BNeg*math.Pow(rho, -fm-1)/(fm+1)
 }
 
-// DispMinus returns 2µ·d_{−m}(ρ), the e^{−imθ} coefficient of
+// DispMinus returns 2µ·d_{−m}(ρ) in MPa, the e^{−imθ} coefficient of
 // 2µ(ur + i uθ). Valid for m ≥ 2 (m = 1 would need a log term).
 func (c HarmCoeffs) DispMinus(m int, rho, kappa float64) float64 {
 	fm := float64(m)
@@ -113,8 +113,8 @@ func (c HarmCoeffs) StressProfiles(m int, rho float64) PolarHarm {
 
 // DispProfiles returns the radial profiles (ur, uθ) of the harmonic m
 // at radius ρ for a material with shear modulus 2µ = twoMu and Kolosov
-// constant κ: ur(ρ,θ) = UR·cos(mθ), uθ(ρ,θ) = UT·sin(mθ), in units of
-// R′. Derived from ur + iuθ = d_m e^{imθ} + d_{−m} e^{−imθ}:
+// constant κ: ur(ρ,θ) = UR·cos(mθ), uθ(ρ,θ) = UT·sin(mθ), as
+// dimensionless fractions of R′. Derived from ur + iuθ = d_m e^{imθ} + d_{−m} e^{−imθ}:
 // UR = d_m + d_{−m}, UT = d_m − d_{−m}.
 func (c HarmCoeffs) DispProfiles(m int, rho, twoMu, kappa float64) (ur, ut float64) {
 	dp := c.DispPlus(m, rho, kappa) / twoMu
@@ -122,9 +122,9 @@ func (c HarmCoeffs) DispProfiles(m int, rho, twoMu, kappa float64) (ur, ut float
 	return dp + dn, dp - dn
 }
 
-// IncidentCoeff returns the ψ′ Taylor coefficient b̂_n (n ≥ 0, scaled
-// radii) of the aggressor's ideal stress field expanded about the
-// victim center. The ideal single-TSV field σrr = K/r², σθθ = −K/r² is
+// IncidentCoeff returns the ψ′ Taylor coefficient b̂_n in MPa (n ≥ 0,
+// scaled radii) of the aggressor's ideal stress field expanded about
+// the victim center. The ideal single-TSV field σrr = K/r², σθθ = −K/r² is
 // generated by φ₀ = 0, ψ₀′(w) = −K/(w − d)² in the victim frame with
 // the aggressor on the +x axis at distance d. Expanding about w = 0 and
 // rescaling radii by R′ gives

@@ -4,12 +4,13 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"tsvstress/internal/floats"
 
 	"tsvstress/internal/material"
 	"tsvstress/internal/tensor"
 )
 
-func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+func eq(a, b, tol float64) bool { return floats.AlmostEqual(a, b, tol) }
 
 func TestScaleAdd(t *testing.T) {
 	c := HarmCoeffs{1, 2, 3, 4}

@@ -18,6 +18,7 @@ import (
 	"math"
 	"sort"
 
+	"tsvstress/internal/floats"
 	"tsvstress/internal/geom"
 	"tsvstress/internal/material"
 	"tsvstress/internal/tensor"
@@ -81,6 +82,9 @@ func Screen(pl *geom.Placement, st material.Structure, eval Evaluator, opt Optio
 		return nil, fmt.Errorf("reliability: nil evaluator")
 	}
 	opt = opt.withDefaults()
+	if !floats.AllFinite(st.RPrime, opt.Offset) {
+		return nil, fmt.Errorf("reliability: non-finite probe ring (R' %g, offset %g)", st.RPrime, opt.Offset)
+	}
 	r := st.RPrime + opt.Offset
 	reports := make([]TSVReport, 0, pl.Len())
 	for i, t := range pl.TSVs {

@@ -10,6 +10,7 @@ import (
 	"math"
 	"strings"
 
+	"tsvstress/internal/floats"
 	"tsvstress/internal/metrics"
 )
 
@@ -125,7 +126,7 @@ func LinePlot(w io.Writer, x []float64, series map[string][]float64, height int,
 		}
 	}
 	sortStrings(names)
-	if ymax == ymin {
+	if floats.AlmostEqual(ymax, ymin, 0) {
 		ymax = ymin + 1
 	}
 	glyphs := "ox+*#&%"

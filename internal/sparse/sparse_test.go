@@ -5,11 +5,12 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"tsvstress/internal/floats"
 
 	"tsvstress/internal/linalg"
 )
 
-func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+func eq(a, b, tol float64) bool { return floats.AlmostEqual(a, b, tol) }
 
 // laplacian1D builds the SPD tridiagonal matrix of a 1D Poisson problem.
 func laplacian1D(n int) *CSR {

@@ -4,6 +4,8 @@
 // cutoff distance of a simulation point contribute).
 package spatial
 
+//tsvlint:hotpath
+
 import (
 	"math"
 
@@ -27,7 +29,9 @@ func NewIndex(pts []geom.Point, cellSize float64) *Index {
 	if cellSize <= 0 {
 		panic("spatial: cell size must be positive")
 	}
-	ix := &Index{cell: cellSize, pts: append([]geom.Point(nil), pts...)}
+	own := make([]geom.Point, len(pts))
+	copy(own, pts)
+	ix := &Index{cell: cellSize, pts: own}
 	if len(pts) == 0 {
 		ix.nx, ix.ny = 1, 1
 		ix.buckets = make([][]int32, 1)
@@ -44,10 +48,30 @@ func NewIndex(pts []geom.Point, cellSize float64) *Index {
 	ix.minX, ix.minY = minX, minY
 	ix.nx = int((maxX-minX)/cellSize) + 1
 	ix.ny = int((maxY-minY)/cellSize) + 1
-	ix.buckets = make([][]int32, ix.nx*ix.ny)
-	for i, p := range pts {
-		b := ix.bucketOf(p)
-		ix.buckets[b] = append(ix.buckets[b], int32(i))
+	// Counting sort into one index slab: size every bucket exactly, then
+	// fill, so construction performs three allocations total and the
+	// bucket contents are contiguous in query order.
+	counts := make([]int32, ix.nx*ix.ny)
+	for i := range own {
+		counts[ix.bucketOf(own[i])]++
+	}
+	offs := make([]int32, len(counts))
+	var sum int32
+	for b, n := range counts {
+		offs[b] = sum
+		sum += n
+	}
+	slab := make([]int32, len(own))
+	for i := range own {
+		b := ix.bucketOf(own[i])
+		slab[offs[b]] = int32(i)
+		offs[b]++
+	}
+	ix.buckets = make([][]int32, len(counts))
+	sum = 0
+	for b, n := range counts {
+		ix.buckets[b] = slab[sum : sum+n]
+		sum += n
 	}
 	return ix
 }
@@ -123,8 +147,11 @@ func (ix *Index) AppendNear(dst []int32, q geom.Point, radius float64) []int32 {
 
 // NearIDs returns the indices within radius of q, in unspecified order.
 func (ix *Index) NearIDs(q geom.Point, radius float64) []int {
-	var out []int
-	ix.Near(q, radius, func(i int, _ float64) { out = append(out, i) })
+	ids := ix.AppendNear(make([]int32, 0, 16), q, radius)
+	out := make([]int, len(ids))
+	for k, i := range ids {
+		out[k] = int(i)
+	}
 	return out
 }
 

@@ -67,13 +67,13 @@ func New(st material.Structure, opt Options) (*LS, error) {
 	return ls, nil
 }
 
-// Cutoff returns the nearby-TSV distance in use.
+// Cutoff returns the nearby-TSV distance in use, in µm.
 func (ls *LS) Cutoff() float64 { return ls.opt.Cutoff }
 
-// Polar returns the axisymmetric single-TSV stress profile at radial
-// distance r ≥ 0 from the center (σrr, σθθ in the TSV's polar frame;
-// σrθ is identically zero), using the table look-up or the exact Lamé
-// solution per Options. Batched engines use it to rotate polar→
+// Polar returns the axisymmetric single-TSV stress profile in MPa at
+// radial distance r ≥ 0 from the center (σrr, σθθ in the TSV's polar
+// frame; σrθ is identically zero), using the table look-up or the exact
+// Lamé solution per Options. Batched engines use it to rotate polar→
 // Cartesian in place without a per-point Atan2. Beyond the cutoff the
 // value is not meaningful (callers gate on Cutoff).
 func (ls *LS) Polar(r float64) tensor.Polar {
@@ -83,8 +83,8 @@ func (ls *LS) Polar(r float64) tensor.Polar {
 	return ls.Sol.PolarAt(r)
 }
 
-// Contribution returns the stress contribution of a single TSV centered
-// at c to the point p (zero beyond the cutoff).
+// Contribution returns the stress contribution in MPa of a single TSV
+// centered at c to the point p (zero beyond the cutoff).
 func (ls *LS) Contribution(p, c geom.Point) tensor.Stress {
 	rel := p.Sub(c)
 	r := rel.Norm()
@@ -98,8 +98,8 @@ func (ls *LS) Contribution(p, c geom.Point) tensor.Stress {
 	return ls.Polar(r).ToCartesian(rel.Angle())
 }
 
-// StressAt superposes the contributions of all indexed TSVs within the
-// cutoff of p. The index must have been built over the placement's
+// StressAt superposes the contributions, in MPa, of all indexed TSVs
+// within the cutoff of p. The index must have been built over the placement's
 // center points.
 func (ls *LS) StressAt(p geom.Point, ix *spatial.Index) tensor.Stress {
 	var s tensor.Stress

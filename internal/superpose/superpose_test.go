@@ -3,13 +3,14 @@ package superpose
 import (
 	"math"
 	"testing"
+	"tsvstress/internal/floats"
 
 	"tsvstress/internal/geom"
 	"tsvstress/internal/material"
 	"tsvstress/internal/spatial"
 )
 
-func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+func eq(a, b, tol float64) bool { return floats.AlmostEqual(a, b, tol) }
 
 func newLS(t *testing.T, opt Options) *LS {
 	t.Helper()

@@ -25,34 +25,36 @@ type Polar struct {
 	RR, TT, RT float64
 }
 
-// Add returns s + t componentwise (linear superposition of stress fields).
+// Add returns s + t componentwise in MPa (linear superposition of
+// stress fields).
 func (s Stress) Add(t Stress) Stress {
 	return Stress{s.XX + t.XX, s.YY + t.YY, s.XY + t.XY}
 }
 
-// Sub returns s − t componentwise.
+// Sub returns s − t componentwise in MPa.
 func (s Stress) Sub(t Stress) Stress {
 	return Stress{s.XX - t.XX, s.YY - t.YY, s.XY - t.XY}
 }
 
-// Scale returns s scaled by a.
+// Scale returns s scaled by the dimensionless factor a, in MPa.
 func (s Stress) Scale(a float64) Stress {
 	return Stress{a * s.XX, a * s.YY, a * s.XY}
 }
 
-// Add returns p + q componentwise. Both must be expressed in the same
-// polar frame for the sum to be meaningful.
+// Add returns p + q componentwise in MPa. Both must be expressed in the
+// same polar frame for the sum to be meaningful.
 func (p Polar) Add(q Polar) Polar {
 	return Polar{p.RR + q.RR, p.TT + q.TT, p.RT + q.RT}
 }
 
-// Scale returns p scaled by a.
+// Scale returns p scaled by the dimensionless factor a, in MPa.
 func (p Polar) Scale(a float64) Polar {
 	return Polar{a * p.RR, a * p.TT, a * p.RT}
 }
 
-// ToCartesian rotates the polar tensor into Cartesian components given
-// the angle θ between the x-axis and the local r-axis, implementing
+// ToCartesian rotates the polar tensor into Cartesian components (MPa)
+// given the angle θ in radians between the x-axis and the local r-axis,
+// implementing
 // Eq. (2) of the paper: σxyz = Q σrθz Qᵀ with Q the rotation by θ.
 func (p Polar) ToCartesian(theta float64) Stress {
 	c, s := math.Cos(theta), math.Sin(theta)
@@ -64,8 +66,9 @@ func (p Polar) ToCartesian(theta float64) Stress {
 	}
 }
 
-// ToPolar rotates the Cartesian tensor into the polar frame whose r-axis
-// makes angle θ with the x-axis (the inverse of Polar.ToCartesian).
+// ToPolar rotates the Cartesian tensor into the polar frame (MPa) whose
+// r-axis makes angle θ radians with the x-axis (the inverse of
+// Polar.ToCartesian).
 func (s Stress) ToPolar(theta float64) Polar {
 	c, sn := math.Cos(theta), math.Sin(theta)
 	c2, s2, cs := c*c, sn*sn, c*sn
@@ -76,18 +79,19 @@ func (s Stress) ToPolar(theta float64) Polar {
 	}
 }
 
-// Rotate returns the tensor expressed in axes rotated by θ
-// counter-clockwise relative to the current ones.
+// Rotate returns the tensor, in MPa, expressed in axes rotated by θ
+// radians counter-clockwise relative to the current ones.
 func (s Stress) Rotate(theta float64) Stress {
 	p := s.ToPolar(theta)
 	return Stress{XX: p.RR, YY: p.TT, XY: p.RT}
 }
 
-// Trace returns σxx + σyy, the first invariant (σzz = 0 in plane stress).
+// Trace returns σxx + σyy in MPa, the first invariant (σzz = 0 in plane
+// stress).
 func (s Stress) Trace() float64 { return s.XX + s.YY }
 
-// VonMises returns the von Mises equivalent stress under plane stress
-// (σzz = σxz = σyz = 0), the reliability metric of Appendix A.2:
+// VonMises returns the von Mises equivalent stress in MPa under plane
+// stress (σzz = σxz = σyz = 0), the reliability metric of Appendix A.2:
 //
 //	σv = sqrt(σxx² − σxx σyy + σyy² + 3 σxy²)
 func (s Stress) VonMises() float64 {
@@ -98,7 +102,7 @@ func (s Stress) VonMises() float64 {
 	return math.Sqrt(v)
 }
 
-// VonMisesWithZZ returns the von Mises stress of the full tensor
+// VonMisesWithZZ returns the von Mises stress in MPa of the full tensor
 // [σxx σxy 0; σxy σyy 0; 0 0 σzz] — used for plane-strain fields, where
 // σzz = ν(σxx + σyy) for the (eigenstrain-free) substrate instead of
 // the plane-stress zero.
@@ -113,7 +117,8 @@ func (s Stress) VonMisesWithZZ(szz float64) float64 {
 	return math.Sqrt(v)
 }
 
-// Principal returns the in-plane principal stresses with σ1 ≥ σ2.
+// Principal returns the in-plane principal stresses in MPa, with
+// σ1 ≥ σ2.
 func (s Stress) Principal() (s1, s2 float64) {
 	m := (s.XX + s.YY) / 2
 	r := math.Hypot((s.XX-s.YY)/2, s.XY)
@@ -121,25 +126,25 @@ func (s Stress) Principal() (s1, s2 float64) {
 }
 
 // PrincipalAngle returns the angle of the σ1 principal direction with
-// the x-axis, in (−π/2, π/2].
+// the x-axis, in radians in (−π/2, π/2].
 func (s Stress) PrincipalAngle() float64 {
-	if s.XY == 0 && s.XX == s.YY {
+	if s.XY == 0 && s.XX-s.YY == 0 {
 		return 0
 	}
 	return 0.5 * math.Atan2(2*s.XY, s.XX-s.YY)
 }
 
-// MaxTensile returns the maximum tensile stress, i.e. the largest
-// eigenvalue of the 3D stress tensor clamped at zero (σzz = 0 is itself
-// an eigenvalue in plane stress). Used as an alternative reliability
+// MaxTensile returns the maximum tensile stress in MPa, i.e. the
+// largest eigenvalue of the 3D stress tensor clamped at zero (σzz = 0
+// is itself an eigenvalue in plane stress). Used as an alternative reliability
 // metric in the paper's conclusion.
 func (s Stress) MaxTensile() float64 {
 	s1, _ := s.Principal()
 	return math.Max(s1, 0)
 }
 
-// Component extracts a named component; recognized names are "xx",
-// "yy", "xy", "vm" (von Mises), "s1" (max principal) and "trace".
+// Component extracts a named component in MPa; recognized names are
+// "xx", "yy", "xy", "vm" (von Mises), "s1" (max principal) and "trace".
 func (s Stress) Component(name string) (float64, error) {
 	switch name {
 	case "xx":

@@ -5,9 +5,10 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"tsvstress/internal/floats"
 )
 
-func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+func eq(a, b, tol float64) bool { return floats.AlmostEqual(a, b, tol) }
 
 func randStress(rng *rand.Rand) Stress {
 	return Stress{

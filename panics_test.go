@@ -1,0 +1,93 @@
+package tsvstress
+
+import (
+	"math"
+	"testing"
+
+	"tsvstress/internal/field"
+	"tsvstress/internal/tensor"
+)
+
+// The public entry points must contain bad input as errors, never as
+// panics from deep inside a kernel (a NaN coordinate sails through
+// every < comparison and, unchecked, turns into a negative tile-grid
+// dimension; a duplicate TSV is a zero pitch). Each case runs under a
+// recover so a panic fails with the offending input named.
+func TestBoundaryErrorsNotPanics(t *testing.T) {
+	st := Baseline(BCB)
+	nan := math.NaN()
+	inf := math.Inf(1)
+
+	mapInto := func(p Point) func() error {
+		return func() error {
+			an, err := NewAnalyzer(st, PairPlacement(10), AnalyzerOptions{})
+			if err != nil {
+				t.Fatalf("building analyzer: %v", err)
+			}
+			dst := make([]tensor.Stress, 1)
+			return an.MapInto(dst, []Point{p}, ModeFull)
+		}
+	}
+
+	cases := []struct {
+		name    string
+		run     func() error
+		wantErr bool
+	}{
+		{"NewAnalyzer: NaN TSV coordinate", func() error {
+			_, err := NewAnalyzer(st, NewPlacement(Pt(0, 0), Pt(nan, 5)), AnalyzerOptions{})
+			return err
+		}, true},
+		{"NewAnalyzer: Inf TSV coordinate", func() error {
+			_, err := NewAnalyzer(st, NewPlacement(Pt(0, 0), Pt(5, inf)), AnalyzerOptions{})
+			return err
+		}, true},
+		{"NewAnalyzer: duplicate TSV positions", func() error {
+			_, err := NewAnalyzer(st, NewPlacement(Pt(3, 3), Pt(3, 3)), AnalyzerOptions{})
+			return err
+		}, true},
+		{"MapInto: NaN point", mapInto(Pt(nan, 0)), true},
+		{"MapInto: Inf point", mapInto(Pt(0, inf)), true},
+		{"NewGrid: zero-size region", func() error {
+			_, err := field.NewGrid(RectAround(Pt(0, 0), 0, 0), 0.5)
+			return err
+		}, true},
+		{"NewGrid: zero spacing", func() error {
+			_, err := field.NewGrid(RectAround(Pt(0, 0), 10, 10), 0)
+			return err
+		}, true},
+		{"NewGrid: NaN spacing", func() error {
+			_, err := field.NewGrid(RectAround(Pt(0, 0), 10, 10), nan)
+			return err
+		}, true},
+		{"StressAt: NaN query point", func() error {
+			an, err := NewAnalyzer(st, PairPlacement(10), AnalyzerOptions{})
+			if err != nil {
+				t.Fatalf("building analyzer: %v", err)
+			}
+			_ = an.StressAt(Pt(nan, nan)) // pure evaluator: garbage in, garbage out, no panic
+			return nil
+		}, false},
+		{"RandomPlacement: NaN density", func() error {
+			_, err := RandomPlacement(10, nan, 5, 1)
+			return err
+		}, true},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panicked instead of returning an error: %v", r)
+				}
+			}()
+			err := tc.run()
+			if tc.wantErr && err == nil {
+				t.Fatal("expected an error, got nil")
+			}
+			if !tc.wantErr && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		})
+	}
+}

@@ -38,6 +38,8 @@
 // Lengths are in µm, moduli and stresses in MPa, temperatures in K.
 package tsvstress
 
+//tsvlint:apiboundary
+
 import (
 	"tsvstress/internal/core"
 	"tsvstress/internal/fem"
@@ -201,20 +203,22 @@ func FEMDomainFor(pl *Placement, st Structure, region Rect, margin float64) Rect
 // piezoresistance coefficients for a carrier type.
 func PiezoDefaults(c Carrier) PiezoCoefficients { return mobility.Default110(c) }
 
-// MobilityShift returns Δµ/µ for a channel at angle theta with the
-// x-axis under the given device-layer stress (positive = faster).
+// MobilityShift returns Δµ/µ, as a dimensionless fraction, for a
+// channel at angle theta (radians) with the x-axis under the given
+// device-layer stress (positive = faster).
 func MobilityShift(s Stress, theta float64, k PiezoCoefficients) float64 {
 	return mobility.Shift(s, theta, k)
 }
 
-// WorstMobilityShift returns the most negative Δµ/µ over all channel
-// orientations and its angle.
+// WorstMobilityShift returns the most negative Δµ/µ (a dimensionless
+// fraction) over all channel orientations and its angle in radians.
 func WorstMobilityShift(s Stress, k PiezoCoefficients) (shift, theta float64) {
 	return mobility.WorstCase(s, k)
 }
 
-// KeepOutRadius returns the single-TSV keep-out-zone radius: beyond it
-// the worst-orientation |Δµ/µ| stays below tol (e.g. 0.01).
+// KeepOutRadius returns the single-TSV keep-out-zone radius in µm:
+// beyond it the worst-orientation |Δµ/µ| stays below the dimensionless
+// tol (e.g. 0.01).
 func KeepOutRadius(st Structure, c Carrier, tol float64) (float64, error) {
 	sol, err := lame.Solve(st)
 	if err != nil {

@@ -1,8 +1,8 @@
 package tsvstress
 
 import (
-	"math"
 	"testing"
+	"tsvstress/internal/floats"
 )
 
 // End-to-end smoke test of the public API surface.
@@ -88,7 +88,7 @@ func TestPublicFEM(t *testing.T) {
 	}
 	got := res.StressAt(Pt(6, 0)).XX
 	want := sol.StressAt(Pt(6, 0), Pt(0, 0)).XX
-	if math.Abs(got-want) > 0.35*math.Abs(want) {
+	if !floats.AlmostEqualRel(got, want, 0.35) {
 		t.Errorf("raw FEM σxx = %v, analytic %v", got, want)
 	}
 }
