@@ -1,0 +1,81 @@
+// Command tsvserve runs the incremental stress-analysis service: a
+// long-lived HTTP server holding placement sessions whose stress maps
+// update incrementally as edits stream in (the ECO loop as an API).
+//
+// Usage:
+//
+//	tsvserve -addr :8080
+//
+// API (JSON; see DESIGN.md §12):
+//
+//	POST   /v1/placements               create a session from a placement
+//	GET    /v1/placements               list sessions
+//	POST   /v1/placements/{id}/edits    apply an atomic edit batch + flush
+//	GET    /v1/placements/{id}/map      field summary, or CSV with format=csv
+//	GET    /v1/placements/{id}/screen   reliability ranking + KOZ radii
+//	DELETE /v1/placements/{id}          drop a session
+//	GET    /healthz, GET /debug/vars    liveness and expvar metrics
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tsvstress/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsvserve: ")
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxSessions = flag.Int("max-sessions", 16, "maximum live placement sessions")
+		maxTSVs     = flag.Int("max-tsvs", 20000, "maximum TSVs per placement")
+		maxPoints   = flag.Int("max-points", 2_000_000, "maximum simulation points per session")
+		maxInFlight = flag.Int("max-inflight", 4, "maximum concurrently executing compute requests")
+		reqTimeout  = flag.Duration("timeout", 60*time.Second, "per-request compute deadline")
+		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+
+	s := serve.NewServer(serve.Options{
+		MaxSessions:    *maxSessions,
+		MaxTSVs:        *maxTSVs,
+		MaxPoints:      *maxPoints,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *reqTimeout,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (sessions ≤ %d, in-flight ≤ %d)", *addr, *maxSessions, *maxInFlight)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (draining ≤ %v)", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+}

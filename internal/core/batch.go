@@ -4,8 +4,6 @@ package core
 
 import (
 	"math"
-	"sync"
-	"sync/atomic"
 
 	"tsvstress/internal/floats"
 	"tsvstress/internal/geom"
@@ -53,15 +51,6 @@ type tile struct {
 	lo, hi int32
 }
 
-// mapScratch holds the per-call tiling state, pooled across MapInto
-// calls so steady-state sweeps allocate nothing but goroutines.
-type mapScratch struct {
-	tileOf []int32
-	counts []int32
-	order  []int32
-	tiles  []tile
-}
-
 // tileScratch is one worker's reusable candidate buffers.
 type tileScratch struct {
 	lsIdx    []int32
@@ -87,65 +76,6 @@ func clampI(v, lo, hi int) int {
 		return hi
 	}
 	return v
-}
-
-// partition bins pts into square tiles of side ~cutoff/2, counting-sorts
-// the point indices by tile, and returns the tile half-diagonal.
-func (ms *mapScratch) partition(pts []geom.Point, cutoff float64) (halfDiag float64) {
-	minX, minY := math.Inf(1), math.Inf(1)
-	maxX, maxY := math.Inf(-1), math.Inf(-1)
-	for _, p := range pts {
-		minX = math.Min(minX, p.X)
-		minY = math.Min(minY, p.Y)
-		maxX = math.Max(maxX, p.X)
-		maxY = math.Max(maxY, p.Y)
-	}
-	t := cutoff / 2
-	if t <= 0 {
-		t = 1
-	}
-	w, h := maxX-minX, maxY-minY
-	if w > t*maxTileGridDim {
-		t = w / maxTileGridDim
-	}
-	if h > t*maxTileGridDim {
-		t = h / maxTileGridDim
-	}
-	nx := int(w/t) + 1
-	ny := int(h/t) + 1
-
-	ms.tileOf = growI32(ms.tileOf, len(pts))
-	ms.counts = growI32(ms.counts, nx*ny)
-	clear(ms.counts)
-	for i, p := range pts {
-		tx := clampI(int((p.X-minX)/t), 0, nx-1)
-		ty := clampI(int((p.Y-minY)/t), 0, ny-1)
-		id := int32(ty*nx + tx)
-		ms.tileOf[i] = id
-		ms.counts[id]++
-	}
-	ms.order = growI32(ms.order, len(pts))
-	ms.tiles = ms.tiles[:0]
-	start := int32(0)
-	for id, n := range ms.counts {
-		if n == 0 {
-			continue
-		}
-		ms.tiles = append(ms.tiles, tile{
-			cx: minX + (float64(id%nx)+0.5)*t,
-			cy: minY + (float64(id/nx)+0.5)*t,
-			lo: start,
-			hi: start + n,
-		})
-		ms.counts[id] = start // repurpose as the running insert offset
-		start += n
-	}
-	for i := range pts {
-		id := ms.tileOf[i]
-		ms.order[ms.counts[id]] = int32(i)
-		ms.counts[id]++
-	}
-	return t * math.Sqrt2 / 2
 }
 
 // MapInto evaluates the selected field at every point into dst, which
@@ -188,44 +118,13 @@ func (a *Analyzer) mapBatched(dst []tensor.Stress, pts []geom.Point, mode Mode) 
 		cutoff = a.opt.PairDistCutoff
 	}
 
-	ms, _ := a.mapPool.Get().(*mapScratch)
-	if ms == nil {
-		ms = &mapScratch{}
+	tl, _ := a.mapPool.Get().(*Tiling)
+	if tl == nil {
+		tl = &Tiling{}
 	}
-	halfDiag := ms.partition(pts, cutoff)
-	tiles := ms.tiles
-
-	workers := a.opt.Workers
-	if workers > len(tiles) {
-		workers = len(tiles)
-	}
-	if workers <= 1 {
-		ts := a.getTileScratch()
-		for i := range tiles {
-			a.evalTile(dst, pts, ms.order, tiles[i], halfDiag, doLS, doPair, ts)
-		}
-		a.tilePool.Put(ts)
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				ts := a.getTileScratch()
-				for {
-					i := next.Add(1) - 1
-					if i >= int64(len(tiles)) {
-						break
-					}
-					a.evalTile(dst, pts, ms.order, tiles[i], halfDiag, doLS, doPair, ts)
-				}
-				a.tilePool.Put(ts)
-			}()
-		}
-		wg.Wait()
-	}
-	a.mapPool.Put(ms)
+	tl.build(pts, cutoff)
+	a.evalTileSet(dst, pts, tl, nil, doLS, doPair)
+	a.mapPool.Put(tl)
 }
 
 func (a *Analyzer) getTileScratch() *tileScratch {

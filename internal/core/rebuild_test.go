@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"tsvstress/internal/geom"
+	"tsvstress/internal/material"
+	"tsvstress/internal/placegen"
+	"tsvstress/internal/tensor"
+)
+
+// TestRebuildReusesCoefficientCache pins the edit-aware constructor
+// contract: rebuilding an analyzer after an edit must reuse the
+// pitch-keyed interact coefficient cache (and the solved models)
+// instead of recomputing transfer functions.
+func TestRebuildReusesCoefficientCache(t *testing.T) {
+	st := material.Baseline(material.BCB)
+	pl := placegen.Array(8, 8, 10) // regular array: few distinct pitches
+	an, err := New(st, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries0, hits0 := an.Model.CoeffCacheStats()
+	if entries0 == 0 {
+		t.Fatal("array placement produced no cached pitches")
+	}
+
+	// Move the corner TSV outward by one pitch: every new pair distance
+	// is still a lattice distance already in the cache, so the rebuild
+	// must add no cache entries and satisfy every round from the cache.
+	edited := pl.Clone()
+	if err := (geom.Edit{Op: geom.EditMove, Index: 0, TSV: geom.TSV{Center: pl.TSVs[0].Center.Add(geom.Pt(-10, 0))}}).Apply(edited, 2*st.RPrime); err != nil {
+		t.Fatal(err)
+	}
+	nb, err := an.Rebuild(edited, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Model != an.Model || nb.LS != an.LS {
+		t.Fatal("Rebuild did not share the solved models")
+	}
+	entries1, hits1 := nb.Model.CoeffCacheStats()
+	if entries1 != entries0 {
+		t.Errorf("lattice move added cache entries: %d → %d", entries0, entries1)
+	}
+	if hits1 <= hits0 {
+		t.Errorf("rebuild did not hit the coefficient cache (hits %d → %d)", hits0, hits1)
+	}
+
+	// The rebuilt analyzer must agree with a from-scratch one.
+	scratch, err := New(st, edited, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := gridPoints(t, edited, 3)
+	got := make([]tensor.Stress, len(pts))
+	want := make([]tensor.Stress, len(pts))
+	if err := nb.MapInto(got, pts, ModeFull); err != nil {
+		t.Fatal(err)
+	}
+	if err := scratch.MapInto(want, pts, ModeFull); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if d := maxAbsDiff(got[i], want[i]); d > 1e-9 {
+			t.Fatalf("rebuilt analyzer differs from scratch at %v by %g MPa", pts[i], d)
+		}
+	}
+}
+
+// TestRebuildSharesUnchangedRounds verifies the prev mapping: victims
+// far from the edit share their packed rounds by pointer.
+func TestRebuildSharesUnchangedRounds(t *testing.T) {
+	st := material.Baseline(material.BCB)
+	pl := placegen.Array(10, 10, 10)
+	an, err := New(st, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move TSV 0 (a corner); victims beyond PairPitchCutoff of both its
+	// old and new position keep their round sets.
+	oldC := pl.TSVs[0].Center
+	newC := oldC.Add(geom.Pt(-15, -15))
+	edited := pl.Clone()
+	if err := (geom.Edit{Op: geom.EditMove, Index: 0, TSV: geom.TSV{Center: newC}}).Apply(edited, 2*st.RPrime); err != nil {
+		t.Fatal(err)
+	}
+	cut := an.Options().PairPitchCutoff
+	prev := func(j int) int {
+		if j == 0 {
+			return -1
+		}
+		c := edited.TSVs[j].Center
+		if c.Dist(oldC) <= cut || c.Dist(newC) <= cut {
+			return -1
+		}
+		return j
+	}
+	nb, err := an.Rebuild(edited, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, rebuilt := 0, 0
+	for j := range nb.victimRounds {
+		if prev(j) >= 0 {
+			if nb.victimRounds[j] != an.victimRounds[j] {
+				t.Fatalf("victim %d eligible for reuse but rounds were rebuilt", j)
+			}
+			shared++
+		} else {
+			rebuilt++
+		}
+	}
+	if shared == 0 || rebuilt == 0 {
+		t.Fatalf("degenerate reuse split: %d shared, %d rebuilt", shared, rebuilt)
+	}
+
+	// Parity against a from-scratch analyzer.
+	scratch, err := New(st, edited, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := gridPoints(t, edited, 3)
+	got := make([]tensor.Stress, len(pts))
+	want := make([]tensor.Stress, len(pts))
+	if err := nb.MapInto(got, pts, ModeFull); err != nil {
+		t.Fatal(err)
+	}
+	if err := scratch.MapInto(want, pts, ModeFull); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if d := maxAbsDiff(got[i], want[i]); d > 1e-9 {
+			t.Fatalf("round-sharing rebuild differs from scratch at %v by %g MPa", pts[i], d)
+		}
+	}
+}
+
+func TestRebuildValidates(t *testing.T) {
+	st := material.Baseline(material.BCB)
+	an, err := New(st, geom.NewPlacement(geom.Pt(0, 0), geom.Pt(20, 0)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping TSVs must be rejected exactly as New rejects them.
+	bad := geom.NewPlacement(geom.Pt(0, 0), geom.Pt(1, 0))
+	if _, err := an.Rebuild(bad, nil); err == nil {
+		t.Error("Rebuild accepted an overlapping placement")
+	}
+}

@@ -1,0 +1,213 @@
+//tsvlint:hotpath
+
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"tsvstress/internal/floats"
+	"tsvstress/internal/geom"
+	"tsvstress/internal/tensor"
+)
+
+// Tiling is the square spatial partition of a fixed point set used by
+// the tile-batched engine. MapInto builds one transiently per call; the
+// incremental engine (internal/incr) builds one once per session and
+// keeps it for the lifetime of the point set, re-evaluating only the
+// tiles an edit dirtied through EvalTiles.
+//
+// A Tiling is immutable after NewTiling and safe for concurrent use;
+// the zero value is reusable scratch for the pooled MapInto path.
+type Tiling struct {
+	tileOf []int32 // build scratch: point → tile id
+	counts []int32 // build scratch: counting sort
+	order  []int32 // point indices sorted by tile
+	tiles  []tile
+	half   float64 // tile half-diagonal
+	n      int     // number of partitioned points
+}
+
+// NewTiling partitions pts into square tiles sized for gather radius
+// cutoff (tile side ~cutoff/2, capped so pathological extents grow the
+// tile instead of the grid — identical to the partition MapInto
+// performs internally). cutoff must be positive and finite; every point
+// must be finite, the same rejection MapInto applies, because a NaN
+// coordinate poisons the tile binning.
+func NewTiling(pts []geom.Point, cutoff float64) (*Tiling, error) {
+	if !floats.IsFinite(cutoff) || cutoff <= 0 {
+		return nil, fmt.Errorf("core: tiling cutoff %g must be positive and finite", cutoff)
+	}
+	for i := range pts {
+		if !floats.IsFinite(pts[i].X) || !floats.IsFinite(pts[i].Y) {
+			return nil, errNonFinitePoint(i, pts[i])
+		}
+	}
+	tl := &Tiling{}
+	tl.build(pts, cutoff)
+	return tl, nil
+}
+
+// NumPoints returns the number of points the tiling partitions.
+func (tl *Tiling) NumPoints() int { return tl.n }
+
+// NumTiles returns the number of non-empty tiles.
+func (tl *Tiling) NumTiles() int { return len(tl.tiles) }
+
+// HalfDiag returns the tile half-diagonal in µm — the slack a caller
+// must add to a point-level radius to turn it into a tile-center
+// radius.
+func (tl *Tiling) HalfDiag() float64 { return tl.half }
+
+// TileCenter returns the center of tile id.
+func (tl *Tiling) TileCenter(id int) geom.Point {
+	t := tl.tiles[id]
+	return geom.Pt(t.cx, t.cy)
+}
+
+// TilePoints returns the indices (into the partitioned point slice) of
+// the points in tile id. The slice aliases the tiling's internal order
+// buffer; callers must not mutate it.
+func (tl *Tiling) TilePoints(id int) []int32 {
+	t := tl.tiles[id]
+	return tl.order[t.lo:t.hi]
+}
+
+// build bins pts into square tiles of side ~cutoff/2 and counting-sorts
+// the point indices by tile, reusing the receiver's buffers (the pooled
+// MapInto path rebuilds one scratch Tiling per call).
+func (tl *Tiling) build(pts []geom.Point, cutoff float64) {
+	tl.n = len(pts)
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	t := cutoff / 2
+	if t <= 0 {
+		t = 1
+	}
+	w, h := maxX-minX, maxY-minY
+	if w > t*maxTileGridDim {
+		t = w / maxTileGridDim
+	}
+	if h > t*maxTileGridDim {
+		t = h / maxTileGridDim
+	}
+	nx := int(w/t) + 1
+	ny := int(h/t) + 1
+
+	tl.tileOf = growI32(tl.tileOf, len(pts))
+	tl.counts = growI32(tl.counts, nx*ny)
+	clear(tl.counts)
+	for i, p := range pts {
+		tx := clampI(int((p.X-minX)/t), 0, nx-1)
+		ty := clampI(int((p.Y-minY)/t), 0, ny-1)
+		id := int32(ty*nx + tx)
+		tl.tileOf[i] = id
+		tl.counts[id]++
+	}
+	tl.order = growI32(tl.order, len(pts))
+	tl.tiles = tl.tiles[:0]
+	start := int32(0)
+	for id, n := range tl.counts {
+		if n == 0 {
+			continue
+		}
+		tl.tiles = append(tl.tiles, tile{
+			cx: minX + (float64(id%nx)+0.5)*t,
+			cy: minY + (float64(id/nx)+0.5)*t,
+			lo: start,
+			hi: start + n,
+		})
+		tl.counts[id] = start // repurpose as the running insert offset
+		start += n
+	}
+	for i := range pts {
+		id := tl.tileOf[i]
+		tl.order[tl.counts[id]] = int32(i)
+		tl.counts[id]++
+	}
+	tl.half = t * math.Sqrt2 / 2
+}
+
+// EvalTiles evaluates the selected field at every point of the listed
+// tiles, writing into the matching dst slots and leaving all other
+// slots untouched — the partial-recompute primitive behind the
+// incremental engine. pts must be the point slice tl was built over
+// (same length and order) and dst must match it; ids must be valid tile
+// ids. Results are identical to the corresponding slots of a full
+// MapInto (both paths run the same per-tile kernel).
+func (a *Analyzer) EvalTiles(dst []tensor.Stress, pts []geom.Point, tl *Tiling, ids []int32, mode Mode) error {
+	if len(dst) != len(pts) {
+		return errDstLen(len(dst), len(pts))
+	}
+	if tl.n != len(pts) {
+		return fmt.Errorf("core: tiling partitions %d points, got %d", tl.n, len(pts))
+	}
+	for _, id := range ids {
+		if id < 0 || int(id) >= len(tl.tiles) {
+			return fmt.Errorf("core: tile id %d outside [0, %d)", id, len(tl.tiles))
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	doLS := mode == ModeLS || mode == ModeFull
+	doPair := mode == ModeFull || mode == ModeInteractive
+	a.evalTileSet(dst, pts, tl, ids, doLS, doPair)
+	return nil
+}
+
+// evalTileSet drains the tile queue (ids == nil means every tile) with
+// the analyzer's worker budget; each worker owns one pooled scratch
+// buffer set reused across its tiles.
+func (a *Analyzer) evalTileSet(dst []tensor.Stress, pts []geom.Point, tl *Tiling, ids []int32, doLS, doPair bool) {
+	nTiles := len(ids)
+	if ids == nil {
+		nTiles = len(tl.tiles)
+	}
+	workers := a.opt.Workers
+	if workers > nTiles {
+		workers = nTiles
+	}
+	if workers <= 1 {
+		ts := a.getTileScratch()
+		for k := 0; k < nTiles; k++ {
+			t := tl.tiles[k]
+			if ids != nil {
+				t = tl.tiles[ids[k]]
+			}
+			a.evalTile(dst, pts, tl.order, t, tl.half, doLS, doPair, ts)
+		}
+		a.tilePool.Put(ts)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ts := a.getTileScratch()
+			for {
+				k := next.Add(1) - 1
+				if k >= int64(nTiles) {
+					break
+				}
+				t := tl.tiles[k]
+				if ids != nil {
+					t = tl.tiles[ids[k]]
+				}
+				a.evalTile(dst, pts, tl.order, t, tl.half, doLS, doPair, ts)
+			}
+			a.tilePool.Put(ts)
+		}()
+	}
+	wg.Wait()
+}

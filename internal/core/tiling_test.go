@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"tsvstress/internal/geom"
+	"tsvstress/internal/material"
+	"tsvstress/internal/placegen"
+	"tsvstress/internal/tensor"
+)
+
+func TestNewTilingRejectsBadInput(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}
+	if _, err := NewTiling(pts, 0); err == nil {
+		t.Error("zero cutoff accepted")
+	}
+	if _, err := NewTiling(pts, math.Inf(1)); err == nil {
+		t.Error("infinite cutoff accepted")
+	}
+	if _, err := NewTiling([]geom.Point{geom.Pt(math.NaN(), 0)}, 25); err == nil {
+		t.Error("NaN point accepted")
+	}
+}
+
+func TestTilingPartition(t *testing.T) {
+	pl, err := placegen.Random(60, 1e-2, 7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := gridPoints(t, pl, 1.0)
+	tl, err := NewTiling(pts, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.NumPoints() != len(pts) {
+		t.Fatalf("NumPoints = %d, want %d", tl.NumPoints(), len(pts))
+	}
+	// Every point appears in exactly one tile, and every point sits
+	// within half-diagonal of its tile center.
+	seen := make([]bool, len(pts))
+	total := 0
+	for id := 0; id < tl.NumTiles(); id++ {
+		c := tl.TileCenter(id)
+		for _, pi := range tl.TilePoints(id) {
+			if seen[pi] {
+				t.Fatalf("point %d in two tiles", pi)
+			}
+			seen[pi] = true
+			total++
+			if d := pts[pi].Dist(c); d > tl.HalfDiag()*(1+1e-12) {
+				t.Fatalf("point %d at %v is %g from tile center %v, half-diag %g", pi, pts[pi], d, c, tl.HalfDiag())
+			}
+		}
+	}
+	if total != len(pts) {
+		t.Fatalf("tiles cover %d of %d points", total, len(pts))
+	}
+}
+
+// TestEvalTilesMatchesMapInto pins the partial-recompute primitive:
+// evaluating every tile through EvalTiles must reproduce MapInto, and
+// evaluating a subset must touch exactly that subset's points.
+func TestEvalTilesMatchesMapInto(t *testing.T) {
+	st := material.Baseline(material.BCB)
+	pl, err := placegen.Random(80, 1e-2, 2*st.RPrime+1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := New(st, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := gridPoints(t, pl, 1.5)
+	tl, err := NewTiling(pts, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range []Mode{ModeLS, ModeFull, ModeInteractive} {
+		want := make([]tensor.Stress, len(pts))
+		if err := an.MapInto(want, pts, mode); err != nil {
+			t.Fatal(err)
+		}
+
+		// All tiles → full map.
+		all := make([]int32, tl.NumTiles())
+		for i := range all {
+			all[i] = int32(i)
+		}
+		got := make([]tensor.Stress, len(pts))
+		if err := an.EvalTiles(got, pts, tl, all, mode); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if d := maxAbsDiff(got[i], want[i]); d > 1e-12 {
+				t.Fatalf("mode %v: EvalTiles(all)[%d] differs from MapInto by %g", mode, i, d)
+			}
+		}
+
+		// Subset → only that subset's slots written.
+		sentinel := tensor.Stress{XX: math.Inf(1)}
+		part := make([]tensor.Stress, len(pts))
+		for i := range part {
+			part[i] = sentinel
+		}
+		sub := all[:tl.NumTiles()/3]
+		if err := an.EvalTiles(part, pts, tl, sub, mode); err != nil {
+			t.Fatal(err)
+		}
+		inSub := make([]bool, len(pts))
+		for _, id := range sub {
+			for _, pi := range tl.TilePoints(int(id)) {
+				inSub[pi] = true
+			}
+		}
+		for i := range part {
+			if inSub[i] {
+				if d := maxAbsDiff(part[i], want[i]); d > 1e-12 {
+					t.Fatalf("mode %v: subset slot %d differs by %g", mode, i, d)
+				}
+			} else if part[i] != sentinel {
+				t.Fatalf("mode %v: EvalTiles wrote slot %d outside its tiles", mode, i)
+			}
+		}
+	}
+}
+
+func TestEvalTilesErrors(t *testing.T) {
+	st := material.Baseline(material.BCB)
+	pl := geom.NewPlacement(geom.Pt(0, 0), geom.Pt(20, 0))
+	an, err := New(st, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := gridPoints(t, pl, 2)
+	tl, err := NewTiling(pts, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]tensor.Stress, len(pts))
+	if err := an.EvalTiles(dst[:1], pts, tl, nil, ModeFull); err == nil {
+		t.Error("short dst accepted")
+	}
+	if err := an.EvalTiles(dst, pts[:len(pts)-1], tl, nil, ModeFull); err == nil {
+		t.Error("point/tiling length mismatch accepted")
+	}
+	if err := an.EvalTiles(dst, pts, tl, []int32{int32(tl.NumTiles())}, ModeFull); err == nil {
+		t.Error("out-of-range tile id accepted")
+	}
+	if err := an.EvalTiles(dst, pts, tl, []int32{-1}, ModeFull); err == nil {
+		t.Error("negative tile id accepted")
+	}
+	if err := an.EvalTiles(dst, pts, tl, nil, ModeFull); err != nil {
+		t.Errorf("nil ids (no-op) rejected: %v", err)
+	}
+}
+
+func gridPoints(t *testing.T, pl *geom.Placement, spacing float64) []geom.Point {
+	t.Helper()
+	region := pl.Bounds(5)
+	nx := int(region.W()/spacing) + 1
+	ny := int(region.H()/spacing) + 1
+	pts := make([]geom.Point, 0, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			pts = append(pts, geom.Pt(region.Min.X+float64(i)*spacing, region.Min.Y+float64(j)*spacing))
+		}
+	}
+	return pts
+}
+
+func maxAbsDiff(a, b tensor.Stress) float64 {
+	d := math.Abs(a.XX - b.XX)
+	if v := math.Abs(a.YY - b.YY); v > d {
+		d = v
+	}
+	if v := math.Abs(a.XY - b.XY); v > d {
+		d = v
+	}
+	return d
+}

@@ -1,0 +1,129 @@
+package geom
+
+//tsvlint:apiboundary
+
+import (
+	"fmt"
+
+	"tsvstress/internal/floats"
+)
+
+// EditOp enumerates the placement edit kinds an ECO flow performs.
+type EditOp int
+
+const (
+	// EditAdd inserts a new TSV at the end of the placement.
+	EditAdd EditOp = iota
+	// EditRemove deletes the TSV at Index (later TSVs shift down).
+	EditRemove
+	// EditMove relocates the TSV at Index to TSV.Center.
+	EditMove
+)
+
+// String implements fmt.Stringer.
+func (op EditOp) String() string {
+	switch op {
+	case EditAdd:
+		return "add"
+	case EditRemove:
+		return "remove"
+	case EditMove:
+		return "move"
+	}
+	return fmt.Sprintf("EditOp(%d)", int(op))
+}
+
+// Edit is one placement mutation. It is a value type so edit logs can
+// be copied, queued and replayed without aliasing surprises.
+type Edit struct {
+	// Op selects the mutation kind.
+	Op EditOp
+	// Index is the target TSV for Remove and Move (ignored for Add).
+	Index int
+	// TSV carries the new via for Add and the new center (and
+	// optionally a new name) for Move. Ignored for Remove.
+	TSV TSV
+}
+
+// String implements fmt.Stringer.
+func (e Edit) String() string {
+	switch e.Op {
+	case EditAdd:
+		return fmt.Sprintf("add %s at %s", e.TSV.Name, e.TSV.Center)
+	case EditRemove:
+		return fmt.Sprintf("remove #%d", e.Index)
+	default:
+		return fmt.Sprintf("move #%d to %s", e.Index, e.TSV.Center)
+	}
+}
+
+// Validate reports whether applying e to p would keep the placement
+// well formed: the target index must exist, new centers must be finite
+// (the same rejection Placement.Validate performs — a NaN center slips
+// through every pitch comparison downstream), and the new center must
+// not come closer than minPitch to any other TSV (overlapping vias are
+// physically impossible and break the models). It does not mutate p.
+func (e Edit) Validate(p *Placement, minPitch float64) error {
+	if !floats.IsFinite(minPitch) || minPitch < 0 {
+		return fmt.Errorf("geom: edit min pitch %g must be finite and non-negative", minPitch)
+	}
+	switch e.Op {
+	case EditAdd:
+		return e.validateCenter(p, -1, minPitch)
+	case EditRemove:
+		if e.Index < 0 || e.Index >= p.Len() {
+			return fmt.Errorf("geom: remove index %d outside placement of %d TSVs", e.Index, p.Len())
+		}
+		return nil
+	case EditMove:
+		if e.Index < 0 || e.Index >= p.Len() {
+			return fmt.Errorf("geom: move index %d outside placement of %d TSVs", e.Index, p.Len())
+		}
+		return e.validateCenter(p, e.Index, minPitch)
+	}
+	return fmt.Errorf("geom: unknown edit op %d", int(e.Op))
+}
+
+// validateCenter checks the finiteness and pitch constraints of the
+// edit's new center against every TSV except the one at skip.
+func (e Edit) validateCenter(p *Placement, skip int, minPitch float64) error {
+	c := e.TSV.Center
+	if !floats.AllFinite(c.X, c.Y) {
+		return fmt.Errorf("geom: %s center (%g, %g) is not finite", e.Op, c.X, c.Y)
+	}
+	for i, t := range p.TSVs {
+		if i == skip {
+			continue
+		}
+		if d := t.Center.Dist(c); d < minPitch {
+			return fmt.Errorf("geom: %s at %s would sit %.3g µm from TSV %d, below min pitch %.3g µm",
+				e.Op, c, d, i, minPitch)
+		}
+	}
+	return nil
+}
+
+// Apply validates e against p and then mutates p in place. Callers
+// holding a live analyzer over p must clone first (see Clone); the
+// incremental engine owns its clone and applies edits to it directly.
+func (e Edit) Apply(p *Placement, minPitch float64) error {
+	if err := e.Validate(p, minPitch); err != nil {
+		return err
+	}
+	switch e.Op {
+	case EditAdd:
+		t := e.TSV
+		if t.Name == "" {
+			t.Name = fmt.Sprintf("V%d", p.Len())
+		}
+		p.TSVs = append(p.TSVs, t)
+	case EditRemove:
+		p.TSVs = append(p.TSVs[:e.Index], p.TSVs[e.Index+1:]...)
+	case EditMove:
+		p.TSVs[e.Index].Center = e.TSV.Center
+		if e.TSV.Name != "" {
+			p.TSVs[e.Index].Name = e.TSV.Name
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package geom
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func threeTSVs() *Placement {
+	return NewPlacement(Pt(0, 0), Pt(20, 0), Pt(0, 20))
+}
+
+func TestPlacementClone(t *testing.T) {
+	p := threeTSVs()
+	q := p.Clone()
+	if q.Len() != p.Len() {
+		t.Fatalf("clone has %d TSVs, want %d", q.Len(), p.Len())
+	}
+	q.TSVs[0].Center = Pt(99, 99)
+	q.TSVs = append(q.TSVs, TSV{Center: Pt(50, 50)})
+	if p.TSVs[0].Center != Pt(0, 0) || p.Len() != 3 {
+		t.Fatal("mutating the clone leaked into the original")
+	}
+}
+
+func TestEditValidate(t *testing.T) {
+	p := threeTSVs()
+	const pitch = 6
+	cases := []struct {
+		name    string
+		e       Edit
+		wantErr string // substring; "" = valid
+	}{
+		{"add ok", Edit{Op: EditAdd, TSV: TSV{Center: Pt(20, 20)}}, ""},
+		{"add too close", Edit{Op: EditAdd, TSV: TSV{Center: Pt(1, 0)}}, "below min pitch"},
+		{"add NaN", Edit{Op: EditAdd, TSV: TSV{Center: Pt(math.NaN(), 0)}}, "not finite"},
+		{"add Inf", Edit{Op: EditAdd, TSV: TSV{Center: Pt(0, math.Inf(1))}}, "not finite"},
+		{"remove ok", Edit{Op: EditRemove, Index: 1}, ""},
+		{"remove negative", Edit{Op: EditRemove, Index: -1}, "outside placement"},
+		{"remove past end", Edit{Op: EditRemove, Index: 3}, "outside placement"},
+		{"move ok", Edit{Op: EditMove, Index: 0, TSV: TSV{Center: Pt(-10, -10)}}, ""},
+		{"move onto neighbor", Edit{Op: EditMove, Index: 0, TSV: TSV{Center: Pt(19, 0)}}, "below min pitch"},
+		{"move NaN", Edit{Op: EditMove, Index: 0, TSV: TSV{Center: Pt(0, math.NaN())}}, "not finite"},
+		{"move bad index", Edit{Op: EditMove, Index: 7, TSV: TSV{Center: Pt(5, 5)}}, "outside placement"},
+		{"unknown op", Edit{Op: EditOp(42)}, "unknown edit op"},
+	}
+	for _, tc := range cases {
+		err := tc.e.Validate(p, pitch)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+	// A NaN min pitch must be rejected, not silently pass comparisons.
+	if err := (Edit{Op: EditAdd, TSV: TSV{Center: Pt(50, 50)}}).Validate(p, math.NaN()); err == nil {
+		t.Error("NaN min pitch accepted")
+	}
+}
+
+func TestEditMoveSelfPitch(t *testing.T) {
+	// Moving a TSV a tiny step must not trip the pitch check against
+	// its own old position.
+	p := threeTSVs()
+	e := Edit{Op: EditMove, Index: 0, TSV: TSV{Center: Pt(0.5, 0)}}
+	if err := e.Validate(p, 6); err != nil {
+		t.Fatalf("small move rejected: %v", err)
+	}
+}
+
+func TestEditApply(t *testing.T) {
+	p := threeTSVs()
+	const pitch = 6
+
+	if err := (Edit{Op: EditAdd, TSV: TSV{Center: Pt(20, 20)}}).Apply(p, pitch); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 4 || p.TSVs[3].Center != Pt(20, 20) {
+		t.Fatalf("add: placement %+v", p.TSVs)
+	}
+	if p.TSVs[3].Name == "" {
+		t.Error("add: auto-name not assigned")
+	}
+
+	if err := (Edit{Op: EditMove, Index: 0, TSV: TSV{Center: Pt(-8, 0)}}).Apply(p, pitch); err != nil {
+		t.Fatal(err)
+	}
+	if p.TSVs[0].Center != Pt(-8, 0) {
+		t.Fatalf("move: center %v", p.TSVs[0].Center)
+	}
+	if p.TSVs[0].Name != "V0" {
+		t.Errorf("move without name overwrote designator: %q", p.TSVs[0].Name)
+	}
+
+	if err := (Edit{Op: EditRemove, Index: 1}).Apply(p, pitch); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 || p.TSVs[1].Center != Pt(0, 20) {
+		t.Fatalf("remove: placement %+v", p.TSVs)
+	}
+
+	// A failing edit must leave the placement untouched.
+	before := p.Clone()
+	if err := (Edit{Op: EditAdd, TSV: TSV{Center: Pt(0, 20.5)}}).Apply(p, pitch); err == nil {
+		t.Fatal("overlapping add accepted")
+	}
+	if p.Len() != before.Len() {
+		t.Error("failed edit mutated the placement")
+	}
+
+	// The resulting placement still passes the full validator.
+	if err := p.Validate(pitch); err != nil {
+		t.Fatalf("post-edit placement invalid: %v", err)
+	}
+}

@@ -36,6 +36,13 @@ func NewPlacement(centers ...Point) *Placement {
 // Len returns the number of TSVs.
 func (p *Placement) Len() int { return len(p.TSVs) }
 
+// Clone returns a deep copy of the placement. Analyzers hold their
+// placement by pointer and assume it never changes, so any flow that
+// edits a placement (see Edit) must operate on a clone.
+func (p *Placement) Clone() *Placement {
+	return &Placement{TSVs: append([]TSV(nil), p.TSVs...)}
+}
+
 // Centers returns the TSV center points in order.
 func (p *Placement) Centers() []Point {
 	cs := make([]Point, len(p.TSVs))

@@ -1,0 +1,86 @@
+//tsvlint:hotpath
+
+package incr
+
+import (
+	"tsvstress/internal/core"
+	"tsvstress/internal/geom"
+)
+
+// dirtySlack absorbs floating-point rounding in the disc-vs-tile
+// distance tests, keeping the dirty tile set a strict superset of the
+// affected points (mirrors the gather slack inside core's tile engine).
+const dirtySlack = 1e-6
+
+// markEdit marks every tile an edit with the given sites (old and/or
+// new TSV centers) can affect, and invalidates the round-reuse mapping
+// of every victim whose aggressor set the edit changed.
+//
+// Locality argument (the dirty-tile invariant, DESIGN.md §12): a point
+// p changes value only if (a) a site is within LSCutoff of p — Stage I
+// gains or loses that single-TSV contribution — or (b) some victim v
+// with a changed round set is within PairDistCutoff of p. Changed
+// victims are exactly the edited TSV itself (a site) and the TSVs
+// within PairPitchCutoff of a site. Marking disc(site, siteRadius) and
+// disc(v, PairDistCutoff) for those victims therefore covers every
+// affected point; tile membership adds the half-diagonal.
+func (e *Engine) markEdit(sites []geom.Point) {
+	opt := e.an.Options()
+	pair := e.mode == core.ModeFull || e.mode == core.ModeInteractive
+	siteR := opt.LSCutoff
+	if pair && opt.PairDistCutoff > siteR {
+		siteR = opt.PairDistCutoff
+	}
+	for _, c := range sites {
+		e.markDisc(c, siteR)
+	}
+	// Victims whose round set changed: TSVs within PairPitchCutoff of a
+	// site. Their packed rounds must be re-aggregated at the next flush
+	// regardless of mode (the rebuilt analyzer also backs reliability
+	// screening); their influence discs dirty tiles only when Stage II
+	// contributes to the session's field.
+	pitch2 := opt.PairPitchCutoff * opt.PairPitchCutoff
+	for u := range e.pl.TSVs {
+		c := e.pl.TSVs[u].Center
+		for _, s := range sites {
+			dx := c.X - s.X
+			dy := c.Y - s.Y
+			if dx*dx+dy*dy <= pitch2 {
+				e.prevIdx[u] = -1
+				if pair {
+					e.markDisc(c, opt.PairDistCutoff)
+				}
+				break
+			}
+		}
+	}
+}
+
+// markDisc marks dirty every tile whose points could lie within radius
+// of c.
+func (e *Engine) markDisc(c geom.Point, radius float64) {
+	r := radius + e.tiling.HalfDiag() + dirtySlack
+	r2 := r * r
+	n := e.tiling.NumTiles()
+	for id := 0; id < n; id++ {
+		if e.dirty[id] {
+			continue
+		}
+		tc := e.tiling.TileCenter(id)
+		dx := tc.X - c.X
+		dy := tc.Y - c.Y
+		if dx*dx+dy*dy <= r2 {
+			e.dirty[id] = true
+		}
+	}
+}
+
+// collectDirty appends the ids of the set tiles to dst and returns it.
+func collectDirty(dst []int32, dirty []bool) []int32 {
+	for id := range dirty {
+		if dirty[id] {
+			dst = append(dst, int32(id))
+		}
+	}
+	return dst
+}

@@ -1,0 +1,256 @@
+// Package incr implements incremental full-chip stress evaluation over
+// a mutable placement — the ECO (engineering change order) workload:
+// a designer adds, removes or moves a handful of TSVs and wants the
+// updated stress map without paying for a from-scratch recompute.
+//
+// The paper's framework makes this possible because both stages are
+// local: a simulation point's Stage I sum only sees TSVs within
+// LSCutoff, and its Stage II correction only sees pair rounds whose
+// victim lies within PairDistCutoff (with aggressors within
+// PairPitchCutoff of that victim). Editing one TSV therefore perturbs
+// the field only inside a bounded region:
+//
+//   - Stage I changes inside disc(site, LSCutoff) around each edit
+//     site (the old and/or new center);
+//   - Stage II changes inside disc(v, PairDistCutoff) for every victim
+//     v whose round set changed — the edited TSV itself plus every TSV
+//     within PairPitchCutoff of an edit site.
+//
+// The engine pins one core.Tiling over the session's fixed simulation
+// points, marks the tiles intersecting those discs dirty as edits are
+// applied, and on Flush rebuilds the analyzer through the edit-aware
+// constructor (core.Analyzer.Rebuild — shared Stage I table, shared
+// interactive model and pitch-coefficient cache, per-victim rounds
+// re-aggregated only where an edit touched them) and re-evaluates just
+// the dirty tiles concurrently. Clean tiles keep their values, which is
+// exact: their true field is unchanged, and the dirty-disc geometry
+// above is a superset of every affected point (the parity property test
+// pins incremental-vs-scratch agreement at ≤1e-9 MPa).
+//
+// An Engine is not safe for concurrent use; callers (internal/serve
+// sessions) serialize access.
+package incr
+
+import (
+	"fmt"
+
+	"tsvstress/internal/core"
+	"tsvstress/internal/geom"
+	"tsvstress/internal/material"
+	"tsvstress/internal/tensor"
+)
+
+// Engine is an incremental stress-map session: one structure, one
+// evaluation mode, one fixed simulation-point set, and a placement that
+// evolves through Apply calls.
+type Engine struct {
+	st       material.Structure
+	mode     core.Mode
+	minPitch float64
+
+	pl *geom.Placement // current placement (owned clone)
+	an *core.Analyzer  // analyzer of the last-flushed placement
+
+	pts    []geom.Point // owned copy of the simulation points
+	tiling *core.Tiling
+	vals   []tensor.Stress
+
+	// prevIdx[j] is the index TSV j held in the last-flushed analyzer
+	// when its center and full aggressor neighborhood are unchanged
+	// since the flush, else -1 (see core.Analyzer.Rebuild).
+	prevIdx []int
+	dirty   []bool  // per-tile dirty flags
+	ids     []int32 // scratch: dirty tile ids for EvalTiles
+
+	pendingEdits int
+	stats        Stats
+}
+
+// Stats reports the engine's incremental-evaluation counters.
+type Stats struct {
+	// Edits is the total number of applied edits.
+	Edits int
+	// Flushes is the number of Flush calls that re-evaluated tiles.
+	Flushes int
+	// TotalTiles is the tile count of the session's partition.
+	TotalTiles int
+	// LastDirtyTiles is the number of tiles the last flush re-evaluated.
+	LastDirtyTiles int
+	// LastDirtyRatio is LastDirtyTiles / TotalTiles (0 when no flush
+	// has run).
+	LastDirtyRatio float64
+	// CoeffCacheEntries and CoeffCacheHits mirror the shared interact
+	// model's pitch-keyed coefficient cache (entries solved, rounds
+	// served from cache).
+	CoeffCacheEntries int
+	CoeffCacheHits    int
+}
+
+// New builds an engine: it constructs the analyzer, partitions the
+// simulation points into tiles, and evaluates the initial full map.
+// The placement and points are copied; later mutation of the caller's
+// slices does not affect the session.
+func New(st material.Structure, pl *geom.Placement, pts []geom.Point, mode core.Mode, opt core.Options) (*Engine, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("incr: empty simulation point set")
+	}
+	an, err := core.New(st, pl.Clone(), opt)
+	if err != nil {
+		return nil, err
+	}
+	eff := an.Options()
+	cutoff := eff.LSCutoff
+	if (mode == core.ModeFull || mode == core.ModeInteractive) && eff.PairDistCutoff > cutoff {
+		cutoff = eff.PairDistCutoff
+	}
+	own := append([]geom.Point(nil), pts...)
+	// Partition finer than MapInto's transient tiling (side cutoff/16
+	// instead of cutoff/2): an edit dirties the tiles intersecting its
+	// influence discs, so a smaller half-diagonal both tightens that
+	// tile set and shrinks the per-tile gather radius, at a per-tile
+	// gather overhead that stays negligible against the points a
+	// coarser dirty boundary would needlessly re-evaluate (measured:
+	// single-move flush 470 ms → 302 ms on the 1000-TSV/250k-pt bench).
+	tl, err := core.NewTiling(own, cutoff/8)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		st:       st,
+		mode:     mode,
+		minPitch: 2 * st.RPrime,
+		pl:       pl.Clone(),
+		an:       an,
+		pts:      own,
+		tiling:   tl,
+		vals:     make([]tensor.Stress, len(own)),
+		prevIdx:  make([]int, pl.Len()),
+		dirty:    make([]bool, tl.NumTiles()),
+	}
+	for j := range e.prevIdx {
+		e.prevIdx[j] = j
+	}
+	e.stats.TotalTiles = tl.NumTiles()
+	if err := an.MapInto(e.vals, e.pts, mode); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// NumTSVs returns the current TSV count (including unflushed edits).
+func (e *Engine) NumTSVs() int { return e.pl.Len() }
+
+// NumPoints returns the session's simulation-point count.
+func (e *Engine) NumPoints() int { return len(e.pts) }
+
+// Mode returns the evaluation mode the session is pinned to.
+func (e *Engine) Mode() core.Mode { return e.mode }
+
+// Points returns the session's simulation points. The slice is owned
+// by the engine; callers must not mutate it.
+func (e *Engine) Points() []geom.Point { return e.pts }
+
+// Values returns the current stress map in point order. The slice is
+// owned by the engine and rewritten in place by Flush; callers must
+// not mutate it and must not read it concurrently with Flush. With
+// edits pending it reflects the last flushed placement.
+func (e *Engine) Values() []tensor.Stress { return e.vals }
+
+// Placement returns a clone of the current placement (including
+// unflushed edits).
+func (e *Engine) Placement() *geom.Placement { return e.pl.Clone() }
+
+// Analyzer returns the analyzer of the last-flushed placement — the
+// evaluator reliability screening and keep-out-zone scans run against.
+// It is immutable and safe for concurrent use, but stale while edits
+// are pending; call Flush first.
+func (e *Engine) Analyzer() *core.Analyzer { return e.an }
+
+// Pending returns the number of edits applied since the last Flush.
+func (e *Engine) Pending() int { return e.pendingEdits }
+
+// Stats returns the engine counters, including the shared coefficient
+// cache state.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.CoeffCacheEntries, s.CoeffCacheHits = e.an.Model.CoeffCacheStats()
+	return s
+}
+
+// Apply validates ed against the current placement and applies it,
+// marking the affected tiles dirty. The field map is not updated until
+// Flush. A failed edit leaves the session unchanged.
+func (e *Engine) Apply(ed geom.Edit) error {
+	// Capture the old center before the placement mutates.
+	var oldC geom.Point
+	hasOld := ed.Op == geom.EditRemove || ed.Op == geom.EditMove
+	if hasOld {
+		if ed.Index < 0 || ed.Index >= e.pl.Len() {
+			return fmt.Errorf("incr: edit index %d outside placement of %d TSVs", ed.Index, e.pl.Len())
+		}
+		oldC = e.pl.TSVs[ed.Index].Center
+	}
+	if err := ed.Apply(e.pl, e.minPitch); err != nil {
+		return err
+	}
+
+	// Maintain the index mapping into the last-flushed analyzer.
+	switch ed.Op {
+	case geom.EditAdd:
+		e.prevIdx = append(e.prevIdx, -1)
+	case geom.EditRemove:
+		e.prevIdx = append(e.prevIdx[:ed.Index], e.prevIdx[ed.Index+1:]...)
+	case geom.EditMove:
+		e.prevIdx[ed.Index] = -1
+	}
+
+	// Edit sites: centers whose single-TSV contribution and round
+	// participation changed.
+	var sites [2]geom.Point
+	ns := 0
+	if hasOld {
+		sites[ns] = oldC
+		ns++
+	}
+	if ed.Op == geom.EditAdd || ed.Op == geom.EditMove {
+		sites[ns] = ed.TSV.Center
+		ns++
+	}
+	e.markEdit(sites[:ns])
+
+	e.pendingEdits++
+	e.stats.Edits++
+	return nil
+}
+
+// Flush rebuilds the analyzer for the edited placement (reusing the
+// solved models and every untouched victim's packed rounds) and
+// re-evaluates the dirty tiles, returning the updated map (the same
+// slice Values returns). With no pending edits it returns immediately.
+func (e *Engine) Flush() ([]tensor.Stress, error) {
+	if e.pendingEdits == 0 {
+		return e.vals, nil
+	}
+	prevIdx := e.prevIdx
+	an, err := e.an.Rebuild(e.pl.Clone(), func(j int) int { return prevIdx[j] })
+	if err != nil {
+		return nil, err
+	}
+	e.an = an
+	e.ids = collectDirty(e.ids[:0], e.dirty)
+	if err := an.EvalTiles(e.vals, e.pts, e.tiling, e.ids, e.mode); err != nil {
+		return nil, err
+	}
+	for i := range e.dirty {
+		e.dirty[i] = false
+	}
+	e.prevIdx = e.prevIdx[:0]
+	for j := 0; j < e.pl.Len(); j++ {
+		e.prevIdx = append(e.prevIdx, j)
+	}
+	e.stats.Flushes++
+	e.stats.LastDirtyTiles = len(e.ids)
+	e.stats.LastDirtyRatio = float64(len(e.ids)) / float64(e.stats.TotalTiles)
+	e.pendingEdits = 0
+	return e.vals, nil
+}

@@ -104,6 +104,21 @@ func WorstCase(s tensor.Stress, k Coefficients) (shift, theta float64) {
 	return mean + amp, phi/2 + math.Pi/2
 }
 
+// WorstCaseOver returns the most negative worst-orientation Δµ/µ, as a
+// dimensionless fraction, over a set of sampled stresses in MPa, plus
+// the index at which it occurs (0, -1 for an empty set) — the per-TSV
+// summary that interface-ring screens feed to the serving layer.
+func WorstCaseOver(stresses []tensor.Stress, k Coefficients) (shift float64, at int) {
+	at = -1
+	for i, s := range stresses {
+		w, _ := WorstCase(s, k)
+		if at < 0 || w < shift {
+			shift, at = w, i
+		}
+	}
+	return shift, at
+}
+
 // Validate rejects non-finite coefficients.
 func (k Coefficients) Validate() error {
 	for _, v := range []float64{k.PiL, k.PiT} {

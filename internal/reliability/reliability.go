@@ -38,6 +38,10 @@ type RingSample struct {
 	SigmaRT float64
 	// VonMises is the equivalent stress in MPa (yield driver).
 	VonMises float64
+	// Stress is the raw Cartesian tensor at the sample in MPa, kept so
+	// downstream consumers (mobility screening, serving) can derive
+	// further figures of merit without re-evaluating the field.
+	Stress tensor.Stress
 }
 
 // TSVReport is the reliability screening result of one via.
@@ -95,7 +99,7 @@ func Screen(pl *geom.Placement, st material.Structure, eval Evaluator, opt Optio
 			p := geom.Pt(t.Center.X+r*math.Cos(th), t.Center.Y+r*math.Sin(th))
 			s := eval(p)
 			pol := s.ToPolar(th)
-			sample := RingSample{Theta: th, SigmaRR: pol.RR, SigmaRT: pol.RT, VonMises: s.VonMises()}
+			sample := RingSample{Theta: th, SigmaRR: pol.RR, SigmaRT: pol.RT, VonMises: s.VonMises(), Stress: s}
 			rep.Samples = append(rep.Samples, sample)
 			if pol.RR > rep.MaxTension {
 				rep.MaxTension = pol.RR

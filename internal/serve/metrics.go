@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"expvar"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tsvstress/internal/incr"
+)
+
+// Service metrics, published once under the "tsvserve" expvar map (the
+// package may construct many Servers — tests do — but expvar names are
+// process-global, so the vars live at package level and aggregate).
+var (
+	metricRequests  = new(expvar.Int)   // compute requests accepted for admission
+	metricRejects   = new(expvar.Int)   // admission rejections (503)
+	metricInFlight  = new(expvar.Int)   // currently executing compute requests
+	metricSessions  = new(expvar.Int)   // live placement sessions
+	metricEdits     = new(expvar.Int)   // applied edits
+	metricFlushes   = new(expvar.Int)   // incremental flushes
+	metricDirtyTile = new(expvar.Float) // dirty-tile ratio of the last flush
+	metricCacheEnt  = new(expvar.Int)   // pitch-coefficient cache entries
+	metricCacheHits = new(expvar.Int)   // pitch-coefficient cache hits
+	editLatency     = newHistogram("edit_latency_ms",
+		1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500)
+)
+
+func init() {
+	m := expvar.NewMap("tsvserve")
+	m.Set("requests_total", metricRequests)
+	m.Set("admission_rejects_total", metricRejects)
+	m.Set("in_flight", metricInFlight)
+	m.Set("sessions", metricSessions)
+	m.Set("edits_total", metricEdits)
+	m.Set("flushes_total", metricFlushes)
+	m.Set("last_dirty_tile_ratio", metricDirtyTile)
+	m.Set("coeff_cache_entries", metricCacheEnt)
+	m.Set("coeff_cache_hits", metricCacheHits)
+	m.Set("edit_latency_ms", editLatency.m)
+}
+
+// histogram is a fixed-bucket latency histogram over expvar counters:
+// cumulative "le_<bound>" buckets plus count and sum, the layout
+// scrapers expect from Prometheus-style histograms.
+type histogram struct {
+	bounds  []float64 // upper bounds, ascending
+	buckets []*expvar.Int
+	inf     *expvar.Int
+	count   *expvar.Int
+	sum     *expvar.Float
+	m       *expvar.Map
+}
+
+func newHistogram(name string, bounds ...float64) *histogram {
+	h := &histogram{
+		bounds: bounds,
+		inf:    new(expvar.Int),
+		count:  new(expvar.Int),
+		sum:    new(expvar.Float),
+		m:      new(expvar.Map),
+	}
+	for _, b := range bounds {
+		v := new(expvar.Int)
+		h.buckets = append(h.buckets, v)
+		h.m.Set("le_"+strconv.FormatFloat(b, 'g', -1, 64), v)
+	}
+	h.m.Set("le_inf", h.inf)
+	h.m.Set("count", h.count)
+	h.m.Set("sum", h.sum)
+	return h
+}
+
+// observe records one duration. Buckets are cumulative: every bucket
+// whose bound is ≥ the value increments.
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	h.count.Add(1)
+	h.sum.Add(ms)
+	h.inf.Add(1)
+	for i, b := range h.bounds {
+		if ms <= b {
+			h.buckets[i].Add(1)
+		}
+	}
+}
+
+// recordFlush publishes the engine counters of the session that just
+// flushed.
+func recordFlush(st incr.Stats, elapsed time.Duration) {
+	metricFlushes.Add(1)
+	metricDirtyTile.Set(st.LastDirtyRatio)
+	metricCacheEnt.Set(int64(st.CoeffCacheEntries))
+	metricCacheHits.Set(int64(st.CoeffCacheHits))
+	editLatency.observe(elapsed)
+}
+
+// expvarHandler exposes the process expvar page (/debug/vars).
+func expvarHandler() http.Handler { return expvar.Handler() }

@@ -1,0 +1,217 @@
+// Package serve exposes the incremental stress-map engine as a
+// long-lived JSON-over-HTTP service — the ECO loop as an API. Each
+// placement uploaded through POST /v1/placements becomes a session
+// holding an incr.Engine (analyzer, tile partition, current field map);
+// edits stream in through POST /v1/placements/{id}/edits and flush
+// incrementally; GET .../map and GET .../screen read the maintained
+// field without recomputation.
+//
+// Concurrency model: the session table is guarded by one mutex; every
+// session serializes its own engine access with a per-session mutex, so
+// two placements evaluate concurrently while edits to one placement are
+// ordered. Compute-bearing requests pass an admission semaphore
+// (Options.MaxInFlight) and observe the request context: a request that
+// cannot start before its deadline (or before AdmissionWait elapses) is
+// rejected with 503 instead of queueing unboundedly — load sheds at the
+// door, not in the middle of a half-applied edit batch.
+//
+// Observability: expvar metrics under "tsvserve" (see metrics.go) —
+// edit-latency histogram, dirty-tile ratio of the last flush, shared
+// coefficient-cache stats, in-flight and rejected request counts.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"tsvstress/internal/incr"
+	"tsvstress/internal/material"
+)
+
+// Options configures the service. Zero values select production-safe
+// defaults.
+type Options struct {
+	// MaxSessions bounds the number of live placement sessions
+	// (default 16). Each session pins its field map and tile partition
+	// in memory.
+	MaxSessions int
+	// MaxTSVs bounds the TSV count of one placement (default 20000).
+	MaxTSVs int
+	// MaxPoints bounds the simulation-point count of one session
+	// (default 2,000,000).
+	MaxPoints int
+	// MaxInFlight bounds concurrently executing compute requests
+	// (default 2×GOMAXPROCS is excessive for tile-parallel work; the
+	// default is 4).
+	MaxInFlight int
+	// AdmissionWait is how long a request may wait for an execution
+	// slot before 503 (default 5s; the request context's own deadline
+	// applies too, whichever is sooner).
+	AdmissionWait time.Duration
+	// RequestTimeout is the per-request compute deadline applied when
+	// the incoming context has none (default 60s).
+	RequestTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 16
+	}
+	if o.MaxTSVs <= 0 {
+		o.MaxTSVs = 20000
+	}
+	if o.MaxPoints <= 0 {
+		o.MaxPoints = 2_000_000
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 4
+	}
+	if o.AdmissionWait <= 0 {
+		o.AdmissionWait = 5 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 60 * time.Second
+	}
+	return o
+}
+
+// Server is the service state: the session table and the admission
+// semaphore. Create one with NewServer and mount Handler on an
+// http.Server.
+type Server struct {
+	opt Options
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int
+}
+
+// session is one live placement: an engine plus the bookkeeping the
+// handlers need. All engine access happens under mu.
+type session struct {
+	mu      sync.Mutex
+	id      string
+	engine  *incr.Engine
+	st      material.Structure
+	liner   string
+	mode    string
+	created time.Time
+}
+
+// NewServer builds a service with no sessions.
+func NewServer(opt Options) *Server {
+	return &Server{opt: opt.withDefaults(), sessions: make(map[string]*session)}
+}
+
+// Handler returns the service's HTTP handler, including the expvar
+// endpoint at /debug/vars.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/placements", s.instrument("create", s.handleCreate))
+	mux.HandleFunc("GET /v1/placements", s.handleList)
+	mux.HandleFunc("POST /v1/placements/{id}/edits", s.instrument("edits", s.handleEdits))
+	mux.HandleFunc("GET /v1/placements/{id}/map", s.instrument("map", s.handleMap))
+	mux.HandleFunc("GET /v1/placements/{id}/screen", s.instrument("screen", s.handleScreen))
+	mux.HandleFunc("DELETE /v1/placements/{id}", s.handleDelete)
+	mux.Handle("GET /debug/vars", expvarHandler())
+	return mux
+}
+
+// NumSessions returns the live session count.
+func (s *Server) NumSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// instrument wraps a compute-bearing handler with admission control,
+// the default compute deadline and the request counters.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		metricRequests.Add(1)
+		ctx := r.Context()
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.opt.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		release, err := s.admit(ctx)
+		if err != nil {
+			metricRejects.Add(1)
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("%s: server at capacity (%d in flight): %v", name, s.opt.MaxInFlight, err))
+			return
+		}
+		defer release()
+		metricInFlight.Add(1)
+		defer metricInFlight.Add(-1)
+		h(w, r)
+	}
+}
+
+// admissionSlots is the process-wide compute semaphore, sized lazily
+// from the first server's options (tests creating several servers
+// share it; sizing races are harmless because the channel is only
+// created once).
+var (
+	admitOnce sync.Once
+	admitCh   chan struct{}
+)
+
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	admitOnce.Do(func() { admitCh = make(chan struct{}, s.opt.MaxInFlight) })
+	wait := time.NewTimer(s.opt.AdmissionWait)
+	defer wait.Stop()
+	select {
+	case admitCh <- struct{}{}:
+		return func() { <-admitCh }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-wait.C:
+		return nil, fmt.Errorf("no slot within %v", s.opt.AdmissionWait)
+	}
+}
+
+// getSession looks up a session by the request's {id} path value.
+func (s *Server) getSession(r *http.Request) (*session, error) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ses, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown placement %q", id)
+	}
+	return ses, nil
+}
+
+// addSession registers a new session, enforcing MaxSessions.
+func (s *Server) addSession(ses *session) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.sessions) >= s.opt.MaxSessions {
+		return "", fmt.Errorf("session limit %d reached; DELETE an existing placement first", s.opt.MaxSessions)
+	}
+	s.nextID++
+	id := "p" + strconv.Itoa(s.nextID)
+	ses.id = id
+	s.sessions[id] = ses
+	metricSessions.Set(int64(len(s.sessions)))
+	return id, nil
+}
+
+func (s *Server) dropSession(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[id]; !ok {
+		return false
+	}
+	delete(s.sessions, id)
+	metricSessions.Set(int64(len(s.sessions)))
+	return true
+}

@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tsvstress/internal/core"
+	"tsvstress/internal/field"
+	"tsvstress/internal/geom"
+	"tsvstress/internal/material"
+	"tsvstress/internal/tensor"
+)
+
+// testPlacement is a 6x6 lattice at 24 µm pitch — large enough that an
+// edit's influence discs (≤ ~50 µm radius) cover only part of the chip.
+func testPlacement() CreateRequest {
+	req := CreateRequest{Spacing: 2, Margin: 5}
+	for j := 0; j < 6; j++ {
+		for i := 0; i < 6; i++ {
+			req.TSVs = append(req.TSVs, TSVWire{X: float64(24 * i), Y: float64(24 * j)})
+		}
+	}
+	return req
+}
+
+func doJSON(t *testing.T, client *http.Client, method, url string, body, out any) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && len(raw) > 0 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, raw, err)
+		}
+	}
+	return resp
+}
+
+// TestServeLifecycle is the end-to-end smoke test CI runs: create a
+// placement, edit it, and verify the served map matches a from-scratch
+// evaluation of the edited placement.
+func TestServeLifecycle(t *testing.T) {
+	s := NewServer(Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	// Create.
+	var created CreateResponse
+	if resp := doJSON(t, c, "POST", ts.URL+"/v1/placements", testPlacement(), &created); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	if created.NumTSVs != 36 || created.NumPoints == 0 || created.Mode != "full" || created.Liner != "bcb" {
+		t.Fatalf("create response %+v", created)
+	}
+
+	// Health and list.
+	if resp := doJSON(t, c, "GET", ts.URL+"/healthz", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+	var list struct{ Placements []SessionInfo }
+	doJSON(t, c, "GET", ts.URL+"/v1/placements", nil, &list)
+	if len(list.Placements) != 1 || list.Placements[0].ID != created.ID {
+		t.Fatalf("list %+v", list)
+	}
+
+	// First batch: one corner move, whose influence discs cover only a
+	// corner of the chip — the flush must be incremental.
+	var er EditsResponse
+	moveBatch := EditsRequest{Edits: []EditWire{{Op: "move", Index: 0, X: 2, Y: 2}}}
+	if resp := doJSON(t, c, "POST", ts.URL+"/v1/placements/"+created.ID+"/edits", moveBatch, &er); resp.StatusCode != http.StatusOK {
+		t.Fatalf("edits: status %d", resp.StatusCode)
+	}
+	if er.Applied != 1 || er.NumTSVs != 36 {
+		t.Fatalf("edits response %+v", er)
+	}
+	if er.DirtyTiles == 0 || er.DirtyRatio > 0.5 {
+		t.Fatalf("corner move dirtied %d of %d tiles (%.2f) — not incremental", er.DirtyTiles, er.TotalTiles, er.DirtyRatio)
+	}
+
+	// Second batch: add and remove together.
+	addRemove := EditsRequest{Edits: []EditWire{
+		{Op: "add", X: 12, Y: 36},
+		{Op: "remove", Index: 3},
+	}}
+	if resp := doJSON(t, c, "POST", ts.URL+"/v1/placements/"+created.ID+"/edits", addRemove, &er); resp.StatusCode != http.StatusOK {
+		t.Fatalf("edits 2: status %d", resp.StatusCode)
+	}
+	if er.Applied != 2 || er.NumTSVs != 36 {
+		t.Fatalf("edits 2 response %+v", er)
+	}
+
+	// Map summary + values, checked against a from-scratch analyzer over
+	// the same grid and edited placement.
+	var mp MapResponse
+	if resp := doJSON(t, c, "GET", ts.URL+"/v1/placements/"+created.ID+"/map?component=xx&values=1", nil, &mp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("map: status %d", resp.StatusCode)
+	}
+	if mp.NumPoints != created.NumPoints || len(mp.Values) != mp.NumPoints {
+		t.Fatalf("map response: %d points, %d values (created %d)", mp.NumPoints, len(mp.Values), created.NumPoints)
+	}
+	st := material.Baseline(material.BCB)
+	pl := &geom.Placement{}
+	for _, tw := range testPlacement().TSVs {
+		pl.TSVs = append(pl.TSVs, geom.TSV{Center: geom.Pt(tw.X, tw.Y)})
+	}
+	grid, err := field.NewGrid(pl.Bounds(5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ed := range []geom.Edit{
+		{Op: geom.EditMove, Index: 0, TSV: geom.TSV{Center: geom.Pt(2, 2)}},
+		{Op: geom.EditAdd, TSV: geom.TSV{Center: geom.Pt(12, 36)}},
+		{Op: geom.EditRemove, Index: 3},
+	} {
+		if err := ed.Apply(pl, 2*st.RPrime); err != nil {
+			t.Fatal(err)
+		}
+	}
+	an, err := core.New(st, pl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]tensor.Stress, grid.Len())
+	if err := an.MapInto(want, grid.Points(), core.ModeFull); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range mp.Values {
+		if d := math.Abs(v - want[i].XX); d > 1e-9 {
+			t.Fatalf("served map differs from scratch by %g MPa at point %d", d, i)
+		}
+	}
+
+	// CSV export.
+	resp, err := c.Get(ts.URL + "/v1/placements/" + created.ID + "/map?component=vm&format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(csv), "x,y,stress_vm") {
+		t.Fatalf("csv: status %d, head %q", resp.StatusCode, string(csv[:min(len(csv), 40)]))
+	}
+	if got := strings.Count(string(csv), "\n"); got != mp.NumPoints+1 {
+		t.Fatalf("csv has %d lines, want %d", got, mp.NumPoints+1)
+	}
+
+	// Screen: ranked by tension, KOZ radii at least the via radius.
+	var sc ScreenResponse
+	if resp := doJSON(t, c, "GET", ts.URL+"/v1/placements/"+created.ID+"/screen?top=5&threshold=10", nil, &sc); resp.StatusCode != http.StatusOK {
+		t.Fatalf("screen: status %d", resp.StatusCode)
+	}
+	if sc.NumTSVs != 36 || len(sc.TSVs) != 5 {
+		t.Fatalf("screen response %+v", sc)
+	}
+	for i := 1; i < len(sc.TSVs); i++ {
+		if sc.TSVs[i].MaxTension > sc.TSVs[i-1].MaxTension {
+			t.Fatal("screen results not ranked by tension")
+		}
+	}
+	if sc.KOZNMOS < st.RPrime || sc.KOZPMOS < st.RPrime {
+		t.Fatalf("KOZ radii %g/%g below via radius %g", sc.KOZNMOS, sc.KOZPMOS, st.RPrime)
+	}
+
+	// Metrics page mentions our counters.
+	resp, err = c.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(vars), "tsvserve") || !strings.Contains(string(vars), "edit_latency_ms") {
+		t.Fatal("expvar page missing tsvserve metrics")
+	}
+
+	// Delete, then the session is gone.
+	if resp := doJSON(t, c, "DELETE", ts.URL+"/v1/placements/"+created.ID, nil, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, c, "GET", ts.URL+"/v1/placements/"+created.ID+"/map", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("map after delete: status %d", resp.StatusCode)
+	}
+}
+
+func TestServeRejectsBadRequests(t *testing.T) {
+	s := NewServer(Options{MaxSessions: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	var created CreateResponse
+	doJSON(t, c, "POST", ts.URL+"/v1/placements", testPlacement(), &created)
+	base := ts.URL + "/v1/placements/" + created.ID
+
+	cases := []struct {
+		name   string
+		method string
+		url    string
+		body   any
+		status int
+	}{
+		{"empty placement", "POST", ts.URL + "/v1/placements", CreateRequest{}, http.StatusBadRequest},
+		{"bad liner", "POST", ts.URL + "/v1/placements", CreateRequest{TSVs: []TSVWire{{X: 0, Y: 0}}, Liner: "cu"}, http.StatusUnprocessableEntity},
+		{"session limit", "POST", ts.URL + "/v1/placements", testPlacement(), http.StatusTooManyRequests},
+		{"unknown placement", "POST", ts.URL + "/v1/placements/nope/edits", EditsRequest{Edits: []EditWire{{Op: "remove"}}}, http.StatusNotFound},
+		{"empty batch", "POST", base + "/edits", EditsRequest{}, http.StatusBadRequest},
+		{"unknown op", "POST", base + "/edits", EditsRequest{Edits: []EditWire{{Op: "teleport"}}}, http.StatusBadRequest},
+		{"pitch violation", "POST", base + "/edits", EditsRequest{Edits: []EditWire{{Op: "add", X: 0.5, Y: 0}}}, http.StatusUnprocessableEntity},
+		{"bad component", "GET", base + "/map?component=zz", nil, http.StatusBadRequest},
+		{"bad format", "GET", base + "/map?format=xml", nil, http.StatusBadRequest},
+		{"mode mismatch", "GET", base + "/map?mode=ls", nil, http.StatusConflict},
+		{"bad ntheta", "GET", base + "/screen?ntheta=2", nil, http.StatusBadRequest},
+		{"delete unknown", "DELETE", ts.URL + "/v1/placements/nope", nil, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		var em errorResponse
+		resp := doJSON(t, c, tc.method, tc.url, tc.body, &em)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, em.Error)
+		} else if em.Error == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+	}
+
+	// The failed (atomic) batch must not have mutated the placement.
+	var list struct{ Placements []SessionInfo }
+	doJSON(t, c, "GET", ts.URL+"/v1/placements", nil, &list)
+	if len(list.Placements) != 1 || list.Placements[0].NumTSVs != 36 {
+		t.Fatalf("rejected edits mutated the session: %+v", list)
+	}
+}
+
+// TestServeAtomicBatch pins the rehearsal semantics: a batch whose last
+// edit is invalid applies none of its edits.
+func TestServeAtomicBatch(t *testing.T) {
+	s := NewServer(Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	var created CreateResponse
+	doJSON(t, c, "POST", ts.URL+"/v1/placements", testPlacement(), &created)
+	batch := EditsRequest{Edits: []EditWire{
+		{Op: "move", Index: 5, X: 122, Y: 2}, // valid alone
+		{Op: "add", X: 122.5, Y: 2},          // collides with the moved via
+	}}
+	var em errorResponse
+	resp := doJSON(t, c, "POST", ts.URL+"/v1/placements/"+created.ID+"/edits", batch, &em)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("batch: status %d (%s)", resp.StatusCode, em.Error)
+	}
+	if !strings.Contains(em.Error, "edit 1") {
+		t.Fatalf("error %q does not name the failing edit", em.Error)
+	}
+	var list struct{ Placements []SessionInfo }
+	doJSON(t, c, "GET", ts.URL+"/v1/placements", nil, &list)
+	if list.Placements[0].NumTSVs != 36 || list.Placements[0].Pending != 0 {
+		t.Fatalf("failed batch left state behind: %+v", list.Placements[0])
+	}
+}
