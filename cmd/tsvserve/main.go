@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	tsvserve -addr :8080
+//	tsvserve -addr :8080 -wal /var/lib/tsvserve/wal
 //
-// API (JSON; see DESIGN.md §12):
+// API (JSON; see DESIGN.md §12–13):
 //
 //	POST   /v1/placements               create a session from a placement
 //	GET    /v1/placements               list sessions
@@ -14,10 +14,16 @@
 //	GET    /v1/placements/{id}/map      field summary, or CSV with format=csv
 //	GET    /v1/placements/{id}/screen   reliability ranking + KOZ radii
 //	DELETE /v1/placements/{id}          drop a session
-//	GET    /healthz, GET /debug/vars    liveness and expvar metrics
+//	GET    /healthz                     liveness (200 while the process runs)
+//	GET    /readyz                      readiness (recovery done, queue sane)
+//	GET    /debug/vars                  expvar metrics
 //
-// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests before exiting.
+// With -wal set, every accepted edit batch is journaled and synced
+// before it is acknowledged, and on startup the server rebuilds its
+// sessions from the journals (checkpoint + replay), so a crash or kill
+// loses no acknowledged edit. The server shuts down gracefully on
+// SIGINT/SIGTERM, draining in-flight requests and session state within
+// the -drain window before exiting.
 package main
 
 import (
@@ -44,6 +50,9 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 4, "maximum concurrently executing compute requests")
 		reqTimeout  = flag.Duration("timeout", 60*time.Second, "per-request compute deadline")
 		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
+		walDir      = flag.String("wal", "", "journal directory for crash-safe sessions (empty = sessions die with the process)")
+		snapEvery   = flag.Int("snapshot-every", 8, "edit batches between placement snapshots")
+		shedDepth   = flag.Int("shed-depth", 0, "admission-queue depth that triggers full→ls degradation (0 = 2×max-inflight)")
 	)
 	flag.Parse()
 
@@ -53,15 +62,31 @@ func main() {
 		MaxPoints:      *maxPoints,
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *reqTimeout,
+		WALDir:         *walDir,
+		SnapshotEvery:  *snapEvery,
+		ShedQueueDepth: *shedDepth,
 	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *walDir != "" {
+		start := time.Now()
+		n, err := s.Recover(ctx)
+		if err != nil {
+			// Per-session recovery failures are logged but not fatal:
+			// healthy sessions serve, broken ones are quarantined or
+			// left on disk for inspection.
+			log.Printf("recovery: %v", err)
+		}
+		log.Printf("recovered %d session(s) from %s in %v", n, *walDir, time.Since(start).Round(time.Millisecond))
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -77,5 +102,10 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
+	}
+	// Persist session state (final snapshots, journal close) within
+	// whatever remains of the drain window.
+	if err := s.Close(shutCtx); err != nil {
+		log.Printf("close: %v", err)
 	}
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -92,7 +93,7 @@ func main() {
 	}
 	t0 := time.Now()
 	vals := make([]tensor.Stress, len(pts))
-	if err := an.MapInto(vals, pts, mode); err != nil {
+	if err := an.MapInto(context.Background(), vals, pts, mode); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("%d TSVs, %d points, %s mode: %v", pl.Len(), len(pts), name, time.Since(t0).Round(time.Millisecond))

@@ -3,6 +3,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"tsvstress/internal/floats"
@@ -84,7 +85,12 @@ func clampI(v, lo, hi int) int {
 // materializing a fresh slice per evaluation. Results are identical to
 // calling StressLS/StressAt/Interactive per point (to round-off; the
 // parity test pins the agreement to 1e-9 MPa).
-func (a *Analyzer) MapInto(dst []tensor.Stress, pts []geom.Point, mode Mode) error {
+//
+// Cancellation is cooperative, checked per tile (see EvalTiles): a
+// canceled ctx yields a *CancelError matching ErrCanceled, with dst
+// partially written. A nil ctx disables cancellation. Kernel panics are
+// contained as *PanicError.
+func (a *Analyzer) MapInto(ctx context.Context, dst []tensor.Stress, pts []geom.Point, mode Mode) error {
 	if len(dst) != len(pts) {
 		return errDstLen(len(dst), len(pts))
 	}
@@ -100,14 +106,12 @@ func (a *Analyzer) MapInto(dst []tensor.Stress, pts []geom.Point, mode Mode) err
 		return nil
 	}
 	if len(pts) <= pointwiseBatchThreshold {
-		a.mapPointwise(dst, pts, mode)
-		return nil
+		return a.mapPointwise(ctx, dst, pts, mode)
 	}
-	a.mapBatched(dst, pts, mode)
-	return nil
+	return a.mapBatched(ctx, dst, pts, mode)
 }
 
-func (a *Analyzer) mapBatched(dst []tensor.Stress, pts []geom.Point, mode Mode) {
+func (a *Analyzer) mapBatched(ctx context.Context, dst []tensor.Stress, pts []geom.Point, mode Mode) error {
 	doLS := mode == ModeLS || mode == ModeFull
 	doPair := mode == ModeFull || mode == ModeInteractive
 	cutoff := 0.0
@@ -123,8 +127,9 @@ func (a *Analyzer) mapBatched(dst []tensor.Stress, pts []geom.Point, mode Mode) 
 		tl = &Tiling{}
 	}
 	tl.build(pts, cutoff)
-	a.evalTileSet(dst, pts, tl, nil, doLS, doPair)
+	err := a.evalTileSet(ctx, dst, pts, tl, nil, doLS, doPair)
 	a.mapPool.Put(tl)
+	return err
 }
 
 func (a *Analyzer) getTileScratch() *tileScratch {

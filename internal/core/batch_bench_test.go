@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"tsvstress/internal/field"
@@ -46,9 +47,9 @@ func benchMap(b *testing.B, mode Mode, pointwise bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if pointwise {
-			a.mapPointwise(dst, pts, mode)
+			a.mapPointwise(context.Background(), dst, pts, mode)
 		} else {
-			if err := a.MapInto(dst, pts, mode); err != nil {
+			if err := a.MapInto(context.Background(), dst, pts, mode); err != nil {
 				b.Fatal(err)
 			}
 		}

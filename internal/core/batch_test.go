@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -102,7 +103,7 @@ func TestMapBatchedParity(t *testing.T) {
 					t.Errorf("mode %v: Map vs pointwise max diff %.3g MPa", mode, d)
 				}
 				into := make([]tensor.Stress, len(pts))
-				if err := a.MapInto(into, pts, mode); err != nil {
+				if err := a.MapInto(context.Background(), into, pts, mode); err != nil {
 					t.Fatal(err)
 				}
 				if d := maxDiff(into, want); d > parityTol {
@@ -192,10 +193,10 @@ func TestMapReuseAcrossCalls(t *testing.T) {
 func TestMapIntoLengthMismatch(t *testing.T) {
 	a := pairAnalyzer(t, 10)
 	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}
-	if err := a.MapInto(make([]tensor.Stress, 1), pts, ModeFull); err == nil {
+	if err := a.MapInto(context.Background(), make([]tensor.Stress, 1), pts, ModeFull); err == nil {
 		t.Fatal("length mismatch must error")
 	}
-	if err := a.MapInto(nil, nil, ModeFull); err != nil {
+	if err := a.MapInto(context.Background(), nil, nil, ModeFull); err != nil {
 		t.Fatalf("empty MapInto: %v", err)
 	}
 }

@@ -15,8 +15,10 @@ package core
 //tsvlint:apiboundary
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"tsvstress/internal/geom"
@@ -175,17 +177,23 @@ const (
 
 // Map evaluates the selected field at every point in parallel through
 // the tile-batched engine (see batch.go); use MapInto to stream into a
-// reusable destination buffer instead.
+// reusable destination buffer (and to pass a cancellation context)
+// instead.
 func (a *Analyzer) Map(pts []geom.Point, mode Mode) []tensor.Stress {
 	out := make([]tensor.Stress, len(pts))
-	_ = a.MapInto(out, pts, mode) // length matches by construction
+	_ = a.MapInto(context.Background(), out, pts, mode) // length matches by construction
 	return out
 }
 
 // mapPointwise is the reference evaluation path: per-point hash queries
 // with static chunking across workers. It backs tiny Map calls, the
-// parity tests and the before/after benchmarks.
-func (a *Analyzer) mapPointwise(dst []tensor.Stress, pts []geom.Point, mode Mode) {
+// parity tests and the before/after benchmarks. A batch this small is
+// one unit of cancellation (the tile analogue), checked on entry only;
+// kernel panics are contained like the batched path's.
+func (a *Analyzer) mapPointwise(ctx context.Context, dst []tensor.Stress, pts []geom.Point, mode Mode) error {
+	if ctx != nil && ctx.Err() != nil {
+		return &CancelError{TilesDone: 0, TilesTotal: 1, Cause: ctx.Err()}
+	}
 	var eval func(geom.Point) tensor.Stress
 	switch mode {
 	case ModeLS:
@@ -200,13 +208,11 @@ func (a *Analyzer) mapPointwise(dst []tensor.Stress, pts []geom.Point, mode Mode
 		workers = len(pts)
 	}
 	if workers <= 1 {
-		for i, p := range pts {
-			dst[i] = eval(p)
-		}
-		return
+		return evalRange(eval, dst, pts, 0, len(pts))
 	}
 	var wg sync.WaitGroup
 	chunk := (len(pts) + workers - 1) / workers
+	errs := make([]error, workers)
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
@@ -217,14 +223,32 @@ func (a *Analyzer) mapPointwise(dst []tensor.Stress, pts []geom.Point, mode Mode
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				dst[i] = eval(pts[i])
-			}
-		}(lo, hi)
+			errs[w] = evalRange(eval, dst, pts, lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalRange evaluates dst[lo:hi] pointwise, recovering a kernel panic
+// into a *PanicError on the calling goroutine.
+func evalRange(eval func(geom.Point) tensor.Stress, dst []tensor.Stress, pts []geom.Point, lo, hi int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	for i := lo; i < hi; i++ {
+		dst[i] = eval(pts[i])
+	}
+	return nil
 }
 
 func errDstLen(dst, pts int) error {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"tsvstress/internal/geom"
@@ -55,10 +56,10 @@ func TestRebuildReusesCoefficientCache(t *testing.T) {
 	pts := gridPoints(t, edited, 3)
 	got := make([]tensor.Stress, len(pts))
 	want := make([]tensor.Stress, len(pts))
-	if err := nb.MapInto(got, pts, ModeFull); err != nil {
+	if err := nb.MapInto(context.Background(), got, pts, ModeFull); err != nil {
 		t.Fatal(err)
 	}
-	if err := scratch.MapInto(want, pts, ModeFull); err != nil {
+	if err := scratch.MapInto(context.Background(), want, pts, ModeFull); err != nil {
 		t.Fatal(err)
 	}
 	for i := range got {
@@ -123,10 +124,10 @@ func TestRebuildSharesUnchangedRounds(t *testing.T) {
 	pts := gridPoints(t, edited, 3)
 	got := make([]tensor.Stress, len(pts))
 	want := make([]tensor.Stress, len(pts))
-	if err := nb.MapInto(got, pts, ModeFull); err != nil {
+	if err := nb.MapInto(context.Background(), got, pts, ModeFull); err != nil {
 		t.Fatal(err)
 	}
-	if err := scratch.MapInto(want, pts, ModeFull); err != nil {
+	if err := scratch.MapInto(context.Background(), want, pts, ModeFull); err != nil {
 		t.Fatal(err)
 	}
 	for i := range got {

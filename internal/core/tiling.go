@@ -3,11 +3,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"tsvstress/internal/faultinject"
 	"tsvstress/internal/floats"
 	"tsvstress/internal/geom"
 	"tsvstress/internal/tensor"
@@ -143,7 +146,16 @@ func (tl *Tiling) build(pts []geom.Point, cutoff float64) {
 // (same length and order) and dst must match it; ids must be valid tile
 // ids. Results are identical to the corresponding slots of a full
 // MapInto (both paths run the same per-tile kernel).
-func (a *Analyzer) EvalTiles(dst []tensor.Stress, pts []geom.Point, tl *Tiling, ids []int32, mode Mode) error {
+//
+// Cancellation is cooperative and checked per tile: when ctx is
+// canceled or its deadline expires, at most one in-flight tile per
+// worker finishes and the call returns a *CancelError (matching
+// ErrCanceled) with partial-progress accounting; completed tiles hold
+// valid values, the rest are untouched. A nil ctx disables
+// cancellation. A panic inside a tile kernel is recovered on its worker
+// goroutine and returned as a *PanicError instead of killing the
+// process.
+func (a *Analyzer) EvalTiles(ctx context.Context, dst []tensor.Stress, pts []geom.Point, tl *Tiling, ids []int32, mode Mode) error {
 	if len(dst) != len(pts) {
 		return errDstLen(len(dst), len(pts))
 	}
@@ -160,54 +172,92 @@ func (a *Analyzer) EvalTiles(dst []tensor.Stress, pts []geom.Point, tl *Tiling, 
 	}
 	doLS := mode == ModeLS || mode == ModeFull
 	doPair := mode == ModeFull || mode == ModeInteractive
-	a.evalTileSet(dst, pts, tl, ids, doLS, doPair)
-	return nil
+	return a.evalTileSet(ctx, dst, pts, tl, ids, doLS, doPair)
 }
 
 // evalTileSet drains the tile queue (ids == nil means every tile) with
 // the analyzer's worker budget; each worker owns one pooled scratch
-// buffer set reused across its tiles.
-func (a *Analyzer) evalTileSet(dst []tensor.Stress, pts []geom.Point, tl *Tiling, ids []int32, doLS, doPair bool) {
+// buffer set reused across its tiles. Between tiles every worker polls
+// the context's done channel; a recovered worker panic wins over a
+// concurrent cancellation.
+func (a *Analyzer) evalTileSet(ctx context.Context, dst []tensor.Stress, pts []geom.Point, tl *Tiling, ids []int32, doLS, doPair bool) error {
 	nTiles := len(ids)
 	if ids == nil {
 		nTiles = len(tl.tiles)
 	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	var next, completed atomic.Int64
 	workers := a.opt.Workers
 	if workers > nTiles {
 		workers = nTiles
 	}
+	var firstErr error
 	if workers <= 1 {
-		ts := a.getTileScratch()
-		for k := 0; k < nTiles; k++ {
-			t := tl.tiles[k]
-			if ids != nil {
-				t = tl.tiles[ids[k]]
-			}
-			a.evalTile(dst, pts, tl.order, t, tl.half, doLS, doPair, ts)
+		firstErr = a.drainTiles(dst, pts, tl, ids, nTiles, &next, &completed, done, doLS, doPair)
+	} else {
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				errs[w] = a.drainTiles(dst, pts, tl, ids, nTiles, &next, &completed, done, doLS, doPair)
+			}(w)
 		}
-		a.tilePool.Put(ts)
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ts := a.getTileScratch()
-			for {
-				k := next.Add(1) - 1
-				if k >= int64(nTiles) {
-					break
-				}
-				t := tl.tiles[k]
-				if ids != nil {
-					t = tl.tiles[ids[k]]
-				}
-				a.evalTile(dst, pts, tl.order, t, tl.half, doLS, doPair, ts)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				firstErr = err
+				break
 			}
-			a.tilePool.Put(ts)
-		}()
+		}
 	}
-	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if n := int(completed.Load()); n < nTiles {
+		cause := context.Canceled
+		if ctx != nil && ctx.Err() != nil {
+			cause = ctx.Err()
+		}
+		return &CancelError{TilesDone: n, TilesTotal: nTiles, Cause: cause}
+	}
+	return nil
+}
+
+// drainTiles pulls tiles from the shared cursor until the queue is
+// empty or the done channel fires, recovering a tile-kernel panic into
+// a *PanicError. The "core.tile.eval" fault-injection site fires once
+// per tile (test-only: one atomic load when unarmed).
+func (a *Analyzer) drainTiles(dst []tensor.Stress, pts []geom.Point, tl *Tiling, ids []int32, nTiles int, next, completed *atomic.Int64, done <-chan struct{}, doLS, doPair bool) (err error) {
+	ts := a.getTileScratch()
+	defer a.tilePool.Put(ts)
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return nil // reported as *CancelError by evalTileSet
+		default:
+		}
+		k := next.Add(1) - 1
+		if k >= int64(nTiles) {
+			return nil
+		}
+		if err := faultinject.Fire("core.tile.eval"); err != nil {
+			return err
+		}
+		t := tl.tiles[k]
+		if ids != nil {
+			t = tl.tiles[ids[k]]
+		}
+		a.evalTile(dst, pts, tl.order, t, tl.half, doLS, doPair, ts)
+		completed.Add(1)
+	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -79,7 +80,7 @@ func TestEvalTilesMatchesMapInto(t *testing.T) {
 
 	for _, mode := range []Mode{ModeLS, ModeFull, ModeInteractive} {
 		want := make([]tensor.Stress, len(pts))
-		if err := an.MapInto(want, pts, mode); err != nil {
+		if err := an.MapInto(context.Background(), want, pts, mode); err != nil {
 			t.Fatal(err)
 		}
 
@@ -89,7 +90,7 @@ func TestEvalTilesMatchesMapInto(t *testing.T) {
 			all[i] = int32(i)
 		}
 		got := make([]tensor.Stress, len(pts))
-		if err := an.EvalTiles(got, pts, tl, all, mode); err != nil {
+		if err := an.EvalTiles(context.Background(), got, pts, tl, all, mode); err != nil {
 			t.Fatal(err)
 		}
 		for i := range got {
@@ -105,7 +106,7 @@ func TestEvalTilesMatchesMapInto(t *testing.T) {
 			part[i] = sentinel
 		}
 		sub := all[:tl.NumTiles()/3]
-		if err := an.EvalTiles(part, pts, tl, sub, mode); err != nil {
+		if err := an.EvalTiles(context.Background(), part, pts, tl, sub, mode); err != nil {
 			t.Fatal(err)
 		}
 		inSub := make([]bool, len(pts))
@@ -139,19 +140,19 @@ func TestEvalTilesErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	dst := make([]tensor.Stress, len(pts))
-	if err := an.EvalTiles(dst[:1], pts, tl, nil, ModeFull); err == nil {
+	if err := an.EvalTiles(context.Background(), dst[:1], pts, tl, nil, ModeFull); err == nil {
 		t.Error("short dst accepted")
 	}
-	if err := an.EvalTiles(dst, pts[:len(pts)-1], tl, nil, ModeFull); err == nil {
+	if err := an.EvalTiles(context.Background(), dst, pts[:len(pts)-1], tl, nil, ModeFull); err == nil {
 		t.Error("point/tiling length mismatch accepted")
 	}
-	if err := an.EvalTiles(dst, pts, tl, []int32{int32(tl.NumTiles())}, ModeFull); err == nil {
+	if err := an.EvalTiles(context.Background(), dst, pts, tl, []int32{int32(tl.NumTiles())}, ModeFull); err == nil {
 		t.Error("out-of-range tile id accepted")
 	}
-	if err := an.EvalTiles(dst, pts, tl, []int32{-1}, ModeFull); err == nil {
+	if err := an.EvalTiles(context.Background(), dst, pts, tl, []int32{-1}, ModeFull); err == nil {
 		t.Error("negative tile id accepted")
 	}
-	if err := an.EvalTiles(dst, pts, tl, nil, ModeFull); err != nil {
+	if err := an.EvalTiles(context.Background(), dst, pts, tl, nil, ModeFull); err != nil {
 		t.Errorf("nil ids (no-op) rejected: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"math"
@@ -61,12 +62,12 @@ func RunFullChipBench(numTSV, numPoints int, seed int64) (*FullChipBench, error)
 
 	dst := make([]tensor.Stress, len(pts))
 	t1 := time.Now()
-	if err := an.MapInto(dst, pts, core.ModeLS); err != nil {
+	if err := an.MapInto(context.Background(), dst, pts, core.ModeLS); err != nil {
 		return nil, err
 	}
 	lsTime := time.Since(t1)
 	t2 := time.Now()
-	if err := an.MapInto(dst, pts, core.ModeFull); err != nil {
+	if err := an.MapInto(context.Background(), dst, pts, core.ModeFull); err != nil {
 		return nil, err
 	}
 	fullTime := time.Since(t2)

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -77,13 +78,13 @@ func RunRuntimeCase(rc RuntimeCase, seed int64) (*RuntimeResult, error) {
 	// evaluation, not slice churn.
 	dst := make([]tensor.Stress, len(pts))
 	t0 := time.Now()
-	if err := an.MapInto(dst, pts, core.ModeLS); err != nil {
+	if err := an.MapInto(context.Background(), dst, pts, core.ModeLS); err != nil {
 		return nil, err
 	}
 	lsTime := time.Since(t0)
 
 	t1 := time.Now()
-	if err := an.MapInto(dst, pts, core.ModeFull); err != nil {
+	if err := an.MapInto(context.Background(), dst, pts, core.ModeFull); err != nil {
 		return nil, err
 	}
 	fullTime := time.Since(t1)

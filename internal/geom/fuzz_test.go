@@ -1,0 +1,75 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzBasePlacement is a small lattice the fuzzer mutates; 24 µm pitch
+// at a 6 µm minimum leaves room for valid adds and moves.
+func fuzzBasePlacement() *Placement {
+	pl := &Placement{}
+	for j := 0; j < 3; j++ {
+		for i := 0; i < 3; i++ {
+			pl.TSVs = append(pl.TSVs, TSV{Center: Pt(float64(24*i), float64(24*j)), Name: ""})
+		}
+	}
+	return pl
+}
+
+// FuzzEditApply exercises edit validation with arbitrary operations:
+// Apply must never panic, a rejected edit must leave the placement
+// untouched, and an accepted edit must keep every placement invariant
+// (finite centers, min pitch) — the contract the serving stack's
+// rehearsal-then-apply batches and WAL replay both lean on.
+func FuzzEditApply(f *testing.F) {
+	f.Add(int(EditAdd), 0, 12.0, 36.0, "V9")
+	f.Add(int(EditRemove), 4, 0.0, 0.0, "")
+	f.Add(int(EditMove), 8, 50.0, 50.0, "moved")
+	f.Add(int(EditMove), -1, 0.0, 0.0, "")
+	f.Add(int(EditAdd), 0, math.Inf(1), 0.0, "")
+	f.Add(int(EditAdd), 0, 0.1, 0.1, "") // pitch violation
+	f.Add(99, 2, 1.0, 1.0, "")           // unknown op
+	f.Fuzz(func(t *testing.T, op, index int, x, y float64, name string) {
+		const minPitch = 6.0
+		pl := fuzzBasePlacement()
+		before := pl.Clone()
+		ed := Edit{Op: EditOp(op), Index: index, TSV: TSV{Center: Pt(x, y), Name: name}}
+		if err := ed.Apply(pl, minPitch); err != nil {
+			// Rejected: the placement must be byte-identical.
+			if pl.Len() != before.Len() {
+				t.Fatalf("failed edit %v changed TSV count", ed)
+			}
+			for i := range pl.TSVs {
+				if pl.TSVs[i] != before.TSVs[i] {
+					t.Fatalf("failed edit %v mutated TSV %d", ed, i)
+				}
+			}
+			return
+		}
+		// Accepted: the documented invariants must survive.
+		if err := pl.Validate(minPitch); err != nil {
+			t.Fatalf("accepted edit %v broke the placement: %v", ed, err)
+		}
+		switch ed.Op {
+		case EditAdd:
+			if pl.Len() != before.Len()+1 {
+				t.Fatalf("add produced %d TSVs from %d", pl.Len(), before.Len())
+			}
+			if pl.TSVs[pl.Len()-1].Name == "" {
+				t.Fatal("added TSV has no name")
+			}
+		case EditRemove:
+			if pl.Len() != before.Len()-1 {
+				t.Fatalf("remove produced %d TSVs from %d", pl.Len(), before.Len())
+			}
+		case EditMove:
+			if pl.Len() != before.Len() {
+				t.Fatalf("move changed TSV count")
+			}
+			if pl.TSVs[index].Center != Pt(x, y) {
+				t.Fatalf("move left TSV %d at %v", index, pl.TSVs[index].Center)
+			}
+		}
+	})
+}

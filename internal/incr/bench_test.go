@@ -1,6 +1,7 @@
 package incr
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -52,7 +53,7 @@ func BenchmarkIncrementalEdit(b *testing.B) {
 	home := pl.TSVs[target].Center
 
 	b.Run("incremental", func(b *testing.B) {
-		e, err := New(st, pl, pts, core.ModeFull, core.Options{})
+		e, err := New(context.Background(), st, pl, pts, core.ModeFull, core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -65,7 +66,7 @@ func BenchmarkIncrementalEdit(b *testing.B) {
 			if err := e.Apply(geom.Edit{Op: geom.EditMove, Index: target, TSV: geom.TSV{Center: c}}); err != nil {
 				b.Fatal(err)
 			}
-			if _, err := e.Flush(); err != nil {
+			if _, err := e.Flush(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -89,7 +90,7 @@ func BenchmarkIncrementalEdit(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if err := an.MapInto(dst, pts, core.ModeFull); err != nil {
+			if err := an.MapInto(context.Background(), dst, pts, core.ModeFull); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -100,7 +101,7 @@ func BenchmarkIncrementalEdit(b *testing.B) {
 // into one flush — the ECO-loop steady state the service runs.
 func BenchmarkIncrementalFlushBatch(b *testing.B) {
 	st, pl, pts := benchChip(b)
-	e, err := New(st, pl, pts, core.ModeFull, core.Options{})
+	e, err := New(context.Background(), st, pl, pts, core.ModeFull, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func BenchmarkIncrementalFlushBatch(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		if _, err := e.Flush(); err != nil {
+		if _, err := e.Flush(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

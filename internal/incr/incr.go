@@ -32,6 +32,8 @@
 package incr
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"tsvstress/internal/core"
@@ -63,7 +65,15 @@ type Engine struct {
 	ids     []int32 // scratch: dirty tile ids for EvalTiles
 
 	pendingEdits int
-	stats        Stats
+	// needsEval forces the next Flush to re-evaluate the dirty tiles
+	// even with no pending edits: set when a flush was canceled after
+	// committing its analyzer rebuild, or after a degraded (LS-only)
+	// flush whose tiles still owe a full-mode pass.
+	needsEval bool
+	// degraded reports that the dirty tiles currently hold Stage-I-only
+	// values (a load-shedding flush); cleared by the next full flush.
+	degraded bool
+	stats    Stats
 }
 
 // Stats reports the engine's incremental-evaluation counters.
@@ -79,6 +89,12 @@ type Stats struct {
 	// LastDirtyRatio is LastDirtyTiles / TotalTiles (0 when no flush
 	// has run).
 	LastDirtyRatio float64
+	// DegradedFlushes counts load-shedding flushes that evaluated dirty
+	// tiles in LS mode only (see FlushDegraded).
+	DegradedFlushes int
+	// CanceledFlushes counts Flush calls aborted by context
+	// cancellation after at least the analyzer rebuild committed.
+	CanceledFlushes int
 	// CoeffCacheEntries and CoeffCacheHits mirror the shared interact
 	// model's pitch-keyed coefficient cache (entries solved, rounds
 	// served from cache).
@@ -89,8 +105,10 @@ type Stats struct {
 // New builds an engine: it constructs the analyzer, partitions the
 // simulation points into tiles, and evaluates the initial full map.
 // The placement and points are copied; later mutation of the caller's
-// slices does not affect the session.
-func New(st material.Structure, pl *geom.Placement, pts []geom.Point, mode core.Mode, opt core.Options) (*Engine, error) {
+// slices does not affect the session. The initial evaluation observes
+// ctx (per tile, see core.EvalTiles); a canceled build returns an error
+// matching core.ErrCanceled and no engine.
+func New(ctx context.Context, st material.Structure, pl *geom.Placement, pts []geom.Point, mode core.Mode, opt core.Options) (*Engine, error) {
 	if len(pts) == 0 {
 		return nil, fmt.Errorf("incr: empty simulation point set")
 	}
@@ -131,7 +149,7 @@ func New(st material.Structure, pl *geom.Placement, pts []geom.Point, mode core.
 		e.prevIdx[j] = j
 	}
 	e.stats.TotalTiles = tl.NumTiles()
-	if err := an.MapInto(e.vals, e.pts, mode); err != nil {
+	if err := an.MapInto(ctx, e.vals, e.pts, mode); err != nil {
 		return nil, err
 	}
 	return e, nil
@@ -168,6 +186,11 @@ func (e *Engine) Analyzer() *core.Analyzer { return e.an }
 
 // Pending returns the number of edits applied since the last Flush.
 func (e *Engine) Pending() int { return e.pendingEdits }
+
+// NeedsFlush reports whether Flush would do work: edits are pending, or
+// dirty tiles still owe an evaluation after a canceled or degraded
+// flush.
+func (e *Engine) NeedsFlush() bool { return e.pendingEdits > 0 || e.needsEval }
 
 // Stats returns the engine counters, including the shared coefficient
 // cache state.
@@ -226,31 +249,80 @@ func (e *Engine) Apply(ed geom.Edit) error {
 // Flush rebuilds the analyzer for the edited placement (reusing the
 // solved models and every untouched victim's packed rounds) and
 // re-evaluates the dirty tiles, returning the updated map (the same
-// slice Values returns). With no pending edits it returns immediately.
-func (e *Engine) Flush() ([]tensor.Stress, error) {
-	if e.pendingEdits == 0 {
+// slice Values returns). With no pending work it returns immediately.
+//
+// Cancellation is cooperative (per tile): when ctx fires mid-flush the
+// call returns an error matching core.ErrCanceled, but the engine stays
+// reusable — the analyzer rebuild is committed, the dirty flags stay
+// set, and the next Flush re-evaluates exactly the owed tiles, so a
+// retry restores full parity with a from-scratch evaluation.
+func (e *Engine) Flush(ctx context.Context) ([]tensor.Stress, error) {
+	return e.flush(ctx, e.mode)
+}
+
+// FlushDegraded is the load-shedding variant for sessions pinned to
+// core.ModeFull: it applies pending edits but evaluates the dirty tiles
+// in LS (Stage I only) mode, which skips the pair-round accumulation —
+// the expensive part of a full-mode flush. The tiles stay marked dirty
+// and Degraded reports true until a later Flush re-evaluates them in
+// the session's pinned mode, restoring parity. For sessions not pinned
+// to Full mode it behaves exactly like Flush (there is nothing cheaper
+// to degrade to).
+func (e *Engine) FlushDegraded(ctx context.Context) ([]tensor.Stress, error) {
+	if e.mode != core.ModeFull {
+		return e.flush(ctx, e.mode)
+	}
+	return e.flush(ctx, core.ModeLS)
+}
+
+// Degraded reports whether the map currently holds Stage-I-only values
+// in its dirty tiles after a FlushDegraded; the next Flush clears it.
+func (e *Engine) Degraded() bool { return e.degraded }
+
+func (e *Engine) flush(ctx context.Context, mode core.Mode) ([]tensor.Stress, error) {
+	if e.pendingEdits == 0 && !e.needsEval {
 		return e.vals, nil
 	}
-	prevIdx := e.prevIdx
-	an, err := e.an.Rebuild(e.pl.Clone(), func(j int) int { return prevIdx[j] })
-	if err != nil {
-		return nil, err
+	if e.pendingEdits > 0 {
+		prevIdx := e.prevIdx
+		an, err := e.an.Rebuild(e.pl.Clone(), func(j int) int { return prevIdx[j] })
+		if err != nil {
+			return nil, err
+		}
+		// Commit the rebuild before evaluating: the analyzer now matches
+		// e.pl, so a canceled evaluation can retry with an identity
+		// mapping (full round reuse) instead of re-deriving edits.
+		e.an = an
+		e.prevIdx = e.prevIdx[:0]
+		for j := 0; j < e.pl.Len(); j++ {
+			e.prevIdx = append(e.prevIdx, j)
+		}
+		e.pendingEdits = 0
+		e.needsEval = true
 	}
-	e.an = an
 	e.ids = collectDirty(e.ids[:0], e.dirty)
-	if err := an.EvalTiles(e.vals, e.pts, e.tiling, e.ids, e.mode); err != nil {
+	if err := e.an.EvalTiles(ctx, e.vals, e.pts, e.tiling, e.ids, mode); err != nil {
+		// Dirty flags stay set: the next Flush retries the evaluation
+		// against the already-committed analyzer.
+		if errors.Is(err, core.ErrCanceled) {
+			e.stats.CanceledFlushes++
+		}
 		return nil, err
 	}
-	for i := range e.dirty {
-		e.dirty[i] = false
-	}
-	e.prevIdx = e.prevIdx[:0]
-	for j := 0; j < e.pl.Len(); j++ {
-		e.prevIdx = append(e.prevIdx, j)
+	if mode != e.mode {
+		// Degraded pass: the tiles hold LS-only values and still owe a
+		// full-mode evaluation — keep them dirty.
+		e.degraded = true
+		e.stats.DegradedFlushes++
+	} else {
+		for i := range e.dirty {
+			e.dirty[i] = false
+		}
+		e.needsEval = false
+		e.degraded = false
 	}
 	e.stats.Flushes++
 	e.stats.LastDirtyTiles = len(e.ids)
 	e.stats.LastDirtyRatio = float64(len(e.ids)) / float64(e.stats.TotalTiles)
-	e.pendingEdits = 0
 	return e.vals, nil
 }

@@ -1,6 +1,7 @@
 package incr
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -24,7 +25,7 @@ func testSession(t *testing.T, n int, seed int64, spacing float64, mode core.Mod
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := New(st, pl, g.Points(), mode, core.Options{})
+	e, err := New(context.Background(), st, pl, g.Points(), mode, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func maxDiff(a, b tensor.Stress) float64 {
 // over the engine's current placement.
 func checkParity(t *testing.T, e *Engine, st material.Structure, tol float64) {
 	t.Helper()
-	vals, err := e.Flush()
+	vals, err := e.Flush(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func checkParity(t *testing.T, e *Engine, st material.Structure, tol float64) {
 		t.Fatal(err)
 	}
 	want := make([]tensor.Stress, e.NumPoints())
-	if err := scratch.MapInto(want, e.Points(), e.Mode()); err != nil {
+	if err := scratch.MapInto(context.Background(), want, e.Points(), e.Mode()); err != nil {
 		t.Fatal(err)
 	}
 	worst := 0.0
@@ -164,7 +165,7 @@ func TestEngineEditSequenceParity(t *testing.T) {
 				}
 				applied++
 				if rng.Intn(6) == 0 {
-					if _, err := e.Flush(); err != nil {
+					if _, err := e.Flush(context.Background()); err != nil {
 						t.Fatal(err)
 					}
 				}
@@ -219,7 +220,7 @@ func TestEngineReusesModels(t *testing.T) {
 	if err := e.Apply(geom.Edit{Op: geom.EditRemove, Index: 0}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Flush(); err != nil {
+	if _, err := e.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if e.Analyzer().LS != ls || e.Analyzer().Model != model {

@@ -3,8 +3,11 @@ package serve
 //tsvlint:apiboundary
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"sort"
@@ -13,6 +16,7 @@ import (
 	"time"
 
 	"tsvstress/internal/core"
+	"tsvstress/internal/faultinject"
 	"tsvstress/internal/field"
 	"tsvstress/internal/geom"
 	"tsvstress/internal/incr"
@@ -20,6 +24,7 @@ import (
 	"tsvstress/internal/mobility"
 	"tsvstress/internal/reliability"
 	"tsvstress/internal/tensor"
+	"tsvstress/internal/wal"
 )
 
 // ---- wire types ----
@@ -69,6 +74,9 @@ type SessionInfo struct {
 	Liner     string    `json:"liner"`
 	Pending   int       `json:"pendingEdits"`
 	Created   time.Time `json:"created"`
+	// Quarantined is the non-empty reason this session refuses compute
+	// requests (contained panic or durability failure).
+	Quarantined string `json:"quarantined,omitempty"`
 }
 
 // EditWire is one placement edit: op "add" (x, y, optional name),
@@ -225,25 +233,133 @@ func (ed EditWire) toEdit() (geom.Edit, error) {
 	}
 }
 
-// flushLocked flushes pending edits (caller holds ses.mu) and publishes
-// the flush metrics, returning the elapsed milliseconds.
-func flushLocked(ses *session) (float64, error) {
-	if ses.engine.Pending() == 0 {
+// decodeEdits decodes and validates an edit-batch body, returning both
+// the typed edits and the wire form (the latter is what the WAL
+// journals, so replay goes through this same decoder). It never
+// panics on malformed input — the fuzz target pins that.
+func decodeEdits(r io.Reader) ([]geom.Edit, []EditWire, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req EditsRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, fmt.Errorf("invalid JSON body: %w", err)
+	}
+	if len(req.Edits) == 0 {
+		return nil, nil, errors.New("empty edit batch")
+	}
+	edits := make([]geom.Edit, 0, len(req.Edits))
+	for i, ew := range req.Edits {
+		ed, err := ew.toEdit()
+		if err != nil {
+			return nil, nil, fmt.Errorf("edit %d: %w", i, err)
+		}
+		edits = append(edits, ed)
+	}
+	return edits, req.Edits, nil
+}
+
+// flushLocked flushes pending work (caller holds ses.mu) and publishes
+// the flush metrics, returning the elapsed milliseconds. Under
+// admission-queue pressure a full-mode session degrades to a Stage-I
+// flush (see Engine.FlushDegraded); the response then carries the
+// degradation header and the owed full-mode pass runs on the next
+// un-pressured request.
+func (s *Server) flushLocked(ctx context.Context, ses *session) (float64, error) {
+	if !ses.engine.NeedsFlush() {
 		return 0, nil
 	}
 	start := time.Now()
-	if _, err := ses.engine.Flush(); err != nil {
+	var err error
+	if s.shedding() && ses.engine.Mode() == core.ModeFull {
+		_, err = ses.engine.FlushDegraded(ctx)
+	} else {
+		_, err = ses.engine.Flush(ctx)
+	}
+	if err != nil {
 		return 0, err
 	}
 	elapsed := time.Since(start)
 	recordFlush(ses.engine.Stats(), elapsed)
+	if ses.engine.Degraded() {
+		metricDegraded.Add(1)
+	}
 	return float64(elapsed) / float64(time.Millisecond), nil
+}
+
+// setDegradedHeader marks a response whose field values are (partly)
+// Stage-I-only because load shedding degraded the flush. Caller holds
+// ses.mu.
+func setDegradedHeader(w http.ResponseWriter, ses *session) {
+	if ses.engine.Degraded() {
+		w.Header().Set("X-Tsvserve-Degraded", "full->ls")
+	}
+}
+
+// sessionFor resolves the request's session or writes the 404/503 and
+// returns false.
+func (s *Server) sessionFor(w http.ResponseWriter, r *http.Request) (*session, bool) {
+	ses, err := s.getSession(r)
+	if err != nil {
+		var qe *quarantinedError
+		if errors.As(err, &qe) {
+			writeError(w, http.StatusServiceUnavailable, qe.Error())
+		} else {
+			writeError(w, http.StatusNotFound, err.Error())
+		}
+		return nil, false
+	}
+	return ses, true
+}
+
+// writeComputeError maps an engine failure to its HTTP shape: a
+// contained kernel panic quarantines the session (500), a cooperative
+// cancellation is a 504 with partial-progress detail, anything else is
+// a plain 500.
+func (s *Server) writeComputeError(w http.ResponseWriter, id, op string, err error) {
+	var pe *core.PanicError
+	var ce *core.CancelError
+	switch {
+	case errors.As(err, &pe):
+		metricPanics.Add(1)
+		s.quarantine(id, fmt.Sprintf("%s: contained kernel panic: %v", op, pe.Value))
+		writeError(w, http.StatusInternalServerError,
+			fmt.Sprintf("%s: kernel panic contained; placement %q quarantined: %v", op, id, pe.Value))
+	case errors.As(err, &ce):
+		writeError(w, http.StatusGatewayTimeout,
+			fmt.Sprintf("%s: evaluation canceled after %d of %d tiles: %v", op, ce.TilesDone, ce.TilesTotal, ce.Cause))
+	case errors.Is(err, core.ErrCanceled):
+		writeError(w, http.StatusGatewayTimeout, op+": "+err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, op+": "+err.Error())
+	}
 }
 
 // ---- handlers ----
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": s.NumSessions()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"sessions":    s.NumSessions(),
+		"quarantined": s.quarantinedCount(),
+	})
+}
+
+// handleReady reports whether the service should receive traffic:
+// recovery must have completed and the admission queue must be below
+// the shedding depth. Load balancers poll this; /healthz stays 200 as
+// long as the process lives.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	waiting := int(admitWaiting.Load())
+	switch {
+	case !s.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "recovering"})
+	case waiting >= s.opt.ShedQueueDepth:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "overloaded", "waiting": waiting, "shedDepth": s.opt.ShedQueueDepth})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ready", "waiting": waiting, "sessions": s.NumSessions()})
+	}
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -302,8 +418,12 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	engine, err := incr.New(st, pl, grid.Points(), mode, core.Options{MMax: req.MMax})
+	engine, err := incr.New(r.Context(), st, pl, grid.Points(), mode, core.Options{MMax: req.MMax})
 	if err != nil {
+		if errors.Is(err, core.ErrCanceled) {
+			writeError(w, http.StatusGatewayTimeout, "create: initial evaluation canceled: "+err.Error())
+			return
+		}
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
@@ -312,6 +432,34 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
+	}
+	if s.opt.WALDir != "" {
+		meta, err := json.Marshal(metaRecord{
+			TSVs:    wireTSVs(pl),
+			Liner:   linerName,
+			Mode:    modeName,
+			Spacing: spacing,
+			Margin:  margin,
+			MMax:    req.MMax,
+			Created: ses.created,
+		})
+		if err == nil {
+			var log *wal.Log
+			log, err = wal.Create(s.sessionDir(id), meta)
+			if err == nil {
+				ses.mu.Lock()
+				ses.log = log
+				ses.mu.Unlock()
+			}
+		}
+		if err != nil {
+			// A session whose edits cannot be journaled must not exist:
+			// the client would trust durability it does not have.
+			s.dropSession(id)
+			_ = wal.Remove(s.sessionDir(id))
+			writeError(w, http.StatusInternalServerError, "create: journal init failed: "+err.Error())
+			return
+		}
 	}
 	writeJSON(w, http.StatusCreated, CreateResponse{
 		ID:        id,
@@ -330,13 +478,14 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	for _, ses := range s.sessions {
 		ses.mu.Lock()
 		infos = append(infos, SessionInfo{
-			ID:        ses.id,
-			NumTSVs:   ses.engine.NumTSVs(),
-			NumPoints: ses.engine.NumPoints(),
-			Mode:      ses.mode,
-			Liner:     ses.liner,
-			Pending:   ses.engine.Pending(),
-			Created:   ses.created,
+			ID:          ses.id,
+			NumTSVs:     ses.engine.NumTSVs(),
+			NumPoints:   ses.engine.NumPoints(),
+			Mode:        ses.mode,
+			Liner:       ses.liner,
+			Pending:     ses.engine.Pending(),
+			Created:     ses.created,
+			Quarantined: ses.quarantined,
 		})
 		ses.mu.Unlock()
 	}
@@ -346,30 +495,14 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
-	ses, err := s.getSession(r)
+	ses, ok := s.sessionFor(w, r)
+	if !ok {
+		return
+	}
+	edits, wires, err := decodeEdits(r.Body)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
-	}
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	var req EditsRequest
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
-		return
-	}
-	if len(req.Edits) == 0 {
-		writeError(w, http.StatusBadRequest, "empty edit batch")
-		return
-	}
-	edits := make([]geom.Edit, 0, len(req.Edits))
-	for i, ew := range req.Edits {
-		ed, err := ew.toEdit()
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("edit %d: %v", i, err))
-			return
-		}
-		edits = append(edits, ed)
 	}
 
 	ses.mu.Lock()
@@ -393,6 +526,24 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch grows the placement to %d TSVs, limit is %d", probe.Len(), s.opt.MaxTSVs))
 		return
 	}
+	// Journal before apply: once the batch reaches the engine its edits
+	// are acknowledged to the client, so they must already be durable.
+	// A journal failure quarantines the session — its on-disk state no
+	// longer matches what the client will be told.
+	if ses.log != nil {
+		payload, err := json.Marshal(journalRecord{Edits: wires})
+		if err == nil {
+			_, err = ses.log.Append(payload)
+		}
+		if err != nil {
+			metricWALErrors.Add(1)
+			s.quarantine(ses.id, "edit journal append failed: "+err.Error())
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("durability failure; placement %q quarantined: %v", ses.id, err))
+			return
+		}
+		metricWALAppends.Add(1)
+	}
 	for i, ed := range edits {
 		// The rehearsal accepted the batch, so each apply must succeed;
 		// a failure here is an engine/validator divergence.
@@ -402,11 +553,28 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	metricEdits.Add(int64(len(edits)))
-	flushMs, err := flushLocked(ses)
+	flushMs, err := s.flushLocked(r.Context(), ses)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "flush: "+err.Error())
+		s.writeComputeError(w, ses.id, "flush", err)
 		return
 	}
+	// Snapshot every SnapshotEvery accepted batches to bound journal
+	// length and recovery replay time. A snapshot failure is not fatal:
+	// the journal still holds every batch since the last good snapshot.
+	if ses.log != nil {
+		ses.batchesSinceSnap++
+		if ses.batchesSinceSnap >= s.opt.SnapshotEvery {
+			if payload, err := marshalSnapshot(ses.engine.Placement()); err == nil {
+				if err := ses.log.Snapshot(payload); err == nil {
+					ses.batchesSinceSnap = 0
+					metricSnapshots.Add(1)
+				} else {
+					metricWALErrors.Add(1)
+				}
+			}
+		}
+	}
+	setDegradedHeader(w, ses)
 	st := ses.engine.Stats()
 	writeJSON(w, http.StatusOK, EditsResponse{
 		Applied:    len(edits),
@@ -419,11 +587,14 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
-	ses, err := s.getSession(r)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
+	ses, ok := s.sessionFor(w, r)
+	if !ok {
 		return
 	}
+	// Test-only drill for the panic-recovery middleware (one atomic
+	// load when unarmed): arming this site with a Panic fault simulates
+	// a handler bug escaping to withRecovery.
+	_ = faultinject.Fire("serve.map.handler")
 	q := r.URL.Query()
 	component := q.Get("component")
 	if component == "" {
@@ -448,11 +619,12 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 
 	ses.mu.Lock()
 	defer ses.mu.Unlock()
-	flushMs, err := flushLocked(ses)
+	flushMs, err := s.flushLocked(r.Context(), ses)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "flush: "+err.Error())
+		s.writeComputeError(w, ses.id, "flush", err)
 		return
 	}
+	setDegradedHeader(w, ses)
 	pts, vals := ses.engine.Points(), ses.engine.Values()
 
 	switch format {
@@ -498,9 +670,8 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
-	ses, err := s.getSession(r)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
+	ses, ok := s.sessionFor(w, r)
+	if !ok {
 		return
 	}
 	nTheta, err := queryInt(r, "ntheta", 72)
@@ -530,11 +701,12 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 
 	ses.mu.Lock()
 	defer ses.mu.Unlock()
-	flushMs, err := flushLocked(ses)
+	flushMs, err := s.flushLocked(r.Context(), ses)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "flush: "+err.Error())
+		s.writeComputeError(w, ses.id, "flush", err)
 		return
 	}
+	setDegradedHeader(w, ses)
 	an := ses.engine.Analyzer()
 	var eval reliability.Evaluator
 	switch ses.engine.Mode() {

@@ -13,16 +13,23 @@ import (
 // package may construct many Servers — tests do — but expvar names are
 // process-global, so the vars live at package level and aggregate).
 var (
-	metricRequests  = new(expvar.Int)   // compute requests accepted for admission
-	metricRejects   = new(expvar.Int)   // admission rejections (503)
-	metricInFlight  = new(expvar.Int)   // currently executing compute requests
-	metricSessions  = new(expvar.Int)   // live placement sessions
-	metricEdits     = new(expvar.Int)   // applied edits
-	metricFlushes   = new(expvar.Int)   // incremental flushes
-	metricDirtyTile = new(expvar.Float) // dirty-tile ratio of the last flush
-	metricCacheEnt  = new(expvar.Int)   // pitch-coefficient cache entries
-	metricCacheHits = new(expvar.Int)   // pitch-coefficient cache hits
-	editLatency     = newHistogram("edit_latency_ms",
+	metricRequests    = new(expvar.Int)   // compute requests accepted for admission
+	metricRejects     = new(expvar.Int)   // admission rejections (503)
+	metricInFlight    = new(expvar.Int)   // currently executing compute requests
+	metricSessions    = new(expvar.Int)   // live placement sessions
+	metricEdits       = new(expvar.Int)   // applied edits
+	metricFlushes     = new(expvar.Int)   // incremental flushes
+	metricDirtyTile   = new(expvar.Float) // dirty-tile ratio of the last flush
+	metricCacheEnt    = new(expvar.Int)   // pitch-coefficient cache entries
+	metricCacheHits   = new(expvar.Int)   // pitch-coefficient cache hits
+	metricPanics      = new(expvar.Int)   // contained handler/kernel panics
+	metricQuarantined = new(expvar.Int)   // currently quarantined sessions
+	metricDegraded    = new(expvar.Int)   // load-shedding (full→ls) flushes served
+	metricWALAppends  = new(expvar.Int)   // journaled edit batches
+	metricWALErrors   = new(expvar.Int)   // WAL append/snapshot failures
+	metricSnapshots   = new(expvar.Int)   // placement snapshots written
+	metricRecovered   = new(expvar.Int)   // sessions restored by Recover
+	editLatency       = newHistogram("edit_latency_ms",
 		1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500)
 )
 
@@ -37,6 +44,14 @@ func init() {
 	m.Set("last_dirty_tile_ratio", metricDirtyTile)
 	m.Set("coeff_cache_entries", metricCacheEnt)
 	m.Set("coeff_cache_hits", metricCacheHits)
+	m.Set("panics_total", metricPanics)
+	m.Set("quarantined_sessions", metricQuarantined)
+	m.Set("degraded_responses_total", metricDegraded)
+	m.Set("wal_appends_total", metricWALAppends)
+	m.Set("wal_errors_total", metricWALErrors)
+	m.Set("snapshots_total", metricSnapshots)
+	m.Set("recovered_sessions_total", metricRecovered)
+	m.Set("admit_waiting", expvar.Func(func() any { return admitWaiting.Load() }))
 	m.Set("edit_latency_ms", editLatency.m)
 }
 

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tsvstress/internal/faultinject"
+)
+
+// TestKernelPanicQuarantinesSession: a panic inside the evaluation
+// kernel is contained by the worker pool, surfaces as a 500 naming the
+// quarantine, and fences the session from further compute requests
+// while leaving the rest of the server (and DELETE) functional.
+func TestKernelPanicQuarantinesSession(t *testing.T) {
+	defer faultinject.Reset()
+	s := NewServer(Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	var created CreateResponse
+	if resp := doJSON(t, c, "POST", ts.URL+"/v1/placements", chaosPlacement(), &created); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	base := ts.URL + "/v1/placements/" + created.ID
+
+	faultinject.Set("core.tile.eval", faultinject.Fault{Panic: "index out of range [drill]", Times: 1})
+	var em errorResponse
+	resp := doJSON(t, c, "POST", base+"/edits",
+		EditsRequest{Edits: []EditWire{{Op: "move", Index: 0, X: 2, Y: 2}}}, &em)
+	faultinject.Reset()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking flush: status %d (%s), want 500", resp.StatusCode, em.Error)
+	}
+	if !strings.Contains(em.Error, "quarantined") || !strings.Contains(em.Error, "drill") {
+		t.Fatalf("panic error %q does not name the quarantine and panic value", em.Error)
+	}
+
+	// The session is fenced: compute requests get 503 with the reason.
+	if resp := doJSON(t, c, "GET", base+"/map", nil, &em); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("map on quarantined session: status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(em.Error, "quarantined") {
+		t.Fatalf("quarantine 503 %q does not say why", em.Error)
+	}
+
+	// The list surfaces the quarantine; health keeps answering.
+	var list struct{ Placements []SessionInfo }
+	doJSON(t, c, "GET", ts.URL+"/v1/placements", nil, &list)
+	if len(list.Placements) != 1 || list.Placements[0].Quarantined == "" {
+		t.Fatalf("list does not show the quarantine: %+v", list.Placements)
+	}
+	var health struct {
+		Quarantined int `json:"quarantined"`
+	}
+	if resp := doJSON(t, c, "GET", ts.URL+"/healthz", nil, &health); resp.StatusCode != http.StatusOK || health.Quarantined != 1 {
+		t.Fatalf("healthz: status %d, quarantined %d", resp.StatusCode, health.Quarantined)
+	}
+
+	// Other sessions are unaffected.
+	var other CreateResponse
+	if resp := doJSON(t, c, "POST", ts.URL+"/v1/placements", chaosPlacement(), &other); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create after quarantine: status %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, c, "GET", ts.URL+"/v1/placements/"+other.ID+"/map", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy session map: status %d", resp.StatusCode)
+	}
+
+	// The quarantined session can still be deleted.
+	if resp := doJSON(t, c, "DELETE", base, nil, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete quarantined: status %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, c, "GET", base+"/map", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("map after delete: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHandlerPanicRecoveryMiddleware: a panic that escapes a handler
+// (drilled via the serve.map.handler site) is caught by withRecovery,
+// answered as a 500, and quarantines the session it was touching.
+func TestHandlerPanicRecoveryMiddleware(t *testing.T) {
+	defer faultinject.Reset()
+	s := NewServer(Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	var created CreateResponse
+	if resp := doJSON(t, c, "POST", ts.URL+"/v1/placements", chaosPlacement(), &created); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	base := ts.URL + "/v1/placements/" + created.ID
+
+	faultinject.Set("serve.map.handler", faultinject.Fault{Panic: "handler bug [drill]", Times: 1})
+	var em errorResponse
+	resp := doJSON(t, c, "GET", base+"/map", nil, &em)
+	faultinject.Reset()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d (%s), want 500", resp.StatusCode, em.Error)
+	}
+
+	// The middleware parsed the session id out of the path and fenced it.
+	if resp := doJSON(t, c, "GET", base+"/map", nil, &em); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("map after handler panic: status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(em.Error, "quarantined") {
+		t.Fatalf("quarantine 503 %q does not say why", em.Error)
+	}
+
+	// The server as a whole survived: health and list still answer.
+	if resp := doJSON(t, c, "GET", ts.URL+"/healthz", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after panic: status %d", resp.StatusCode)
+	}
+}
+
+// TestReadyzTracksRecovery: a WAL-backed server reports 503 "recovering"
+// until Recover completes, while /healthz answers 200 throughout — the
+// split load balancers rely on.
+func TestReadyzTracksRecovery(t *testing.T) {
+	s := NewServer(Options{WALDir: t.TempDir()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	var body struct {
+		Status string `json:"status"`
+	}
+	if resp := doJSON(t, c, "GET", ts.URL+"/readyz", nil, &body); resp.StatusCode != http.StatusServiceUnavailable || body.Status != "recovering" {
+		t.Fatalf("readyz before recovery: status %d, body %+v", resp.StatusCode, body)
+	}
+	if resp := doJSON(t, c, "GET", ts.URL+"/healthz", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before recovery: status %d", resp.StatusCode)
+	}
+
+	if n, err := s.Recover(context.Background()); err != nil || n != 0 {
+		t.Fatalf("recover over empty WAL root: %d, %v", n, err)
+	}
+	if resp := doJSON(t, c, "GET", ts.URL+"/readyz", nil, &body); resp.StatusCode != http.StatusOK || body.Status != "ready" {
+		t.Fatalf("readyz after recovery: status %d, body %+v", resp.StatusCode, body)
+	}
+
+	// A server with no WAL configured is ready from construction.
+	s2 := NewServer(Options{})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	if resp := doJSON(t, ts2.Client(), "GET", ts2.URL+"/readyz", nil, &body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz without WAL: status %d", resp.StatusCode)
+	}
+}

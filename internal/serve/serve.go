@@ -15,21 +15,36 @@
 // rejected with 503 instead of queueing unboundedly — load sheds at the
 // door, not in the middle of a half-applied edit batch.
 //
+// Fault tolerance (DESIGN.md §13): with Options.WALDir set, every
+// accepted edit batch is appended to a per-session CRC-framed journal
+// (internal/wal) and synced before the 200 goes out, with periodic
+// placement snapshots; Recover rebuilds the sessions after a crash by
+// checkpoint-and-replay. Deadlines cancel evaluation cooperatively per
+// tile (core.ErrCanceled → 504). Handler and kernel panics are
+// contained: the offending session is quarantined (503 on later
+// compute; DELETE still works) and the process lives on. Under
+// admission-queue pressure, full-mode flushes degrade to Stage-I-only
+// (header X-Tsvserve-Degraded) and heal on the next calm request.
+//
 // Observability: expvar metrics under "tsvserve" (see metrics.go) —
 // edit-latency histogram, dirty-tile ratio of the last flush, shared
-// coefficient-cache stats, in-flight and rejected request counts.
+// coefficient-cache stats, in-flight/rejected/panic/WAL counters.
 package serve
 
 import (
 	"context"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tsvstress/internal/incr"
 	"tsvstress/internal/material"
+	"tsvstress/internal/wal"
 )
 
 // Options configures the service. Zero values select production-safe
@@ -55,6 +70,22 @@ type Options struct {
 	// RequestTimeout is the per-request compute deadline applied when
 	// the incoming context has none (default 60s).
 	RequestTimeout time.Duration
+	// WALDir enables crash-safe sessions: every accepted edit batch is
+	// journaled (and synced) under WALDir/<session-id>/ before it is
+	// acknowledged, with a placement snapshot every SnapshotEvery
+	// batches. Empty disables durability (sessions die with the
+	// process). Call Recover at startup to rebuild journaled sessions.
+	WALDir string
+	// SnapshotEvery is the number of accepted edit batches between
+	// placement snapshots (default 8); snapshots bound journal length
+	// and recovery replay time.
+	SnapshotEvery int
+	// ShedQueueDepth is the number of compute requests waiting for an
+	// admission slot at which the service starts degrading full-mode
+	// flushes to Stage-I-only (default 2×MaxInFlight). Degraded
+	// responses carry the X-Tsvserve-Degraded header and heal on the
+	// next un-pressured request.
+	ShedQueueDepth int
 }
 
 func (o Options) withDefaults() Options {
@@ -76,14 +107,25 @@ func (o Options) withDefaults() Options {
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 60 * time.Second
 	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 8
+	}
+	if o.ShedQueueDepth <= 0 {
+		o.ShedQueueDepth = 2 * o.MaxInFlight
+	}
 	return o
 }
 
 // Server is the service state: the session table and the admission
-// semaphore. Create one with NewServer and mount Handler on an
-// http.Server.
+// semaphore. Create one with NewServer; with WAL durability enabled,
+// call Recover before serving, then mount Handler on an http.Server
+// and Close on the way out.
 type Server struct {
 	opt Options
+
+	// ready gates /readyz: set once recovery (a no-op without a WAL
+	// directory) has completed.
+	ready atomic.Bool
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -91,7 +133,9 @@ type Server struct {
 }
 
 // session is one live placement: an engine plus the bookkeeping the
-// handlers need. All engine access happens under mu.
+// handlers need. Engine access happens under mu; the quarantined
+// reason is guarded by the server mutex instead, so the panic-recovery
+// middleware can set it without waiting on a wedged session.
 type session struct {
 	mu      sync.Mutex
 	id      string
@@ -100,18 +144,38 @@ type session struct {
 	liner   string
 	mode    string
 	created time.Time
+
+	// log is the session's WAL (nil when durability is disabled);
+	// operated under mu.
+	log *wal.Log
+	// batchesSinceSnap counts accepted batches since the last
+	// snapshot; operated under mu.
+	batchesSinceSnap int
+
+	// quarantined is the non-empty reason this session refuses compute
+	// requests (contained panic, WAL write failure, replay divergence).
+	// Guarded by Server.mu.
+	quarantined string
 }
 
-// NewServer builds a service with no sessions.
+// NewServer builds a service with no sessions. It performs no I/O;
+// call Recover to load journaled sessions from Options.WALDir.
 func NewServer(opt Options) *Server {
-	return &Server{opt: opt.withDefaults(), sessions: make(map[string]*session)}
+	s := &Server{opt: opt.withDefaults(), sessions: make(map[string]*session)}
+	// Without a WAL there is nothing to recover: the server is ready
+	// the moment it exists.
+	s.ready.Store(s.opt.WALDir == "")
+	return s
 }
 
 // Handler returns the service's HTTP handler, including the expvar
-// endpoint at /debug/vars.
+// endpoint at /debug/vars. Every route runs inside the panic-recovery
+// middleware: a handler or kernel panic becomes a 500 and a
+// quarantined session, never a dead process.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("POST /v1/placements", s.instrument("create", s.handleCreate))
 	mux.HandleFunc("GET /v1/placements", s.handleList)
 	mux.HandleFunc("POST /v1/placements/{id}/edits", s.instrument("edits", s.handleEdits))
@@ -119,7 +183,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/placements/{id}/screen", s.instrument("screen", s.handleScreen))
 	mux.HandleFunc("DELETE /v1/placements/{id}", s.handleDelete)
 	mux.Handle("GET /debug/vars", expvarHandler())
-	return mux
+	return s.withRecovery(mux)
 }
 
 // NumSessions returns the live session count.
@@ -127,6 +191,73 @@ func (s *Server) NumSessions() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.sessions)
+}
+
+// withRecovery converts a panic escaping any handler into a 500
+// response, a metric increment and — when the request targets a
+// session — a quarantine of that session, instead of a dead process.
+func (s *Server) withRecovery(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			metricPanics.Add(1)
+			reason := fmt.Sprintf("handler panic on %s %s: %v", r.Method, r.URL.Path, rec)
+			if id := sessionIDFromPath(r.URL.Path); id != "" {
+				s.quarantine(id, reason)
+			}
+			// Best effort: if the handler already streamed a body this
+			// header write is a no-op, and the truncated body is the
+			// remaining signal.
+			writeError(w, http.StatusInternalServerError, reason)
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// sessionIDFromPath extracts the {id} segment of /v1/placements/{id}/…
+// without relying on mux path values (the recovery middleware sits
+// outside the mux).
+func sessionIDFromPath(path string) string {
+	rest, ok := strings.CutPrefix(path, "/v1/placements/")
+	if !ok {
+		return ""
+	}
+	id, _, _ := strings.Cut(rest, "/")
+	return id
+}
+
+// quarantine marks a session as refusing compute requests. The first
+// reason wins; later quarantines of the same session are no-ops.
+func (s *Server) quarantine(id, reason string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ses, ok := s.sessions[id]
+	if !ok || ses.quarantined != "" {
+		return
+	}
+	ses.quarantined = reason
+	metricQuarantined.Set(int64(s.quarantinedLocked()))
+}
+
+// quarantinedLocked counts quarantined sessions; caller holds s.mu.
+func (s *Server) quarantinedLocked() int {
+	n := 0
+	for _, ses := range s.sessions {
+		if ses.quarantined != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// quarantinedCount counts quarantined sessions.
+func (s *Server) quarantinedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantinedLocked()
 }
 
 // instrument wraps a compute-bearing handler with admission control,
@@ -162,10 +293,15 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 var (
 	admitOnce sync.Once
 	admitCh   chan struct{}
+	// admitWaiting counts requests blocked on an admission slot — the
+	// queue-pressure signal the degradation ladder keys off.
+	admitWaiting atomic.Int64
 )
 
 func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	admitOnce.Do(func() { admitCh = make(chan struct{}, s.opt.MaxInFlight) })
+	admitWaiting.Add(1)
+	defer admitWaiting.Add(-1)
 	wait := time.NewTimer(s.opt.AdmissionWait)
 	defer wait.Stop()
 	select {
@@ -178,7 +314,14 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	}
 }
 
-// getSession looks up a session by the request's {id} path value.
+// shedding reports whether the admission queue is deep enough that
+// full-mode flushes should degrade to Stage I only.
+func (s *Server) shedding() bool {
+	return int(admitWaiting.Load()) >= s.opt.ShedQueueDepth
+}
+
+// getSession looks up a session by the request's {id} path value,
+// rejecting quarantined sessions (the caller maps the error to a 503).
 func (s *Server) getSession(r *http.Request) (*session, error) {
 	id := r.PathValue("id")
 	s.mu.Lock()
@@ -187,7 +330,21 @@ func (s *Server) getSession(r *http.Request) (*session, error) {
 	if !ok {
 		return nil, fmt.Errorf("unknown placement %q", id)
 	}
+	if ses.quarantined != "" {
+		return nil, &quarantinedError{id: id, reason: ses.quarantined}
+	}
 	return ses, nil
+}
+
+// quarantinedError distinguishes "session exists but is fenced off"
+// from "no such session" so the handler can answer 503, not 404.
+type quarantinedError struct {
+	id     string
+	reason string
+}
+
+func (e *quarantinedError) Error() string {
+	return fmt.Sprintf("placement %q is quarantined (%s); DELETE it and re-create", e.id, e.reason)
 }
 
 // addSession registers a new session, enforcing MaxSessions.
@@ -207,11 +364,74 @@ func (s *Server) addSession(ses *session) (string, error) {
 
 func (s *Server) dropSession(id string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.sessions[id]; !ok {
+	ses, ok := s.sessions[id]
+	if !ok {
+		s.mu.Unlock()
 		return false
 	}
 	delete(s.sessions, id)
 	metricSessions.Set(int64(len(s.sessions)))
+	metricQuarantined.Set(int64(s.quarantinedLocked()))
+	s.mu.Unlock()
+	// Close and delete the journal outside the table lock; the session
+	// is already unreachable.
+	ses.mu.Lock()
+	if ses.log != nil {
+		_ = ses.log.Close()
+		ses.log = nil
+		_ = wal.Remove(filepath.Join(s.opt.WALDir, id))
+	}
+	ses.mu.Unlock()
 	return true
+}
+
+// sessionDir returns the WAL directory of a session id.
+func (s *Server) sessionDir(id string) string {
+	return filepath.Join(s.opt.WALDir, id)
+}
+
+// Close drains the sessions and persists their WAL state: for every
+// session it takes the per-session lock (waiting out any in-flight
+// request), writes a final snapshot when batches are owed, and closes
+// the journal. It returns once every session drained or ctx expired —
+// in the latter case naming how many sessions were still busy.
+// Journaled state is already durable before Close runs (Append syncs
+// before acknowledging), so a timed-out drain loses no acknowledged
+// edits; the final snapshot only shortens the next recovery's replay.
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, ses := range s.sessions {
+		sessions = append(sessions, ses)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{}, len(sessions))
+	for _, ses := range sessions {
+		go func(ses *session) {
+			defer func() { done <- struct{}{} }()
+			ses.mu.Lock()
+			defer ses.mu.Unlock()
+			if ses.log == nil {
+				return
+			}
+			if ses.batchesSinceSnap > 0 {
+				if payload, err := marshalSnapshot(ses.engine.Placement()); err == nil {
+					if ses.log.Snapshot(payload) == nil {
+						ses.batchesSinceSnap = 0
+						metricSnapshots.Add(1)
+					}
+				}
+			}
+			_ = ses.log.Close()
+		}(ses)
+	}
+	for remaining := len(sessions); remaining > 0; remaining-- {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return fmt.Errorf("serve: shutdown drain expired with %d of %d sessions still busy: %w",
+				remaining, len(sessions), ctx.Err())
+		}
+	}
+	return nil
 }

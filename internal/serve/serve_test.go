@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"math"
@@ -146,7 +147,7 @@ func TestServeLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := make([]tensor.Stress, grid.Len())
-	if err := an.MapInto(want, grid.Points(), core.ModeFull); err != nil {
+	if err := an.MapInto(context.Background(), want, grid.Points(), core.ModeFull); err != nil {
 		t.Fatal(err)
 	}
 	for i, v := range mp.Values {

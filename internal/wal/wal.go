@@ -1,0 +1,374 @@
+// Package wal implements the crash-safety layer of the serving stack:
+// a per-session append-only journal of accepted edit batches plus a
+// periodically rewritten placement snapshot, both CRC-framed, from
+// which tsvserve rebuilds its sessions after a crash (checkpoint-and-
+// replay recovery).
+//
+// On-disk layout, one directory per session:
+//
+//	<dir>/meta          create-time record (seq 0): the session config
+//	<dir>/journal.wal   framed records, one per accepted edit batch
+//	<dir>/snap          latest snapshot (atomic tmp+rename replace)
+//
+// Record framing is length-prefixed with a CRC over the body:
+//
+//	record := length(4, LE) | crc32c(4, LE) | body
+//	body   := seq(8, LE)    | payload
+//
+// Append syncs before returning, so a record the caller acknowledged
+// survives a crash. Replay scans the journal front to back and, at the
+// first frame that fails its length or CRC check, truncates the file
+// there: a torn tail — the half-written frame of a crash mid-append —
+// is discarded rather than poisoning recovery, and everything before it
+// is kept. Snapshots are written to a temporary file, synced and
+// renamed, so the snap file is always a complete record; records whose
+// seq is ≤ the snapshot's are skipped on replay, which makes journal
+// compaction after a snapshot safe at every crash position.
+//
+// The "wal.append.write", "wal.append.sync" and "wal.snapshot" sites of
+// internal/faultinject let tests inject short writes, sync failures and
+// snapshot errors. A Log whose write path failed is broken: every later
+// operation errors, because the journal tail is no longer trustworthy —
+// the owner must treat the session as lost until recovery.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"tsvstress/internal/faultinject"
+)
+
+const (
+	headerSize = 8       // length(4) + crc(4)
+	seqSize    = 8       // body prefix
+	maxRecord  = 1 << 26 // 64 MiB body cap: a corrupt length must not OOM replay
+
+	metaName    = "meta"
+	journalName = "journal.wal"
+	snapName    = "snap"
+)
+
+// crcTable is the Castagnoli polynomial, the standard choice for
+// storage checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBroken reports an operation on a log whose write path already
+// failed; the on-disk tail is not trustworthy until re-opened through
+// recovery.
+var ErrBroken = errors.New("wal: log broken by an earlier write failure")
+
+// Record is one replayed journal entry.
+type Record struct {
+	// Seq is the record's 1-based sequence number within the session.
+	Seq uint64
+	// Payload is the caller's opaque record body.
+	Payload []byte
+}
+
+// Recovered is the state Open reassembles from a session directory.
+type Recovered struct {
+	// Meta is the create-time record payload.
+	Meta []byte
+	// SnapshotSeq is the journal position of the snapshot (0 when no
+	// snapshot was ever written).
+	SnapshotSeq uint64
+	// Snapshot is the latest snapshot payload (nil when none).
+	Snapshot []byte
+	// Records are the journal records after the snapshot, in order.
+	Records []Record
+	// TruncatedBytes is how many torn-tail bytes replay discarded.
+	TruncatedBytes int64
+}
+
+// Log is one session's open journal. It is not safe for concurrent
+// use; callers serialize (the serving layer's per-session mutex).
+type Log struct {
+	dir    string
+	f      *os.File
+	seq    uint64
+	broken bool
+}
+
+// Create initializes a new session directory: it writes the meta
+// record and an empty journal, syncing both and the directory. The
+// directory must not already hold a session.
+func Create(dir string, meta []byte) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create %s: %w", dir, err)
+	}
+	metaPath := filepath.Join(dir, metaName)
+	if _, err := os.Stat(metaPath); err == nil {
+		return nil, fmt.Errorf("wal: %s already holds a session", dir)
+	}
+	if err := writeFileSynced(metaPath, frame(0, meta)); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create journal: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{dir: dir, f: f}, nil
+}
+
+// Open replays a session directory and returns the recovered state
+// plus a log positioned to append after the last valid record. A torn
+// journal tail is truncated in place (Recovered.TruncatedBytes).
+func Open(dir string) (*Log, *Recovered, error) {
+	rawMeta, err := os.ReadFile(filepath.Join(dir, metaName))
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open %s: %w", dir, err)
+	}
+	_, meta, rest, err := parseFrame(rawMeta)
+	if err != nil || len(rest) != 0 {
+		return nil, nil, fmt.Errorf("wal: %s: corrupt meta record: %v", dir, err)
+	}
+	rec := &Recovered{Meta: meta}
+
+	if rawSnap, err := os.ReadFile(filepath.Join(dir, snapName)); err == nil {
+		seq, payload, rest, err := parseFrame(rawSnap)
+		if err != nil || len(rest) != 0 {
+			// snap is written atomically, so a bad frame is real
+			// corruption, not a torn write — and the journal may have
+			// been compacted against it. Unrecoverable.
+			return nil, nil, fmt.Errorf("wal: %s: corrupt snapshot: %v", dir, err)
+		}
+		rec.SnapshotSeq, rec.Snapshot = seq, payload
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("wal: open snapshot: %w", err)
+	}
+
+	jpath := filepath.Join(dir, journalName)
+	raw, err := os.ReadFile(jpath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open journal: %w", err)
+	}
+	lastSeq := rec.SnapshotSeq
+	validEnd := int64(0)
+	for buf := raw; len(buf) > 0; {
+		seq, payload, rest, err := parseFrame(buf)
+		if err != nil {
+			break // torn tail: truncate at validEnd
+		}
+		if seq > lastSeq {
+			// Records at or below the snapshot seq are pre-compaction
+			// leftovers already folded into the snapshot; skip them.
+			rec.Records = append(rec.Records, Record{Seq: seq, Payload: payload})
+			lastSeq = seq
+		} else if len(rec.Records) > 0 {
+			break // sequence went backwards mid-file: corrupt from here
+		}
+		validEnd += int64(len(buf) - len(rest))
+		buf = rest
+	}
+	if validEnd < int64(len(raw)) {
+		rec.TruncatedBytes = int64(len(raw)) - validEnd
+		if err := os.Truncate(jpath, validEnd); err != nil {
+			return nil, nil, fmt.Errorf("wal: truncate torn journal tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(jpath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: reopen journal: %w", err)
+	}
+	return &Log{dir: dir, f: f, seq: lastSeq}, rec, nil
+}
+
+// Seq returns the sequence number of the last appended (or replayed)
+// record.
+func (l *Log) Seq() uint64 { return l.seq }
+
+// Append frames, writes and syncs one record, returning its sequence
+// number. The record is durable when Append returns nil — the caller
+// may acknowledge it. On any write or sync failure the log becomes
+// broken and the error is permanent until recovery re-opens the
+// directory.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if l.broken {
+		return 0, ErrBroken
+	}
+	seq := l.seq + 1
+	buf := frame(seq, payload)
+	n, injErr := faultinject.ShortWrite("wal.append.write", len(buf))
+	wn, err := l.f.Write(buf[:n])
+	if err == nil && injErr != nil {
+		err = injErr
+	}
+	if err == nil && wn < len(buf) {
+		err = io.ErrShortWrite
+	}
+	if err == nil {
+		if err = faultinject.Fire("wal.append.sync"); err == nil {
+			err = l.f.Sync()
+		}
+	}
+	if err != nil {
+		l.broken = true
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.seq = seq
+	return seq, nil
+}
+
+// Snapshot atomically replaces the session snapshot with payload at
+// the current sequence position and compacts the journal. After a
+// crash at any point inside Snapshot, Open still reconstructs the same
+// state: the snap rename is atomic, and journal records the compaction
+// had not yet removed are skipped by their sequence numbers.
+func (l *Log) Snapshot(payload []byte) error {
+	if l.broken {
+		return ErrBroken
+	}
+	if err := faultinject.Fire("wal.snapshot"); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	tmp := filepath.Join(l.dir, snapName+".tmp")
+	if err := writeFileSynced(tmp, frame(l.seq, payload)); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapName)); err != nil {
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	// Compact: swap in an empty journal. Sequence numbers continue from
+	// l.seq, so replay composes the snapshot with any later records.
+	jtmp := filepath.Join(l.dir, journalName+".tmp")
+	if err := writeFileSynced(jtmp, nil); err != nil {
+		return err
+	}
+	if err := os.Rename(jtmp, filepath.Join(l.dir, journalName)); err != nil {
+		return fmt.Errorf("wal: journal compaction rename: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	old := l.f
+	f, err := os.OpenFile(filepath.Join(l.dir, journalName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		l.broken = true
+		return fmt.Errorf("wal: reopen compacted journal: %w", err)
+	}
+	l.f = f
+	old.Close()
+	return nil
+}
+
+// Close syncs and closes the journal. The directory stays on disk for
+// recovery; use Remove to delete a session.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// Remove deletes a session directory and everything in it.
+func Remove(dir string) error { return os.RemoveAll(dir) }
+
+// List returns the session directory names under root, in lexical
+// order. A missing root is an empty store, not an error.
+func List(root string) ([]string, error) {
+	entries, err := os.ReadDir(root)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", root, err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	return dirs, nil
+}
+
+// frame builds one on-disk record.
+func frame(seq uint64, payload []byte) []byte {
+	body := len(payload) + seqSize
+	buf := make([]byte, headerSize+body)
+	binary.LittleEndian.PutUint64(buf[headerSize:], seq)
+	copy(buf[headerSize+seqSize:], payload)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(body))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(buf[headerSize:], crcTable))
+	return buf
+}
+
+// parseFrame decodes the record at the head of buf, returning the
+// remaining bytes. Any structural problem — short header, impossible
+// length, short body, CRC mismatch — is an error; the caller decides
+// whether that means a torn tail (journal) or corruption (meta/snap).
+func parseFrame(buf []byte) (seq uint64, payload, rest []byte, err error) {
+	if len(buf) < headerSize {
+		return 0, nil, nil, fmt.Errorf("short header: %d bytes", len(buf))
+	}
+	body := binary.LittleEndian.Uint32(buf[0:4])
+	if body < seqSize || body > maxRecord {
+		return 0, nil, nil, fmt.Errorf("implausible body length %d", body)
+	}
+	if len(buf) < headerSize+int(body) {
+		return 0, nil, nil, fmt.Errorf("short body: want %d, have %d", body, len(buf)-headerSize)
+	}
+	want := binary.LittleEndian.Uint32(buf[4:8])
+	got := crc32.Checksum(buf[headerSize:headerSize+int(body)], crcTable)
+	if got != want {
+		return 0, nil, nil, fmt.Errorf("crc mismatch: %08x != %08x", got, want)
+	}
+	seq = binary.LittleEndian.Uint64(buf[headerSize : headerSize+seqSize])
+	payload = buf[headerSize+seqSize : headerSize+int(body)]
+	return seq, payload, buf[headerSize+int(body):], nil
+}
+
+// writeFileSynced writes path with an fsync before close.
+func writeFileSynced(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: write %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and creates inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

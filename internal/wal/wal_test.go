@@ -1,0 +1,272 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tsvstress/internal/faultinject"
+)
+
+func mustCreate(t *testing.T, dir string, meta []byte) *Log {
+	t.Helper()
+	l, err := Create(dir, meta)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return l
+}
+
+func mustAppend(t *testing.T, l *Log, payload string) uint64 {
+	t.Helper()
+	seq, err := l.Append([]byte(payload))
+	if err != nil {
+		t.Fatalf("Append(%q): %v", payload, err)
+	}
+	return seq
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "p1")
+	l := mustCreate(t, dir, []byte("meta-blob"))
+	for i := 1; i <= 5; i++ {
+		if seq := mustAppend(t, l, fmt.Sprintf("batch-%d", i)); seq != uint64(i) {
+			t.Fatalf("seq = %d, want %d", seq, i)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l2.Close()
+	if !bytes.Equal(rec.Meta, []byte("meta-blob")) {
+		t.Fatalf("meta = %q", rec.Meta)
+	}
+	if rec.Snapshot != nil || rec.SnapshotSeq != 0 {
+		t.Fatalf("unexpected snapshot: seq %d", rec.SnapshotSeq)
+	}
+	if rec.TruncatedBytes != 0 {
+		t.Fatalf("truncated %d bytes of a clean journal", rec.TruncatedBytes)
+	}
+	if len(rec.Records) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(rec.Records))
+	}
+	for i, r := range rec.Records {
+		if r.Seq != uint64(i+1) || string(r.Payload) != fmt.Sprintf("batch-%d", i+1) {
+			t.Fatalf("record %d = {%d, %q}", i, r.Seq, r.Payload)
+		}
+	}
+	// The reopened log appends after the replayed tail.
+	if seq := mustAppend(t, l2, "batch-6"); seq != 6 {
+		t.Fatalf("post-replay seq = %d, want 6", seq)
+	}
+}
+
+func TestCreateRejectsExistingSession(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "p1")
+	l := mustCreate(t, dir, []byte("m"))
+	l.Close()
+	if _, err := Create(dir, []byte("m2")); err == nil {
+		t.Fatal("Create over an existing session succeeded")
+	}
+}
+
+// TestTornTailTruncated simulates a crash mid-append at every possible
+// torn length of the final record: replay must keep the intact prefix,
+// drop the tail, and leave the journal appendable.
+func TestTornTailTruncated(t *testing.T) {
+	base := t.TempDir()
+	full := frame(3, []byte("batch-3"))
+	for cut := 1; cut < len(full); cut++ {
+		dir := filepath.Join(base, fmt.Sprintf("cut%d", cut))
+		l := mustCreate(t, dir, []byte("m"))
+		mustAppend(t, l, "batch-1")
+		mustAppend(t, l, "batch-2")
+		l.Close()
+
+		jpath := filepath.Join(dir, journalName)
+		f, err := os.OpenFile(jpath, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(full[:cut]); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		l2, rec, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+		if len(rec.Records) != 2 {
+			t.Fatalf("cut %d: replayed %d records, want 2", cut, len(rec.Records))
+		}
+		if rec.TruncatedBytes != int64(cut) {
+			t.Fatalf("cut %d: truncated %d bytes", cut, rec.TruncatedBytes)
+		}
+		// The torn record was never acknowledged; its seq must be reusable.
+		if seq := mustAppend(t, l2, "batch-3-retry"); seq != 3 {
+			t.Fatalf("cut %d: retry seq = %d, want 3", cut, seq)
+		}
+		l2.Close()
+	}
+}
+
+func TestSnapshotCompactsJournal(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "p1")
+	l := mustCreate(t, dir, []byte("m"))
+	mustAppend(t, l, "batch-1")
+	mustAppend(t, l, "batch-2")
+	if err := l.Snapshot([]byte("snap@2")); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	mustAppend(t, l, "batch-3")
+	l.Close()
+
+	l2, rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l2.Close()
+	if rec.SnapshotSeq != 2 || string(rec.Snapshot) != "snap@2" {
+		t.Fatalf("snapshot = {%d, %q}", rec.SnapshotSeq, rec.Snapshot)
+	}
+	if len(rec.Records) != 1 || rec.Records[0].Seq != 3 {
+		t.Fatalf("post-snapshot records = %+v", rec.Records)
+	}
+	if l2.Seq() != 3 {
+		t.Fatalf("Seq = %d, want 3", l2.Seq())
+	}
+}
+
+// TestSnapshotCrashBeforeCompaction covers the crash window between the
+// snap rename and the journal swap: the journal still holds records the
+// snapshot already folded in, and replay must skip them by sequence.
+func TestSnapshotCrashBeforeCompaction(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "p1")
+	l := mustCreate(t, dir, []byte("m"))
+	mustAppend(t, l, "batch-1")
+	mustAppend(t, l, "batch-2")
+	l.Close()
+	// Hand-write the snapshot the way a crash would leave it: snap in
+	// place, journal uncompacted.
+	if err := writeFileSynced(filepath.Join(dir, snapName), frame(2, []byte("snap@2"))); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l2.Close()
+	if rec.SnapshotSeq != 2 {
+		t.Fatalf("SnapshotSeq = %d", rec.SnapshotSeq)
+	}
+	if len(rec.Records) != 0 {
+		t.Fatalf("stale pre-snapshot records replayed: %+v", rec.Records)
+	}
+	if seq := mustAppend(t, l2, "batch-3"); seq != 3 {
+		t.Fatalf("seq after skipped replay = %d, want 3", seq)
+	}
+}
+
+func TestShortWriteBreaksLog(t *testing.T) {
+	defer faultinject.Reset()
+	dir := filepath.Join(t.TempDir(), "p1")
+	l := mustCreate(t, dir, []byte("m"))
+	mustAppend(t, l, "batch-1")
+
+	errDisk := errors.New("disk gone")
+	faultinject.Set("wal.append.write", faultinject.Fault{ShortWrite: 5, Err: errDisk, Times: 1})
+	if _, err := l.Append([]byte("batch-2")); !errors.Is(err, errDisk) {
+		t.Fatalf("short-write append error = %v, want %v", err, errDisk)
+	}
+	// The log latches broken: the tail is untrustworthy even though the
+	// fault has cleared.
+	if _, err := l.Append([]byte("batch-2-retry")); !errors.Is(err, ErrBroken) {
+		t.Fatalf("append after failure = %v, want ErrBroken", err)
+	}
+	if err := l.Snapshot([]byte("s")); !errors.Is(err, ErrBroken) {
+		t.Fatalf("snapshot after failure = %v, want ErrBroken", err)
+	}
+	l.Close()
+
+	// Recovery truncates the five torn bytes and keeps the good record.
+	l2, rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l2.Close()
+	if len(rec.Records) != 1 || string(rec.Records[0].Payload) != "batch-1" {
+		t.Fatalf("records = %+v", rec.Records)
+	}
+	if rec.TruncatedBytes != 5 {
+		t.Fatalf("truncated %d bytes, want 5", rec.TruncatedBytes)
+	}
+}
+
+func TestSyncFailureBreaksLog(t *testing.T) {
+	defer faultinject.Reset()
+	dir := filepath.Join(t.TempDir(), "p1")
+	l := mustCreate(t, dir, []byte("m"))
+	faultinject.Set("wal.append.sync", faultinject.Fault{Times: 1})
+	if _, err := l.Append([]byte("b")); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("append = %v, want injected sync error", err)
+	}
+	if _, err := l.Append([]byte("b")); !errors.Is(err, ErrBroken) {
+		t.Fatalf("append after sync failure = %v, want ErrBroken", err)
+	}
+}
+
+func TestOpenRejectsCorruptMetaAndSnapshot(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "p1")
+	l := mustCreate(t, dir, []byte("m"))
+	l.Close()
+	// Corrupt meta: unrecoverable.
+	if err := os.WriteFile(filepath.Join(dir, metaName), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir); err == nil {
+		t.Fatal("Open with corrupt meta succeeded")
+	}
+
+	dir2 := filepath.Join(t.TempDir(), "p2")
+	l2 := mustCreate(t, dir2, []byte("m"))
+	l2.Close()
+	// Corrupt snapshot: also unrecoverable (the journal may have been
+	// compacted against it), unlike a torn journal tail.
+	if err := os.WriteFile(filepath.Join(dir2, snapName), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir2); err == nil {
+		t.Fatal("Open with corrupt snapshot succeeded")
+	}
+}
+
+func TestList(t *testing.T) {
+	root := t.TempDir()
+	if got, err := List(filepath.Join(root, "missing")); err != nil || len(got) != 0 {
+		t.Fatalf("List(missing) = %v, %v", got, err)
+	}
+	for _, id := range []string{"p2", "p1"} {
+		l := mustCreate(t, filepath.Join(root, id), []byte("m"))
+		l.Close()
+	}
+	if err := os.WriteFile(filepath.Join(root, "stray-file"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := List(root)
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(got) != 2 || got[0] != "p1" || got[1] != "p2" {
+		t.Fatalf("List = %v, want [p1 p2]", got)
+	}
+}

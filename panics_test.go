@@ -1,6 +1,7 @@
 package tsvstress
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -25,7 +26,7 @@ func TestBoundaryErrorsNotPanics(t *testing.T) {
 				t.Fatalf("building analyzer: %v", err)
 			}
 			dst := make([]tensor.Stress, 1)
-			return an.MapInto(dst, []Point{p}, ModeFull)
+			return an.MapInto(context.Background(), dst, []Point{p}, ModeFull)
 		}
 	}
 
