@@ -37,6 +37,7 @@ import (
 	"fmt"
 
 	"tsvstress/internal/core"
+	"tsvstress/internal/faultinject"
 	"tsvstress/internal/geom"
 	"tsvstress/internal/material"
 	"tsvstress/internal/tensor"
@@ -204,6 +205,12 @@ func (e *Engine) Stats() Stats {
 // marking the affected tiles dirty. The field map is not updated until
 // Flush. A failed edit leaves the session unchanged.
 func (e *Engine) Apply(ed geom.Edit) error {
+	// Test-only drill (one atomic load when unarmed): an injected
+	// failure here models an engine/validator divergence — an edit the
+	// rehearsal accepted that the engine then refuses.
+	if err := faultinject.Fire("incr.apply"); err != nil {
+		return err
+	}
 	// Capture the old center before the placement mutates.
 	var oldC geom.Point
 	hasOld := ed.Op == geom.EditRemove || ed.Op == geom.EditMove

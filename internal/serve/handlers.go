@@ -428,11 +428,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ses := &session{engine: engine, st: st, liner: linerName, mode: modeName, created: time.Now()}
-	id, err := s.addSession(ses)
+	id, err := s.reserveID()
 	if err != nil {
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	}
+	// Open the journal before the session is published: a session that
+	// requests can observe must never exist without an open log, or an
+	// edit batch could be acknowledged in the window where it would not
+	// be journaled — durability the client was promised but never had.
 	if s.opt.WALDir != "" {
 		meta, err := json.Marshal(metaRecord{
 			TSVs:    wireTSVs(pl),
@@ -444,23 +448,16 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			Created: ses.created,
 		})
 		if err == nil {
-			var log *wal.Log
-			log, err = wal.Create(s.sessionDir(id), meta)
-			if err == nil {
-				ses.mu.Lock()
-				ses.log = log
-				ses.mu.Unlock()
-			}
+			ses.log, err = wal.Create(s.sessionDir(id), meta)
 		}
 		if err != nil {
-			// A session whose edits cannot be journaled must not exist:
-			// the client would trust durability it does not have.
-			s.dropSession(id)
+			s.unreserve()
 			_ = wal.Remove(s.sessionDir(id))
 			writeError(w, http.StatusInternalServerError, "create: journal init failed: "+err.Error())
 			return
 		}
 	}
+	s.publishSession(id, ses)
 	writeJSON(w, http.StatusCreated, CreateResponse{
 		ID:        id,
 		NumTSVs:   engine.NumTSVs(),
@@ -473,9 +470,24 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	// Snapshot the table under s.mu and read each session's engine only
+	// after s.mu is released: compute handlers acquire s.mu (quarantine)
+	// while holding ses.mu, so nesting s.mu→ses.mu here would be an
+	// ABBA deadlock. The quarantined reason is s.mu-guarded, so capture
+	// it during the snapshot.
+	type listEntry struct {
+		ses         *session
+		quarantined string
+	}
 	s.mu.Lock()
-	infos := make([]SessionInfo, 0, len(s.sessions))
+	entries := make([]listEntry, 0, len(s.sessions))
 	for _, ses := range s.sessions {
+		entries = append(entries, listEntry{ses: ses, quarantined: ses.quarantined})
+	}
+	s.mu.Unlock()
+	infos := make([]SessionInfo, 0, len(entries))
+	for _, e := range entries {
+		ses := e.ses
 		ses.mu.Lock()
 		infos = append(infos, SessionInfo{
 			ID:          ses.id,
@@ -485,11 +497,10 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 			Liner:       ses.liner,
 			Pending:     ses.engine.Pending(),
 			Created:     ses.created,
-			Quarantined: ses.quarantined,
+			Quarantined: e.quarantined,
 		})
 		ses.mu.Unlock()
 	}
-	s.mu.Unlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
 	writeJSON(w, http.StatusOK, map[string]any{"placements": infos})
 }
@@ -546,31 +557,44 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, ed := range edits {
 		// The rehearsal accepted the batch, so each apply must succeed;
-		// a failure here is an engine/validator divergence.
+		// a failure here is an engine/validator divergence — and the
+		// batch is already journaled, so the engine now holds a partial
+		// application that recovery would replay in full. Quarantine,
+		// mirroring the WAL-append failure path, instead of serving
+		// state that diverges from the journal.
 		if err := ses.engine.Apply(ed); err != nil {
-			writeError(w, http.StatusInternalServerError, fmt.Sprintf("edit %d failed after validation: %v", i, err))
+			reason := fmt.Sprintf("edit %d failed after validation (engine diverged from journal): %v", i, err)
+			s.quarantine(ses.id, reason)
+			writeError(w, http.StatusInternalServerError,
+				fmt.Sprintf("%s; placement %q quarantined", reason, ses.id))
 			return
 		}
 	}
 	metricEdits.Add(int64(len(edits)))
+	// The batch is journaled and applied, so it counts toward snapshot
+	// cadence now, whatever the flush below does — a canceled flush
+	// must not drift the cadence for a batch that is already durable.
+	if ses.log != nil {
+		ses.batchesSinceSnap++
+	}
 	flushMs, err := s.flushLocked(r.Context(), ses)
 	if err != nil {
-		s.writeComputeError(w, ses.id, "flush", err)
+		// The edits themselves are accepted (journaled and applied);
+		// only the map evaluation failed. Say so in the op, or a
+		// timed-out client would resubmit and double-apply the batch.
+		s.writeComputeError(w, ses.id, "flush (edit batch already accepted; do not resubmit)", err)
 		return
 	}
 	// Snapshot every SnapshotEvery accepted batches to bound journal
 	// length and recovery replay time. A snapshot failure is not fatal:
 	// the journal still holds every batch since the last good snapshot.
-	if ses.log != nil {
-		ses.batchesSinceSnap++
-		if ses.batchesSinceSnap >= s.opt.SnapshotEvery {
-			if payload, err := marshalSnapshot(ses.engine.Placement()); err == nil {
-				if err := ses.log.Snapshot(payload); err == nil {
-					ses.batchesSinceSnap = 0
-					metricSnapshots.Add(1)
-				} else {
-					metricWALErrors.Add(1)
-				}
+	if ses.log != nil && ses.batchesSinceSnap >= s.opt.SnapshotEvery {
+		if payload, err := marshalSnapshot(ses.engine.Placement()); err == nil {
+			if err := ses.log.Snapshot(payload); err == nil {
+				ses.batchesSinceSnap = 0
+				metricSnapshots.Add(1)
+			} else {
+				metricWALErrors.Add(1)
 			}
 		}
 	}

@@ -2,10 +2,15 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"tsvstress/internal/faultinject"
 )
@@ -113,6 +118,189 @@ func TestHandlerPanicRecoveryMiddleware(t *testing.T) {
 	// The server as a whole survived: health and list still answer.
 	if resp := doJSON(t, c, "GET", ts.URL+"/healthz", nil, nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz after panic: status %d", resp.StatusCode)
+	}
+}
+
+// TestListDuringQuarantineNoDeadlock: the list handler must not hold
+// the table lock while taking a session lock. Compute handlers
+// quarantine (ses.mu → Server.mu) when a WAL append fails, so an
+// s.mu → ses.mu nesting in handleList is an ABBA deadlock that wedges
+// the whole server; this drill holds the session lock in a slow failing
+// sync while listers hammer the table.
+func TestListDuringQuarantineNoDeadlock(t *testing.T) {
+	defer faultinject.Reset()
+	s := NewServer(Options{WALDir: t.TempDir()})
+	if _, err := s.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	var created CreateResponse
+	if resp := doJSON(t, c, "POST", ts.URL+"/v1/placements", chaosPlacement(), &created); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	base := ts.URL + "/v1/placements/" + created.ID
+
+	// The sync failure is delayed so the edit handler provably holds the
+	// session lock while the listers pile up behind the table lock.
+	faultinject.Set("wal.append.sync", faultinject.Fault{
+		Err: faultinject.ErrInjected, Delay: 100 * time.Millisecond, Times: 1})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var em errorResponse
+			resp := doJSON(t, c, "POST", base+"/edits",
+				EditsRequest{Edits: []EditWire{{Op: "move", Index: 0, X: 2, Y: 2}}}, &em)
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				t.Errorf("edit with failing sync: status %d (%s), want 503", resp.StatusCode, em.Error)
+			}
+		}()
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				deadline := time.Now().Add(400 * time.Millisecond)
+				for time.Now().Before(deadline) {
+					doJSON(t, c, "GET", ts.URL+"/v1/placements", nil, nil)
+				}
+			}()
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("list/quarantine deadlock: server wedged")
+	}
+	// The quarantine itself landed.
+	var em errorResponse
+	if resp := doJSON(t, c, "GET", base+"/map", nil, &em); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("map after WAL failure: status %d (%s), want 503 quarantined", resp.StatusCode, em.Error)
+	}
+}
+
+// TestCreateJournalFailureLeavesNoSession: when journal init fails the
+// create must 500 without the session ever having been visible, and
+// the MaxSessions slot it reserved must be returned — a second create
+// answering 429 would mean the slot leaked.
+func TestCreateJournalFailureLeavesNoSession(t *testing.T) {
+	// A WAL root that is a regular file makes every wal.Create fail.
+	walRoot := filepath.Join(t.TempDir(), "walroot")
+	if err := os.WriteFile(walRoot, []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(Options{WALDir: walRoot, MaxSessions: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	for i := 0; i < 2; i++ {
+		var em errorResponse
+		resp := doJSON(t, c, "POST", ts.URL+"/v1/placements", chaosPlacement(), &em)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("create %d with broken WAL root: status %d (%s), want 500", i, resp.StatusCode, em.Error)
+		}
+		if !strings.Contains(em.Error, "journal init failed") {
+			t.Fatalf("create %d error %q does not name the journal failure", i, em.Error)
+		}
+	}
+	var list struct{ Placements []SessionInfo }
+	doJSON(t, c, "GET", ts.URL+"/v1/placements", nil, &list)
+	if len(list.Placements) != 0 {
+		t.Fatalf("failed create left a visible session: %+v", list.Placements)
+	}
+}
+
+// TestApplyDivergenceQuarantines: an edit the rehearsal accepted but
+// the engine refuses means the engine disagrees with the journal (the
+// batch is already appended) — the session must be quarantined, not
+// left serving state that recovery would contradict.
+func TestApplyDivergenceQuarantines(t *testing.T) {
+	defer faultinject.Reset()
+	s := NewServer(Options{WALDir: t.TempDir()})
+	if _, err := s.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	var created CreateResponse
+	if resp := doJSON(t, c, "POST", ts.URL+"/v1/placements", chaosPlacement(), &created); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	base := ts.URL + "/v1/placements/" + created.ID
+
+	faultinject.Set("incr.apply", faultinject.Fault{Err: faultinject.ErrInjected, Times: 1})
+	var em errorResponse
+	resp := doJSON(t, c, "POST", base+"/edits",
+		EditsRequest{Edits: []EditWire{{Op: "move", Index: 0, X: 2, Y: 2}}}, &em)
+	faultinject.Reset()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("diverging apply: status %d (%s), want 500", resp.StatusCode, em.Error)
+	}
+	if !strings.Contains(em.Error, "quarantined") {
+		t.Fatalf("diverging apply error %q does not name the quarantine", em.Error)
+	}
+	if resp := doJSON(t, c, "GET", base+"/map", nil, &em); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("map after apply divergence: status %d, want 503 quarantined", resp.StatusCode)
+	}
+}
+
+// TestEditFlushFailureKeepsBatch: a flush that fails after the batch is
+// journaled and applied must tell the client the edits were accepted
+// (a retry would double-apply), leave the session serviceable, and
+// still count the batch toward snapshot cadence.
+func TestEditFlushFailureKeepsBatch(t *testing.T) {
+	defer faultinject.Reset()
+	s := NewServer(Options{WALDir: t.TempDir(), SnapshotEvery: 2})
+	if _, err := s.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	var created CreateResponse
+	if resp := doJSON(t, c, "POST", ts.URL+"/v1/placements", chaosPlacement(), &created); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	base := ts.URL + "/v1/placements/" + created.ID
+	snaps0 := metricSnapshots.Value()
+
+	faultinject.Set("core.tile.eval", faultinject.Fault{Err: errors.New("tile eval blew up"), Times: 1})
+	var em errorResponse
+	resp := doJSON(t, c, "POST", base+"/edits",
+		EditsRequest{Edits: []EditWire{{Op: "move", Index: 0, X: 2, Y: 2}}}, &em)
+	faultinject.Reset()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("edit with failing flush: status %d (%s), want 500", resp.StatusCode, em.Error)
+	}
+	if !strings.Contains(em.Error, "already accepted") || !strings.Contains(em.Error, "do not resubmit") {
+		t.Fatalf("flush failure %q does not tell the client the batch was accepted", em.Error)
+	}
+
+	// The engine is reusable and the edit stuck: the second batch sees
+	// the moved TSV at index 0 and completes the snapshot cadence for
+	// both journaled batches.
+	var er EditsResponse
+	if resp := doJSON(t, c, "POST", base+"/edits",
+		EditsRequest{Edits: []EditWire{{Op: "move", Index: 0, X: 3, Y: 3}}}, &er); resp.StatusCode != http.StatusOK {
+		t.Fatalf("edit after failed flush: status %d", resp.StatusCode)
+	}
+	if got := metricSnapshots.Value(); got != snaps0+1 {
+		t.Fatalf("snapshot cadence drifted: %d snapshots after 2 journaled batches with SnapshotEvery=2, want %d",
+			got-snaps0, 1)
+	}
+	if resp := doJSON(t, c, "GET", base+"/map", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("map after failed flush: status %d, want 200", resp.StatusCode)
 	}
 }
 

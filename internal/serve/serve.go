@@ -9,7 +9,12 @@
 // Concurrency model: the session table is guarded by one mutex; every
 // session serializes its own engine access with a per-session mutex, so
 // two placements evaluate concurrently while edits to one placement are
-// ordered. Compute-bearing requests pass an admission semaphore
+// ordered. Lock order is ses.mu before Server.mu and never the
+// reverse: compute handlers quarantine (Server.mu) while holding their
+// session's lock, so no path may acquire a ses.mu while holding
+// Server.mu — table readers snapshot under Server.mu and lock each
+// session only after releasing it. Compute-bearing requests pass an
+// admission semaphore
 // (Options.MaxInFlight) and observe the request context: a request that
 // cannot start before its deadline (or before AdmissionWait elapses) is
 // rejected with 503 instead of queueing unboundedly — load sheds at the
@@ -129,6 +134,10 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[string]*session
+	// reserved counts session slots handed out by reserveID but not yet
+	// published: a MaxSessions slot stays held while handleCreate opens
+	// the session's journal, before anything is visible to requests.
+	reserved int
 	nextID   int
 }
 
@@ -347,19 +356,37 @@ func (e *quarantinedError) Error() string {
 	return fmt.Sprintf("placement %q is quarantined (%s); DELETE it and re-create", e.id, e.reason)
 }
 
-// addSession registers a new session, enforcing MaxSessions.
-func (s *Server) addSession(ses *session) (string, error) {
+// reserveID allocates a session id and holds a MaxSessions slot for it
+// without making anything visible: no request can observe the session
+// until publishSession runs, by which point its journal (when
+// durability is on) is already open.
+func (s *Server) reserveID() (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.sessions) >= s.opt.MaxSessions {
+	if len(s.sessions)+s.reserved >= s.opt.MaxSessions {
 		return "", fmt.Errorf("session limit %d reached; DELETE an existing placement first", s.opt.MaxSessions)
 	}
+	s.reserved++
 	s.nextID++
-	id := "p" + strconv.Itoa(s.nextID)
+	return "p" + strconv.Itoa(s.nextID), nil
+}
+
+// publishSession makes a reserved session visible to requests.
+func (s *Server) publishSession(id string, ses *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reserved--
 	ses.id = id
 	s.sessions[id] = ses
 	metricSessions.Set(int64(len(s.sessions)))
-	return id, nil
+}
+
+// unreserve releases a slot taken by reserveID for a session that will
+// never publish (its journal failed to initialize).
+func (s *Server) unreserve() {
+	s.mu.Lock()
+	s.reserved--
+	s.mu.Unlock()
 }
 
 func (s *Server) dropSession(id string) bool {
