@@ -18,9 +18,11 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
+	"tsvstress/internal/cluster"
 	"tsvstress/internal/exp"
 	"tsvstress/internal/geom"
 	"tsvstress/internal/material"
@@ -36,6 +38,7 @@ func main() {
 		only   = flag.String("only", "", "comma-separated experiment ids (default: all)")
 		seed   = flag.Int64("seed", 2013, "seed for random placements")
 		bench  = flag.Bool("bench", false, "run only the full-chip map benchmark and write BENCH_fullchip.json")
+		fleet  = flag.String("cluster", "", "with -bench: run the cluster benchmark instead, against local:N in-process workers or a comma-separated worker fleet, and write BENCH_cluster.json")
 	)
 	flag.Parse()
 
@@ -61,6 +64,10 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *bench && *fleet != "" {
+		runClusterBench(*outDir, *fleet, *quick, *seed)
+		return
+	}
 	if *bench {
 		// Full-chip map throughput: 1000 TSVs, ~200k device-layer grid
 		// points (20k in quick mode), LS and Full through the
@@ -218,6 +225,57 @@ func main() {
 	}
 
 	log.Printf("results written to %s", *outDir)
+}
+
+// runClusterBench runs the sharded-cluster benchmark (DESIGN.md §14)
+// and writes BENCH_cluster.json. The fleet spec is either "local:N" —
+// N in-process workers splitting this machine's cores, so fleet sizes
+// compare at equal total core budget — or a comma-separated list of
+// running tsvworker addresses.
+func runClusterBench(outDir, fleet string, quick bool, seed int64) {
+	numPts := 250_000
+	if quick {
+		numPts = 25_000
+	}
+	var addrs []string
+	if n, ok := strings.CutPrefix(fleet, "local:"); ok {
+		count, err := strconv.Atoi(n)
+		if err != nil || count < 1 {
+			log.Fatalf("-cluster local:N needs N ≥ 1, got %q", fleet)
+		}
+		lw, err := cluster.StartLocalWorkers(count, cluster.WorkerOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer lw.Stop()
+		addrs = lw.Addrs()
+	} else {
+		for _, a := range strings.Split(fleet, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			log.Fatalf("-cluster %q names no workers", fleet)
+		}
+	}
+	log.Printf("bench: cluster map, 1000 TSVs, ~%d points, %d worker(s) ...", numPts, len(addrs))
+	t0 := time.Now()
+	r, err := exp.RunClusterBench(1000, numPts, seed, addrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(outDir, "BENCH_cluster.json"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := exp.WriteClusterJSON(f, r); err != nil {
+		log.Fatal(err)
+	}
+	closeOut(f)
+	log.Printf("bench done in %v: single-process %.0f ms, 1 worker %.0f ms, %d workers %.0f ms (×%.2f), max |Δ| %.2g MPa",
+		time.Since(t0).Round(time.Millisecond), r.SingleProcessMillis, r.OneWorkerMillis, r.NumWorkers, r.ClusterMillis, r.Speedup, r.MaxAbsDiffMPa)
+	log.Printf("results written to %s", outDir)
 }
 
 // outf writes formatted report text, treating a write failure (full

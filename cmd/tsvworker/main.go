@@ -1,0 +1,69 @@
+// Command tsvworker runs one evaluation worker of the sharded compute
+// cluster (DESIGN.md §14). A worker is stateless from the operator's
+// point of view: it holds per-job analyzers only as a cache, and a
+// coordinator that loses a worker simply re-ships the job to another
+// one. Start a fleet, then point tsvexp -cluster or tsvserve -workers
+// at the addresses:
+//
+//	tsvworker -addr :9101 &
+//	tsvworker -addr :9102 &
+//	tsvexp -bench -cluster localhost:9101,localhost:9102
+//
+// Endpoints (length-prefixed binary frames over HTTP; DESIGN.md §14):
+//
+//	GET    /v1/cluster/ping          liveness + protocol version + cores
+//	POST   /v1/cluster/jobs/{id}     declare a job (placement, points, spec)
+//	POST   /v1/cluster/jobs/{id}/eval evaluate a batch of tiles
+//	DELETE /v1/cluster/jobs/{id}     drop a job's cached state
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tsvstress/internal/cluster"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsvworker: ")
+	var (
+		addr    = flag.String("addr", ":9101", "listen address")
+		maxJobs = flag.Int("max-jobs", 8, "job states cached before LRU eviction")
+		threads = flag.Int("threads", 0, "tile-evaluation parallelism (0 = all cores)")
+		drain   = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+
+	w := cluster.NewWorker(cluster.WorkerOptions{MaxJobs: *maxJobs, Workers: *threads})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           w.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("worker listening on %s (job cache %d, threads %d)", *addr, *maxJobs, *threads)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (draining ≤ %v)", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+}

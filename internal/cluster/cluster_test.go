@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"tsvstress/internal/core"
+	"tsvstress/internal/faultinject"
+	"tsvstress/internal/geom"
+	"tsvstress/internal/incr"
+	"tsvstress/internal/material"
+	"tsvstress/internal/placegen"
+	"tsvstress/internal/tensor"
+)
+
+// fixture is one shared evaluation problem: a placement, a simulation
+// grid and the single-process reference result the cluster must
+// reproduce.
+type fixture struct {
+	st   material.Structure
+	pl   *geom.Placement
+	pts  []geom.Point
+	an   *core.Analyzer
+	want []tensor.Stress
+}
+
+func newFixture(t *testing.T, nTSV int, spacing float64) *fixture {
+	t.Helper()
+	st := material.Baseline(material.BCB)
+	pl, err := placegen.Random(nTSV, 1e-2, 2*st.RPrime+1, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := core.New(st, pl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := pl.Bounds(5)
+	nx := int(region.W()/spacing) + 1
+	ny := int(region.H()/spacing) + 1
+	pts := make([]geom.Point, 0, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			pts = append(pts, geom.Pt(region.Min.X+float64(i)*spacing, region.Min.Y+float64(j)*spacing))
+		}
+	}
+	want := make([]tensor.Stress, len(pts))
+	if err := an.MapInto(context.Background(), want, pts, core.ModeFull); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{st: st, pl: pl, pts: pts, an: an, want: want}
+}
+
+func maxAbsDiff(a, b tensor.Stress) float64 {
+	d := math.Abs(a.XX - b.XX)
+	if v := math.Abs(a.YY - b.YY); v > d {
+		d = v
+	}
+	if v := math.Abs(a.XY - b.XY); v > d {
+		d = v
+	}
+	return d
+}
+
+// startCluster launches n local workers and a coordinator over them,
+// with heartbeats disabled (tests drive liveness synchronously) unless
+// hb is positive.
+func startCluster(t *testing.T, n int, hb time.Duration) (*LocalWorkers, *Coordinator) {
+	t.Helper()
+	lw, err := StartLocalWorkers(n, WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lw.Stop)
+	if hb == 0 {
+		hb = -1
+	}
+	c, err := NewCoordinator(lw.Addrs(), CoordinatorOptions{HeartbeatEvery: hb, PingTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return lw, c
+}
+
+// TestClusterMapParity is the acceptance property: a cluster map over
+// ≥2 workers reproduces the single-process MapInto — bit-for-bit here,
+// which trivially satisfies the ≤1e-9 MPa pin.
+func TestClusterMapParity(t *testing.T) {
+	fx := newFixture(t, 90, 1.5)
+	for _, n := range []int{2, 4} {
+		_, c := startCluster(t, n, 0)
+		got := make([]tensor.Stress, len(fx.pts))
+		if err := c.Map(context.Background(), got, fx.st, fx.pl, fx.pts, core.ModeFull, core.Options{}); err != nil {
+			t.Fatalf("%d workers: %v", n, err)
+		}
+		worst := 0.0
+		for i := range got {
+			if d := maxAbsDiff(got[i], fx.want[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst != 0 {
+			t.Errorf("%d workers: cluster map diverges from MapInto by %g MPa", n, worst)
+		}
+		if s := c.Stats(); s.Maps != 1 || s.Chunks == 0 {
+			t.Errorf("%d workers: stats %+v after one map", n, s)
+		}
+	}
+}
+
+// TestClusterMapModes pins parity for the cheaper modes too (a degraded
+// serve flush ships ModeLS assignments over the same job).
+func TestClusterMapModes(t *testing.T) {
+	fx := newFixture(t, 60, 2)
+	_, c := startCluster(t, 2, 0)
+	for _, mode := range []core.Mode{core.ModeLS, core.ModeInteractive} {
+		want := make([]tensor.Stress, len(fx.pts))
+		if err := fx.an.MapInto(context.Background(), want, fx.pts, mode); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]tensor.Stress, len(fx.pts))
+		if err := c.Map(context.Background(), got, fx.st, fx.pl, fx.pts, mode, core.Options{}); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("mode %v: point %d diverges", mode, i)
+			}
+		}
+	}
+}
+
+// TestClusterKillWorkerMidMap is the chaos drill: every eval is slowed
+// so the map is in flight long enough to hard-stop one worker under it.
+// The coordinator must mark the worker dead, requeue its chunks and
+// finish the map with the survivors — with exact parity.
+func TestClusterKillWorkerMidMap(t *testing.T) {
+	fx := newFixture(t, 90, 1.5)
+	lw, c := startCluster(t, 3, 0)
+	faultinject.Set("cluster.worker.eval", faultinject.Fault{Delay: 25 * time.Millisecond})
+	defer faultinject.Reset()
+
+	got := make([]tensor.Stress, len(fx.pts))
+	mapErr := make(chan error, 1)
+	go func() {
+		mapErr <- c.Map(context.Background(), got, fx.st, fx.pl, fx.pts, core.ModeFull, core.Options{})
+	}()
+	time.Sleep(40 * time.Millisecond) // well inside the slowed map
+	lw.StopWorker(0)
+	if err := <-mapErr; err != nil {
+		t.Fatalf("map with a killed worker: %v", err)
+	}
+	for i := range got {
+		if got[i] != fx.want[i] {
+			t.Fatalf("point %d diverges after worker death", i)
+		}
+	}
+	if s := c.Stats(); s.WorkerFailures == 0 {
+		t.Errorf("worker death not observed: stats %+v", s)
+	}
+}
+
+// TestClusterEvalFaultFallthrough drills the injected-failure path: the
+// first few evals fail server-side, the scheduler requeues, and the map
+// still completes exactly (the worker is marked dead, the survivors
+// absorb the work).
+func TestClusterEvalFaultRequeue(t *testing.T) {
+	fx := newFixture(t, 60, 2)
+	_, c := startCluster(t, 3, 0)
+	faultinject.Set("cluster.worker.eval", faultinject.Fault{Times: 2})
+	defer faultinject.Reset()
+
+	got := make([]tensor.Stress, len(fx.pts))
+	if err := c.Map(context.Background(), got, fx.st, fx.pl, fx.pts, core.ModeFull, core.Options{}); err != nil {
+		t.Fatalf("map with injected eval faults: %v", err)
+	}
+	for i := range got {
+		if got[i] != fx.want[i] {
+			t.Fatalf("point %d diverges after injected faults", i)
+		}
+	}
+}
+
+// TestClusterMapCancel pins cooperative cancellation: a canceled
+// context aborts the map with an error matching core.ErrCanceled and
+// tile-level progress attached.
+func TestClusterMapCancel(t *testing.T) {
+	fx := newFixture(t, 90, 1.5)
+	_, c := startCluster(t, 2, 0)
+	faultinject.Set("cluster.worker.eval", faultinject.Fault{Delay: 25 * time.Millisecond})
+	defer faultinject.Reset()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make([]tensor.Stress, len(fx.pts))
+	mapErr := make(chan error, 1)
+	go func() {
+		mapErr <- c.Map(ctx, got, fx.st, fx.pl, fx.pts, core.ModeFull, core.Options{})
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	err := <-mapErr
+	if err == nil {
+		t.Fatal("canceled map returned nil")
+	}
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("canceled map returned %v, want core.ErrCanceled", err)
+	}
+	var ce *core.CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("canceled map returned %T, want *core.CancelError", err)
+	}
+	if ce.TilesTotal == 0 {
+		t.Errorf("cancel error carries no progress: %+v", ce)
+	}
+}
+
+// TestClusterNoWorkers pins the fail-fast shape when nothing answers.
+func TestClusterNoWorkers(t *testing.T) {
+	c, err := NewCoordinator([]string{"127.0.0.1:1"}, CoordinatorOptions{HeartbeatEvery: -1, PingTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(context.Background()); err == nil {
+		t.Error("ping over a dead fleet returned nil")
+	}
+	fx := newFixture(t, 20, 3)
+	got := make([]tensor.Stress, len(fx.pts))
+	if err := c.Map(context.Background(), got, fx.st, fx.pl, fx.pts, core.ModeFull, core.Options{}); err == nil {
+		t.Error("map over a dead fleet returned nil")
+	}
+}
+
+// TestSessionEvaluatorParity runs the same ECO session twice — one
+// engine in-process, one flushing through the cluster — and requires
+// identical maps after every flush. This exercises the epoch bump and
+// the worker-side Rebuild (placement-only re-init) across edits.
+func TestSessionEvaluatorParity(t *testing.T) {
+	fx := newFixture(t, 60, 2)
+	_, c := startCluster(t, 2, 0)
+	ctx := context.Background()
+
+	local, err := incr.New(ctx, fx.st, fx.pl, fx.pts, core.ModeFull, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := incr.New(ctx, fx.st, fx.pl, fx.pts, core.ModeFull, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := c.NewSessionEvaluator()
+	ev.OnFallback = func(err error) { t.Errorf("unexpected local fallback: %v", err) }
+	defer ev.Close()
+	clustered.SetTileEvaluator(ev)
+
+	far := fx.pl.Bounds(0).Max
+	edits := []geom.Edit{
+		{Op: geom.EditMove, Index: 0, TSV: geom.TSV{Center: geom.Pt(far.X+20, far.Y+20)}},
+		{Op: geom.EditAdd, TSV: geom.TSV{Center: geom.Pt(far.X+40, far.Y+40)}},
+		{Op: geom.EditRemove, Index: 5},
+	}
+	for i, ed := range edits {
+		if err := local.Apply(ed); err != nil {
+			t.Fatalf("edit %d: %v", i, err)
+		}
+		if err := clustered.Apply(ed); err != nil {
+			t.Fatalf("edit %d: %v", i, err)
+		}
+		wantVals, err := local.Flush(ctx)
+		if err != nil {
+			t.Fatalf("edit %d: local flush: %v", i, err)
+		}
+		gotVals, err := clustered.Flush(ctx)
+		if err != nil {
+			t.Fatalf("edit %d: clustered flush: %v", i, err)
+		}
+		for p := range gotVals {
+			if gotVals[p] != wantVals[p] {
+				t.Fatalf("edit %d: point %d: clustered %+v != local %+v", i, p, gotVals[p], wantVals[p])
+			}
+		}
+	}
+}
+
+// TestSessionEvaluatorFallback pins the correctness-first degradation:
+// with the whole fleet dead, a flush falls back to the in-process
+// analyzer, reports the cluster error through OnFallback, and still
+// produces the exact map.
+func TestSessionEvaluatorFallback(t *testing.T) {
+	fx := newFixture(t, 40, 2.5)
+	lw, c := startCluster(t, 2, 0)
+	ctx := context.Background()
+
+	eng, err := incr.New(ctx, fx.st, fx.pl, fx.pts, core.ModeFull, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := incr.New(ctx, fx.st, fx.pl, fx.pts, core.ModeFull, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := c.NewSessionEvaluator()
+	fellBack := 0
+	ev.OnFallback = func(error) { fellBack++ }
+	defer ev.Close()
+	eng.SetTileEvaluator(ev)
+	lw.Stop()
+
+	far := fx.pl.Bounds(0).Max
+	ed := geom.Edit{Op: geom.EditMove, Index: 1, TSV: geom.TSV{Center: geom.Pt(far.X+15, far.Y+15)}}
+	if err := eng.Apply(ed); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Apply(ed); err != nil {
+		t.Fatal(err)
+	}
+	gotVals, err := eng.Flush(ctx)
+	if err != nil {
+		t.Fatalf("flush over dead fleet: %v", err)
+	}
+	wantVals, err := ref.Flush(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fellBack == 0 {
+		t.Error("dead fleet did not trigger the local fallback")
+	}
+	for p := range gotVals {
+		if gotVals[p] != wantVals[p] {
+			t.Fatalf("point %d diverges after fallback", p)
+		}
+	}
+}
+
+// TestWorkerProtocolErrors exercises the worker's refusal paths
+// end-to-end through the coordinator's RPC helpers.
+func TestWorkerProtocolErrors(t *testing.T) {
+	fx := newFixture(t, 20, 3)
+	_, c := startCluster(t, 1, 0)
+	w := c.workers[0]
+
+	opt := core.Options{}.Resolved()
+	cutoff := opt.GatherCutoff(core.ModeFull)
+	tl, err := core.NewTiling(fx.pts, cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &job{id: c.newJobID("t"), pl: fx.pl.Clone(), pts: fx.pts}
+	j.spec = jobSpec{
+		Job: j.id, Epoch: 2, Struct: fx.st, Options: opt, Mode: core.ModeFull,
+		TileCutoff: cutoff, NumTiles: tl.NumTiles(), NumPoints: len(fx.pts),
+	}
+
+	// A placement-only init for a job the worker has never seen must be
+	// answered 404 (full init required).
+	if err := c.initRPC(context.Background(), w, j, false); !isRetryableStatus(err) {
+		t.Fatalf("re-init of unknown job: %v, want retryable 404", err)
+	}
+	if err := c.initRPC(context.Background(), w, j, true); err != nil {
+		t.Fatalf("full init: %v", err)
+	}
+	// A stale-epoch assignment must be answered 409.
+	stale := &job{id: j.id, pl: j.pl, pts: j.pts}
+	stale.spec = j.spec
+	stale.spec.Epoch = 1
+	if _, retryable, err := c.evalRPC(context.Background(), w, stale, []int32{0}, core.ModeFull); err == nil || !retryable {
+		t.Fatalf("stale epoch eval: err=%v retryable=%v, want retryable 409", err, retryable)
+	}
+	// The full evalChunk path transparently re-inits and evaluates.
+	if _, err := c.evalChunk(context.Background(), w, j, []int32{0, 1}, core.ModeFull); err != nil {
+		t.Fatalf("evalChunk: %v", err)
+	}
+	c.dropJob(j.id)
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"tsvstress/internal/core"
+	"tsvstress/internal/geom"
+	"tsvstress/internal/tensor"
+)
+
+// SessionEvaluator adapts a Coordinator to the incr.TileEvaluator seam:
+// it routes a session's flush evaluations through the cluster while
+// leaving the engine's dirty tracking, rebuild, WAL and cancellation
+// semantics untouched. One evaluator serves one session (one pinned
+// tiling and point set); its job lives for the evaluator's lifetime and
+// each analyzer rebuild bumps the job epoch, so workers re-ship only
+// the placement and rebuild their analyzers in place — reusing their
+// solved Stage I table, interactive model and pitch-keyed coefficient
+// cache exactly like the local path does.
+//
+// When the cluster cannot complete an evaluation for any reason other
+// than cancellation, the evaluator falls back to the in-process
+// analyzer (correctness first: every worker being down must degrade to
+// local latency, not to a failed flush). Cancellation is propagated
+// as-is so the serving tier's deadline semantics are unchanged.
+type SessionEvaluator struct {
+	c *Coordinator
+	// OnFallback, when non-nil, observes every local fallback with the
+	// cluster error that caused it (serving metrics hook). Set before
+	// first use.
+	OnFallback func(error)
+
+	mu     sync.Mutex
+	j      *job
+	lastAn *core.Analyzer
+}
+
+// NewSessionEvaluator builds an evaluator backed by c. Call Close when
+// the session ends to release worker-side job state.
+func (c *Coordinator) NewSessionEvaluator() *SessionEvaluator {
+	return &SessionEvaluator{c: c}
+}
+
+// EvalTiles implements incr.TileEvaluator. Calls must not overlap (the
+// engine serializes flushes; this evaluator inherits that contract).
+func (ev *SessionEvaluator) EvalTiles(ctx context.Context, an *core.Analyzer, dst []tensor.Stress, pts []geom.Point, tl *core.Tiling, ids []int32, mode core.Mode) error {
+	j := ev.jobFor(an, pts, tl, mode)
+	err := ev.c.eval(ctx, j, dst, tl, ids, mode)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, core.ErrCanceled) || ctx.Err() != nil {
+		return err
+	}
+	if ev.OnFallback != nil {
+		ev.OnFallback(err)
+	}
+	// The cluster may have merged some tiles before failing; the local
+	// pass rewrites every requested tile, so dst ends consistent.
+	return an.EvalTiles(ctx, dst, pts, tl, ids, mode)
+}
+
+// jobFor returns the session job, creating it on first use and bumping
+// its epoch whenever the engine rebuilt its analyzer since the last
+// flush.
+func (ev *SessionEvaluator) jobFor(an *core.Analyzer, pts []geom.Point, tl *core.Tiling, mode core.Mode) *job {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	if ev.j == nil {
+		ev.j = &job{
+			id:  ev.c.newJobID("s"),
+			pl:  an.Placement.Clone(),
+			pts: pts,
+		}
+		ev.j.spec = jobSpec{
+			Job:        ev.j.id,
+			Epoch:      1,
+			Struct:     an.Struct,
+			Options:    an.Options().Resolved(),
+			Mode:       mode,
+			TileCutoff: tl.Cutoff(),
+			NumTiles:   tl.NumTiles(),
+			NumPoints:  len(pts),
+		}
+		ev.lastAn = an
+		return ev.j
+	}
+	if an != ev.lastAn {
+		ev.j.spec.Epoch++
+		ev.j.spec.Mode = mode
+		ev.j.pl = an.Placement.Clone()
+		ev.lastAn = an
+	}
+	return ev.j
+}
+
+// Close releases the worker-side job state (best effort; eviction
+// reclaims it regardless).
+func (ev *SessionEvaluator) Close() {
+	ev.mu.Lock()
+	j := ev.j
+	ev.j = nil
+	ev.lastAn = nil
+	ev.mu.Unlock()
+	if j != nil {
+		ev.c.dropJob(j.id)
+	}
+}

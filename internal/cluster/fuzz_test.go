@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"tsvstress/internal/core"
+)
+
+// FuzzDecodeFrames drives the cluster wire decoder with adversarial
+// byte streams: frame splitting, then the payload decoder matching each
+// frame type (assignments, coordinate slabs, tile-result records). The
+// decoders must never panic or over-allocate, and every accepted
+// payload must re-encode to the identical bytes — the framing is
+// canonical, so decode∘encode is the identity on valid input.
+func FuzzDecodeFrames(f *testing.F) {
+	// An empty error frame, a two-tile assignment, a one-point slab, a
+	// one-point tile result, and a truncated declaration.
+	f.Add([]byte("\x00\x00\x00\x00\x07"))
+	f.Add(appendFrame(nil, frameAssign, appendAssignPayload(nil, assignment{Epoch: 1, Mode: core.ModeFull, IDs: []int32{0, 1}})))
+	f.Add(appendFrame(nil, framePoints, []byte("\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00")))
+	f.Add(appendFrame(nil, frameResult, append([]byte("\x00\x00\x00\x00\x01\x00\x00\x00"), make([]byte, 24)...)))
+	f.Add([]byte("\x10\x00\x00\x00\x05abc"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rest := data
+		for depth := 0; len(rest) > 0 && depth < 64; depth++ {
+			typ, payload, next, err := DecodeFrame(rest)
+			if err != nil {
+				return
+			}
+			if len(next) >= len(rest) {
+				t.Fatalf("frame made no progress: %d -> %d bytes", len(rest), len(next))
+			}
+			switch typ {
+			case frameAssign:
+				if a, err := decodeAssignPayload(payload); err == nil {
+					if re := appendAssignPayload(nil, a); !bytes.Equal(re, payload) {
+						t.Fatalf("assignment round trip diverged: %x != %x", re, payload)
+					}
+				}
+			case framePlacement, framePoints:
+				if pts, err := decodePointsPayload(payload); err == nil {
+					if re := appendPointsPayload(nil, pts); !bytes.Equal(re, payload) {
+						t.Fatalf("point slab round trip diverged")
+					}
+				}
+			case frameResult:
+				if id, vals, tail, err := core.ReadTileResult(payload); err == nil {
+					if len(vals) > len(payload) {
+						t.Fatalf("tile %d decoded %d values from %d bytes", id, len(vals), len(payload))
+					}
+					_ = tail
+				}
+			}
+			rest = next
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+)
+
+// LocalWorkers is a fleet of in-process worker HTTP servers on loopback
+// ports — the `-cluster local:N` backend for tsvexp and the fixture the
+// cluster tests and benches drive. Each worker is a full Worker behind
+// a real TCP listener, so the wire protocol, HTTP layer and failure
+// paths are exactly those of a remote fleet; only process isolation is
+// elided.
+type LocalWorkers struct {
+	workers []*Worker
+	servers []*http.Server
+	addrs   []string
+}
+
+// StartLocalWorkers launches n workers on ephemeral loopback ports.
+// Worker thread budgets are split evenly across the fleet (NumCPU / n,
+// at least 1) unless opt.Workers pins one explicitly — co-located
+// workers must not oversubscribe the machine, and benches comparing
+// fleet sizes need each configuration to use the same total core
+// budget.
+func StartLocalWorkers(n int, opt WorkerOptions) (*LocalWorkers, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: %d local workers", n)
+	}
+	if opt.Workers == 0 {
+		per := runtime.NumCPU() / n
+		if per < 1 {
+			per = 1
+		}
+		opt.Workers = per
+	}
+	lw := &LocalWorkers{}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			lw.Stop()
+			return nil, fmt.Errorf("cluster: local worker %d: %w", i, err)
+		}
+		w := NewWorker(opt)
+		srv := &http.Server{Handler: w.Handler()}
+		go func() { _ = srv.Serve(ln) }()
+		lw.workers = append(lw.workers, w)
+		lw.servers = append(lw.servers, srv)
+		lw.addrs = append(lw.addrs, ln.Addr().String())
+	}
+	return lw, nil
+}
+
+// Addrs returns the host:port addresses, in launch order — pass them to
+// NewCoordinator.
+func (lw *LocalWorkers) Addrs() []string { return append([]string(nil), lw.addrs...) }
+
+// StopWorker hard-stops worker i (closing its listener and connections
+// mid-request), simulating a process death for the chaos tests.
+func (lw *LocalWorkers) StopWorker(i int) {
+	if i < 0 || i >= len(lw.servers) || lw.servers[i] == nil {
+		return
+	}
+	_ = lw.servers[i].Close()
+	lw.servers[i] = nil
+}
+
+// Stop hard-stops every worker.
+func (lw *LocalWorkers) Stop() {
+	for i := range lw.servers {
+		lw.StopWorker(i)
+	}
+}

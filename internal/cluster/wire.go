@@ -1,0 +1,255 @@
+// Package cluster is the sharded multi-process evaluation tier: a
+// coordinator that partitions a core.Tiling across a fleet of worker
+// processes (cmd/tsvworker) and merges their tile results back into the
+// caller's grid, with output pinned to single-process core.MapInto
+// parity.
+//
+// The division of labor follows the paper's structure: the expensive
+// solves (Stage I look-up table, per-harmonic interactive systems) are
+// placement-independent, so every worker derives them locally from the
+// structure + options shipped once at job init — only tile assignments
+// (bare tile ids) and tile results (stress values in tile point order)
+// cross the wire afterwards. Both ends build the same deterministic
+// Tiling from the shared (points, cutoff), which is what makes a tile
+// id a complete work description.
+//
+// Failure model: workers are stateless caches of their job — any tile
+// may be re-evaluated by any worker at any time with an identical
+// result, so the coordinator reassigns the chunks of a dead worker,
+// speculatively re-executes stragglers' chunks on idle workers, and
+// merges whichever copy completes first. Cancellation propagates from
+// the coordinator's context through the in-flight HTTP requests into
+// each worker's per-tile cancellation checks (core.EvalTiles).
+package cluster
+
+//tsvlint:apiboundary
+//tsvlint:hotpath
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"tsvstress/internal/core"
+	"tsvstress/internal/geom"
+	"tsvstress/internal/material"
+)
+
+// protoVersion is the wire-protocol version; ping exchanges it and the
+// coordinator refuses workers speaking another version.
+const protoVersion = 1
+
+// Frame types. Every frame on the wire is length-prefixed:
+//
+//	u32 payload length (little-endian) | u8 type | payload
+//
+// so a reader can skip frames it does not expect and a decoder can
+// bound its allocations before touching the payload.
+const (
+	frameInit      = 1 // JSON jobSpec
+	framePlacement = 2 // u32 n | n × (f64 x, f64 y) TSV centers
+	framePoints    = 3 // u32 n | n × (f64 x, f64 y) simulation points
+	frameAssign    = 4 // u64 epoch | u8 mode | u32 n | n × u32 tile id
+	frameResult    = 5 // one core tile-result record
+	frameDone      = 6 // u32 tiles evaluated
+	frameError     = 7 // UTF-8 message
+)
+
+// maxFramePayload bounds a single frame. The largest legitimate frame
+// is the point set of a session (24 B/point would allow ~10M points);
+// anything larger is a corrupt or hostile length.
+const maxFramePayload = 1 << 28
+
+// frameHeaderLen is u32 length + u8 type.
+const frameHeaderLen = 5
+
+// appendFrame appends a framed payload to buf.
+func appendFrame(buf []byte, typ byte, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, typ)
+	return append(buf, payload...)
+}
+
+// writeFrame writes one frame to w.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame from r, rejecting oversized declarations
+// before allocating.
+func readFrame(r *bufio.Reader) (typ byte, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("cluster: frame of %d bytes exceeds limit %d", n, maxFramePayload)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("cluster: frame truncated: %w", err)
+	}
+	return hdr[4], payload, nil
+}
+
+// DecodeFrame splits one frame off the front of data — the byte-slice
+// twin of readFrame, and the entry point the fuzz target drives. It
+// never panics on malformed input.
+func DecodeFrame(data []byte) (typ byte, payload, rest []byte, err error) {
+	if len(data) < frameHeaderLen {
+		return 0, nil, nil, fmt.Errorf("cluster: frame header truncated: %d bytes", len(data))
+	}
+	n := binary.LittleEndian.Uint32(data[:4])
+	if n > maxFramePayload {
+		return 0, nil, nil, fmt.Errorf("cluster: frame of %d bytes exceeds limit %d", n, maxFramePayload)
+	}
+	body := data[frameHeaderLen:]
+	if uint64(n) > uint64(len(body)) {
+		return 0, nil, nil, fmt.Errorf("cluster: frame declares %d bytes, %d follow", n, len(body))
+	}
+	return data[4], body[:n], body[n:], nil
+}
+
+// ---- coordinate slabs (placement centers, simulation points) ----
+
+// appendPointsPayload encodes n (x, y) pairs.
+func appendPointsPayload(buf []byte, pts []geom.Point) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pts)))
+	for _, p := range pts {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.X))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Y))
+	}
+	return buf
+}
+
+// decodePointsPayload decodes an (x, y) slab, validating the declared
+// count against the bytes that actually arrived.
+func decodePointsPayload(payload []byte) ([]geom.Point, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("cluster: point slab truncated: %d bytes", len(payload))
+	}
+	n := binary.LittleEndian.Uint32(payload)
+	body := payload[4:]
+	if uint64(n)*16 != uint64(len(body)) {
+		return nil, fmt.Errorf("cluster: point slab declares %d points, carries %d bytes", n, len(body))
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		off := i * 16
+		pts[i] = geom.Pt(
+			math.Float64frombits(binary.LittleEndian.Uint64(body[off:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(body[off+8:])),
+		)
+	}
+	return pts, nil
+}
+
+// ---- tile assignments ----
+
+// assignment is one eval request: which tiles to evaluate, against
+// which job epoch, in which mode.
+type assignment struct {
+	Epoch uint64
+	Mode  core.Mode
+	IDs   []int32
+}
+
+// appendAssignPayload encodes an assignment.
+func appendAssignPayload(buf []byte, a assignment) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, a.Epoch)
+	buf = append(buf, byte(a.Mode))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(a.IDs)))
+	for _, id := range a.IDs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+	}
+	return buf
+}
+
+// decodeAssignPayload decodes an assignment, bounding the id count by
+// the payload that actually arrived. Tile-id range checking is the
+// worker's job — only it holds the tiling.
+func decodeAssignPayload(payload []byte) (assignment, error) {
+	var a assignment
+	if len(payload) < 13 {
+		return a, fmt.Errorf("cluster: assignment truncated: %d bytes", len(payload))
+	}
+	a.Epoch = binary.LittleEndian.Uint64(payload)
+	mode := payload[8]
+	if mode > byte(core.ModeInteractive) {
+		return a, fmt.Errorf("cluster: assignment mode %d unknown", mode)
+	}
+	a.Mode = core.Mode(mode)
+	n := binary.LittleEndian.Uint32(payload[9:])
+	body := payload[13:]
+	if uint64(n)*4 != uint64(len(body)) {
+		return a, fmt.Errorf("cluster: assignment declares %d tiles, carries %d bytes", n, len(body))
+	}
+	a.IDs = make([]int32, n)
+	for i := range a.IDs {
+		a.IDs[i] = int32(binary.LittleEndian.Uint32(body[i*4:]))
+	}
+	return a, nil
+}
+
+// ---- job spec ----
+
+// jobSpec is the JSON frameInit payload: everything a worker needs to
+// rebuild the coordinator's evaluation state from scratch. Options are
+// shipped resolved (core.Options.Resolved) so worker-side defaulting
+// can never diverge; Workers is the only field a worker overrides with
+// its own budget.
+type jobSpec struct {
+	// Job names the evaluation state on the worker; it is unique per
+	// coordinator instance so restarts never collide with stale jobs.
+	Job string `json:"job"`
+	// Epoch versions the placement: a worker holding an older epoch
+	// rebuilds its analyzer (reusing its solved models and coefficient
+	// cache) from the placement shipped alongside.
+	Epoch uint64 `json:"epoch"`
+	// Struct is the TSV cross-section; with Options it determines the
+	// solved models, bit-for-bit.
+	Struct material.Structure `json:"struct"`
+	// Options are the resolved analyzer options.
+	Options core.Options `json:"options"`
+	// Mode is the session's pinned evaluation mode (an assignment may
+	// still request a cheaper mode, e.g. a degraded LS pass).
+	Mode core.Mode `json:"mode"`
+	// TileCutoff is the gather radius the tiling is built with; with
+	// the shipped points it reproduces the coordinator's partition.
+	TileCutoff float64 `json:"tileCutoff"`
+	// NumTiles and NumPoints are the expected partition shape; the
+	// worker verifies its rebuilt tiling against them and refuses the
+	// job on mismatch rather than return misaligned results.
+	NumTiles  int `json:"numTiles"`
+	NumPoints int `json:"numPoints"`
+}
+
+// validate rejects specs whose numbers could poison worker-side state.
+func (s *jobSpec) validate() error {
+	if s.Job == "" {
+		return fmt.Errorf("cluster: job spec has no id")
+	}
+	if err := s.Struct.Validate(); err != nil {
+		return fmt.Errorf("cluster: job %s: %w", s.Job, err)
+	}
+	if math.IsNaN(s.TileCutoff) || math.IsInf(s.TileCutoff, 0) || s.TileCutoff <= 0 {
+		return fmt.Errorf("cluster: job %s: tile cutoff %g must be positive and finite", s.Job, s.TileCutoff)
+	}
+	if s.Mode < core.ModeLS || s.Mode > core.ModeInteractive {
+		return fmt.Errorf("cluster: job %s: unknown mode %d", s.Job, s.Mode)
+	}
+	if s.NumPoints <= 0 || s.NumTiles <= 0 {
+		return fmt.Errorf("cluster: job %s: empty partition (%d tiles, %d points)", s.Job, s.NumTiles, s.NumPoints)
+	}
+	return nil
+}

@@ -114,13 +114,7 @@ func (a *Analyzer) MapInto(ctx context.Context, dst []tensor.Stress, pts []geom.
 func (a *Analyzer) mapBatched(ctx context.Context, dst []tensor.Stress, pts []geom.Point, mode Mode) error {
 	doLS := mode == ModeLS || mode == ModeFull
 	doPair := mode == ModeFull || mode == ModeInteractive
-	cutoff := 0.0
-	if doLS {
-		cutoff = a.opt.LSCutoff
-	}
-	if doPair && a.opt.PairDistCutoff > cutoff {
-		cutoff = a.opt.PairDistCutoff
-	}
+	cutoff := a.opt.GatherCutoff(mode)
 
 	tl, _ := a.mapPool.Get().(*Tiling)
 	if tl == nil {

@@ -1,0 +1,42 @@
+package core
+
+// PartitionTiles deterministically splits the tile ids [0, nTiles) into
+// shards contiguous ranges of near-equal size (sizes differ by at most
+// one; earlier shards get the extra tile). It is the sharding function
+// of the cluster tier: because every per-tile evaluation is independent
+// and writes disjoint dst slots, any partition of the tiles across any
+// number of shards, merged in any completion order, reproduces the
+// unsharded map exactly — the property test pins this bit-for-bit.
+//
+// shards < 1 is treated as 1. When shards > nTiles the trailing shards
+// are empty (never nil), so callers can index shard k of a fixed fleet
+// without bounds juggling.
+func PartitionTiles(nTiles, shards int) [][]int32 {
+	if shards < 1 {
+		shards = 1
+	}
+	if nTiles < 0 {
+		nTiles = 0
+	}
+	out := make([][]int32, shards)
+	lo := 0
+	for s := 0; s < shards; s++ {
+		hi := lo + nTiles/shards
+		if s < nTiles%shards {
+			hi++
+		}
+		shard := make([]int32, 0, hi-lo)
+		for id := lo; id < hi; id++ {
+			shard = append(shard, int32(id))
+		}
+		out[s] = shard
+		lo = hi
+	}
+	return out
+}
+
+// Partition splits this tiling's tile ids into shards via
+// PartitionTiles.
+func (tl *Tiling) Partition(shards int) [][]int32 {
+	return PartitionTiles(len(tl.tiles), shards)
+}

@@ -1,0 +1,100 @@
+package core
+
+// Tile-result serialization: the unit of exchange between a cluster
+// worker and its coordinator. A record carries one tile's stress values
+// in the tiling's TilePoints order, so both ends only need the shared
+// (points, cutoff)-deterministic Tiling to agree on which dst slots the
+// payload fills — tile ids and point counts travel, point indices never
+// do. Layout (little-endian):
+//
+//	u32 tile id | u32 point count | count × (f64 XX, f64 YY, f64 XY)
+//
+// The decoder is fuzz-hardened: it validates the declared count against
+// the remaining bytes before allocating, so a hostile length cannot
+// force an oversized allocation or a panic.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"tsvstress/internal/tensor"
+)
+
+// tileResultHeaderLen is the fixed prefix of a tile-result record:
+// u32 tile id + u32 point count.
+const tileResultHeaderLen = 8
+
+// stressWireLen is the encoded size of one tensor.Stress.
+const stressWireLen = 24
+
+// AppendTileResult appends the wire record for tile id of this tiling,
+// reading the tile's values from the full-length dst slice (the same
+// slice EvalTiles wrote). dst must match the tiling's point count; id
+// must be a valid tile id.
+func (tl *Tiling) AppendTileResult(buf []byte, id int32, dst []tensor.Stress) []byte {
+	pts := tl.TilePoints(int(id))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pts)))
+	for _, oi := range pts {
+		s := dst[oi]
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.XX))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.YY))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.XY))
+	}
+	return buf
+}
+
+// TileResultLen returns the encoded size of tile id's record.
+func (tl *Tiling) TileResultLen(id int32) int {
+	return tileResultHeaderLen + stressWireLen*len(tl.TilePoints(int(id)))
+}
+
+// ReadTileResult decodes one tile-result record from the front of data,
+// returning the tile id, the decoded values (in TilePoints order) and
+// the remaining bytes. It never panics on malformed input; a truncated
+// or inconsistent record yields an error.
+func ReadTileResult(data []byte) (id int32, vals []tensor.Stress, rest []byte, err error) {
+	if len(data) < tileResultHeaderLen {
+		return 0, nil, nil, fmt.Errorf("core: tile result truncated: %d bytes", len(data))
+	}
+	id = int32(binary.LittleEndian.Uint32(data))
+	n := binary.LittleEndian.Uint32(data[4:])
+	body := data[tileResultHeaderLen:]
+	// Validate the count against what actually arrived before allocating.
+	if uint64(n)*stressWireLen > uint64(len(body)) {
+		return 0, nil, nil, fmt.Errorf("core: tile %d result declares %d points, only %d bytes follow", id, n, len(body))
+	}
+	vals = make([]tensor.Stress, n)
+	for i := range vals {
+		off := i * stressWireLen
+		vals[i] = tensor.Stress{
+			XX: math.Float64frombits(binary.LittleEndian.Uint64(body[off:])),
+			YY: math.Float64frombits(binary.LittleEndian.Uint64(body[off+8:])),
+			XY: math.Float64frombits(binary.LittleEndian.Uint64(body[off+16:])),
+		}
+	}
+	return id, vals, body[int(n)*stressWireLen:], nil
+}
+
+// ScatterTileResult writes a decoded tile record into dst at the slots
+// tile id owns. vals must hold exactly the tile's point count (the
+// decoder cannot check that — only the tiling knows the geometry), and
+// dst must span the tiling's full point set; a mismatch is an error,
+// never a partial write.
+func (tl *Tiling) ScatterTileResult(id int32, vals []tensor.Stress, dst []tensor.Stress) error {
+	if id < 0 || int(id) >= len(tl.tiles) {
+		return fmt.Errorf("core: scatter tile id %d outside [0, %d)", id, len(tl.tiles))
+	}
+	if len(dst) != tl.n {
+		return fmt.Errorf("core: scatter dst has %d slots for %d points", len(dst), tl.n)
+	}
+	pts := tl.TilePoints(int(id))
+	if len(vals) != len(pts) {
+		return fmt.Errorf("core: tile %d holds %d points, result carries %d", id, len(pts), len(vals))
+	}
+	for i, oi := range pts {
+		dst[oi] = vals[i]
+	}
+	return nil
+}

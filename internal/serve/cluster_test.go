@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"tsvstress/internal/cluster"
+)
+
+// TestServeClusterFlushParity runs the same session twice — one server
+// evaluating in-process, one flushing through a two-worker cluster —
+// and requires identical served maps after every edit batch. WAL and
+// session semantics are untouched by the cluster path, so the only
+// observable difference may be the cluster metrics.
+func TestServeClusterFlushParity(t *testing.T) {
+	lw, err := cluster.StartLocalWorkers(2, cluster.WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lw.Stop()
+
+	local := NewServer(Options{})
+	clustered := NewServer(Options{ClusterWorkers: lw.Addrs()})
+	tsLocal := httptest.NewServer(local.Handler())
+	defer tsLocal.Close()
+	tsCluster := httptest.NewServer(clustered.Handler())
+	defer tsCluster.Close()
+
+	run := func(ts *httptest.Server) (string, []float64) {
+		t.Helper()
+		c := ts.Client()
+		var created CreateResponse
+		if resp := doJSON(t, c, "POST", ts.URL+"/v1/placements", testPlacement(), &created); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create: status %d", resp.StatusCode)
+		}
+		batches := []EditsRequest{
+			{Edits: []EditWire{{Op: "move", Index: 0, X: 2, Y: 2}}},
+			{Edits: []EditWire{{Op: "add", X: 12, Y: 36}, {Op: "remove", Index: 3}}},
+		}
+		for i, b := range batches {
+			var er EditsResponse
+			if resp := doJSON(t, c, "POST", ts.URL+"/v1/placements/"+created.ID+"/edits", b, &er); resp.StatusCode != http.StatusOK {
+				t.Fatalf("batch %d: status %d", i, resp.StatusCode)
+			}
+		}
+		var mp MapResponse
+		if resp := doJSON(t, c, "GET", ts.URL+"/v1/placements/"+created.ID+"/map?component=vm&values=1", nil, &mp); resp.StatusCode != http.StatusOK {
+			t.Fatalf("map: status %d", resp.StatusCode)
+		}
+		return created.ID, mp.Values
+	}
+
+	flushesBefore := metricClusterFlushes.Value()
+	_, wantVals := run(tsLocal)
+	id, gotVals := run(tsCluster)
+	if len(gotVals) != len(wantVals) {
+		t.Fatalf("clustered map has %d values, local %d", len(gotVals), len(wantVals))
+	}
+	for i := range gotVals {
+		if gotVals[i] != wantVals[i] {
+			t.Fatalf("point %d: clustered %g != local %g", i, gotVals[i], wantVals[i])
+		}
+	}
+	if metricClusterFlushes.Value() == flushesBefore {
+		t.Error("no flush was routed through the cluster")
+	}
+	// Deleting the session releases its worker-side job state.
+	if resp := doJSON(t, tsCluster.Client(), "DELETE", tsCluster.URL+"/v1/placements/"+id, nil, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+}

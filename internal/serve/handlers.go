@@ -428,6 +428,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ses := &session{engine: engine, st: st, liner: linerName, mode: modeName, created: time.Now()}
+	s.attachCluster(ses)
 	id, err := s.reserveID()
 	if err != nil {
 		writeError(w, http.StatusTooManyRequests, err.Error())
@@ -516,8 +517,8 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ses.mu.Lock()
-	defer ses.mu.Unlock()
+	unlock := lockSession(ses)
+	defer unlock()
 	if err := r.Context().Err(); err != nil {
 		writeError(w, http.StatusRequestTimeout, "request expired waiting for the session: "+err.Error())
 		return
@@ -641,8 +642,8 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	}
 	includeValues := q.Get("values") == "1" || q.Get("values") == "true"
 
-	ses.mu.Lock()
-	defer ses.mu.Unlock()
+	unlock := lockSession(ses)
+	defer unlock()
 	flushMs, err := s.flushLocked(r.Context(), ses)
 	if err != nil {
 		s.writeComputeError(w, ses.id, "flush", err)
@@ -723,8 +724,8 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 		threshold = &v
 	}
 
-	ses.mu.Lock()
-	defer ses.mu.Unlock()
+	unlock := lockSession(ses)
+	defer unlock()
 	flushMs, err := s.flushLocked(r.Context(), ses)
 	if err != nil {
 		s.writeComputeError(w, ses.id, "flush", err)

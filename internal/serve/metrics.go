@@ -4,8 +4,11 @@ import (
 	"expvar"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"tsvstress/internal/cluster"
 	"tsvstress/internal/incr"
 )
 
@@ -13,23 +16,30 @@ import (
 // package may construct many Servers — tests do — but expvar names are
 // process-global, so the vars live at package level and aggregate).
 var (
-	metricRequests    = new(expvar.Int)   // compute requests accepted for admission
-	metricRejects     = new(expvar.Int)   // admission rejections (503)
-	metricInFlight    = new(expvar.Int)   // currently executing compute requests
-	metricSessions    = new(expvar.Int)   // live placement sessions
-	metricEdits       = new(expvar.Int)   // applied edits
-	metricFlushes     = new(expvar.Int)   // incremental flushes
-	metricDirtyTile   = new(expvar.Float) // dirty-tile ratio of the last flush
-	metricCacheEnt    = new(expvar.Int)   // pitch-coefficient cache entries
-	metricCacheHits   = new(expvar.Int)   // pitch-coefficient cache hits
-	metricPanics      = new(expvar.Int)   // contained handler/kernel panics
-	metricQuarantined = new(expvar.Int)   // currently quarantined sessions
-	metricDegraded    = new(expvar.Int)   // load-shedding (full→ls) flushes served
-	metricWALAppends  = new(expvar.Int)   // journaled edit batches
-	metricWALErrors   = new(expvar.Int)   // WAL append/snapshot failures
-	metricSnapshots   = new(expvar.Int)   // placement snapshots written
-	metricRecovered   = new(expvar.Int)   // sessions restored by Recover
-	editLatency       = newHistogram("edit_latency_ms",
+	metricRequests         = new(expvar.Int)   // compute requests accepted for admission
+	metricRejects          = new(expvar.Int)   // admission rejections (503)
+	metricInFlight         = new(expvar.Int)   // currently executing compute requests
+	metricSessions         = new(expvar.Int)   // live placement sessions
+	metricEdits            = new(expvar.Int)   // applied edits
+	metricFlushes          = new(expvar.Int)   // incremental flushes
+	metricDirtyTile        = new(expvar.Float) // dirty-tile ratio of the last flush
+	metricCacheEnt         = new(expvar.Int)   // pitch-coefficient cache entries
+	metricCacheHits        = new(expvar.Int)   // pitch-coefficient cache hits
+	metricPanics           = new(expvar.Int)   // contained handler/kernel panics
+	metricQuarantined      = new(expvar.Int)   // currently quarantined sessions
+	metricDegraded         = new(expvar.Int)   // load-shedding (full→ls) flushes served
+	metricWALAppends       = new(expvar.Int)   // journaled edit batches
+	metricWALErrors        = new(expvar.Int)   // WAL append/snapshot failures
+	metricSnapshots        = new(expvar.Int)   // placement snapshots written
+	metricRecovered        = new(expvar.Int)   // sessions restored by Recover
+	metricClusterFlushes   = new(expvar.Int)   // flushes routed through the cluster tier
+	metricClusterFallbacks = new(expvar.Int)   // cluster flushes that fell back to local eval
+	editLatency            = newHistogram("edit_latency_ms",
+		1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500)
+	// editLatencyWindow is the rolling complement of the cumulative
+	// histogram above: the same buckets over (only) the last minute, so
+	// dashboards see current latency without differentiating counters.
+	editLatencyWindow = newRollingHistogram(6, 10*time.Second,
 		1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500)
 )
 
@@ -53,6 +63,11 @@ func init() {
 	m.Set("recovered_sessions_total", metricRecovered)
 	m.Set("admit_waiting", expvar.Func(func() any { return admitWaiting.Load() }))
 	m.Set("edit_latency_ms", editLatency.m)
+	m.Set("edit_latency_ms_1m", expvar.Func(editLatencyWindow.snapshot))
+	m.Set("session_queue_depth", expvar.Func(sessionQueueDepths))
+	m.Set("cluster_flushes_total", metricClusterFlushes)
+	m.Set("cluster_fallbacks_total", metricClusterFallbacks)
+	m.Set("cluster", expvar.Func(clusterSnapshot))
 }
 
 // histogram is a fixed-bucket latency histogram over expvar counters:
@@ -100,6 +115,168 @@ func (h *histogram) observe(d time.Duration) {
 	}
 }
 
+// rollingHistogram is a reset-safe rolling-window view of the same
+// latency distribution: observations land in the current time slot of a
+// ring, slots older than the window are discarded on rotation, and a
+// snapshot merges the live slots. Unlike the cumulative histogram it
+// answers "what does latency look like right now" directly — and a
+// scraper restart loses nothing, because the window carries its own
+// history.
+type rollingHistogram struct {
+	mu      sync.Mutex
+	bounds  []float64
+	slotDur time.Duration
+	slots   []histSlot
+	cur     int
+}
+
+type histSlot struct {
+	start   time.Time // zero: slot is empty
+	buckets []int64   // cumulative, per bound
+	inf     int64
+	count   int64
+	sum     float64
+}
+
+func newRollingHistogram(nSlots int, slotDur time.Duration, bounds ...float64) *rollingHistogram {
+	h := &rollingHistogram{bounds: bounds, slotDur: slotDur, slots: make([]histSlot, nSlots)}
+	for i := range h.slots {
+		h.slots[i].buckets = make([]int64, len(bounds))
+	}
+	return h
+}
+
+// rotateLocked advances the ring so slots[cur] covers now, zeroing every
+// slot whose window has passed. Caller holds mu.
+func (h *rollingHistogram) rotateLocked(now time.Time) {
+	cur := &h.slots[h.cur]
+	if cur.start.IsZero() {
+		cur.start = now.Truncate(h.slotDur)
+		return
+	}
+	for now.Sub(h.slots[h.cur].start) >= h.slotDur {
+		next := h.slots[h.cur].start.Add(h.slotDur)
+		h.cur = (h.cur + 1) % len(h.slots)
+		s := &h.slots[h.cur]
+		s.start = next
+		for i := range s.buckets {
+			s.buckets[i] = 0
+		}
+		s.inf, s.count, s.sum = 0, 0, 0
+	}
+}
+
+func (h *rollingHistogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rotateLocked(time.Now())
+	s := &h.slots[h.cur]
+	s.count++
+	s.sum += ms
+	s.inf++
+	for i, b := range h.bounds {
+		if ms <= b {
+			s.buckets[i]++
+		}
+	}
+}
+
+// snapshot merges the slots still inside the window into one
+// histogram-shaped map (the expvar.Func payload).
+func (h *rollingHistogram) snapshot() any {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := time.Now()
+	h.rotateLocked(now)
+	window := h.slotDur * time.Duration(len(h.slots))
+	out := make(map[string]any, len(h.bounds)+3)
+	merged := make([]int64, len(h.bounds))
+	var inf, count int64
+	var sum float64
+	for _, s := range h.slots {
+		if s.start.IsZero() || now.Sub(s.start) >= window {
+			continue
+		}
+		for i := range merged {
+			merged[i] += s.buckets[i]
+		}
+		inf += s.inf
+		count += s.count
+		sum += s.sum
+	}
+	for i, b := range h.bounds {
+		out["le_"+strconv.FormatFloat(b, 'g', -1, 64)] = merged[i]
+	}
+	out["le_inf"] = inf
+	out["count"] = count
+	out["sum"] = sum
+	out["window_s"] = window.Seconds()
+	return out
+}
+
+// sessionQueue maps session id → waiters-plus-holder count of that
+// session's mutex: how many compute requests are stacked on one
+// placement right now. Counters register at publish and unregister at
+// drop, so the expvar map never names dead sessions.
+var sessionQueue sync.Map // string → *atomic.Int64
+
+func registerSessionQueue(id string) {
+	sessionQueue.Store(id, new(atomic.Int64))
+}
+
+func dropSessionQueue(id string) {
+	sessionQueue.Delete(id)
+}
+
+// enterSessionQueue bumps a session's queue depth, returning the undo.
+// Unregistered ids (a session mid-drop) count nowhere, harmlessly.
+func enterSessionQueue(id string) func() {
+	v, ok := sessionQueue.Load(id)
+	if !ok {
+		return func() {}
+	}
+	n := v.(*atomic.Int64)
+	n.Add(1)
+	return func() { n.Add(-1) }
+}
+
+func sessionQueueDepths() any {
+	out := make(map[string]int64)
+	sessionQueue.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
+}
+
+// clusterCoord is the coordinator the expvar page reports on (the
+// newest cluster-enabled server wins; expvar is process-global anyway).
+var clusterCoord atomic.Pointer[cluster.Coordinator]
+
+func clusterSnapshot() any {
+	c := clusterCoord.Load()
+	if c == nil {
+		return map[string]any{"enabled": false}
+	}
+	st := c.Stats()
+	workers := c.Workers()
+	ws := make([]map[string]any, 0, len(workers))
+	for _, w := range workers {
+		ws = append(ws, map[string]any{"addr": w.Addr, "alive": w.Alive, "cores": w.Cores, "lastErr": w.LastErr})
+	}
+	return map[string]any{
+		"enabled":         true,
+		"workers_alive":   c.NumAlive(),
+		"maps_total":      st.Maps,
+		"chunks_total":    st.Chunks,
+		"steals_total":    st.Steals,
+		"requeues_total":  st.Requeues,
+		"worker_failures": st.WorkerFailures,
+		"workers":         ws,
+	}
+}
+
 // recordFlush publishes the engine counters of the session that just
 // flushed.
 func recordFlush(st incr.Stats, elapsed time.Duration) {
@@ -108,6 +285,7 @@ func recordFlush(st incr.Stats, elapsed time.Duration) {
 	metricCacheEnt.Set(int64(st.CoeffCacheEntries))
 	metricCacheHits.Set(int64(st.CoeffCacheHits))
 	editLatency.observe(elapsed)
+	editLatencyWindow.observe(elapsed)
 }
 
 // expvarHandler exposes the process expvar page (/debug/vars).

@@ -130,6 +130,7 @@ func (s *Server) Recover(ctx context.Context) (int, error) {
 		}
 		s.mu.Lock()
 		s.sessions[id] = ses
+		registerSessionQueue(id)
 		metricSessions.Set(int64(len(s.sessions)))
 		if ses.quarantined != "" {
 			errs = append(errs, fmt.Errorf("session %s quarantined: %s", id, ses.quarantined))
@@ -203,6 +204,7 @@ func (s *Server) recoverSession(ctx context.Context, id string) (*session, error
 		created: meta.Created,
 		log:     log,
 	}
+	s.attachCluster(ses)
 	// Replay the batches journaled after the snapshot. Every batch was
 	// accepted (rehearsed) by the live path, so a failure here means
 	// the journal and the engine disagree about validity — quarantine
