@@ -27,6 +27,7 @@ import (
 	"tsvstress/internal/geom"
 	"tsvstress/internal/material"
 	"tsvstress/internal/metrics"
+	"tsvstress/internal/prof"
 )
 
 func main() {
@@ -39,8 +40,29 @@ func main() {
 		seed   = flag.Int64("seed", 2013, "seed for random placements")
 		bench  = flag.Bool("bench", false, "run only the full-chip map benchmark and write BENCH_fullchip.json")
 		fleet  = flag.String("cluster", "", "with -bench: run the cluster benchmark instead, against local:N in-process workers or a comma-separated worker fleet, and write BENCH_cluster.json")
+		cpuPro = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memPro = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		cmp    = flag.Bool("compare", false, "with -bench: compare two benchmark JSON records (old new) instead of running; exits 1 on a >tolerance regression")
+		cmpTol = flag.Float64("compare-tol", 0.10, "with -compare: fractional regression tolerance")
 	)
 	flag.Parse()
+
+	if *cmp {
+		if flag.NArg() != 2 {
+			log.Fatalf("-compare needs exactly two files (old.json new.json), got %d args", flag.NArg())
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *cmpTol))
+	}
+
+	stopProf, err := prof.Start(*cpuPro, *memPro)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	sel := map[string]bool{}
 	if *only != "" {
@@ -273,8 +295,17 @@ func runClusterBench(outDir, fleet string, quick bool, seed int64) {
 		log.Fatal(err)
 	}
 	closeOut(f)
-	log.Printf("bench done in %v: single-process %.0f ms, 1 worker %.0f ms, %d workers %.0f ms (×%.2f), max |Δ| %.2g MPa",
-		time.Since(t0).Round(time.Millisecond), r.SingleProcessMillis, r.OneWorkerMillis, r.NumWorkers, r.ClusterMillis, r.Speedup, r.MaxAbsDiffMPa)
+	if r.SpeedupValid {
+		log.Printf("bench done in %v: single-process %.0f ms, 1 worker %.0f ms, %d workers %.0f ms (×%.2f), max |Δ| %.2g MPa",
+			time.Since(t0).Round(time.Millisecond), r.SingleProcessMillis, r.OneWorkerMillis, r.NumWorkers, r.ClusterMillis, r.Speedup, r.MaxAbsDiffMPa)
+	} else {
+		// The workers shared cores (host has fewer CPUs than the fleet),
+		// so a speedup headline would measure scheduler overhead, not
+		// scaling; the JSON carries speedup_valid: false for the same
+		// reason.
+		log.Printf("bench done in %v: single-process %.0f ms, 1 worker %.0f ms, %d workers %.0f ms (speedup not meaningful: %d workers > %d host CPUs), max |Δ| %.2g MPa",
+			time.Since(t0).Round(time.Millisecond), r.SingleProcessMillis, r.OneWorkerMillis, r.NumWorkers, r.ClusterMillis, r.NumWorkers, r.HostCPUs, r.MaxAbsDiffMPa)
+	}
 	log.Printf("results written to %s", outDir)
 }
 

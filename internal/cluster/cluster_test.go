@@ -90,11 +90,14 @@ func startCluster(t *testing.T, n int, hb time.Duration) (*LocalWorkers, *Coordi
 }
 
 // TestClusterMapParity is the acceptance property: a cluster map over
-// ≥2 workers reproduces the single-process MapInto — bit-for-bit here,
-// which trivially satisfies the ≤1e-9 MPa pin.
+// any fleet size reproduces the single-process MapInto — bit-for-bit
+// here, which trivially satisfies the ≤1e-9 MPa pin. The worker counts
+// cover one worker (every chunk through one batched result stream),
+// even splits, and a count coprime to the chunk fan-out (uneven
+// chunking, so batch frames of different sizes merge into one grid).
 func TestClusterMapParity(t *testing.T) {
 	fx := newFixture(t, 90, 1.5)
-	for _, n := range []int{2, 4} {
+	for _, n := range []int{1, 2, 4, 7} {
 		_, c := startCluster(t, n, 0)
 		got := make([]tensor.Stress, len(fx.pts))
 		if err := c.Map(context.Background(), got, fx.st, fx.pl, fx.pts, core.ModeFull, core.Options{}); err != nil {
@@ -370,11 +373,11 @@ func TestWorkerProtocolErrors(t *testing.T) {
 	stale := &job{id: j.id, pl: j.pl, pts: j.pts}
 	stale.spec = j.spec
 	stale.spec.Epoch = 1
-	if _, retryable, err := c.evalRPC(context.Background(), w, stale, []int32{0}, core.ModeFull); err == nil || !retryable {
+	if _, retryable, err := c.evalRPC(context.Background(), w, stale, []int32{0}, core.ModeFull, &evalScratch{}); err == nil || !retryable {
 		t.Fatalf("stale epoch eval: err=%v retryable=%v, want retryable 409", err, retryable)
 	}
 	// The full evalChunk path transparently re-inits and evaluates.
-	if _, err := c.evalChunk(context.Background(), w, j, []int32{0, 1}, core.ModeFull); err != nil {
+	if _, err := c.evalChunk(context.Background(), w, j, []int32{0, 1}, core.ModeFull, &evalScratch{}); err != nil {
 		t.Fatalf("evalChunk: %v", err)
 	}
 	c.dropJob(j.id)

@@ -649,6 +649,10 @@ func (c *Coordinator) liveWorkers(ctx context.Context) []*workerRef {
 // requeues the in-flight chunk and ends the loop; the error describes
 // the failure (nil when the loop ends because the work is done).
 func (c *Coordinator) workerLoop(ctx context.Context, w *workerRef, j *job, s *sched, tl *core.Tiling, dst []tensor.Stress, mode core.Mode) error {
+	// One decode scratch per loop: each chunk's records are merged into
+	// dst before the next chunk overwrites the buffers, so the loop's
+	// steady state performs no per-chunk allocation.
+	sc := &evalScratch{}
 	for {
 		chunk, ok, stolen := s.next()
 		if !ok {
@@ -657,7 +661,7 @@ func (c *Coordinator) workerLoop(ctx context.Context, w *workerRef, j *job, s *s
 		if stolen {
 			c.statSteals.Add(1)
 		}
-		records, err := c.evalChunk(ctx, w, j, s.chunks[chunk], mode)
+		records, err := c.evalChunk(ctx, w, j, s.chunks[chunk], mode, sc)
 		if err != nil {
 			if s.fail(chunk) {
 				c.statRequeues.Add(1)
@@ -686,20 +690,37 @@ func (c *Coordinator) workerLoop(ctx context.Context, w *workerRef, j *job, s *s
 	}
 }
 
-// tileRecord is one decoded frameResult.
-type tileRecord struct {
-	id   int32
-	vals []tensor.Stress
+// evalScratch is one worker loop's reusable decode state: the frame
+// payload buffer, the decoded-values slab every record's vals alias,
+// and the record list itself. A chunk's records must be consumed before
+// the next evalRPC reuses the buffers.
+type evalScratch struct {
+	frame   []byte
+	slab    []tensor.Stress
+	records []tileRecord
+}
+
+// realiasRecords repairs records' vals slices after the decode slab
+// reallocated: every record's values occupy a contiguous prefix-ordered
+// span of the slab (they were appended in decode order), so the aliases
+// rebuild from the lengths alone.
+func realiasRecords(records []tileRecord, slab []tensor.Stress) {
+	base := 0
+	for i := range records {
+		n := len(records[i].vals)
+		records[i].vals = slab[base : base+n]
+		base += n
+	}
 }
 
 // evalChunk runs one eval RPC against w, transparently (re)initializing
 // the worker's copy of the job when the worker does not know it or
-// holds an older epoch.
-func (c *Coordinator) evalChunk(ctx context.Context, w *workerRef, j *job, ids []int32, mode core.Mode) ([]tileRecord, error) {
+// holds an older epoch. The returned records alias sc's buffers.
+func (c *Coordinator) evalChunk(ctx context.Context, w *workerRef, j *job, ids []int32, mode core.Mode, sc *evalScratch) ([]tileRecord, error) {
 	if err := c.ensureInit(ctx, w, j); err != nil {
 		return nil, err
 	}
-	records, retryable, err := c.evalRPC(ctx, w, j, ids, mode)
+	records, retryable, err := c.evalRPC(ctx, w, j, ids, mode, sc)
 	if err != nil && retryable && ctx.Err() == nil {
 		// 404/409: the worker lost or outdated the job between our
 		// ledger check and the eval (eviction, restart, stale epoch).
@@ -710,7 +731,7 @@ func (c *Coordinator) evalChunk(ctx context.Context, w *workerRef, j *job, ids [
 		if err := c.ensureInit(ctx, w, j); err != nil {
 			return nil, err
 		}
-		records, _, err = c.evalRPC(ctx, w, j, ids, mode)
+		records, _, err = c.evalRPC(ctx, w, j, ids, mode, sc)
 	}
 	return records, err
 }
@@ -804,9 +825,12 @@ func (c *Coordinator) initRPC(ctx context.Context, w *workerRef, j *job, full bo
 	return nil
 }
 
-// evalRPC performs one eval POST and decodes the result stream.
-// retryable reports a 404/409 (job missing or stale on the worker).
-func (c *Coordinator) evalRPC(ctx context.Context, w *workerRef, j *job, ids []int32, mode core.Mode) (records []tileRecord, retryable bool, err error) {
+// evalRPC performs one eval POST and decodes the result stream: one
+// frameResultBatch per chunk (or v1-style individual frameResults),
+// closed by frameDone. retryable reports a 404/409 (job missing or
+// stale on the worker). The returned records alias sc's reusable
+// buffers and are valid until its next use.
+func (c *Coordinator) evalRPC(ctx context.Context, w *workerRef, j *job, ids []int32, mode core.Mode, sc *evalScratch) (records []tileRecord, retryable bool, err error) {
 	if err := faultinject.Fire("cluster.coord.eval"); err != nil {
 		return nil, false, err
 	}
@@ -829,26 +853,43 @@ func (c *Coordinator) evalRPC(ctx context.Context, w *workerRef, j *job, ids []i
 		return nil, isRetryableStatus(se), se
 	}
 	br := bufio.NewReaderSize(resp.Body, 1<<16)
-	records = make([]tileRecord, 0, len(ids))
+	records = sc.records[:0]
+	slab := sc.slab[:0]
 	for {
-		typ, payload, err := readFrame(br)
+		var typ byte
+		var payload []byte
+		typ, payload, sc.frame, err = readFrameInto(br, sc.frame)
 		if err != nil {
 			return nil, false, fmt.Errorf("result stream: %w", err)
 		}
 		switch typ {
+		case frameResultBatch:
+			oldCap := cap(slab)
+			records, slab, err = decodeResultBatch(payload, records, slab)
+			if err != nil {
+				return nil, false, err
+			}
+			if cap(slab) != oldCap {
+				realiasRecords(records, slab)
+			}
 		case frameResult:
-			id, vals, rest, err := core.ReadTileResult(payload)
+			id, slabOut, rest, err := core.ReadTileResultAppend(payload, slab)
 			if err != nil {
 				return nil, false, err
 			}
 			if len(rest) != 0 {
 				return nil, false, fmt.Errorf("result frame for tile %d carries %d trailing bytes", id, len(rest))
 			}
-			records = append(records, tileRecord{id: id, vals: vals})
+			records = append(records, tileRecord{id: id, vals: slabOut[len(slab):]})
+			if cap(slabOut) != cap(slab) {
+				realiasRecords(records, slabOut)
+			}
+			slab = slabOut
 		case frameDone:
 			if len(records) != len(ids) {
 				return nil, false, fmt.Errorf("worker returned %d of %d tiles", len(records), len(ids))
 			}
+			sc.records, sc.slab = records, slab
 			return records, false, nil
 		case frameError:
 			return nil, false, fmt.Errorf("worker eval failed: %s", payload)

@@ -20,6 +20,12 @@ func FuzzDecodeFrames(f *testing.F) {
 	f.Add(appendFrame(nil, frameAssign, appendAssignPayload(nil, assignment{Epoch: 1, Mode: core.ModeFull, IDs: []int32{0, 1}})))
 	f.Add(appendFrame(nil, framePoints, []byte("\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00")))
 	f.Add(appendFrame(nil, frameResult, append([]byte("\x00\x00\x00\x00\x01\x00\x00\x00"), make([]byte, 24)...)))
+	// A two-tile result batch (tile 0 with one point, tile 1 empty) and
+	// a batch whose declared tile count exceeds its payload.
+	f.Add(appendFrame(nil, frameResultBatch, append(append([]byte("\x02\x00\x00\x00"),
+		append([]byte("\x00\x00\x00\x00\x01\x00\x00\x00"), make([]byte, 24)...)...),
+		[]byte("\x01\x00\x00\x00\x00\x00\x00\x00")...)))
+	f.Add(appendFrame(nil, frameResultBatch, []byte("\xff\xff\x00\x00")))
 	f.Add([]byte("\x10\x00\x00\x00\x05abc"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -51,6 +57,22 @@ func FuzzDecodeFrames(f *testing.F) {
 						t.Fatalf("tile %d decoded %d values from %d bytes", id, len(vals), len(payload))
 					}
 					_ = tail
+				}
+			case frameResultBatch:
+				if records, slab, err := decodeResultBatch(payload, nil, nil); err == nil {
+					if len(slab) > len(payload)/core.StressWireLen {
+						t.Fatalf("batch decoded %d values from %d bytes", len(slab), len(payload))
+					}
+					// Canonical framing: decode∘encode is the identity on
+					// accepted batches.
+					re := make([]byte, 0, len(payload))
+					re = append(re, payload[:4]...)
+					for _, rec := range records {
+						re = core.AppendTileResultVals(re, rec.id, rec.vals)
+					}
+					if !bytes.Equal(re, payload) {
+						t.Fatalf("result batch round trip diverged: %d tiles", len(records))
+					}
 				}
 			}
 			rest = next

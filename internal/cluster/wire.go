@@ -35,11 +35,16 @@ import (
 	"tsvstress/internal/core"
 	"tsvstress/internal/geom"
 	"tsvstress/internal/material"
+	"tsvstress/internal/tensor"
 )
 
 // protoVersion is the wire-protocol version; ping exchanges it and the
-// coordinator refuses workers speaking another version.
-const protoVersion = 1
+// coordinator refuses workers speaking another version. Version 2
+// introduced the batched result frame (frameResultBatch): one frame per
+// eval chunk instead of one per tile, which cuts the header and
+// read-loop traffic on the many-small-tiles shape a fine tiling
+// produces.
+const protoVersion = 2
 
 // Frame types. Every frame on the wire is length-prefixed:
 //
@@ -48,13 +53,14 @@ const protoVersion = 1
 // so a reader can skip frames it does not expect and a decoder can
 // bound its allocations before touching the payload.
 const (
-	frameInit      = 1 // JSON jobSpec
-	framePlacement = 2 // u32 n | n × (f64 x, f64 y) TSV centers
-	framePoints    = 3 // u32 n | n × (f64 x, f64 y) simulation points
-	frameAssign    = 4 // u64 epoch | u8 mode | u32 n | n × u32 tile id
-	frameResult    = 5 // one core tile-result record
-	frameDone      = 6 // u32 tiles evaluated
-	frameError     = 7 // UTF-8 message
+	frameInit        = 1 // JSON jobSpec
+	framePlacement   = 2 // u32 n | n × (f64 x, f64 y) TSV centers
+	framePoints      = 3 // u32 n | n × (f64 x, f64 y) simulation points
+	frameAssign      = 4 // u64 epoch | u8 mode | u32 n | n × u32 tile id
+	frameResult      = 5 // one core tile-result record (v1 shape; still decoded)
+	frameDone        = 6 // u32 tiles evaluated
+	frameError       = 7 // UTF-8 message
+	frameResultBatch = 8 // u32 n | n × core tile-result record (one per chunk)
 )
 
 // maxFramePayload bounds a single frame. The largest legitimate frame
@@ -87,19 +93,33 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 // readFrame reads one frame from r, rejecting oversized declarations
 // before allocating.
 func readFrame(r *bufio.Reader) (typ byte, payload []byte, err error) {
+	typ, payload, _, err = readFrameInto(r, nil)
+	return typ, payload, err
+}
+
+// readFrameInto is readFrame with a caller-owned payload buffer: the
+// payload is read into buf when it fits, and bufOut returns the
+// (possibly grown) buffer for the next call. The coordinator's result
+// drain reads one frame per chunk through this, so a steady-state eval
+// stream touches the allocator only while the buffer is still growing
+// toward the largest chunk.
+func readFrameInto(r *bufio.Reader, buf []byte) (typ byte, payload, bufOut []byte, err error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, nil, buf, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:4])
 	if n > maxFramePayload {
-		return 0, nil, fmt.Errorf("cluster: frame of %d bytes exceeds limit %d", n, maxFramePayload)
+		return 0, nil, buf, fmt.Errorf("cluster: frame of %d bytes exceeds limit %d", n, maxFramePayload)
 	}
-	payload = make([]byte, n)
+	if uint64(cap(buf)) < uint64(n) {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, fmt.Errorf("cluster: frame truncated: %w", err)
+		return 0, nil, buf, fmt.Errorf("cluster: frame truncated: %w", err)
 	}
-	return hdr[4], payload, nil
+	return hdr[4], payload, buf, nil
 }
 
 // DecodeFrame splits one frame off the front of data — the byte-slice
@@ -200,6 +220,76 @@ func decodeAssignPayload(payload []byte) (assignment, error) {
 	}
 	return a, nil
 }
+
+// ---- batched tile results ----
+
+// tileRecord is one decoded tile result. vals may alias a shared decode
+// slab (see decodeResultBatch); it is only valid until the slab's next
+// reuse.
+type tileRecord struct {
+	id   int32
+	vals []tensor.Stress
+}
+
+// appendResultBatchPayload encodes every assigned tile's result as one
+// frameResultBatch payload: u32 count followed by the concatenated core
+// tile-result records. The buffer is pre-grown to the exact encoded
+// size so a worker's reused scratch stops growing once it has seen its
+// largest chunk.
+func appendResultBatchPayload(buf []byte, tl *core.Tiling, ids []int32, dst []tensor.Stress) []byte {
+	need := 4
+	for _, id := range ids {
+		need += tl.TileResultLen(id)
+	}
+	if cap(buf)-len(buf) < need {
+		grown := make([]byte, 0, len(buf)+need)
+		buf = append(grown, buf...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
+	for _, id := range ids {
+		buf = tl.AppendTileResult(buf, id, dst)
+	}
+	return buf
+}
+
+// decodeResultBatch decodes a frameResultBatch payload, appending the
+// records to records and their values to slab (both may be reused
+// buffers; pass them with length 0). Every record's vals slice aliases
+// the returned slab — the records are only valid until the caller
+// reuses it. The slab is pre-grown from the payload size, so the
+// appends never reallocate out from under earlier records.
+func decodeResultBatch(payload []byte, records []tileRecord, slab []tensor.Stress) ([]tileRecord, []tensor.Stress, error) {
+	if len(payload) < 4 {
+		return records, slab, fmt.Errorf("cluster: result batch truncated: %d bytes", len(payload))
+	}
+	n := binary.LittleEndian.Uint32(payload)
+	body := payload[4:]
+	if uint64(n)*uint64(tileResultMinLen) > uint64(len(body)) {
+		return records, slab, fmt.Errorf("cluster: result batch declares %d tiles, carries %d bytes", n, len(body))
+	}
+	if maxVals := len(body) / core.StressWireLen; cap(slab)-len(slab) < maxVals {
+		grown := make([]tensor.Stress, len(slab), len(slab)+maxVals)
+		copy(grown, slab)
+		slab = grown
+	}
+	for i := 0; i < int(n); i++ {
+		id, slabOut, rest, err := core.ReadTileResultAppend(body, slab)
+		if err != nil {
+			return records, slab, err
+		}
+		records = append(records, tileRecord{id: id, vals: slabOut[len(slab):]})
+		slab, body = slabOut, rest
+	}
+	if len(body) != 0 {
+		return records, slab, fmt.Errorf("cluster: result batch carries %d trailing bytes", len(body))
+	}
+	return records, slab, nil
+}
+
+// tileResultMinLen is the smallest legal tile-result record (empty
+// tile: u32 id + u32 count), used to bound a batch's declared tile
+// count before decoding.
+const tileResultMinLen = 8
 
 // ---- job spec ----
 

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"tsvstress/internal/core"
+	"tsvstress/internal/geom"
+	"tsvstress/internal/tensor"
+)
+
+// buildTiling makes a small deterministic tiling plus a filled dst.
+func buildTiling(t *testing.T, n int) (*core.Tiling, []geom.Point, []tensor.Stress) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*80, rng.Float64()*80)
+	}
+	tl, err := core.NewTiling(pts, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]tensor.Stress, n)
+	for i := range dst {
+		dst[i] = tensor.Stress{XX: float64(i), YY: -float64(i), XY: 0.5 * float64(i)}
+	}
+	return tl, pts, dst
+}
+
+// A result batch must decode back to exactly the per-tile values the
+// encoder read from dst, for chunk sizes spanning one tile to the whole
+// tiling, and the scatter of the decoded records must rebuild dst.
+func TestResultBatchRoundTrip(t *testing.T) {
+	tl, _, dst := buildTiling(t, 500)
+	allIDs := make([]int32, tl.NumTiles())
+	for i := range allIDs {
+		allIDs[i] = int32(i)
+	}
+	for _, k := range []int{1, 2, 4, 7, tl.NumTiles()} {
+		if k > tl.NumTiles() {
+			continue
+		}
+		ids := allIDs[:k]
+		payload := appendResultBatchPayload(nil, tl, ids, dst)
+		records, _, err := decodeResultBatch(payload, nil, nil)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(records) != k {
+			t.Fatalf("k=%d: decoded %d records", k, len(records))
+		}
+		got := make([]tensor.Stress, len(dst))
+		for _, rec := range records {
+			if err := tl.ScatterTileResult(rec.id, rec.vals, got); err != nil {
+				t.Fatalf("k=%d: %v", k, err)
+			}
+		}
+		for _, id := range ids {
+			for _, oi := range tl.TilePoints(int(id)) {
+				if got[oi] != dst[oi] {
+					t.Fatalf("k=%d: tile %d point %d: %+v != %+v", k, id, oi, got[oi], dst[oi])
+				}
+			}
+		}
+	}
+}
+
+// The encode buffer and decode slab are reusable: a second, larger
+// batch through the same buffers must decode exactly, and a smaller one
+// after that must not see stale tail data.
+func TestResultBatchBufferReuse(t *testing.T) {
+	tl, _, dst := buildTiling(t, 400)
+	var buf []byte
+	var slab []tensor.Stress
+	var records []tileRecord
+	for _, k := range []int{2, tl.NumTiles(), 1} {
+		ids := make([]int32, k)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		buf = appendResultBatchPayload(buf[:0], tl, ids, dst)
+		var err error
+		records, slab, err = decodeResultBatch(buf, records[:0], slab[:0])
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(records) != k {
+			t.Fatalf("k=%d: decoded %d records", k, len(records))
+		}
+		for _, rec := range records {
+			pts := tl.TilePoints(int(rec.id))
+			for i, oi := range pts {
+				if rec.vals[i] != dst[oi] {
+					t.Fatalf("k=%d: tile %d value %d diverges after reuse", k, rec.id, i)
+				}
+			}
+		}
+	}
+}
+
+// realiasRecords must rebuild every record's view after a slab copy —
+// the repair evalRPC applies when a response carries several result
+// frames and a later one grows the shared slab.
+func TestRealiasRecords(t *testing.T) {
+	tl, _, dst := buildTiling(t, 300)
+	payload := appendResultBatchPayload(nil, tl, []int32{0, 1, 2}, dst)
+	records, slab, err := decodeResultBatch(payload, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a reallocation: copy the slab elsewhere and re-alias.
+	moved := append(make([]tensor.Stress, 0, len(slab)+64), slab...)
+	realiasRecords(records, moved)
+	for _, rec := range records {
+		pts := tl.TilePoints(int(rec.id))
+		for i, oi := range pts {
+			if rec.vals[i] != dst[oi] {
+				t.Fatalf("tile %d value %d lost after realias", rec.id, i)
+			}
+		}
+	}
+}
+
+// Malformed batches must be rejected, never panic.
+func TestResultBatchMalformed(t *testing.T) {
+	tl, _, dst := buildTiling(t, 100)
+	good := appendResultBatchPayload(nil, tl, []int32{0}, dst)
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   good[:3],
+		"overcount":      append([]byte{0xff, 0xff, 0xff, 0xff}, good[4:]...),
+		"trailing bytes": append(append([]byte{}, good...), 0xAB),
+		"truncated tile": good[:len(good)-8],
+	}
+	for name, payload := range cases {
+		if _, _, err := decodeResultBatch(payload, nil, nil); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}

@@ -63,6 +63,10 @@ type workerJob struct {
 	an       *core.Analyzer
 	dst      []tensor.Stress
 	lastUsed time.Time
+	// resultBuf is the reusable frameResultBatch encode buffer (under
+	// mu, like dst); it stops growing once the job has answered its
+	// largest chunk.
+	resultBuf []byte
 }
 
 // NewWorker builds an empty worker.
@@ -275,10 +279,10 @@ func (w *Worker) evictLocked(keep string) {
 }
 
 // handleEval evaluates an assignment's tiles and streams one
-// frameResult per tile followed by frameDone. An epoch mismatch is a
-// 409 (the coordinator re-inits and retries); an evaluation failure
-// after the 200 has been committed is reported in-stream as a
-// frameError.
+// frameResultBatch carrying every tile of the chunk, followed by
+// frameDone. An epoch mismatch is a 409 (the coordinator re-inits and
+// retries); an evaluation failure after the 200 has been committed is
+// reported in-stream as a frameError.
 func (w *Worker) handleEval(rw http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	w.mu.Lock()
@@ -329,12 +333,11 @@ func (w *Worker) handleEval(rw http.ResponseWriter, r *http.Request) {
 	}
 	rw.Header().Set("Content-Type", "application/octet-stream")
 	bw := bufio.NewWriterSize(rw, 1<<16)
-	scratch := make([]byte, 0, 1<<15)
-	for _, tid := range asn.IDs {
-		scratch = job.tl.AppendTileResult(scratch[:0], tid, job.dst)
-		if err := writeFrame(bw, frameResult, scratch); err != nil {
-			return // client went away; nothing left to report to
-		}
+	// One batch frame for the whole chunk, encoded into the job's
+	// reusable scratch (held under job.mu like the rest of the eval).
+	job.resultBuf = appendResultBatchPayload(job.resultBuf[:0], job.tl, asn.IDs, job.dst)
+	if err := writeFrame(bw, frameResultBatch, job.resultBuf); err != nil {
+		return // client went away; nothing left to report to
 	}
 	var done [4]byte
 	binary.LittleEndian.PutUint32(done[:], uint32(len(asn.IDs)))

@@ -52,7 +52,10 @@ type tile struct {
 	lo, hi int32
 }
 
-// tileScratch is one worker's reusable candidate buffers.
+// tileScratch is one worker's reusable candidate buffers plus the
+// per-tile point and accumulator lanes of the SoA kernel. All buffers
+// are grow-only, so a worker that has seen the largest tile once never
+// allocates again (the zero-alloc property the allocation test pins).
 type tileScratch struct {
 	lsIdx    []int32
 	vicIdx   []int32
@@ -60,11 +63,23 @@ type tileScratch struct {
 	vicX     []float64
 	vicY     []float64
 	rounds   []*interact.VictimRounds
+
+	// SoA lanes, one slot per tile point in tile (order) position:
+	// gathered coordinates and the three stress-component accumulators.
+	px, py        []float64
+	sxx, syy, sxy []float64
 }
 
 func growI32(s []int32, n int) []int32 {
 	if cap(s) < n {
 		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
 	return s[:n]
 }
@@ -135,11 +150,26 @@ func (a *Analyzer) getTileScratch() *tileScratch {
 }
 
 // evalTile gathers the tile's candidate lists once and evaluates every
-// tile point against them.
+// tile point against them, through the SoA lane kernel by default or
+// the scalar oracle under Options.ScalarKernel (ExactLS also forces the
+// scalar Stage I path: there is no radial table to inline).
 func (a *Analyzer) evalTile(dst []tensor.Stress, pts []geom.Point, order []int32, t tile, halfDiag float64, doLS, doPair bool, ts *tileScratch) {
-	center := geom.Pt(t.cx, t.cy)
 	ls2 := a.opt.LSCutoff * a.opt.LSCutoff
 	pd2 := a.opt.PairDistCutoff * a.opt.PairDistCutoff
+	a.gatherTile(t, halfDiag, doLS, doPair, ts)
+	if a.opt.ScalarKernel || (doLS && a.lsRR == nil) {
+		a.evalTileScalar(dst, pts, order, t, ls2, pd2, doLS, doPair, ts)
+		return
+	}
+	a.evalTileSoA(dst, pts, order, t, ls2, pd2, doLS, doPair, ts)
+}
+
+// gatherTile collects the tile's Stage I and Stage II candidates into
+// the scratch lanes: TSV centers within cutoff + tile half-diagonal of
+// the tile center (a strict superset of every tile point's neighbor
+// set; the per-point d² compare makes the final call).
+func (a *Analyzer) gatherTile(t tile, halfDiag float64, doLS, doPair bool, ts *tileScratch) {
+	center := geom.Pt(t.cx, t.cy)
 	if doLS {
 		ts.lsIdx = a.idx.AppendNear(ts.lsIdx[:0], center, a.opt.LSCutoff+halfDiag+tileSlack)
 		ts.lsX, ts.lsY = ts.lsX[:0], ts.lsY[:0]
@@ -163,6 +193,13 @@ func (a *Analyzer) evalTile(dst []tensor.Stress, pts []geom.Point, order []int32
 			ts.rounds = append(ts.rounds, vr)
 		}
 	}
+}
+
+// evalTileScalar is the pre-SoA point-outer tile kernel, retained as
+// the parity oracle for the lane kernels (Options.ScalarKernel) and as
+// the Stage I path of ExactLS mode. The differential property test
+// pins the SoA path against it at ≤1e-9 MPa.
+func (a *Analyzer) evalTileScalar(dst []tensor.Stress, pts []geom.Point, order []int32, t tile, ls2, pd2 float64, doLS, doPair bool, ts *tileScratch) {
 	lsX, lsY := ts.lsX, ts.lsY
 	vicX, vicY, rounds := ts.vicX, ts.vicY, ts.rounds
 	for _, oi := range order[t.lo:t.hi] {
@@ -207,5 +244,85 @@ func (a *Analyzer) evalTile(dst []tensor.Stress, pts []geom.Point, order []int32
 			}
 		}
 		dst[oi] = s
+	}
+}
+
+// evalTileSoA is the data-oriented tile kernel: tile points are
+// gathered once into contiguous coordinate lanes, three stress-component
+// accumulator lanes are walked linearly by candidate-outer loops, and
+// results scatter back through the tile order exactly once. Stage I
+// inlines the radial-table interpolation (captured as a.lsRR/lsTT
+// lanes) with the rotation rewritten on 1/d², so a contributing
+// candidate costs one sqrt and one division and no method calls; the
+// d² compares, the d² == 0 branch and the knot clamping reproduce the
+// scalar kernel's inclusion decisions exactly. Stage II dispatches one
+// AccumulateTile lane sweep per victim (see interact.VictimRounds).
+// Per-point results differ from the scalar oracle only in round-off
+// and the bounded Stage II truncation — the parity budget stays 1e-9.
+func (a *Analyzer) evalTileSoA(dst []tensor.Stress, pts []geom.Point, order []int32, t tile, ls2, pd2 float64, doLS, doPair bool, ts *tileScratch) {
+	ord := order[t.lo:t.hi]
+	n := len(ord)
+	ts.px = growF64(ts.px, n)
+	ts.py = growF64(ts.py, n)
+	ts.sxx = growF64(ts.sxx, n)
+	ts.syy = growF64(ts.syy, n)
+	ts.sxy = growF64(ts.sxy, n)
+	px, py := ts.px[:n], ts.py[:n]
+	sxx, syy, sxy := ts.sxx[:n], ts.syy[:n], ts.sxy[:n]
+	for i, oi := range ord {
+		px[i] = pts[oi].X
+		py[i] = pts[oi].Y
+	}
+	clear(sxx)
+	clear(syy)
+	clear(sxy)
+	if doLS {
+		rrT, ttT, invStep := a.lsRR, a.lsTT, a.lsInvStep
+		last := len(rrT) - 2
+		rr0, tt0 := rrT[0], ttT[0]
+		for k := range ts.lsX {
+			cx, cy := ts.lsX[k], ts.lsY[k]
+			for i := 0; i < n; i++ {
+				dx := px[i] - cx
+				dy := py[i] - cy
+				d2 := dx*dx + dy*dy
+				if d2 > ls2 {
+					continue
+				}
+				if d2 == 0 {
+					// Point at a TSV center: uniform body stress, no
+					// rotation (matches the pointwise r == 0 branch).
+					sxx[i] += rr0
+					syy[i] += tt0
+					continue
+				}
+				r := math.Sqrt(d2)
+				f := r * invStep
+				j := int(f)
+				if j > last {
+					j = last
+				}
+				w := f - float64(j)
+				om := 1 - w
+				prr := rrT[j]*om + rrT[j+1]*w
+				ptt := ttT[j]*om + ttT[j+1]*w
+				d2inv := 1 / d2
+				c2 := dx * dx * d2inv
+				s2 := dy * dy * d2inv
+				cs := dx * dy * d2inv
+				// σrθ ≡ 0 for the axisymmetric single-TSV field.
+				sxx[i] += prr*c2 + ptt*s2
+				syy[i] += prr*s2 + ptt*c2
+				sxy[i] += (prr - ptt) * cs
+			}
+		}
+	}
+	if doPair {
+		for k := range ts.rounds {
+			ts.rounds[k].AccumulateTile(px, py, sxx, syy, sxy, pd2)
+		}
+	}
+	for i, oi := range ord {
+		dst[oi] = tensor.Stress{XX: sxx[i], YY: syy[i], XY: sxy[i]}
 	}
 }

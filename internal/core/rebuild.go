@@ -43,6 +43,7 @@ func (a *Analyzer) Rebuild(pl *geom.Placement, prev func(j int) int) (*Analyzer,
 		opt:       a.opt,
 		idx:       spatial.NewIndex(pl.Centers(), maxF(a.opt.LSCutoff, a.opt.PairDistCutoff)),
 	}
+	nb.initLSLanes()
 	nb.pairEvals = make([][]interact.PairEval, pl.Len())
 	nb.victimRounds = make([]*interact.VictimRounds, pl.Len())
 	for j, vic := range pl.TSVs {

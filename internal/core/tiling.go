@@ -95,11 +95,22 @@ func (tl *Tiling) build(pts []geom.Point, cutoff float64) {
 	tl.cutoff = cutoff
 	minX, minY := math.Inf(1), math.Inf(1)
 	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	// Plain compares: the points are pre-validated finite, so the
+	// NaN/signed-zero semantics of math.Min/Max are not needed and the
+	// calls would dominate this pass.
 	for _, p := range pts {
-		minX = math.Min(minX, p.X)
-		minY = math.Min(minY, p.Y)
-		maxX = math.Max(maxX, p.X)
-		maxY = math.Max(maxY, p.Y)
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
 	}
 	t := cutoff / 2
 	if t <= 0 {
@@ -118,9 +129,10 @@ func (tl *Tiling) build(pts []geom.Point, cutoff float64) {
 	tl.tileOf = growI32(tl.tileOf, len(pts))
 	tl.counts = growI32(tl.counts, nx*ny)
 	clear(tl.counts)
+	invT := 1 / t
 	for i, p := range pts {
-		tx := clampI(int((p.X-minX)/t), 0, nx-1)
-		ty := clampI(int((p.Y-minY)/t), 0, ny-1)
+		tx := clampI(int((p.X-minX)*invT), 0, nx-1)
+		ty := clampI(int((p.Y-minY)*invT), 0, ny-1)
 		id := int32(ty*nx + tx)
 		tl.tileOf[i] = id
 		tl.counts[id]++
@@ -185,28 +197,52 @@ func (a *Analyzer) EvalTiles(ctx context.Context, dst []tensor.Stress, pts []geo
 	return a.evalTileSet(ctx, dst, pts, tl, ids, doLS, doPair)
 }
 
+// tileCursor is the shared work-stealing state of one evalTileSet
+// call: the queue cursor and the completed-tile count. It is pooled so
+// a steady-state MapInto performs no per-call allocation — the atomics
+// must live on the heap anyway (every worker goroutine addresses them),
+// and pooling turns that into a one-time cost.
+type tileCursor struct{ next, completed atomic.Int64 }
+
+var cursorPool = sync.Pool{New: func() any { return new(tileCursor) }}
+
+// nTilesFor and ctxDone exist so evalTileSet can bind these values in
+// single-assignment locals: a variable reassigned after its declaration
+// is captured by reference by the worker closures and forces an 8-byte
+// heap allocation per call (the zero-alloc steady-state test catches
+// this).
+func nTilesFor(ids []int32, tl *Tiling) int {
+	if ids == nil {
+		return len(tl.tiles)
+	}
+	return len(ids)
+}
+
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
 // evalTileSet drains the tile queue (ids == nil means every tile) with
 // the analyzer's worker budget; each worker owns one pooled scratch
 // buffer set reused across its tiles. Between tiles every worker polls
 // the context's done channel; a recovered worker panic wins over a
 // concurrent cancellation.
 func (a *Analyzer) evalTileSet(ctx context.Context, dst []tensor.Stress, pts []geom.Point, tl *Tiling, ids []int32, doLS, doPair bool) error {
-	nTiles := len(ids)
-	if ids == nil {
-		nTiles = len(tl.tiles)
-	}
-	var done <-chan struct{}
-	if ctx != nil {
-		done = ctx.Done()
-	}
-	var next, completed atomic.Int64
+	nTiles := nTilesFor(ids, tl)
+	done := ctxDone(ctx)
+	cur := cursorPool.Get().(*tileCursor)
+	cur.next.Store(0)
+	cur.completed.Store(0)
 	workers := a.opt.Workers
 	if workers > nTiles {
 		workers = nTiles
 	}
 	var firstErr error
 	if workers <= 1 {
-		firstErr = a.drainTiles(dst, pts, tl, ids, nTiles, &next, &completed, done, doLS, doPair)
+		firstErr = a.drainTiles(dst, pts, tl, ids, nTiles, cur, done, doLS, doPair)
 	} else {
 		errs := make([]error, workers)
 		var wg sync.WaitGroup
@@ -214,7 +250,7 @@ func (a *Analyzer) evalTileSet(ctx context.Context, dst []tensor.Stress, pts []g
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				errs[w] = a.drainTiles(dst, pts, tl, ids, nTiles, &next, &completed, done, doLS, doPair)
+				errs[w] = a.drainTiles(dst, pts, tl, ids, nTiles, cur, done, doLS, doPair)
 			}(w)
 		}
 		wg.Wait()
@@ -225,10 +261,12 @@ func (a *Analyzer) evalTileSet(ctx context.Context, dst []tensor.Stress, pts []g
 			}
 		}
 	}
+	completed := int(cur.completed.Load())
+	cursorPool.Put(cur)
 	if firstErr != nil {
 		return firstErr
 	}
-	if n := int(completed.Load()); n < nTiles {
+	if n := completed; n < nTiles {
 		cause := context.Canceled
 		if ctx != nil && ctx.Err() != nil {
 			cause = ctx.Err()
@@ -242,7 +280,7 @@ func (a *Analyzer) evalTileSet(ctx context.Context, dst []tensor.Stress, pts []g
 // empty or the done channel fires, recovering a tile-kernel panic into
 // a *PanicError. The "core.tile.eval" fault-injection site fires once
 // per tile (test-only: one atomic load when unarmed).
-func (a *Analyzer) drainTiles(dst []tensor.Stress, pts []geom.Point, tl *Tiling, ids []int32, nTiles int, next, completed *atomic.Int64, done <-chan struct{}, doLS, doPair bool) (err error) {
+func (a *Analyzer) drainTiles(dst []tensor.Stress, pts []geom.Point, tl *Tiling, ids []int32, nTiles int, cur *tileCursor, done <-chan struct{}, doLS, doPair bool) (err error) {
 	ts := a.getTileScratch()
 	defer a.tilePool.Put(ts)
 	defer func() {
@@ -256,7 +294,7 @@ func (a *Analyzer) drainTiles(dst []tensor.Stress, pts []geom.Point, tl *Tiling,
 			return nil // reported as *CancelError by evalTileSet
 		default:
 		}
-		k := next.Add(1) - 1
+		k := cur.next.Add(1) - 1
 		if k >= int64(nTiles) {
 			return nil
 		}
@@ -268,6 +306,6 @@ func (a *Analyzer) drainTiles(dst []tensor.Stress, pts []geom.Point, tl *Tiling,
 			t = tl.tiles[ids[k]]
 		}
 		a.evalTile(dst, pts, tl.order, t, tl.half, doLS, doPair, ts)
-		completed.Add(1)
+		cur.completed.Add(1)
 	}
 }

@@ -50,32 +50,65 @@ func (tl *Tiling) TileResultLen(id int32) int {
 	return tileResultHeaderLen + stressWireLen*len(tl.TilePoints(int(id)))
 }
 
+// AppendTileResultVals appends the wire record for already-gathered
+// tile values — the tiling-free twin of AppendTileResult, for callers
+// (re-encoders, tests) that hold decoded records rather than a full
+// dst slice.
+func AppendTileResultVals(buf []byte, id int32, vals []tensor.Stress) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(vals)))
+	for _, s := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.XX))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.YY))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.XY))
+	}
+	return buf
+}
+
 // ReadTileResult decodes one tile-result record from the front of data,
 // returning the tile id, the decoded values (in TilePoints order) and
 // the remaining bytes. It never panics on malformed input; a truncated
 // or inconsistent record yields an error.
 func ReadTileResult(data []byte) (id int32, vals []tensor.Stress, rest []byte, err error) {
+	id, slab, rest, err := ReadTileResultAppend(data, nil)
+	return id, slab, rest, err
+}
+
+// ReadTileResultAppend decodes one tile-result record from the front of
+// data, appending the values to slab instead of allocating — the
+// steady-state decode path of the cluster coordinator, which drains a
+// whole result batch into one reusable slab. The record's values are
+// slab[len(slab):] of the returned slice.
+//
+// Callers that retain sub-slices of slab across several calls must
+// pre-grow its capacity (the batch decoder sizes it from the payload
+// length): an append that reallocates would strand earlier sub-slices
+// in the old array.
+func ReadTileResultAppend(data []byte, slab []tensor.Stress) (id int32, slabOut []tensor.Stress, rest []byte, err error) {
 	if len(data) < tileResultHeaderLen {
-		return 0, nil, nil, fmt.Errorf("core: tile result truncated: %d bytes", len(data))
+		return 0, slab, nil, fmt.Errorf("core: tile result truncated: %d bytes", len(data))
 	}
 	id = int32(binary.LittleEndian.Uint32(data))
 	n := binary.LittleEndian.Uint32(data[4:])
 	body := data[tileResultHeaderLen:]
 	// Validate the count against what actually arrived before allocating.
 	if uint64(n)*stressWireLen > uint64(len(body)) {
-		return 0, nil, nil, fmt.Errorf("core: tile %d result declares %d points, only %d bytes follow", id, n, len(body))
+		return 0, slab, nil, fmt.Errorf("core: tile %d result declares %d points, only %d bytes follow", id, n, len(body))
 	}
-	vals = make([]tensor.Stress, n)
-	for i := range vals {
+	for i := 0; i < int(n); i++ {
 		off := i * stressWireLen
-		vals[i] = tensor.Stress{
+		slab = append(slab, tensor.Stress{
 			XX: math.Float64frombits(binary.LittleEndian.Uint64(body[off:])),
 			YY: math.Float64frombits(binary.LittleEndian.Uint64(body[off+8:])),
 			XY: math.Float64frombits(binary.LittleEndian.Uint64(body[off+16:])),
-		}
+		})
 	}
-	return id, vals, body[int(n)*stressWireLen:], nil
+	return id, slab, body[int(n)*stressWireLen:], nil
 }
+
+// StressWireLen is the encoded size of one stress value — what a batch
+// decoder needs to bound a payload's value count before allocating.
+const StressWireLen = stressWireLen
 
 // ScatterTileResult writes a decoded tile record into dst at the slots
 // tile id owns. vals must hold exactly the tile's point count (the

@@ -42,6 +42,11 @@ type ClusterBench struct {
 	// of the fleet buys over one worker, protocol overhead included in
 	// both. See HostCPUs for how to interpret it.
 	Speedup float64 `json:"speedup_vs_one_worker"`
+	// SpeedupValid is false when the fleet outnumbers the host's CPUs:
+	// workers then share cores and Speedup measures scheduler overhead,
+	// not scaling. Consumers (and the tsvexp headline) must not quote
+	// Speedup when this is false.
+	SpeedupValid bool `json:"speedup_valid"`
 	// PointsPerSec is the fleet's map throughput (points evaluated per
 	// second of wall time, protocol overhead included).
 	PointsPerSec float64 `json:"cluster_points_per_sec"`
@@ -150,6 +155,7 @@ func RunClusterBench(numTSV, numPoints int, seed int64, addrs []string) (*Cluste
 		OneWorkerMillis:     oneMs,
 		ClusterMillis:       clusterMs,
 		Speedup:             oneMs / clusterMs,
+		SpeedupValid:        runtime.NumCPU() >= len(addrs),
 		PointsPerSec:        float64(len(pts)) / (clusterMs / 1e3),
 		MaxAbsDiffMPa:       worst,
 		Chunks:              stats.Chunks,

@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// BenchDelta is one metric's before/after comparison.
+type BenchDelta struct {
+	Metric string
+	Old    float64
+	New    float64
+	// Frac is the signed fractional change in the metric's value
+	// (New/Old - 1); Regression says whether that change is a
+	// performance loss under the metric's direction.
+	Frac       float64
+	Regression bool
+}
+
+// lowerIsBetter classifies a benchmark metric's direction from its
+// name: latencies and per-point costs shrink when performance improves,
+// throughputs grow. Metrics that are neither (counts, ids, timestamps,
+// parity checks) are not compared at all.
+func lowerIsBetter(key string) (lower, comparable bool) {
+	switch {
+	case strings.HasSuffix(key, "_ns_per_point"), strings.HasSuffix(key, "_ms"):
+		return true, true
+	case strings.HasSuffix(key, "points_per_sec"):
+		return false, true
+	}
+	return false, false
+}
+
+// CompareBenchJSON reads two benchmark records (any of the BENCH_*.json
+// shapes — the metric set is discovered from the keys) and returns the
+// per-metric deltas for every comparable metric present in both, sorted
+// by name. tol is the fractional change below which a loss is noise,
+// not a regression (0.10 = 10%).
+func CompareBenchJSON(oldR, newR io.Reader, tol float64) ([]BenchDelta, error) {
+	oldM, err := decodeMetrics(oldR)
+	if err != nil {
+		return nil, fmt.Errorf("old record: %w", err)
+	}
+	newM, err := decodeMetrics(newR)
+	if err != nil {
+		return nil, fmt.Errorf("new record: %w", err)
+	}
+	keys := make([]string, 0, len(oldM))
+	for k := range oldM {
+		if _, ok := newM[k]; !ok {
+			continue
+		}
+		if _, cmp := lowerIsBetter(k); cmp {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("records share no comparable metrics")
+	}
+	sort.Strings(keys)
+	deltas := make([]BenchDelta, 0, len(keys))
+	for _, k := range keys {
+		o, n := oldM[k], newM[k]
+		d := BenchDelta{Metric: k, Old: o, New: n}
+		if o != 0 {
+			d.Frac = n/o - 1
+		}
+		lower, _ := lowerIsBetter(k)
+		if lower {
+			d.Regression = d.Frac > tol
+		} else {
+			d.Regression = d.Frac < -tol
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, nil
+}
+
+func decodeMetrics(r io.Reader) (map[string]float64, error) {
+	var raw map[string]any
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, err
+	}
+	m := make(map[string]float64, len(raw))
+	for k, v := range raw {
+		if f, ok := v.(float64); ok {
+			m[k] = f
+		}
+	}
+	return m, nil
+}
+
+// WriteBenchDeltas renders the comparison as an aligned table, one
+// metric per line, marking regressions. It returns the number of
+// regressions.
+func WriteBenchDeltas(w io.Writer, deltas []BenchDelta) (int, error) {
+	regressions := 0
+	for _, d := range deltas {
+		mark := ""
+		if d.Regression {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		if _, err := fmt.Fprintf(w, "%-24s %14.2f -> %14.2f  %+7.1f%%%s\n",
+			d.Metric, d.Old, d.New, 100*d.Frac, mark); err != nil {
+			return regressions, err
+		}
+	}
+	return regressions, nil
+}

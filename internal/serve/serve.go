@@ -52,6 +52,7 @@ import (
 	"tsvstress/internal/geom"
 	"tsvstress/internal/incr"
 	"tsvstress/internal/material"
+	"tsvstress/internal/prof"
 	"tsvstress/internal/tensor"
 	"tsvstress/internal/wal"
 )
@@ -233,7 +234,9 @@ func (ce countingEvaluator) EvalTiles(ctx context.Context, an *core.Analyzer, ds
 }
 
 // Handler returns the service's HTTP handler, including the expvar
-// endpoint at /debug/vars. Every route runs inside the panic-recovery
+// endpoint at /debug/vars and the pprof profile tree at /debug/pprof/
+// (CPU-profiling a live server is how the tile kernels were tuned; see
+// DESIGN.md §15). Every route runs inside the panic-recovery
 // middleware: a handler or kernel panic becomes a 500 and a
 // quarantined session, never a dead process.
 func (s *Server) Handler() http.Handler {
@@ -247,6 +250,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/placements/{id}/screen", s.instrument("screen", s.handleScreen))
 	mux.HandleFunc("DELETE /v1/placements/{id}", s.handleDelete)
 	mux.Handle("GET /debug/vars", expvarHandler())
+	mux.Handle("GET /debug/pprof/", prof.Handler())
 	return s.withRecovery(mux)
 }
 

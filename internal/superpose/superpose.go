@@ -83,6 +83,20 @@ func (ls *LS) Polar(r float64) tensor.Polar {
 	return ls.Sol.PolarAt(r)
 }
 
+// Table exposes the radial look-up table backing Polar for fused batch
+// kernels that inline the interpolation: the σrr and σθθ profiles
+// sampled every step µm from r = 0, with linear interpolation between
+// knots and the last interval clamped (exactly what Polar computes in
+// table mode). ok is false in Exact mode, where no table exists and
+// callers must stay on Polar. The slices are the live table — callers
+// must not mutate them.
+func (ls *LS) Table() (rr, tt []float64, step float64, ok bool) {
+	if ls.table == nil {
+		return nil, nil, 0, false
+	}
+	return ls.table.rr, ls.table.tt, ls.table.step, true
+}
+
 // Contribution returns the stress contribution in MPa of a single TSV
 // centered at c to the point p (zero beyond the cutoff).
 func (ls *LS) Contribution(p, c geom.Point) tensor.Stress {
