@@ -1,7 +1,7 @@
 // Command tsvlint is the repository's domain-aware static-analysis
-// suite: five analyzers enforcing the numerical, hot-path and
-// API-boundary invariants the framework's correctness and performance
-// claims rest on (DESIGN.md §9).
+// suite: nine analyzers enforcing the numerical, hot-path, API-boundary
+// and serving-safety invariants the framework's correctness and
+// performance claims rest on (DESIGN.md §9, §10).
 //
 //	floatcmp       no ==/!= on computed floats; use internal/floats
 //	hotpath        no Atan2/Pow/closures/map-ranges/growing appends in
@@ -10,11 +10,24 @@
 //	               exported entry point
 //	nonfinite      API-boundary constructors must reject NaN/Inf
 //	unitdoc        exported physical-quantity functions document units
+//	lockorder      mutex acquisition must respect //tsvlint:lockorder
+//	               directives; undeclared inversions are reported
+//	ctxflow        request paths into the evaluation core must accept
+//	               and forward context.Context; no context.Background
+//	               on request paths
+//	goroleak       goroutines in serving packages need a provable join
+//	               or cancel path; no time.After in loops
+//	allocfree      //tsvlint:allocfree functions proven allocation-free
+//	               against compiler escape diagnostics
 //
 // Standalone:
 //
-//	go run ./cmd/tsvlint ./...          # whole module, all analyzers
-//	tsvlint -tests ./...                # include test packages
+//	go run ./cmd/tsvlint ./...            # whole module, all analyzers
+//	tsvlint -tests ./...                  # include test packages
+//	tsvlint -json ./...                   # machine-readable findings
+//	tsvlint -sarif out.sarif ./...        # SARIF 2.1.0 for code scanning
+//	tsvlint -baseline lint/baseline.json ./...   # suppress known findings
+//	tsvlint -write-baseline lint/baseline.json ./...  # snapshot current
 //
 // As a vet tool (package analyzers only — program analyzers need the
 // whole module loaded at once):
@@ -32,8 +45,12 @@ import (
 	"os"
 
 	"tsvstress/internal/analysis"
+	"tsvstress/internal/analysis/allocfree"
+	"tsvstress/internal/analysis/ctxflow"
 	"tsvstress/internal/analysis/floatcmp"
+	"tsvstress/internal/analysis/goroleak"
 	"tsvstress/internal/analysis/hotpath"
+	"tsvstress/internal/analysis/lockorder"
 	"tsvstress/internal/analysis/nonfinite"
 	"tsvstress/internal/analysis/panicboundary"
 	"tsvstress/internal/analysis/unitdoc"
@@ -46,6 +63,10 @@ func analyzers() []*analysis.Analyzer {
 		panicboundary.Analyzer,
 		nonfinite.Analyzer,
 		unitdoc.Analyzer,
+		lockorder.Analyzer,
+		ctxflow.Analyzer,
+		goroleak.Analyzer,
+		allocfree.Analyzer,
 	}
 }
 
@@ -58,11 +79,15 @@ func main() {
 	}
 
 	var (
-		tests = flag.Bool("tests", false, "also load and analyze test packages")
-		dir   = flag.String("C", ".", "module directory to analyze")
+		tests         = flag.Bool("tests", false, "also load and analyze test packages")
+		dir           = flag.String("C", ".", "module directory to analyze")
+		jsonOut       = flag.Bool("json", false, "write findings as JSON to stdout")
+		sarifPath     = flag.String("sarif", "", "write findings as SARIF 2.1.0 to `file`")
+		baselinePath  = flag.String("baseline", "", "suppress findings recorded in baseline `file`; report stale entries")
+		writeBaseline = flag.String("write-baseline", "", "snapshot current findings to baseline `file` and exit 0")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tsvlint [-tests] [-C dir] [package patterns]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: tsvlint [flags] [package patterns]\n\n")
 		fmt.Fprintf(os.Stderr, "Analyzers:\n")
 		for _, a := range analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
@@ -85,6 +110,56 @@ func main() {
 		log.Print(err)
 		os.Exit(2)
 	}
+
+	if *writeBaseline != "" {
+		if err := analysis.WriteBaselineFile(*writeBaseline, prog.Dir, findings); err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "tsvlint: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return
+	}
+
+	if *baselinePath != "" {
+		base, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		var stale []analysis.BaselineEntry
+		findings, stale = base.Apply(prog.Dir, findings)
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "tsvlint: stale baseline entry (no longer reported): %s %s: %s\n", e.Analyzer, e.File, e.Message)
+		}
+	}
+
+	if *sarifPath != "" {
+		f, err := os.Create(*sarifPath)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		werr := analysis.WriteSARIF(f, prog.Dir, analyzers(), findings)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			log.Print(werr)
+			os.Exit(2)
+		}
+	}
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, prog.Dir, findings); err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		if len(findings) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	if analysis.PrintFindings(os.Stderr, findings) > 0 {
 		os.Exit(1)
 	}

@@ -1,0 +1,328 @@
+// Package allocfree turns the steady-state zero-allocation property of
+// annotated functions into a static proof. PR 6 pinned the SoA tile
+// kernel at AllocsPerRun == 0, but a runtime sample only witnesses the
+// inputs it ran; this analyzer recompiles each annotated package with
+// the compiler's escape diagnostics (-m) and fails any
+// //tsvlint:allocfree function whose body contains an allocation the
+// compiler could not keep off the heap.
+//
+// Mechanism. `go build -gcflags=-m` is useless here — the build cache
+// swallows the output on cache hits — so the analyzer reproduces the
+// compile directly: `go list -deps -export` resolves export data for
+// the package's import closure into an -importcfg, then `go tool
+// compile -m` reruns the real compilation, deterministically, every
+// time. Diagnostics land on file:line:col positions that are mapped
+// back into annotated function ranges (the compiler attributes
+// inlined callees' allocations to the call site, so helpers count
+// against their callers — which is the honest accounting).
+//
+// Policy. Two diagnostic families fail the proof inside an annotated
+// range:
+//
+//   - "moved to heap: x" — a variable forced to the heap allocates on
+//     every call;
+//   - "<expr> escapes to heap" where expr is an allocation the
+//     function performs (make, new, &composite, func literal, slice or
+//     map literal, string conversion) — boxing of operands into
+//     interface arguments (fmt.Errorf on error paths) is deliberately
+//     tolerated: error paths are off the steady state, and a hot-path
+//     boxing bug shows up as the call itself under hotpath rules.
+//
+// One allowance mirrors the hotpath analyzer's amortization contract:
+// an allocation attributed to a call of a grow*-prefixed helper
+// (growF64, growI32, growBytes…) is the amortized realloc path of a
+// reused buffer and does not count against steady state.
+//
+// The analyzer only runs as a program analyzer: it needs the module
+// directory to invoke the toolchain, which vettool mode does not have.
+package allocfree
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"tsvstress/internal/analysis"
+)
+
+// Analyzer proves //tsvlint:allocfree functions allocation-free
+// against compiler escape diagnostics.
+var Analyzer = &analysis.Analyzer{
+	Name:       "allocfree",
+	Doc:        "//tsvlint:allocfree functions must produce no heap allocations under the compiler's escape analysis",
+	RunProgram: run,
+}
+
+const directive = "//tsvlint:allocfree"
+
+// annotated is one function carrying the directive.
+type annotated struct {
+	name      string
+	file      string // absolute path
+	startLine int
+	endLine   int
+}
+
+func run(pass *analysis.ProgramPass) error {
+	prog := pass.Program
+	for _, pkg := range prog.Packages {
+		if strings.Contains(pkg.Path, " [") {
+			continue // test variant: the plain package already covers it
+		}
+		fns, files, astByFile := annotatedFuncs(prog, pkg)
+		if len(fns) == 0 {
+			continue
+		}
+		diags, err := compileDiagnostics(prog, pkg, files)
+		if err != nil {
+			return fmt.Errorf("allocfree: %s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			fn := owner(fns, d)
+			if fn == nil {
+				continue
+			}
+			if !countsAsAllocation(d.msg) {
+				continue
+			}
+			pos := posFor(prog.Fset, astByFile[d.file], d.line, d.col)
+			if pos != token.NoPos && growCallAt(astByFile[d.file], pos) {
+				continue
+			}
+			if pos == token.NoPos {
+				pos = astByFile[d.file].Pos()
+			}
+			pass.Reportf(pos, "%s is annotated %s but the compiler reports: %s", fn.name, directive, d.msg)
+		}
+	}
+	return nil
+}
+
+// annotatedFuncs collects the directive-carrying functions of a
+// package plus the package's non-test files (absolute paths, compile
+// order) and a filename → AST index.
+func annotatedFuncs(prog *analysis.Program, pkg *analysis.Package) ([]annotated, []string, map[string]*ast.File) {
+	var fns []annotated
+	var files []string
+	astByFile := make(map[string]*ast.File)
+	for _, f := range pkg.Files {
+		name := absIn(prog.Dir, prog.Fset.Position(f.Pos()).Filename)
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, name)
+		astByFile[name] = f
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				text := strings.TrimSpace(c.Text)
+				if text == directive || strings.HasPrefix(text, directive+" ") {
+					fns = append(fns, annotated{
+						name:      fd.Name.Name,
+						file:      name,
+						startLine: prog.Fset.Position(fd.Pos()).Line,
+						endLine:   prog.Fset.Position(fd.End()).Line,
+					})
+					break
+				}
+			}
+		}
+	}
+	sort.Strings(files)
+	return fns, files, astByFile
+}
+
+// escapeDiag is one parsed compiler diagnostic.
+type escapeDiag struct {
+	file string
+	line int
+	col  int
+	msg  string
+}
+
+var diagRe = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// compileDiagnostics recompiles the package with -m and parses the
+// escape diagnostics.
+func compileDiagnostics(prog *analysis.Program, pkg *analysis.Package, files []string) ([]escapeDiag, error) {
+	imports := make(map[string]bool)
+	for _, f := range pkg.Files {
+		name := prog.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	var paths []string
+	for p := range imports {
+		if p != "unsafe" { // resolved by the compiler itself
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	exports, err := analysis.ExportData(prog.Dir, paths)
+	if err != nil {
+		return nil, err
+	}
+
+	tmp, err := os.MkdirTemp("", "tsvlint-allocfree")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	var cfg bytes.Buffer
+	cfgPaths := make([]string, 0, len(exports))
+	for p := range exports {
+		cfgPaths = append(cfgPaths, p)
+	}
+	sort.Strings(cfgPaths)
+	for _, p := range cfgPaths {
+		fmt.Fprintf(&cfg, "packagefile %s=%s\n", p, exports[p])
+	}
+	cfgPath := filepath.Join(tmp, "importcfg")
+	if err := os.WriteFile(cfgPath, cfg.Bytes(), 0o644); err != nil {
+		return nil, err
+	}
+
+	plainPath, _, _ := strings.Cut(pkg.Path, " [")
+	args := []string{"tool", "compile",
+		"-p", plainPath,
+		"-importcfg", cfgPath,
+		"-o", filepath.Join(tmp, "pkg.a"),
+		"-m",
+	}
+	if prog.GoVersion != "" {
+		args = append(args, "-lang=go"+prog.GoVersion)
+	}
+	args = append(args, files...)
+	cmd := exec.Command("go", args...)
+	if prog.Dir != "" {
+		cmd.Dir = prog.Dir
+	}
+	// -m diagnostics land on stdout, compile errors on stderr; capture
+	// both into one stream so the parse sees everything.
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go tool compile -m failed: %v\n%s", err, out.String())
+	}
+
+	var diags []escapeDiag
+	for _, line := range strings.Split(out.String(), "\n") {
+		m := diagRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		d := escapeDiag{file: absIn(prog.Dir, m[1]), msg: m[4]}
+		fmt.Sscanf(m[2], "%d", &d.line)
+		fmt.Sscanf(m[3], "%d", &d.col)
+		diags = append(diags, d)
+	}
+	return diags, nil
+}
+
+// absIn resolves a possibly-relative filename against the module
+// directory, so compiler output (absolute) and fixture FileSet
+// positions (test-relative) compare equal.
+func absIn(dir, name string) string {
+	if filepath.IsAbs(name) || dir == "" {
+		return name
+	}
+	return filepath.Join(dir, name)
+}
+
+// owner finds the annotated function whose range contains the
+// diagnostic, or nil.
+func owner(fns []annotated, d escapeDiag) *annotated {
+	for i := range fns {
+		fn := &fns[i]
+		if fn.file == d.file && d.line >= fn.startLine && d.line <= fn.endLine {
+			return fn
+		}
+	}
+	return nil
+}
+
+// countsAsAllocation decides whether a -m diagnostic is an allocation
+// the annotated function performs (see the package policy).
+func countsAsAllocation(msg string) bool {
+	if strings.HasPrefix(msg, "moved to heap:") {
+		return true
+	}
+	expr, ok := strings.CutSuffix(msg, " escapes to heap")
+	if !ok {
+		expr, ok = strings.CutSuffix(msg, " escapes to heap:")
+	}
+	if !ok {
+		return false
+	}
+	for _, p := range []string{"make(", "new(", "&", "func literal", "[]", "map[", "string(", "append("} {
+		if strings.HasPrefix(expr, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// posFor converts a file:line:col diagnostic position into a token.Pos
+// inside the given file, or NoPos.
+func posFor(fset *token.FileSet, f *ast.File, line, col int) token.Pos {
+	if f == nil {
+		return token.NoPos
+	}
+	tf := fset.File(f.Pos())
+	if tf == nil || line < 1 || line > tf.LineCount() {
+		return token.NoPos
+	}
+	p := tf.LineStart(line) + token.Pos(col-1)
+	if p < tf.Pos(0) || p > token.Pos(tf.Base()+tf.Size()) {
+		return tf.LineStart(line)
+	}
+	return p
+}
+
+// growCallAt reports whether the position sits inside a call to a
+// grow*-prefixed helper — the amortized realloc allowance.
+func growCallAt(f *ast.File, pos token.Pos) bool {
+	if f == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if pos < n.Pos() || pos >= n.End() {
+			return false // prune subtrees not containing the position
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			var name string
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			}
+			if strings.HasPrefix(name, "grow") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

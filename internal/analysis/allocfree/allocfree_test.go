@@ -1,0 +1,15 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"tsvstress/internal/analysis/allocfree"
+	"tsvstress/internal/analysis/analysistest"
+)
+
+// TestKernels recompiles the fixture with -m through the real
+// toolchain: clean kernels prove silently, escaping make/moved-to-heap
+// fail, and grow-helper reallocs are excused.
+func TestKernels(t *testing.T) {
+	analysistest.Run(t, allocfree.Analyzer, ".", "allocfree/kernels")
+}

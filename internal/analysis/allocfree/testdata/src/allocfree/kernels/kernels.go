@@ -1,0 +1,74 @@
+// Package kernels covers the allocfree proof shapes: clean kernels,
+// escaping allocations, heap-forced locals, and the grow-helper
+// amortization allowance.
+package kernels
+
+// Sum is steady-state clean: everything stays on the stack.
+//
+//tsvlint:allocfree
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// ScaleInto writes through a caller-provided buffer: clean.
+//
+//tsvlint:allocfree
+func ScaleInto(dst, src []float64, k float64) {
+	for i, x := range src {
+		dst[i] = k * x
+	}
+}
+
+// Fresh allocates a new slice that escapes through the return value.
+//
+//tsvlint:allocfree
+func Fresh(n int) []float64 {
+	buf := make([]float64, n) // want "Fresh is annotated //tsvlint:allocfree but the compiler reports: make\(\[\]float64, n\) escapes to heap"
+	for i := range buf {
+		buf[i] = 1
+	}
+	return buf
+}
+
+// Boxed forces a local onto the heap by returning its address.
+//
+//tsvlint:allocfree
+func Boxed() *int {
+	x := 42 // want "Boxed is annotated //tsvlint:allocfree but the compiler reports: moved to heap: x"
+	return &x
+}
+
+// growF64 is the amortized realloc helper: its make only runs on the
+// capacity-miss path of a reused buffer.
+func growF64(b []float64, n int) []float64 {
+	if cap(b) < n {
+		nb := make([]float64, n, n+n/2)
+		copy(nb, b[:cap(b)])
+		return nb
+	}
+	return b[:n]
+}
+
+// FillGrown reuses a scratch buffer through growF64: the inlined make
+// is attributed to the call line but excused by the grow allowance.
+//
+//tsvlint:allocfree
+func FillGrown(scratch []float64, n int) []float64 {
+	scratch = growF64(scratch, n)
+	for i := range scratch {
+		scratch[i] = float64(i)
+	}
+	return scratch
+}
+
+// unexported helpers feeding Sum stay out of scope without the
+// directive even when they allocate.
+func scratchCopy(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	return out
+}

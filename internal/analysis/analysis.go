@@ -14,6 +14,12 @@
 //     at once — call-graph checks like panicboundary need cross-package
 //     bodies — and run in standalone mode only, where the loader has
 //     source for the whole module.
+//
+// An analyzer may set both: standalone runs prefer the whole-module
+// RunProgram, while `go vet -vettool` falls back to Run as the
+// single-package approximation (lockorder and ctxflow do this — their
+// per-package view still catches in-package inversions and missing
+// context parameters, just not cross-package chains).
 package analysis
 
 import (
@@ -23,8 +29,9 @@ import (
 	"go/types"
 )
 
-// Analyzer is one named static check. Exactly one of Run or RunProgram
-// must be set.
+// Analyzer is one named static check. At least one of Run or
+// RunProgram must be set; when both are, RunProgram wins wherever the
+// whole module is loaded and Run covers vettool mode.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //tsvlint:ignore directives.
@@ -85,6 +92,15 @@ type Package struct {
 type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package
+
+	// Dir is the directory the program was loaded from (absolute when
+	// the loader could resolve it). Analyzers that shell out to the go
+	// toolchain — allocfree recompiles annotated packages for escape
+	// diagnostics — run their commands here so module context resolves.
+	Dir string
+	// GoVersion is the module's declared language version ("1.22"), or
+	// empty when unknown; it pins -lang for reproducing compiles.
+	GoVersion string
 
 	byPath map[string]*Package
 }

@@ -145,6 +145,11 @@ func loadFixtures(dir string, pkgPaths []string) (*analysis.Program, error) {
 	}
 
 	prog := &analysis.Program{Fset: fset}
+	if abs, err := filepath.Abs(dir); err == nil {
+		// Analyzers that shell out to the go toolchain (allocfree) run
+		// from the analyzer's own directory, which is inside the module.
+		prog.Dir = abs
+	}
 	checked := make(map[string]*types.Package)
 	for _, p := range pkgPaths {
 		info := analysis.NewInfo()

@@ -1,0 +1,19 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"tsvstress/internal/analysis/analysistest"
+	"tsvstress/internal/analysis/ctxflow"
+)
+
+// TestGateway loads the engine (kernel) and gateway (scoped tier)
+// fixtures as one program: the reach relation crosses the package
+// boundary, which is the whole point of the analyzer.
+func TestGateway(t *testing.T) {
+	a := ctxflow.NewAnalyzer(ctxflow.Config{
+		ScopeSuffixes: []string{"ctxflow/gateway"},
+		Targets:       []ctxflow.Target{{PkgSuffix: "ctxflow/engine", Name: "MapInto"}},
+	})
+	analysistest.Run(t, a, ".", "ctxflow/engine", "ctxflow/gateway")
+}

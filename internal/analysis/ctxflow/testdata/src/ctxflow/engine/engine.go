@@ -1,0 +1,19 @@
+// Package engine stands in for the evaluation kernel package: MapInto
+// is the target the gateway fixtures must thread a context toward.
+package engine
+
+import "context"
+
+func MapInto(ctx context.Context, out []float64) error {
+	for i := range out {
+		if i%1024 == 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+		}
+		out[i] = 1
+	}
+	return nil
+}

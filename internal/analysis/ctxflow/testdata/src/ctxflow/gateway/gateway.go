@@ -1,0 +1,43 @@
+// Package gateway is the scoped tier: every function here that can
+// reach engine.MapInto is a request path.
+package gateway
+
+import (
+	"context"
+	"net/http"
+
+	"ctxflow/engine"
+)
+
+// evalAll forwards its context into the kernel: compliant.
+func evalAll(ctx context.Context, out []float64) error {
+	return engine.MapInto(ctx, out)
+}
+
+// Handle reaches the kernel with no context parameter and roots a
+// fresh context besides: both rules fire.
+func Handle(out []float64) error { // want "can reach engine\.MapInto but accepts no context\.Context"
+	return evalAll(context.Background(), out) // want "context\.Background\(\) inside a request path"
+}
+
+// HandleHTTP rides the handler idiom: *http.Request carries the
+// context, so the signature is accepted.
+func HandleHTTP(w http.ResponseWriter, r *http.Request) {
+	_ = evalAll(r.Context(), nil)
+}
+
+// HandleAsync reaches the kernel only from inside a spawned closure —
+// still a request path, the closure runs this request's work.
+func HandleAsync(out []float64) { // want "can reach engine\.MapInto but accepts no context\.Context"
+	done := make(chan error, 1)
+	go func() {
+		done <- evalAll(context.TODO(), out) // want "context\.TODO\(\) inside a request path"
+	}()
+	<-done
+}
+
+// heartbeat never reaches a kernel: minting a root context for
+// genuinely background work is fine.
+func heartbeat() context.Context {
+	return context.Background()
+}

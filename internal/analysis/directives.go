@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -22,6 +23,18 @@ import (
 //	    Line-level suppression: diagnostics from the named analyzers on
 //	    this line (or the line directly below, for a comment on its own
 //	    line) are dropped. A reason is required.
+//
+//	//tsvlint:lockorder A < B
+//	    Lock-order declaration: whenever the locks named A and B are
+//	    held together, A must be acquired first. Names are
+//	    "Type.field" for struct-field mutexes ("session.mu") or the
+//	    bare identifier for package-level ones. The lockorder analyzer
+//	    reports any acquisition path in the reverse order.
+//
+//	//tsvlint:allocfree
+//	    Function-level marker (in the doc comment): the allocfree
+//	    analyzer proves the function steady-state allocation-free
+//	    against the compiler's escape diagnostics.
 
 const directivePrefix = "//tsvlint:"
 
@@ -97,6 +110,71 @@ func (ix *IgnoreIndex) Suppressed(analyzer string, pos token.Pos) bool {
 		}
 	}
 	return false
+}
+
+// LockOrderRule is one parsed //tsvlint:lockorder declaration: the
+// lock named Before must be acquired before the lock named After
+// whenever both are held.
+type LockOrderRule struct {
+	Before string
+	After  string
+	Pos    token.Pos // of the directive comment
+}
+
+// ParseLockOrder parses the payload of a //tsvlint:lockorder comment
+// (everything after the directive word), expecting exactly "A < B".
+func ParseLockOrder(rest string) (before, after string, err error) {
+	lt := strings.Count(rest, "<")
+	if lt != 1 {
+		return "", "", fmt.Errorf("want exactly one %q separator, got %d", "<", lt)
+	}
+	left, right, _ := strings.Cut(rest, "<")
+	before = strings.TrimSpace(left)
+	after = strings.TrimSpace(right)
+	switch {
+	case before == "":
+		return "", "", fmt.Errorf("missing lock name before %q", "<")
+	case after == "":
+		return "", "", fmt.Errorf("missing lock name after %q", "<")
+	case len(strings.Fields(before)) > 1:
+		return "", "", fmt.Errorf("lock name %q contains spaces", before)
+	case len(strings.Fields(after)) > 1:
+		return "", "", fmt.Errorf("lock name %q contains spaces", after)
+	case before == after:
+		return "", "", fmt.Errorf("%q is ordered against itself", before)
+	}
+	return before, after, nil
+}
+
+// LockOrderDirectives scans the files' comments for //tsvlint:lockorder
+// declarations, returning the parsed rules plus a diagnostic at each
+// malformed directive.
+func LockOrderDirectives(files []*ast.File) (rules []LockOrderRule, malformed []Diagnostic) {
+	const word = directivePrefix + "lockorder"
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				rest, ok := strings.CutPrefix(text, word)
+				if !ok {
+					continue
+				}
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // a different directive sharing the prefix
+				}
+				before, after, err := ParseLockOrder(rest)
+				if err != nil {
+					malformed = append(malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: fmt.Sprintf("malformed //tsvlint:lockorder directive (want \"A < B\"): %v", err),
+					})
+					continue
+				}
+				rules = append(rules, LockOrderRule{Before: before, After: after, Pos: c.Pos()})
+			}
+		}
+	}
+	return rules, malformed
 }
 
 // IsTestFile reports whether the file at pos is a _test.go file.

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseLockOrder(t *testing.T) {
+	tests := []struct {
+		name    string
+		rest    string
+		before  string
+		after   string
+		wantErr string // substring of the error, "" for success
+	}{
+		{"canonical", " session.mu < Server.mu", "session.mu", "Server.mu", ""},
+		{"tight spacing", " a<b", "a", "b", ""},
+		{"tabs", "\tA.mu\t<\tB.mu", "A.mu", "B.mu", ""},
+		{"bare identifiers", " tableMu < rowMu", "tableMu", "rowMu", ""},
+		{"empty payload", "", "", "", "exactly one"},
+		{"missing separator", " session.mu Server.mu", "", "", "exactly one"},
+		{"wrong separator", " session.mu > Server.mu", "", "", "exactly one"},
+		{"double separator", " a < b < c", "", "", "exactly one"},
+		{"missing left", " < Server.mu", "", "", "missing lock name before"},
+		{"missing right", " session.mu <", "", "", "missing lock name after"},
+		{"spaces in left name", " session mu < Server.mu", "", "", "contains spaces"},
+		{"spaces in right name", " session.mu < Server mu", "", "", "contains spaces"},
+		{"self order", " mu < mu", "", "", "ordered against itself"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			before, after, err := ParseLockOrder(tt.rest)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("ParseLockOrder(%q) error: %v", tt.rest, err)
+				}
+				if before != tt.before || after != tt.after {
+					t.Fatalf("ParseLockOrder(%q) = %q, %q; want %q, %q",
+						tt.rest, before, after, tt.before, tt.after)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("ParseLockOrder(%q) = %q, %q; want error containing %q",
+					tt.rest, before, after, tt.wantErr)
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("ParseLockOrder(%q) error %q; want substring %q", tt.rest, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestLockOrderDirectives(t *testing.T) {
+	src := `// Package p declares lock orders.
+//
+//tsvlint:lockorder A.mu < B.mu
+package p
+
+//tsvlint:lockorder broken directive line
+var x int
+
+//tsvlint:lockorderly not this directive at all
+var y int
+
+// inner comment too:
+//tsvlint:lockorder C.mu < D.mu
+var z int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, malformed := LockOrderDirectives([]*ast.File{f})
+	if len(rules) != 2 {
+		t.Fatalf("got %d rules, want 2: %+v", len(rules), rules)
+	}
+	if rules[0].Before != "A.mu" || rules[0].After != "B.mu" {
+		t.Errorf("rule 0 = %q < %q; want A.mu < B.mu", rules[0].Before, rules[0].After)
+	}
+	if rules[1].Before != "C.mu" || rules[1].After != "D.mu" {
+		t.Errorf("rule 1 = %q < %q; want C.mu < D.mu", rules[1].Before, rules[1].After)
+	}
+	if len(malformed) != 1 {
+		t.Fatalf("got %d malformed diagnostics, want 1: %+v", len(malformed), malformed)
+	}
+	if !strings.Contains(malformed[0].Message, "malformed") {
+		t.Errorf("malformed diagnostic message %q lacks 'malformed'", malformed[0].Message)
+	}
+	if got := fset.Position(malformed[0].Pos).Line; got != 6 {
+		t.Errorf("malformed diagnostic on line %d, want 6", got)
+	}
+}

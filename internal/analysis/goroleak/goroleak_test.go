@@ -1,0 +1,24 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"tsvstress/internal/analysis/analysistest"
+	"tsvstress/internal/analysis/goroleak"
+)
+
+func TestSpawnShapes(t *testing.T) {
+	a := goroleak.NewAnalyzer(goroleak.Config{
+		ScopeSuffixes: []string{"goroleak/spawn"},
+	})
+	analysistest.Run(t, a, ".", "goroleak/spawn")
+}
+
+// TestOutOfScope: a leaky goroutine outside the scoped suffixes must
+// be silent — goroleak only polices the serving tiers.
+func TestOutOfScope(t *testing.T) {
+	a := goroleak.NewAnalyzer(goroleak.Config{
+		ScopeSuffixes: []string{"internal/serve"},
+	})
+	analysistest.Run(t, a, ".", "goroleak/unscoped")
+}

@@ -1,0 +1,126 @@
+// Package spawn covers the goroutine lifetime shapes the serving
+// tiers use: joined, cancelled, bounded, and fire-and-forget.
+package spawn
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type server struct {
+	stopCh chan struct{}
+	workCh chan int
+}
+
+// joined: classic WaitGroup fan-out.
+func fanOut(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// join by channel send: the spawner can drain it.
+func drain(done chan struct{}) {
+	go func() {
+		defer func() { done <- struct{}{} }()
+		work()
+	}()
+}
+
+// join by close: watchers observe the close.
+func watcher(ctx context.Context) chan struct{} {
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		<-ctx.Done()
+	}()
+	return watcherDone
+}
+
+// cancel path through a named same-package method: the loop selects on
+// the stop channel.
+func (s *server) start() {
+	go s.loop()
+}
+
+func (s *server) loop() {
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case v := <-s.workCh:
+			_ = v
+		}
+	}
+}
+
+// bounded lifetime: the goroutine mints its own deadline.
+func notify(addr string) {
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		ping(ctx, addr)
+	}()
+}
+
+// fire-and-forget closure: nothing joins it, nothing can stop it.
+func leak() {
+	go func() { // want "goroutine has no join or cancel path"
+		work()
+	}()
+}
+
+// fire-and-forget through an opaque callee: a function value the
+// analyzer cannot see into.
+func leakDynamic(f func()) {
+	go f() // want "goroutine runs a function the analyzer cannot see into"
+}
+
+// timer churn: a fresh timer every iteration.
+func pollLeaky(s *server) {
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-time.After(time.Second): // want "time\.After in a loop"
+			work()
+		}
+	}
+}
+
+// hoisted timer: the admit-path shape, no finding.
+func pollFixed(s *server) {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			work()
+			t.Reset(time.Second)
+		}
+	}
+}
+
+// one-shot time.After outside a loop is fine.
+func await(s *server) {
+	select {
+	case <-s.stopCh:
+	case <-time.After(time.Second):
+	}
+}
+
+func work() {}
+
+func ping(ctx context.Context, addr string) {
+	_ = ctx
+	_ = addr
+}

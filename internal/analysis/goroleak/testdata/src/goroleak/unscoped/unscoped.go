@@ -1,0 +1,11 @@
+// Package unscoped leaks a goroutine on purpose: its import path is
+// outside the analyzer's scope, so no finding may surface.
+package unscoped
+
+func leak() {
+	go func() {
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}

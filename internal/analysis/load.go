@@ -84,7 +84,10 @@ func Load(opts LoadOptions) (*Program, error) {
 	cat := &exportCatalog{exports: make(map[string]string)}
 	gc := cat.Importer(fset)
 	checked := make(map[string]*types.Package)
-	prog := &Program{Fset: fset}
+	prog := &Program{Fset: fset, Dir: opts.Dir}
+	if abs, err := filepath.Abs(opts.Dir); err == nil {
+		prog.Dir = abs
+	}
 
 	for _, lp := range pkgs {
 		if lp.Error != nil {
@@ -110,6 +113,9 @@ func Load(opts LoadOptions) (*Program, error) {
 			}
 			checked[lp.ImportPath] = pkg.Pkg
 			prog.Packages = append(prog.Packages, pkg)
+			if prog.GoVersion == "" && lp.Module != nil {
+				prog.GoVersion = lp.Module.GoVersion
+			}
 		}
 	}
 	return prog, nil
@@ -195,29 +201,43 @@ func (c *exportCatalog) Importer(fset *token.FileSet) types.Importer {
 // go list in dir, and returns an importer over them bound to fset.
 // The analysistest fixture loader uses it to satisfy fixture imports.
 func ExportImporter(fset *token.FileSet, dir string, paths []string) (types.Importer, error) {
-	cat := &exportCatalog{exports: make(map[string]string)}
-	if len(paths) > 0 {
-		args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, paths...)
-		cmd := exec.Command("go", args...)
-		cmd.Dir = dir
-		var stderr bytes.Buffer
-		cmd.Stderr = &stderr
-		out, err := cmd.Output()
-		if err != nil {
-			return nil, fmt.Errorf("analysis: go list %v: %v\n%s", paths, err, stderr.String())
+	exports, err := ExportData(dir, paths)
+	if err != nil {
+		return nil, err
+	}
+	return (&exportCatalog{exports: exports}).Importer(fset), nil
+}
+
+// ExportData maps the given import paths and their whole dependency
+// closure to compiled export-data files, resolved by `go list -deps
+// -export` in dir. Entries without export data (e.g. unsafe) are
+// omitted. allocfree feeds the result to `go tool compile -importcfg`
+// when it reproduces escape diagnostics for annotated packages.
+func ExportData(dir string, paths []string) (map[string]string, error) {
+	exports := make(map[string]string)
+	if len(paths) == 0 {
+		return exports, nil
+	}
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", paths, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
 		}
-		dec := json.NewDecoder(bytes.NewReader(out))
-		for {
-			var p listPackage
-			if err := dec.Decode(&p); err == io.EOF {
-				break
-			} else if err != nil {
-				return nil, err
-			}
-			if p.Export != "" {
-				cat.exports[p.ImportPath] = p.Export
-			}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
 		}
 	}
-	return cat.Importer(fset), nil
+	return exports, nil
 }

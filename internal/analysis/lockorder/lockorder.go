@@ -1,0 +1,498 @@
+// Package lockorder infers the mutex acquisition order of the program
+// and checks it against declared //tsvlint:lockorder directives.
+//
+// The PR 4 deadlock this analyzer exists to catch: handleList iterated
+// the session table holding Server.mu while locking each session.mu,
+// while every compute handler held session.mu and quarantined through
+// Server.mu — an ABBA inversion that shipped and was only found by a
+// chaos drill. The fix pinned the order (session.mu before Server.mu,
+// never the reverse) in a comment; this analyzer turns that comment
+// into a machine-checked invariant.
+//
+// Model. Locks are identified by class, not instance: x.mu.Lock() on a
+// value of type *session acquires the class "session.mu", matching how
+// lock-order disciplines are stated. For every function (and every
+// function literal, analyzed as an independent root — goroutine and
+// callback bodies run on their own stacks), a linear source-order walk
+// tracks the held set: Lock/RLock pushes, Unlock/RUnlock pops the most
+// recent matching acquisition, and a deferred Unlock keeps the lock
+// held to the end of the walk (acquisitions after it are still nested
+// inside). Each acquisition while locks are held records an ordering
+// edge held → acquired.
+//
+// Edges also cross function boundaries: a call made while holding L
+// contributes edges L → M for every lock class M the callee's static
+// call closure may acquire. Helpers that return while still holding a
+// lock — serve's lockSession locks ses.mu and hands back the unlock as
+// a closure — are summarized as "leaking" that class, which joins the
+// caller's held set after the call.
+//
+// Findings:
+//
+//   - an edge B → A when a //tsvlint:lockorder A < B directive declares
+//     the opposite order;
+//   - an undeclared inversion: both A → B and B → A observed;
+//   - re-acquiring a held class with a write Lock (sync mutexes are not
+//     reentrant; two instances of one class count — instance identity
+//     is not tracked, which is exactly what makes iterating a table of
+//     same-class locks under another lock suspicious);
+//   - malformed //tsvlint:lockorder directives.
+//
+// Dynamic calls (interface methods, function values) contribute no
+// edges; RLock counts as an acquisition for ordering because reader
+// sides participate in ABBA cycles too.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"tsvstress/internal/analysis"
+)
+
+// Analyzer checks mutex acquisition order against //tsvlint:lockorder
+// directives. Standalone runs see the whole module; vettool mode falls
+// back to per-package edges.
+var Analyzer = &analysis.Analyzer{
+	Name:       "lockorder",
+	Doc:        "mutex acquisition order must match declared //tsvlint:lockorder directives, with no undeclared inversions",
+	Run:        run,
+	RunProgram: runProgram,
+}
+
+func runProgram(pass *analysis.ProgramPass) error {
+	return analyze(pass.Program, pass.Report)
+}
+
+func run(pass *analysis.Pass) error {
+	prog := &analysis.Program{
+		Fset: pass.Fset,
+		Packages: []*analysis.Package{{
+			Path: pass.Pkg.Path(), Files: pass.Files, Pkg: pass.Pkg, TypesInfo: pass.TypesInfo,
+		}},
+	}
+	return analyze(prog, pass.Report)
+}
+
+// lockKey names a lock class.
+type lockKey struct {
+	typeName string // named type owning the mutex field, "" for bare vars
+	name     string // field or variable name
+}
+
+func (k lockKey) String() string {
+	if k.typeName == "" {
+		return k.name
+	}
+	return k.typeName + "." + k.name
+}
+
+// acq is one acquisition of a lock class.
+type acq struct {
+	key   lockKey
+	write bool // Lock rather than RLock
+	pos   token.Pos
+}
+
+// callRec is one static call made with locks held (or any call, for
+// the transitive-acquisition pass).
+type callRec struct {
+	callee *types.Func
+	pos    token.Pos
+	held   []acq // snapshot at the call
+}
+
+// fnFacts is the per-function result of the linear walk.
+type fnFacts struct {
+	acquires []acq     // direct acquisitions
+	edges    []edge    // direct held→acquired pairs
+	calls    []callRec // static call sites with held snapshots
+	leaked   []lockKey // still held at end and not released by a defer
+}
+
+type edge struct {
+	from, to acq
+	pos      token.Pos
+	via      string // callee name for call-propagated edges, "" for direct
+}
+
+func analyze(prog *analysis.Program, report func(analysis.Diagnostic)) error {
+	// Directives: collected module-wide, so serve's declaration also
+	// governs edges observed in packages that import it.
+	var rules []analysis.LockOrderRule
+	for _, pkg := range prog.Packages {
+		r, malformed := analysis.LockOrderDirectives(pkg.Files)
+		rules = append(rules, r...)
+		for _, d := range malformed {
+			report(d)
+		}
+	}
+
+	bodies := analysis.FuncBodies(prog)
+
+	// Pass A: walk every function without call effects to learn which
+	// helpers leak locks to their callers (lockSession-style).
+	leaks := make(map[*types.Func][]lockKey)
+	for fn, decl := range bodies {
+		if decl.Body == nil {
+			continue
+		}
+		info := analysis.InfoFor(prog, fn)
+		if info == nil {
+			continue
+		}
+		facts := walkFunc(decl.Body, info, nil)
+		if len(facts.leaked) > 0 {
+			leaks[fn] = facts.leaked
+		}
+	}
+	leakOf := func(callee *types.Func) []lockKey { return leaks[callee] }
+
+	// Pass B: full walks, now crediting leaked locks to callers. Roots
+	// are every declared function plus every function literal.
+	factsOf := make(map[*types.Func]*fnFacts)
+	var allFacts []*fnFacts
+	for fn, decl := range bodies {
+		if decl.Body == nil {
+			continue
+		}
+		info := analysis.InfoFor(prog, fn)
+		if info == nil {
+			continue
+		}
+		f := walkFunc(decl.Body, info, leakOf)
+		factsOf[fn] = f
+		allFacts = append(allFacts, f)
+	}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			info := pkg.TypesInfo
+			for lit := range funcLits(file) {
+				allFacts = append(allFacts, walkFunc(lit.Body, info, leakOf))
+			}
+		}
+	}
+
+	// Transitive acquisition summaries over the static call graph.
+	mayAcquire := newAcquireIndex(factsOf)
+
+	// Merge edges: direct ones plus call-propagated ones.
+	type edgeKey struct{ from, to lockKey }
+	edges := make(map[edgeKey]edge)
+	add := func(e edge) {
+		k := edgeKey{e.from.key, e.to.key}
+		if prev, ok := edges[k]; !ok || e.pos < prev.pos {
+			edges[k] = e // earliest site wins, keeping reports deterministic
+		}
+	}
+	for _, f := range allFacts {
+		for _, e := range f.edges {
+			add(e)
+		}
+		for _, c := range f.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for _, a := range mayAcquire.closure(c.callee) {
+				for _, h := range c.held {
+					if h.key == a.key {
+						continue // re-entry through calls is too noisy to flag
+					}
+					add(edge{from: h, to: acq{key: a.key, write: a.write, pos: c.pos}, pos: c.pos, via: c.callee.Name()})
+				}
+			}
+		}
+	}
+
+	declared := func(a, b lockKey) *analysis.LockOrderRule {
+		for i := range rules {
+			if rules[i].Before == a.String() && rules[i].After == b.String() {
+				return &rules[i]
+			}
+		}
+		return nil
+	}
+
+	var diags []analysis.Diagnostic
+	emit := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+
+	keys := make([]edgeKey, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.from.String() != b.from.String() {
+			return a.from.String() < b.from.String()
+		}
+		return a.to.String() < b.to.String()
+	})
+	seenPair := make(map[edgeKey]bool)
+	for _, k := range keys {
+		e := edges[k]
+		if k.from == k.to {
+			// Same class re-acquired while held. Reader re-acquisition
+			// is a latent writer-starvation deadlock at worst; only
+			// write re-acquisition is certain, keep the signal strong.
+			if e.from.write || e.to.write {
+				emit(e.pos, "acquires %s while a %s is already held (sync mutexes are not reentrant; lock classes, not instances, are tracked)",
+					e.to.key, e.from.key)
+			}
+			continue
+		}
+		if rule := declared(k.to, k.from); rule != nil {
+			// Declared order says to < from, this edge holds from then
+			// acquires to: inversion.
+			if e.via != "" {
+				emit(e.pos, "call to %s acquires %s while holding %s, violating declared lock order %s < %s",
+					e.via, e.to.key, e.from.key, rule.Before, rule.After)
+			} else {
+				emit(e.pos, "acquires %s while holding %s, violating declared lock order %s < %s",
+					e.to.key, e.from.key, rule.Before, rule.After)
+			}
+			continue
+		}
+		if declared(k.from, k.to) != nil {
+			continue // the declared direction
+		}
+		rev, ok := edges[edgeKey{k.to, k.from}]
+		if !ok || seenPair[edgeKey{k.to, k.from}] {
+			continue
+		}
+		seenPair[k] = true
+		emit(e.pos, "lock order inversion: %s is acquired while holding %s here, and the reverse order occurs at %s (declare the intended order with //tsvlint:lockorder)",
+			e.to.key, e.from.key, prog.Fset.Position(rev.pos))
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		report(d)
+	}
+	return nil
+}
+
+// walkFunc runs the linear source-order walk over one function body.
+// leakOf is nil in pass A; in pass B it supplies the lock classes a
+// callee leaves held for its caller.
+func walkFunc(body *ast.BlockStmt, info *types.Info, leakOf func(*types.Func) []lockKey) *fnFacts {
+	f := &fnFacts{}
+	var held []acq
+	deferUnlocked := make(map[lockKey]bool)
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own root
+		case *ast.DeferStmt:
+			// A deferred unlock releases at return: the lock stays held
+			// for the rest of the walk but is not leaked to callers.
+			if key, _, ok := mutexOp(info, n.Call); ok {
+				deferUnlocked[key] = true
+			}
+			return false
+		case *ast.CallExpr:
+			if key, op, ok := mutexOp(info, n); ok {
+				switch op {
+				case opLock, opRLock:
+					a := acq{key: key, write: op == opLock, pos: n.Pos()}
+					for _, h := range held {
+						f.edges = append(f.edges, edge{from: h, to: a, pos: n.Pos()})
+					}
+					held = append(held, a)
+					f.acquires = append(f.acquires, a)
+				case opUnlock, opRUnlock:
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i].key == key {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
+					}
+				}
+				return true
+			}
+			if callee := analysis.StaticCallee(info, n); callee != nil {
+				f.calls = append(f.calls, callRec{callee: callee, pos: n.Pos(), held: append([]acq(nil), held...)})
+				if leakOf != nil {
+					for _, key := range leakOf(callee) {
+						a := acq{key: key, write: true, pos: n.Pos()}
+						for _, h := range held {
+							f.edges = append(f.edges, edge{from: h, to: a, pos: n.Pos()})
+						}
+						held = append(held, a)
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+
+	for _, h := range held {
+		if !deferUnlocked[h.key] {
+			f.leaked = append(f.leaked, h.key)
+		}
+	}
+	return f
+}
+
+// funcLits yields every function literal in the file, however nested —
+// each is walked as an independent root.
+func funcLits(file *ast.File) map[*ast.FuncLit]bool {
+	lits := make(map[*ast.FuncLit]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != nil {
+			lits[lit] = true
+		}
+		return true
+	})
+	return lits
+}
+
+type mutexOpKind int
+
+const (
+	opLock mutexOpKind = iota
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+// mutexOp recognizes calls of the form x.Lock() / x.RLock() /
+// x.Unlock() / x.RUnlock() where x is a sync.Mutex or sync.RWMutex,
+// returning the lock class. TryLock variants never block and are
+// ignored.
+func mutexOp(info *types.Info, call *ast.CallExpr) (lockKey, mutexOpKind, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, 0, false
+	}
+	var op mutexOpKind
+	switch sel.Sel.Name {
+	case "Lock":
+		op = opLock
+	case "RLock":
+		op = opRLock
+	case "Unlock":
+		op = opUnlock
+	case "RUnlock":
+		op = opRUnlock
+	default:
+		return lockKey{}, 0, false
+	}
+	recv := info.TypeOf(sel.X)
+	if recv == nil || !isSyncMutex(recv) {
+		return lockKey{}, 0, false
+	}
+	return keyFor(info, sel.X), op, true
+}
+
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// keyFor derives the lock class from the mutex expression: base.field
+// becomes {type(base), field}; a bare identifier (package-level or
+// local mutex) is its own class; anything else falls back to the
+// printed expression.
+func keyFor(info *types.Info, x ast.Expr) lockKey {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		if tn := namedTypeName(info.TypeOf(x.X)); tn != "" {
+			return lockKey{typeName: tn, name: x.Sel.Name}
+		}
+		return lockKey{name: x.Sel.Name}
+	case *ast.Ident:
+		return lockKey{name: x.Name}
+	default:
+		return lockKey{name: types.ExprString(x)}
+	}
+}
+
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// acquireIndex memoizes the transitive may-acquire set of each
+// declared function over the static call graph.
+type acquireIndex struct {
+	facts   map[*types.Func]*fnFacts
+	memo    map[*types.Func][]acq
+	onStack map[*types.Func]bool
+}
+
+func newAcquireIndex(facts map[*types.Func]*fnFacts) *acquireIndex {
+	return &acquireIndex{
+		facts:   facts,
+		memo:    make(map[*types.Func][]acq),
+		onStack: make(map[*types.Func]bool),
+	}
+}
+
+// closure returns every lock class fn's static call closure may
+// acquire. Cycles contribute the acquisitions discovered before
+// re-entry (a sound-enough under-approximation for diagnostics).
+func (ix *acquireIndex) closure(fn *types.Func) []acq {
+	if got, ok := ix.memo[fn]; ok {
+		return got
+	}
+	if ix.onStack[fn] {
+		return nil
+	}
+	f, ok := ix.facts[fn]
+	if !ok {
+		return nil
+	}
+	ix.onStack[fn] = true
+	byKey := make(map[lockKey]acq)
+	for _, a := range f.acquires {
+		merge(byKey, a)
+	}
+	for _, c := range f.calls {
+		for _, a := range ix.closure(c.callee) {
+			merge(byKey, a)
+		}
+	}
+	delete(ix.onStack, fn)
+	out := make([]acq, 0, len(byKey))
+	for _, a := range byKey {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key.String() < out[j].key.String() })
+	ix.memo[fn] = out
+	return out
+}
+
+// merge keeps one acquisition per class, preferring write locks (the
+// stronger signal for the reentrancy check).
+func merge(byKey map[lockKey]acq, a acq) {
+	if prev, ok := byKey[a.key]; ok && (prev.write || !a.write) {
+		return
+	}
+	byKey[a.key] = a
+}

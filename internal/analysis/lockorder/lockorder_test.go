@@ -1,0 +1,42 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"tsvstress/internal/analysis/analysistest"
+	"tsvstress/internal/analysis/lockorder"
+)
+
+// TestABBARegression is the PR 4 regression gate: the pre-fix
+// handleList shape (session locks taken inside the table lock) must be
+// reported, and the fixed shape (snapshot, release, then lock) must
+// pass untouched.
+func TestABBARegression(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, ".", "abba")
+}
+
+func TestFixedShapePasses(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, ".", "abbafixed")
+}
+
+// TestCrossPackage nests locks across a package boundary: the edge is
+// only visible when both packages load into one program.
+func TestCrossPackage(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, ".", "lockcross/store", "lockcross/api")
+}
+
+// TestLeakedLock covers the lockSession pattern: the helper returns
+// holding the lock, so the caller's later acquisitions nest inside it.
+func TestLeakedLock(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, ".", "lockleak")
+}
+
+// TestUndeclaredInversion needs no directive: both orders observed is
+// a finding on its own, as is same-class re-acquisition.
+func TestUndeclaredInversion(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, ".", "lockinv")
+}
+
+func TestMalformedDirective(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, ".", "lockbad")
+}

@@ -1,0 +1,51 @@
+// Package abba reconstructs the PR 4 handleList deadlock: the list
+// handler iterated the session table holding Server.mu while taking
+// each session.mu, while compute handlers held session.mu and
+// quarantined through Server.mu — the reverse order.
+//
+//tsvlint:lockorder session.mu < Server.mu
+package abba
+
+import "sync"
+
+type Server struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+type session struct {
+	mu          sync.Mutex
+	id          string
+	quarantined string
+}
+
+// quarantine marks a session bad; compute handlers call it while they
+// hold ses.mu, so it must only ever take Server.mu second — which is
+// exactly what the directive above declares.
+func (s *Server) quarantine(ses *session, why string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ses.quarantined = why
+}
+
+// handleCompute is the declared-order direction: session.mu first,
+// Server.mu second (through quarantine). No finding.
+func (s *Server) handleCompute(ses *session) {
+	ses.mu.Lock()
+	defer ses.mu.Unlock()
+	s.quarantine(ses, "compute failed")
+}
+
+// handleList is the pre-fix PR 4 shape: the whole iteration runs under
+// Server.mu and takes each session.mu inside — the ABBA half.
+func (s *Server) handleList() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for _, ses := range s.sessions {
+		ses.mu.Lock() // want "acquires session\.mu while holding Server\.mu, violating declared lock order session\.mu < Server\.mu"
+		out = append(out, ses.id)
+		ses.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+// Package abbafixed is the post-fix PR 4 shape: handleList snapshots
+// the table under Server.mu, releases it, and only then takes each
+// session.mu — every path acquires in the declared order, so the
+// analyzer stays silent.
+//
+//tsvlint:lockorder session.mu < Server.mu
+package abbafixed
+
+import "sync"
+
+type Server struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+type session struct {
+	mu          sync.Mutex
+	id          string
+	quarantined string
+}
+
+func (s *Server) quarantine(ses *session, why string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ses.quarantined = why
+}
+
+func (s *Server) handleCompute(ses *session) {
+	ses.mu.Lock()
+	defer ses.mu.Unlock()
+	s.quarantine(ses, "compute failed")
+}
+
+func (s *Server) handleList() []string {
+	s.mu.Lock()
+	snapshot := make([]*session, 0, len(s.sessions))
+	for _, ses := range s.sessions {
+		snapshot = append(snapshot, ses)
+	}
+	s.mu.Unlock()
+
+	var out []string
+	for _, ses := range snapshot {
+		ses.mu.Lock()
+		out = append(out, ses.id)
+		ses.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,5 @@
+// Package lockbad carries a malformed lock-order directive.
+package lockbad
+
+//tsvlint:lockorder table.mu before row.mu // want "malformed //tsvlint:lockorder directive"
+var placeholder int

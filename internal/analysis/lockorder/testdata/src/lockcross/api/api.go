@@ -1,0 +1,35 @@
+// Package api holds Cache.mu across a call into the store package,
+// whose Table locks internally — a cross-package edge the per-package
+// view cannot see.
+//
+//tsvlint:lockorder Table.mu < Cache.mu
+package api
+
+import (
+	"lockcross/store"
+	"sync"
+)
+
+type Cache struct {
+	mu    sync.Mutex
+	table *store.Table
+	local map[string]int
+}
+
+// WriteThrough violates the declared order through the call graph:
+// Cache.mu is held when store.Put takes Table.mu.
+func (c *Cache) WriteThrough(k string, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.local[k] = v
+	c.table.Put(k, v) // want "call to Put acquires Table\.mu while holding Cache\.mu, violating declared lock order Table\.mu < Cache\.mu"
+}
+
+// WriteAround releases Cache.mu before crossing into the store: the
+// declared order is respected because the locks are never nested.
+func (c *Cache) WriteAround(k string, v int) {
+	c.mu.Lock()
+	c.local[k] = v
+	c.mu.Unlock()
+	c.table.Put(k, v)
+}

@@ -1,0 +1,21 @@
+// Package store is the lower tier of the cross-package fixture: its
+// Table locks internally, so callers must not hold their own locks
+// unless the declared order allows it.
+package store
+
+import "sync"
+
+type Table struct {
+	mu   sync.Mutex
+	rows map[string]int
+}
+
+func NewTable() *Table {
+	return &Table{rows: make(map[string]int)}
+}
+
+func (t *Table) Put(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows[k] = v
+}

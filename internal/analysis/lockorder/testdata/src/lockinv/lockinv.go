@@ -1,0 +1,34 @@
+// Package lockinv holds an undeclared inversion (two package-level
+// mutexes nested in both orders) and a class-level re-acquisition.
+package lockinv
+
+import "sync"
+
+var aMu, bMu sync.Mutex
+
+func ab() {
+	aMu.Lock()
+	bMu.Lock() // want "lock order inversion: bMu is acquired while holding aMu here, and the reverse order occurs at"
+	bMu.Unlock()
+	aMu.Unlock()
+}
+
+func ba() {
+	bMu.Lock()
+	aMu.Lock()
+	aMu.Unlock()
+	bMu.Unlock()
+}
+
+type box struct{ mu sync.Mutex }
+
+// nested takes two locks of the same class at once: with class-based
+// tracking that is indistinguishable from re-entry, and it is exactly
+// the shape that deadlocks when a and b arrive in opposite orders on
+// two goroutines.
+func nested(a, b *box) {
+	a.mu.Lock()
+	b.mu.Lock() // want "acquires box\.mu while a box\.mu is already held"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

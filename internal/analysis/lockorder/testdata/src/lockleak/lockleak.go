@@ -1,0 +1,26 @@
+// Package lockleak exercises the leaked-lock summary: lockSession
+// returns while still holding session.mu (the unlock comes back as a
+// closure), so its callers hold session.mu from the call onward.
+//
+//tsvlint:lockorder server.mu < session.mu
+package lockleak
+
+import "sync"
+
+type server struct{ mu sync.Mutex }
+
+type session struct{ mu sync.Mutex }
+
+// lockSession locks the session and hands the release back to the
+// caller — the serve.lockSession pattern.
+func lockSession(ses *session) func() {
+	ses.mu.Lock()
+	return func() { ses.mu.Unlock() }
+}
+
+func handler(s *server, ses *session) {
+	unlock := lockSession(ses)
+	defer unlock()
+	s.mu.Lock() // want "acquires server\.mu while holding session\.mu, violating declared lock order server\.mu < session\.mu"
+	s.mu.Unlock()
+}

@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Machine-readable finding output and the findings baseline.
+//
+// The baseline is the audit trail for legacy findings: CI runs tsvlint
+// against the checked-in baseline file and fails only on findings not
+// recorded there, so new violations break the build while accepted ones
+// stay visible (and stale entries are reported once their finding goes
+// away). Entries match on analyzer + file + message, deliberately not
+// on line numbers, so unrelated edits to a file do not churn the
+// baseline.
+
+// jsonFinding is the -json (and baseline) wire form of one finding.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line,omitempty"`
+	Column   int    `json:"column,omitempty"`
+	Message  string `json:"message"`
+}
+
+// relFile rewrites an absolute finding path relative to baseDir (with
+// forward slashes), so reports and baselines are machine-independent.
+func relFile(baseDir, file string) string {
+	if baseDir == "" {
+		return file
+	}
+	rel, err := filepath.Rel(baseDir, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return file
+	}
+	return filepath.ToSlash(rel)
+}
+
+func toJSONFindings(baseDir string, findings []Finding) []jsonFinding {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     relFile(baseDir, f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	return out
+}
+
+// WriteJSON writes the findings as an indented JSON array with paths
+// relative to baseDir.
+func WriteJSON(w io.Writer, baseDir string, findings []Finding) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(toJSONFindings(baseDir, findings))
+}
+
+// SARIF 2.1.0 subset: enough structure for code-scanning UIs to ingest
+// the findings (one run, one rule per analyzer, physical locations).
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF writes the findings as a SARIF 2.1.0 log, declaring one
+// rule per analyzer (first line of its Doc as the description).
+func WriteSARIF(w io.Writer, baseDir string, analyzers []*Analyzer, findings []Finding) error {
+	run := sarifRun{
+		Tool:    sarifTool{Driver: sarifDriver{Name: "tsvlint"}},
+		Results: []sarifResult{},
+	}
+	for _, a := range analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: doc},
+		})
+	}
+	for _, f := range findings {
+		line := f.Pos.Line
+		if line < 1 {
+			line = 1
+		}
+		run.Results = append(run.Results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: relFile(baseDir, f.Pos.Filename)},
+				Region:           sarifRegion{StartLine: line, StartColumn: f.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// BaselineEntry records one accepted legacy finding. Reason is the
+// audit note saying why it is tolerated rather than fixed.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// Baseline is the checked-in set of accepted findings.
+type Baseline struct {
+	// Comment documents the file for human readers.
+	Comment  string          `json:"comment,omitempty"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %v", path, err)
+	}
+	return &b, nil
+}
+
+// Apply splits findings into those not covered by the baseline (fresh —
+// these should fail the build) and reports which baseline entries no
+// longer match anything (stale — candidates for removal). A single
+// entry covers any number of matching findings.
+func (b *Baseline) Apply(baseDir string, findings []Finding) (fresh []Finding, stale []BaselineEntry) {
+	used := make([]bool, len(b.Findings))
+	for _, f := range findings {
+		file := relFile(baseDir, f.Pos.Filename)
+		covered := false
+		for i, e := range b.Findings {
+			if e.Analyzer == f.Analyzer && e.File == file && e.Message == f.Message {
+				used[i] = true
+				covered = true
+			}
+		}
+		if !covered {
+			fresh = append(fresh, f)
+		}
+	}
+	for i, e := range b.Findings {
+		if !used[i] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}
+
+// WriteBaselineFile records the findings as the new baseline at path.
+// Reasons start empty: whoever accepts a finding writes the
+// justification in review.
+func WriteBaselineFile(path, baseDir string, findings []Finding) error {
+	b := Baseline{
+		Comment: "tsvlint findings accepted as legacy; new findings fail CI. " +
+			"Every entry needs a reason. Regenerate with tsvlint -write-baseline.",
+	}
+	b.Findings = []BaselineEntry{}
+	for _, f := range findings {
+		b.Findings = append(b.Findings, BaselineEntry{
+			Analyzer: f.Analyzer,
+			File:     relFile(baseDir, f.Pos.Filename),
+			Message:  f.Message,
+		})
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -65,21 +65,9 @@ func runOne(prog *Program, a *Analyzer) ([]Finding, error) {
 		}
 	}
 	switch {
-	case a.Run != nil:
-		for _, pkg := range prog.Packages {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      prog.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Pkg,
-				TypesInfo: pkg.TypesInfo,
-				Report:    collect(pkg),
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, err
-			}
-		}
 	case a.RunProgram != nil:
+		// Preferred over Run when both are set: the whole-module view
+		// sees cross-package chains the per-package fallback cannot.
 		// Program analyzers report into whichever package owns the
 		// position; build one suppression index over everything.
 		var all []Finding
@@ -106,6 +94,20 @@ func runOne(prog *Program, a *Analyzer) ([]Finding, error) {
 			return nil, err
 		}
 		findings = append(findings, all...)
+	case a.Run != nil:
+		for _, pkg := range prog.Packages {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+				Report:    collect(pkg),
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
 	default:
 		return nil, fmt.Errorf("analyzer %s has neither Run nor RunProgram", a.Name)
 	}

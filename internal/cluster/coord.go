@@ -96,6 +96,12 @@ type WorkerStatus struct {
 }
 
 // workerRef is the coordinator's view of one worker process.
+//
+// Lock order: ensureInit holds initMu across the init RPC and briefly
+// takes mu inside it to read and update the inited epochs; the reverse
+// nesting is forbidden.
+//
+//tsvlint:lockorder workerRef.initMu < workerRef.mu
 type workerRef struct {
 	base string // http://host:port
 

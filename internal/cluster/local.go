@@ -45,6 +45,10 @@ func StartLocalWorkers(n int, opt WorkerOptions) (*LocalWorkers, error) {
 		}
 		w := NewWorker(opt)
 		srv := &http.Server{Handler: w.Handler()}
+		// The accept loop's lifetime is owned by the *http.Server, not a
+		// channel: Stop/StopWorker call srv.Close, which Serve observes
+		// as ErrServerClosed and returns.
+		//tsvlint:ignore goroleak joined via srv.Close in Stop/StopWorker, invisible to the analyzer
 		go func() { _ = srv.Serve(ln) }()
 		lw.workers = append(lw.workers, w)
 		lw.servers = append(lw.servers, srv)

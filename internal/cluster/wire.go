@@ -71,7 +71,42 @@ const maxFramePayload = 1 << 28
 // frameHeaderLen is u32 length + u8 type.
 const frameHeaderLen = 5
 
+// growBytes returns a byte buffer of length n, reusing b's backing
+// array when it is large enough — the amortized realloc path of every
+// reused wire buffer (the grow* prefix is the allocfree analyzer's
+// amortization allowance).
+func growBytes(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// growBytesSpare ensures b has at least spare free capacity beyond its
+// length, preserving its contents.
+func growBytesSpare(b []byte, spare int) []byte {
+	if cap(b)-len(b) < spare {
+		nb := make([]byte, len(b), len(b)+spare)
+		copy(nb, b)
+		return nb
+	}
+	return b
+}
+
+// growStressSpare ensures s has at least spare free capacity beyond
+// its length, preserving its contents.
+func growStressSpare(s []tensor.Stress, spare int) []tensor.Stress {
+	if cap(s)-len(s) < spare {
+		ns := make([]tensor.Stress, len(s), len(s)+spare)
+		copy(ns, s)
+		return ns
+	}
+	return s
+}
+
 // appendFrame appends a framed payload to buf.
+//
+//tsvlint:allocfree
 func appendFrame(buf []byte, typ byte, payload []byte) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
 	buf = append(buf, typ)
@@ -103,23 +138,27 @@ func readFrame(r *bufio.Reader) (typ byte, payload []byte, err error) {
 // drain reads one frame per chunk through this, so a steady-state eval
 // stream touches the allocator only while the buffer is still growing
 // toward the largest chunk.
+//
+//tsvlint:allocfree
 func readFrameInto(r *bufio.Reader, buf []byte) (typ byte, payload, bufOut []byte, err error) {
-	var hdr [frameHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	// The header is read into the reusable buffer, not a stack array: a
+	// local array would escape through the io.ReadFull interface call
+	// and cost one heap allocation per frame.
+	buf = growBytes(buf, frameHeaderLen)
+	if _, err := io.ReadFull(r, buf[:frameHeaderLen]); err != nil {
 		return 0, nil, buf, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:4])
+	n := binary.LittleEndian.Uint32(buf[:4])
+	typ = buf[4]
 	if n > maxFramePayload {
 		return 0, nil, buf, fmt.Errorf("cluster: frame of %d bytes exceeds limit %d", n, maxFramePayload)
 	}
-	if uint64(cap(buf)) < uint64(n) {
-		buf = make([]byte, n)
-	}
+	buf = growBytes(buf, int(n))
 	payload = buf[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, buf, fmt.Errorf("cluster: frame truncated: %w", err)
 	}
-	return hdr[4], payload, buf, nil
+	return typ, payload, buf, nil
 }
 
 // DecodeFrame splits one frame off the front of data — the byte-slice
@@ -236,15 +275,13 @@ type tileRecord struct {
 // tile-result records. The buffer is pre-grown to the exact encoded
 // size so a worker's reused scratch stops growing once it has seen its
 // largest chunk.
+//tsvlint:allocfree
 func appendResultBatchPayload(buf []byte, tl *core.Tiling, ids []int32, dst []tensor.Stress) []byte {
 	need := 4
 	for _, id := range ids {
 		need += tl.TileResultLen(id)
 	}
-	if cap(buf)-len(buf) < need {
-		grown := make([]byte, 0, len(buf)+need)
-		buf = append(grown, buf...)
-	}
+	buf = growBytesSpare(buf, need)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
 	for _, id := range ids {
 		buf = tl.AppendTileResult(buf, id, dst)
@@ -258,6 +295,7 @@ func appendResultBatchPayload(buf []byte, tl *core.Tiling, ids []int32, dst []te
 // the returned slab — the records are only valid until the caller
 // reuses it. The slab is pre-grown from the payload size, so the
 // appends never reallocate out from under earlier records.
+//tsvlint:allocfree
 func decodeResultBatch(payload []byte, records []tileRecord, slab []tensor.Stress) ([]tileRecord, []tensor.Stress, error) {
 	if len(payload) < 4 {
 		return records, slab, fmt.Errorf("cluster: result batch truncated: %d bytes", len(payload))
@@ -267,11 +305,7 @@ func decodeResultBatch(payload []byte, records []tileRecord, slab []tensor.Stres
 	if uint64(n)*uint64(tileResultMinLen) > uint64(len(body)) {
 		return records, slab, fmt.Errorf("cluster: result batch declares %d tiles, carries %d bytes", n, len(body))
 	}
-	if maxVals := len(body) / core.StressWireLen; cap(slab)-len(slab) < maxVals {
-		grown := make([]tensor.Stress, len(slab), len(slab)+maxVals)
-		copy(grown, slab)
-		slab = grown
-	}
+	slab = growStressSpare(slab, len(body)/core.StressWireLen)
 	for i := 0; i < int(n); i++ {
 		id, slabOut, rest, err := core.ReadTileResultAppend(body, slab)
 		if err != nil {

@@ -153,6 +153,8 @@ func (a *Analyzer) getTileScratch() *tileScratch {
 // tile point against them, through the SoA lane kernel by default or
 // the scalar oracle under Options.ScalarKernel (ExactLS also forces the
 // scalar Stage I path: there is no radial table to inline).
+//
+//tsvlint:allocfree
 func (a *Analyzer) evalTile(dst []tensor.Stress, pts []geom.Point, order []int32, t tile, halfDiag float64, doLS, doPair bool, ts *tileScratch) {
 	ls2 := a.opt.LSCutoff * a.opt.LSCutoff
 	pd2 := a.opt.PairDistCutoff * a.opt.PairDistCutoff
@@ -168,6 +170,8 @@ func (a *Analyzer) evalTile(dst []tensor.Stress, pts []geom.Point, order []int32
 // the scratch lanes: TSV centers within cutoff + tile half-diagonal of
 // the tile center (a strict superset of every tile point's neighbor
 // set; the per-point d² compare makes the final call).
+//
+//tsvlint:allocfree
 func (a *Analyzer) gatherTile(t tile, halfDiag float64, doLS, doPair bool, ts *tileScratch) {
 	center := geom.Pt(t.cx, t.cy)
 	if doLS {
@@ -199,6 +203,8 @@ func (a *Analyzer) gatherTile(t tile, halfDiag float64, doLS, doPair bool, ts *t
 // the parity oracle for the lane kernels (Options.ScalarKernel) and as
 // the Stage I path of ExactLS mode. The differential property test
 // pins the SoA path against it at ≤1e-9 MPa.
+//
+//tsvlint:allocfree
 func (a *Analyzer) evalTileScalar(dst []tensor.Stress, pts []geom.Point, order []int32, t tile, ls2, pd2 float64, doLS, doPair bool, ts *tileScratch) {
 	lsX, lsY := ts.lsX, ts.lsY
 	vicX, vicY, rounds := ts.vicX, ts.vicY, ts.rounds
@@ -259,6 +265,8 @@ func (a *Analyzer) evalTileScalar(dst []tensor.Stress, pts []geom.Point, order [
 // AccumulateTile lane sweep per victim (see interact.VictimRounds).
 // Per-point results differ from the scalar oracle only in round-off
 // and the bounded Stage II truncation — the parity budget stays 1e-9.
+//
+//tsvlint:allocfree
 func (a *Analyzer) evalTileSoA(dst []tensor.Stress, pts []geom.Point, order []int32, t tile, ls2, pd2 float64, doLS, doPair bool, ts *tileScratch) {
 	ord := order[t.lo:t.hi]
 	n := len(ord)

@@ -32,6 +32,8 @@ const stressWireLen = 24
 // reading the tile's values from the full-length dst slice (the same
 // slice EvalTiles wrote). dst must match the tiling's point count; id
 // must be a valid tile id.
+//
+//tsvlint:allocfree
 func (tl *Tiling) AppendTileResult(buf []byte, id int32, dst []tensor.Stress) []byte {
 	pts := tl.TilePoints(int(id))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
@@ -54,6 +56,8 @@ func (tl *Tiling) TileResultLen(id int32) int {
 // tile values — the tiling-free twin of AppendTileResult, for callers
 // (re-encoders, tests) that hold decoded records rather than a full
 // dst slice.
+//
+//tsvlint:allocfree
 func AppendTileResultVals(buf []byte, id int32, vals []tensor.Stress) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(vals)))
@@ -84,6 +88,8 @@ func ReadTileResult(data []byte) (id int32, vals []tensor.Stress, rest []byte, e
 // pre-grow its capacity (the batch decoder sizes it from the payload
 // length): an append that reallocates would strand earlier sub-slices
 // in the old array.
+//
+//tsvlint:allocfree
 func ReadTileResultAppend(data []byte, slab []tensor.Stress) (id int32, slabOut []tensor.Stress, rest []byte, err error) {
 	if len(data) < tileResultHeaderLen {
 		return 0, slab, nil, fmt.Errorf("core: tile result truncated: %d bytes", len(data))

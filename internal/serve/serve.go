@@ -138,6 +138,16 @@ func (o Options) withDefaults() Options {
 // semaphore. Create one with NewServer; with WAL durability enabled,
 // call Recover before serving, then mount Handler on an http.Server
 // and Close on the way out.
+//
+// Lock order: the session table lock (Server.mu) is a leaf — it is
+// never held while acquiring a session's lock. Handlers snapshot the
+// *session under Server.mu, release it, then lock the session. The
+// directive below lets tsvlint prove the invariant statically (the
+// pre-fix shape — iterating the table while locking each session —
+// deadlocked against handlers holding a session lock while waiting on
+// the table).
+//
+//tsvlint:lockorder session.mu < Server.mu
 type Server struct {
 	opt Options
 
