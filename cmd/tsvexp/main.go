@@ -39,6 +39,7 @@ func main() {
 		only   = flag.String("only", "", "comma-separated experiment ids (default: all)")
 		seed   = flag.Int64("seed", 2013, "seed for random placements")
 		bench  = flag.Bool("bench", false, "run only the full-chip map benchmark and write BENCH_fullchip.json")
+		agingF = flag.Bool("aging", false, "run the aging lifetime sweep and write AGING_curves.json (with -compare: golden-check two sweep records)")
 		fleet  = flag.String("cluster", "", "with -bench: run the cluster benchmark instead, against local:N in-process workers or a comma-separated worker fleet, and write BENCH_cluster.json")
 		cpuPro = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memPro = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -50,6 +51,9 @@ func main() {
 	if *cmp {
 		if flag.NArg() != 2 {
 			log.Fatalf("-compare needs exactly two files (old.json new.json), got %d args", flag.NArg())
+		}
+		if *agingF {
+			os.Exit(runAgingCompare(flag.Arg(0), flag.Arg(1), *cmpTol))
 		}
 		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *cmpTol))
 	}
@@ -86,6 +90,31 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *agingF {
+		// Lifetime-vs-pitch and lifetime-vs-parallelism curves through
+		// the aging engine (DESIGN.md §17); the emitted record is the
+		// golden CI compares against.
+		log.Print("aging: EM + extrusion lifetime sweep ...")
+		t0 := time.Now()
+		s, err := exp.RunAgingSweep(*quick)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(filepath.Join(*outDir, "AGING_curves.json"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := exp.WriteAgingJSON(f, s); err != nil {
+			log.Fatal(err)
+		}
+		closeOut(f)
+		first, last := s.PitchCurve[0], s.PitchCurve[len(s.PitchCurve)-1]
+		log.Printf("aging done in %v: pitch %g→%g µm moves mean lifetime %.3g→%.3g s, mean risk %.3g→%.3g",
+			time.Since(t0).Round(time.Millisecond), first.PitchUm, last.PitchUm,
+			first.MeanLifetimeSeconds, last.MeanLifetimeSeconds, first.MeanRisk, last.MeanRisk)
+		log.Printf("results written to %s", *outDir)
+		return
+	}
 	if *bench && *fleet != "" {
 		runClusterBench(*outDir, *fleet, *quick, *seed)
 		return

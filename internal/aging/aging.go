@@ -1,0 +1,526 @@
+// Package aging is the time-stepped lifetime engine on top of the
+// stress framework: it evolves two degradation phenomena per TSV, both
+// driven by the local stress state the semi-analytical engine already
+// computes (reliability.StressSummary ring digests).
+//
+// (a) Electromigration void growth. Following the vacancy-flux model
+// for TSVs in 3D-stacked DRAM (Bobbybose EM model, SNIPPETS.md), a
+// current density j through the via sustains a vacancy flux
+//
+//	Jv = Dv · Cv · (e·Z*/(kB·T)) · ρB · j        [1/(m²·s)]
+//
+// with Arrhenius diffusivity and concentration
+//
+//	Dv = D0 · exp(−Ea_eff/(kB·T)),  Cv = C0 · exp(−Ea_eff/(kB·T)),
+//
+// which grows a void of radius r at
+//
+//	dr/dt = fc · fv · Ω · max(r_e, r) · Jv / δ   [m/s]
+//
+// (captured-vacancy ratio fc, vacancy-volume ratio fv, atomic volume
+// Ω, void nucleus radius r_e, barrier thickness δ). The max(r_e, r)
+// capture radius extends the reference model's constant-r_e form: once
+// the void outgrows its nucleus it intercepts flux in proportion to
+// its own size, so growth turns exponential — which is what makes the
+// time integration a real ODE rather than a line. Stress enters
+// through the effective activation energy
+//
+//	Ea_eff = Ea − Vσ · σvm[Pa]
+//
+// (activation volume Vσ, local ring-max von Mises σvm): high local
+// stress assists vacancy formation and migration, so tightly pitched
+// TSVs age measurably faster — the coupling that makes this a
+// stress-map workload. Void radius maps to resistance gain through the
+// reference model's linear fit g(r) = slope·r[µm] + intercept [%].
+// Each time g crosses the current parallelism level's resistance
+// budget, the architecture halves the via's activation parallelism
+// (halving its current); the lifetime is the instant of the final
+// crossing, after which no further halving is available.
+//
+// (b) Extrusion. Per Jalilvand et al. (PAPERS.md), TSV extrusion
+// statistics shift with pitch because the local thermal stress does.
+// The engine evolves an extrusion height by saturating power-law creep
+//
+//	dh/dt = A · (σ̄vm/σref)^n · exp(−t/τ)        [m/s]
+//
+// (ring-mean von Mises σ̄vm, stress exponent n, relaxation time τ),
+// and scores a dimensionless extrusion risk in [0, 1] by a logistic in
+// (h(horizon) − h_crit)/h_width. Tighter pitch → higher σ̄vm → the
+// per-TSV risk distribution shifts up, reproducing the paper's
+// qualitative pitch dependence (pinned by the golden sweep).
+//
+// Time stepping is deterministic and step-size-robust: fourth-order
+// Runge–Kutta steps of size DT, with step-halving down to MinDT
+// whenever a step would cross a resistance budget, so every reported
+// lifetime is localized to MinDT regardless of DT (the refinement
+// property test pins <1% movement under DT/2). Per-TSV integrations
+// are independent; SimulateParallel fans them across goroutines with
+// bit-identical results to the serial Simulate.
+package aging
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tsvstress/internal/floats"
+	"tsvstress/internal/reliability"
+)
+
+// EMParams are the electromigration model constants. The defaults
+// (DefaultEMParams) are the reference DRAM-TSV values from the
+// Bobbybose model; all fields are SI.
+type EMParams struct {
+	// CapturedVacancyRatio fc is the fraction of arriving vacancies the
+	// void captures (dimensionless).
+	CapturedVacancyRatio float64
+	// VacancyVolumeRatio fv is the vacancy-to-atomic volume ratio
+	// (dimensionless).
+	VacancyVolumeRatio float64
+	// AtomicVolumeM3 Ω is the copper atomic volume in m³.
+	AtomicVolumeM3 float64
+	// VoidThicknessM δ is the void/barrier interface thickness in m.
+	VoidThicknessM float64
+	// Diffusivity0 D0 is the pre-exponential vacancy diffusivity in m²/s.
+	Diffusivity0 float64
+	// ActivationEnergyJ Ea is the vacancy activation energy in J.
+	ActivationEnergyJ float64
+	// TemperatureK is the operating temperature in K.
+	TemperatureK float64
+	// EffectiveCharge Z* is the effective charge number (dimensionless).
+	EffectiveCharge float64
+	// BarrierResistivityOhmM ρB is the barrier resistivity in Ω·m.
+	BarrierResistivityOhmM float64
+	// TSVRadiusM is the conducting via radius in m (sets the current
+	// density for a given current).
+	TSVRadiusM float64
+	// VoidNucleusRadiusM r_e is the effective void nucleus radius in m:
+	// the flux-capture radius floor.
+	VoidNucleusRadiusM float64
+	// AtomicConcentration C0 is the atomic site concentration in 1/m³.
+	AtomicConcentration float64
+	// StressActivationVolumeM3 Vσ couples local stress to the effective
+	// activation energy, in m³ (0 disables the coupling).
+	StressActivationVolumeM3 float64
+	// ResGainSlopePerUm and ResGainInterceptPct are the linear
+	// void-radius → resistance-gain fit: gain% = slope·r[µm] + intercept.
+	ResGainSlopePerUm   float64
+	ResGainInterceptPct float64
+	// ResLimitsPct are the per-level resistance-gain budgets in percent,
+	// one per parallelism halving (level 0 = the starting parallelism).
+	ResLimitsPct []float64
+}
+
+// DefaultEMParams returns the reference model constants (453 K DRAM
+// stack, copper via of 1.15 µm radius).
+func DefaultEMParams() EMParams {
+	return EMParams{
+		CapturedVacancyRatio:     1,
+		VacancyVolumeRatio:       0.4,
+		AtomicVolumeM3:           1.18e-29,
+		VoidThicknessM:           5e-9,
+		Diffusivity0:             0.0047,
+		ActivationEnergyJ:        1.30e-19,
+		TemperatureK:             453,
+		EffectiveCharge:          1,
+		BarrierResistivityOhmM:   3e-6,
+		TSVRadiusM:               1.15e-6,
+		VoidNucleusRadiusM:       1.15e-6,
+		AtomicConcentration:      1.53e28,
+		StressActivationVolumeM3: 6e-30,
+		ResGainSlopePerUm:        7.78,
+		ResGainInterceptPct:      -8.73944,
+		ResLimitsPct:             []float64{2.79, 6.76, 14.7, 30.58},
+	}
+}
+
+// ExtrusionParams are the stress-modulated extrusion (creep) model
+// constants.
+type ExtrusionParams struct {
+	// Rate0 is the creep extrusion rate at the reference stress, in m/s.
+	Rate0 float64
+	// RefStressMPa σref is the stress normalization in MPa.
+	RefStressMPa float64
+	// StressExponent n is the power-law creep exponent (dimensionless).
+	StressExponent float64
+	// RelaxTimeS τ is the stress-relaxation time constant in seconds:
+	// the creep rate decays as exp(−t/τ), so extrusion saturates.
+	RelaxTimeS float64
+	// CriticalHeightM h_crit centers the risk logistic, in m.
+	CriticalHeightM float64
+	// HeightWidthM h_width is the logistic width, in m.
+	HeightWidthM float64
+	// HorizonS is the extrusion integration horizon in seconds.
+	HorizonS float64
+}
+
+// DefaultExtrusionParams returns creep constants placing the risk
+// midpoint near a 120 nm extrusion over a ~3-year horizon: a via at
+// ~150 MPa ring-max von Mises sits mid-scale, so the risk score
+// discriminates across the 100–250 MPa band full-chip placements
+// actually produce instead of saturating.
+func DefaultExtrusionParams() ExtrusionParams {
+	return ExtrusionParams{
+		Rate0:           1e-15,
+		RefStressMPa:    100,
+		StressExponent:  3,
+		RelaxTimeS:      3e7,
+		CriticalHeightM: 120e-9,
+		HeightWidthM:    40e-9,
+		HorizonS:        1e8,
+	}
+}
+
+// Drive is one TSV's electrical assignment: how much current it
+// carries and how much activation parallelism the architecture can
+// trade away before the via is considered failed.
+type Drive struct {
+	// UnitCurrentA is the current one parallelism unit pushes through
+	// the via, in A.
+	UnitCurrentA float64
+	// MaxParallelism is the starting parallelism (a power of two ≥ 1);
+	// the via carries MaxParallelism·UnitCurrentA until its first
+	// resistance budget crossing, then half that, and so on.
+	MaxParallelism int
+}
+
+// DefaultDrive returns the reference assignment: 16-way parallelism at
+// 55 mA shared across a 64-bit interface (≈0.86 mA per unit).
+func DefaultDrive() Drive {
+	return Drive{UnitCurrentA: 55e-3 / 64, MaxParallelism: 16}
+}
+
+// Config configures one simulation run.
+type Config struct {
+	// EM are the electromigration constants (DefaultEMParams when the
+	// zero value).
+	EM EMParams
+	// Extrusion are the creep constants (DefaultExtrusionParams when
+	// the zero value).
+	Extrusion ExtrusionParams
+	// DTSeconds is the base integration step in seconds (default 1e6).
+	DTSeconds float64
+	// MinDTSeconds is the step-halving floor in seconds (default
+	// DTSeconds/4096): threshold crossings are localized to this
+	// precision.
+	MinDTSeconds float64
+	// MaxTimeSeconds bounds the simulated time per TSV (default 1e10);
+	// a via that never exhausts its resistance budgets by then is
+	// reported censored.
+	MaxTimeSeconds float64
+	// MaxSteps bounds committed integration steps per TSV (default
+	// 2,000,000) — the hard stop that keeps a hostile config from
+	// running away; exceeding it censors the via.
+	MaxSteps int
+}
+
+// maxStepsCeiling bounds what a request may ask for; together with the
+// serve tier's TSV limit it caps the endpoint's total work.
+const maxStepsCeiling = 5_000_000
+
+func (c Config) withDefaults() Config {
+	if c.EM.isZero() {
+		c.EM = DefaultEMParams()
+	}
+	if c.Extrusion.isZero() {
+		c.Extrusion = DefaultExtrusionParams()
+	}
+	// Only an exact zero means "unset": negative (or NaN) values must
+	// fall through to Validate and be rejected, not silently defaulted.
+	if c.DTSeconds == 0 {
+		c.DTSeconds = 1e6
+	}
+	if c.MinDTSeconds == 0 && c.DTSeconds > 0 {
+		c.MinDTSeconds = c.DTSeconds / 4096
+	}
+	if c.MaxTimeSeconds == 0 {
+		c.MaxTimeSeconds = 1e10
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 2_000_000
+	}
+	return c
+}
+
+// isZero reports whether the params are entirely unset, so Config's
+// zero value means "use the defaults". (EMParams holds a slice, so the
+// struct is not ==-comparable.)
+func (p EMParams) isZero() bool {
+	return p.ResLimitsPct == nil &&
+		p.CapturedVacancyRatio == 0 && p.VacancyVolumeRatio == 0 &&
+		p.AtomicVolumeM3 == 0 && p.VoidThicknessM == 0 &&
+		p.Diffusivity0 == 0 && p.ActivationEnergyJ == 0 &&
+		p.TemperatureK == 0 && p.EffectiveCharge == 0 &&
+		p.BarrierResistivityOhmM == 0 && p.TSVRadiusM == 0 &&
+		p.VoidNucleusRadiusM == 0 && p.AtomicConcentration == 0 &&
+		p.StressActivationVolumeM3 == 0 &&
+		p.ResGainSlopePerUm == 0 && p.ResGainInterceptPct == 0
+}
+
+// isZero reports whether the params are entirely unset, so Config's
+// zero value means "use the defaults". (Spelled field-by-field against
+// exact zero — the one float equality that is a sentinel test, not a
+// tolerance test.)
+func (p ExtrusionParams) isZero() bool {
+	return p.Rate0 == 0 && p.RefStressMPa == 0 && p.StressExponent == 0 &&
+		p.RelaxTimeS == 0 && p.CriticalHeightM == 0 &&
+		p.HeightWidthM == 0 && p.HorizonS == 0
+}
+
+// Validate rejects non-finite or non-physical configurations — the
+// API-boundary contract the serving decoder and the fuzz target lean
+// on. It must be called on the withDefaults result (Normalize does
+// both).
+func (c Config) Validate() error {
+	em := c.EM
+	pos := []struct {
+		name string
+		v    float64
+	}{
+		{"EM.CapturedVacancyRatio", em.CapturedVacancyRatio},
+		{"EM.VacancyVolumeRatio", em.VacancyVolumeRatio},
+		{"EM.AtomicVolumeM3", em.AtomicVolumeM3},
+		{"EM.VoidThicknessM", em.VoidThicknessM},
+		{"EM.Diffusivity0", em.Diffusivity0},
+		{"EM.ActivationEnergyJ", em.ActivationEnergyJ},
+		{"EM.TemperatureK", em.TemperatureK},
+		{"EM.BarrierResistivityOhmM", em.BarrierResistivityOhmM},
+		{"EM.TSVRadiusM", em.TSVRadiusM},
+		{"EM.VoidNucleusRadiusM", em.VoidNucleusRadiusM},
+		{"EM.AtomicConcentration", em.AtomicConcentration},
+		{"EM.ResGainSlopePerUm", em.ResGainSlopePerUm},
+		{"Extrusion.Rate0", c.Extrusion.Rate0},
+		{"Extrusion.RefStressMPa", c.Extrusion.RefStressMPa},
+		{"Extrusion.StressExponent", c.Extrusion.StressExponent},
+		{"Extrusion.RelaxTimeS", c.Extrusion.RelaxTimeS},
+		{"Extrusion.CriticalHeightM", c.Extrusion.CriticalHeightM},
+		{"Extrusion.HeightWidthM", c.Extrusion.HeightWidthM},
+		{"Extrusion.HorizonS", c.Extrusion.HorizonS},
+		{"DTSeconds", c.DTSeconds},
+		{"MinDTSeconds", c.MinDTSeconds},
+		{"MaxTimeSeconds", c.MaxTimeSeconds},
+	}
+	for _, p := range pos {
+		if !(p.v > 0) || math.IsInf(p.v, 0) {
+			return fmt.Errorf("aging: %s = %g must be positive and finite", p.name, p.v)
+		}
+	}
+	if !floats.AllFinite(em.EffectiveCharge, em.StressActivationVolumeM3, em.ResGainInterceptPct) {
+		return fmt.Errorf("aging: non-finite EM parameter (Z* %g, Vσ %g, intercept %g)",
+			em.EffectiveCharge, em.StressActivationVolumeM3, em.ResGainInterceptPct)
+	}
+	if em.StressActivationVolumeM3 < 0 {
+		return fmt.Errorf("aging: EM.StressActivationVolumeM3 = %g must be ≥ 0", em.StressActivationVolumeM3)
+	}
+	if len(em.ResLimitsPct) == 0 {
+		return fmt.Errorf("aging: EM.ResLimitsPct is empty")
+	}
+	prev := math.Inf(-1)
+	for i, l := range em.ResLimitsPct {
+		if !(l > 0) || math.IsInf(l, 0) {
+			return fmt.Errorf("aging: EM.ResLimitsPct[%d] = %g must be positive and finite", i, l)
+		}
+		if l <= prev {
+			return fmt.Errorf("aging: EM.ResLimitsPct must be strictly increasing (entry %d: %g after %g)", i, l, prev)
+		}
+		prev = l
+	}
+	if c.MinDTSeconds > c.DTSeconds {
+		return fmt.Errorf("aging: MinDTSeconds %g exceeds DTSeconds %g", c.MinDTSeconds, c.DTSeconds)
+	}
+	if c.MaxTimeSeconds < c.DTSeconds {
+		return fmt.Errorf("aging: MaxTimeSeconds %g is below one step DTSeconds %g", c.MaxTimeSeconds, c.DTSeconds)
+	}
+	if c.MaxSteps < 0 || c.MaxSteps > maxStepsCeiling {
+		return fmt.Errorf("aging: MaxSteps %d outside (0, %d]", c.MaxSteps, maxStepsCeiling)
+	}
+	// The base-step budget must fit MaxSteps, or every via would just
+	// censor at the step bound while burning the whole budget.
+	if steps := c.MaxTimeSeconds / c.DTSeconds; steps > float64(c.MaxSteps) {
+		return fmt.Errorf("aging: MaxTimeSeconds/DTSeconds = %.0f steps exceeds MaxSteps %d — coarsen DTSeconds", steps, c.MaxSteps)
+	}
+	if steps := c.Extrusion.HorizonS / c.DTSeconds; steps > float64(c.MaxSteps) {
+		return fmt.Errorf("aging: Extrusion.HorizonS/DTSeconds = %.0f steps exceeds MaxSteps %d — coarsen DTSeconds", steps, c.MaxSteps)
+	}
+	return nil
+}
+
+// Normalize fills defaults and validates, returning the effective
+// configuration a simulation will run with.
+func (c Config) Normalize() (Config, error) {
+	c = c.withDefaults()
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// ValidateDrive rejects a non-physical per-TSV assignment.
+func ValidateDrive(d Drive) error {
+	if !(d.UnitCurrentA > 0) || math.IsInf(d.UnitCurrentA, 0) {
+		return fmt.Errorf("aging: UnitCurrentA = %g must be positive and finite", d.UnitCurrentA)
+	}
+	if d.MaxParallelism < 1 {
+		return fmt.Errorf("aging: MaxParallelism = %d must be ≥ 1", d.MaxParallelism)
+	}
+	if d.MaxParallelism&(d.MaxParallelism-1) != 0 {
+		return fmt.Errorf("aging: MaxParallelism = %d must be a power of two", d.MaxParallelism)
+	}
+	return nil
+}
+
+// levelCount returns how many resistance budgets a drive consumes: one
+// per parallelism halving down to 1 (a via starting at parallelism 1
+// still has the single terminal budget).
+func levelCount(maxParallelism int) int {
+	n := 0
+	for p := maxParallelism; p > 1; p /= 2 {
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// TSVResult is one via's simulated fate.
+type TSVResult struct {
+	Index int
+	// LifetimeSeconds is the time of the final resistance-budget
+	// crossing in seconds; for a censored via it is the simulated
+	// horizon reached.
+	LifetimeSeconds float64
+	// Censored reports that the via outlived MaxTimeSeconds (or the
+	// step bound) without exhausting its budgets — LifetimeSeconds is
+	// then a lower bound.
+	Censored bool
+	// VoidRadiusUm is the final electromigration void radius in µm.
+	VoidRadiusUm float64
+	// ResGainPct is the final resistance gain in percent of the
+	// pristine via resistance.
+	ResGainPct float64
+	// DropTimesSeconds are the parallelism-halving instants in seconds,
+	// one per exhausted budget, ascending (the last one equals
+	// LifetimeSeconds for an uncensored via).
+	DropTimesSeconds []float64
+	// Steps counts committed integration steps (both phases).
+	Steps int
+	// ExtrusionNm is the extrusion height at the creep horizon in nm.
+	ExtrusionNm float64
+	// ExtrusionRisk is the dimensionless logistic risk score in [0, 1].
+	ExtrusionRisk float64
+	// MaxVonMisesMPa and MeanVonMisesMPa echo the stress inputs in MPa
+	// so results are interpretable standalone.
+	MaxVonMisesMPa  float64
+	MeanVonMisesMPa float64
+}
+
+// Stats summarizes a slice of per-TSV results.
+type Stats struct {
+	// NumTSVs is the simulated via count; NumCensored of them hit the
+	// horizon with budgets to spare.
+	NumTSVs     int
+	NumCensored int
+	// MeanLifetimeSeconds, MinLifetimeSeconds and P10LifetimeSeconds
+	// summarize the lifetime distribution in seconds (censored
+	// lifetimes enter as their lower bounds, so the mean is
+	// conservative).
+	MeanLifetimeSeconds float64
+	MinLifetimeSeconds  float64
+	P10LifetimeSeconds  float64
+	// MeanExtrusionNm, P90ExtrusionNm and MaxExtrusionNm summarize the
+	// extrusion-height distribution in nm.
+	MeanExtrusionNm float64
+	P90ExtrusionNm  float64
+	MaxExtrusionNm  float64
+	// MeanRisk and P90Risk summarize the dimensionless extrusion risk
+	// distribution.
+	MeanRisk float64
+	P90Risk  float64
+}
+
+// Result is one simulation run: per-TSV fates plus their distribution
+// summary.
+type Result struct {
+	TSVs  []TSVResult
+	Stats Stats
+}
+
+// Summarize computes the distribution statistics of a result slice.
+func Summarize(tsvs []TSVResult) Stats {
+	st := Stats{NumTSVs: len(tsvs)}
+	if len(tsvs) == 0 {
+		return st
+	}
+	lifetimes := make([]float64, 0, len(tsvs))
+	heights := make([]float64, 0, len(tsvs))
+	risks := make([]float64, 0, len(tsvs))
+	st.MinLifetimeSeconds = math.Inf(1)
+	for _, r := range tsvs {
+		if r.Censored {
+			st.NumCensored++
+		}
+		st.MeanLifetimeSeconds += r.LifetimeSeconds / float64(len(tsvs))
+		st.MeanExtrusionNm += r.ExtrusionNm / float64(len(tsvs))
+		st.MeanRisk += r.ExtrusionRisk / float64(len(tsvs))
+		st.MinLifetimeSeconds = math.Min(st.MinLifetimeSeconds, r.LifetimeSeconds)
+		st.MaxExtrusionNm = math.Max(st.MaxExtrusionNm, r.ExtrusionNm)
+		lifetimes = append(lifetimes, r.LifetimeSeconds)
+		heights = append(heights, r.ExtrusionNm)
+		risks = append(risks, r.ExtrusionRisk)
+	}
+	st.P10LifetimeSeconds = quantile(lifetimes, 0.10)
+	st.P90ExtrusionNm = quantile(heights, 0.90)
+	st.P90Risk = quantile(risks, 0.90)
+	return st
+}
+
+// quantile returns the q-quantile of vs (nearest-rank on a sorted
+// copy); the unit is whatever vs carries.
+func quantile(vs []float64, q float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// uniformDrives expands one drive over n TSVs.
+func uniformDrives(d Drive, n int) []Drive {
+	ds := make([]Drive, n)
+	for i := range ds {
+		ds[i] = d
+	}
+	return ds
+}
+
+// UniformDrives returns n copies of d — the common "every via carries
+// the same interface share" assignment.
+func UniformDrives(d Drive, n int) []Drive { return uniformDrives(d, n) }
+
+// checkInputs validates the per-run inputs shared by Simulate and
+// SimulateParallel.
+func checkInputs(stress []reliability.StressSummary, drives []Drive) error {
+	if len(stress) == 0 {
+		return fmt.Errorf("aging: no stress summaries")
+	}
+	if len(drives) != len(stress) {
+		return fmt.Errorf("aging: %d drives for %d TSVs", len(drives), len(stress))
+	}
+	for i, d := range drives {
+		if err := ValidateDrive(d); err != nil {
+			return fmt.Errorf("TSV %d: %w", i, err)
+		}
+	}
+	for i, s := range stress {
+		if !floats.AllFinite(s.MaxVonMises, s.MeanVonMises, s.MeanHydrostatic) {
+			return fmt.Errorf("aging: TSV %d has non-finite stress summary", i)
+		}
+	}
+	return nil
+}

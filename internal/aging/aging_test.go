@@ -1,0 +1,331 @@
+package aging
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"tsvstress/internal/core"
+	"tsvstress/internal/floats"
+	"tsvstress/internal/reliability"
+)
+
+// testStress builds n summaries with a spread of plausible ring
+// stresses (von Mises tens–hundreds of MPa), deterministically.
+func testStress(n int) []reliability.StressSummary {
+	out := make([]reliability.StressSummary, n)
+	for i := range out {
+		vm := 40 + 37*float64(i%7) // 40..262 MPa
+		out[i] = reliability.StressSummary{
+			Index:           i,
+			MaxVonMises:     vm,
+			MeanVonMises:    0.7 * vm,
+			MaxTension:      0.3 * vm,
+			MeanHydrostatic: -0.2 * vm,
+		}
+	}
+	return out
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := (Config{}).Normalize(); err != nil {
+		t.Fatalf("zero config must normalize to defaults: %v", err)
+	}
+	bad := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"nan dt", func(c *Config) { c.DTSeconds = math.NaN() }},
+		{"negative dt", func(c *Config) { c.DTSeconds = -1 }},
+		{"inf dt", func(c *Config) { c.DTSeconds = math.Inf(1) }},
+		{"inf max time", func(c *Config) { c.MaxTimeSeconds = math.Inf(1) }},
+		{"min dt above dt", func(c *Config) { c.DTSeconds = 1e6; c.MinDTSeconds = 2e6 }},
+		{"max time below dt", func(c *Config) { c.DTSeconds = 1e6; c.MaxTimeSeconds = 1e5 }},
+		{"nan temperature", func(c *Config) { c.EM = DefaultEMParams(); c.EM.TemperatureK = math.NaN() }},
+		{"empty limits", func(c *Config) { c.EM = DefaultEMParams(); c.EM.ResLimitsPct = nil }},
+		{"non-increasing limits", func(c *Config) { c.EM = DefaultEMParams(); c.EM.ResLimitsPct = []float64{5, 5} }},
+		{"nan limit", func(c *Config) { c.EM = DefaultEMParams(); c.EM.ResLimitsPct = []float64{math.NaN()} }},
+		{"negative activation volume", func(c *Config) { c.EM = DefaultEMParams(); c.EM.StressActivationVolumeM3 = -1e-30 }},
+		{"nan extrusion rate", func(c *Config) { c.Extrusion = DefaultExtrusionParams(); c.Extrusion.Rate0 = math.NaN() }},
+		{"steps overflow", func(c *Config) { c.DTSeconds = 1; c.MinDTSeconds = 1; c.MaxTimeSeconds = 1e12 }},
+		{"max steps ceiling", func(c *Config) { c.MaxSteps = maxStepsCeiling + 1 }},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			var c Config
+			tc.mut(&c)
+			if _, err := c.Normalize(); err == nil {
+				t.Fatalf("config %q must be rejected", tc.name)
+			}
+		})
+	}
+}
+
+func TestDriveValidation(t *testing.T) {
+	if err := ValidateDrive(DefaultDrive()); err != nil {
+		t.Fatalf("default drive must validate: %v", err)
+	}
+	for _, d := range []Drive{
+		{UnitCurrentA: 0, MaxParallelism: 16},
+		{UnitCurrentA: math.NaN(), MaxParallelism: 16},
+		{UnitCurrentA: math.Inf(1), MaxParallelism: 16},
+		{UnitCurrentA: 1e-3, MaxParallelism: 0},
+		{UnitCurrentA: 1e-3, MaxParallelism: 3},
+		{UnitCurrentA: 1e-3, MaxParallelism: -4},
+	} {
+		if err := ValidateDrive(d); err == nil {
+			t.Fatalf("drive %+v must be rejected", d)
+		}
+	}
+	// More halvings than budgets must be rejected at simulation time.
+	_, err := Simulate(context.Background(), Config{}, testStress(1),
+		[]Drive{{UnitCurrentA: 1e-3, MaxParallelism: 32}})
+	if err == nil {
+		t.Fatal("MaxParallelism 32 against 4 budgets must be rejected")
+	}
+}
+
+func TestSimulateDefaultsUncensored(t *testing.T) {
+	res, err := Simulate(context.Background(), Config{}, testStress(8), UniformDrives(DefaultDrive(), 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.TSVs {
+		if r.Censored {
+			t.Fatalf("TSV %d censored at default config (lifetime %g s)", r.Index, r.LifetimeSeconds)
+		}
+		if wantDrops := levelCount(DefaultDrive().MaxParallelism); len(r.DropTimesSeconds) != wantDrops {
+			t.Fatalf("TSV %d: %d parallelism drops, want %d", r.Index, len(r.DropTimesSeconds), wantDrops)
+		}
+		for i := 1; i < len(r.DropTimesSeconds); i++ {
+			if r.DropTimesSeconds[i] <= r.DropTimesSeconds[i-1] {
+				t.Fatalf("TSV %d: drop times not ascending: %v", r.Index, r.DropTimesSeconds)
+			}
+		}
+		last := r.DropTimesSeconds[len(r.DropTimesSeconds)-1]
+		if !floats.AlmostEqualRel(last, r.LifetimeSeconds, 1e-12) {
+			t.Fatalf("TSV %d: final drop %g != lifetime %g", r.Index, last, r.LifetimeSeconds)
+		}
+		if !(r.LifetimeSeconds > 0) || !(r.VoidRadiusUm > 0) || !(r.ResGainPct > 0) {
+			t.Fatalf("TSV %d: non-positive outputs %+v", r.Index, r)
+		}
+		if r.ExtrusionRisk < 0 || r.ExtrusionRisk > 1 {
+			t.Fatalf("TSV %d: risk %g outside [0,1]", r.Index, r.ExtrusionRisk)
+		}
+	}
+	if res.Stats.NumTSVs != 8 || res.Stats.NumCensored != 0 {
+		t.Fatalf("bad stats %+v", res.Stats)
+	}
+	if !(res.Stats.MinLifetimeSeconds <= res.Stats.P10LifetimeSeconds) ||
+		!(res.Stats.P10LifetimeSeconds <= res.Stats.MeanLifetimeSeconds) {
+		t.Fatalf("lifetime stats not ordered: %+v", res.Stats)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	stress, drives := testStress(6), UniformDrives(DefaultDrive(), 6)
+	a, err := Simulate(context.Background(), Config{}, stress, drives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(context.Background(), Config{}, stress, drives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical runs disagree")
+	}
+}
+
+// TestStepRefinement pins the acceptance criterion: halving DTSeconds
+// moves every reported lifetime by < 1%.
+func TestStepRefinement(t *testing.T) {
+	stress, drives := testStress(6), UniformDrives(DefaultDrive(), 6)
+	coarse, err := Simulate(context.Background(), Config{DTSeconds: 1e6}, stress, drives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Simulate(context.Background(), Config{DTSeconds: 5e5}, stress, drives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range coarse.TSVs {
+		lc, lf := coarse.TSVs[i].LifetimeSeconds, fine.TSVs[i].LifetimeSeconds
+		if rel := math.Abs(lc-lf) / lf; rel >= 0.01 {
+			t.Fatalf("TSV %d: lifetime moved %.3g%% under step halving (%g vs %g s)", i, 100*rel, lc, lf)
+		}
+		for k := range coarse.TSVs[i].DropTimesSeconds {
+			dc, df := coarse.TSVs[i].DropTimesSeconds[k], fine.TSVs[i].DropTimesSeconds[k]
+			if rel := math.Abs(dc-df) / df; rel >= 0.01 {
+				t.Fatalf("TSV %d drop %d: moved %.3g%% under step halving", i, k, 100*rel)
+			}
+		}
+	}
+}
+
+// TestLifetimeMonotoneInCurrent pins the physics: more current per
+// via, strictly earlier failure.
+func TestLifetimeMonotoneInCurrent(t *testing.T) {
+	stress := testStress(1)
+	prev := math.Inf(1)
+	for _, scale := range []float64{0.5, 1, 2, 4} {
+		d := DefaultDrive()
+		d.UnitCurrentA *= scale
+		res, err := Simulate(context.Background(), Config{}, stress, []Drive{d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TSVs[0].Censored {
+			t.Fatalf("scale %g: censored", scale)
+		}
+		if life := res.TSVs[0].LifetimeSeconds; life >= prev {
+			t.Fatalf("scale %g: lifetime %g s not below %g s at lower current", scale, life, prev)
+		} else {
+			prev = life
+		}
+	}
+}
+
+// TestLifetimeMonotoneInStress pins the stress-assist coupling: higher
+// local von Mises stress, earlier failure and higher extrusion risk.
+func TestLifetimeMonotoneInStress(t *testing.T) {
+	prevLife, prevRisk := math.Inf(1), -1.0
+	for _, vm := range []float64{0, 100, 250, 500} {
+		sum := []reliability.StressSummary{{MaxVonMises: vm, MeanVonMises: 0.7 * vm}}
+		res, err := Simulate(context.Background(), Config{}, sum, UniformDrives(DefaultDrive(), 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := res.TSVs[0]
+		if r.LifetimeSeconds >= prevLife {
+			t.Fatalf("σvm %g MPa: lifetime %g s not below %g s at lower stress", vm, r.LifetimeSeconds, prevLife)
+		}
+		if r.ExtrusionRisk <= prevRisk {
+			t.Fatalf("σvm %g MPa: risk %g not above %g at lower stress", vm, r.ExtrusionRisk, prevRisk)
+		}
+		prevLife, prevRisk = r.LifetimeSeconds, r.ExtrusionRisk
+	}
+}
+
+// TestParallelParity pins SimulateParallel bit-identical to the serial
+// reference at several worker counts.
+func TestParallelParity(t *testing.T) {
+	stress, drives := testStress(13), UniformDrives(DefaultDrive(), 13)
+	want, err := Simulate(context.Background(), Config{}, stress, drives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 7, 32} {
+		got, err := SimulateParallel(context.Background(), Config{}, stress, drives, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: parallel result differs from serial reference", workers)
+		}
+	}
+}
+
+// TestExtrusionMatchesClosedForm checks the time-stepped creep
+// integration against the exact solution
+// h(T) = rate·τ·(1 − exp(−T/τ)).
+func TestExtrusionMatchesClosedForm(t *testing.T) {
+	cfg, err := Config{}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := cfg.Extrusion
+	sum := []reliability.StressSummary{{MaxVonMises: 200, MeanVonMises: 150}}
+	res, err := Simulate(context.Background(), cfg, sum, UniformDrives(DefaultDrive(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := ex.Rate0 * math.Pow(200/ex.RefStressMPa, ex.StressExponent)
+	wantNm := rate * ex.RelaxTimeS * (1 - math.Exp(-ex.HorizonS/ex.RelaxTimeS)) * 1e9
+	if !floats.AlmostEqualRel(res.TSVs[0].ExtrusionNm, wantNm, 1e-6) {
+		t.Fatalf("extrusion %g nm, closed form %g nm", res.TSVs[0].ExtrusionNm, wantNm)
+	}
+}
+
+// countdownCtx returns nil from Err() for the first n polls, then
+// context.Canceled — a deterministic mid-simulation cancellation.
+type countdownCtx struct {
+	context.Context
+	left atomic.Int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.left.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestCancellation(t *testing.T) {
+	stress, drives := testStress(6), UniformDrives(DefaultDrive(), 6)
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Simulate(pre, Config{}, stress, drives); err == nil {
+		t.Fatal("pre-canceled context must fail")
+	} else if !errors.Is(err, core.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v must match core.ErrCanceled and context.Canceled", err)
+	}
+
+	// Mid-run: allow a few polls, then cancel deterministically.
+	mid := &countdownCtx{Context: context.Background()}
+	mid.left.Store(3)
+	if _, err := Simulate(mid, Config{}, stress, drives); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("mid-run cancel: got %v", err)
+	}
+
+	midPar := &countdownCtx{Context: context.Background()}
+	midPar.left.Store(3)
+	if _, err := SimulateParallel(midPar, Config{}, stress, drives, 4); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("mid-run parallel cancel: got %v", err)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := Simulate(context.Background(), Config{}, nil, nil); err == nil {
+		t.Fatal("empty stress must be rejected")
+	}
+	if _, err := Simulate(context.Background(), Config{}, testStress(2), UniformDrives(DefaultDrive(), 3)); err == nil {
+		t.Fatal("drive/stress length mismatch must be rejected")
+	}
+	bad := testStress(1)
+	bad[0].MaxVonMises = math.NaN()
+	if _, err := Simulate(context.Background(), Config{}, bad, UniformDrives(DefaultDrive(), 1)); err == nil {
+		t.Fatal("NaN stress must be rejected")
+	}
+}
+
+func TestSummarizeQuantiles(t *testing.T) {
+	tsvs := make([]TSVResult, 10)
+	for i := range tsvs {
+		tsvs[i] = TSVResult{
+			LifetimeSeconds: float64(10 - i), // 10..1
+			ExtrusionNm:     float64(i + 1),  // 1..10
+			ExtrusionRisk:   float64(i+1) / 10,
+		}
+	}
+	st := Summarize(tsvs)
+	if !floats.AlmostEqual(st.MinLifetimeSeconds, 1, 0) {
+		t.Fatalf("min lifetime %g", st.MinLifetimeSeconds)
+	}
+	if !floats.AlmostEqual(st.P10LifetimeSeconds, 1, 0) {
+		t.Fatalf("p10 lifetime %g", st.P10LifetimeSeconds)
+	}
+	if !floats.AlmostEqual(st.P90ExtrusionNm, 9, 0) {
+		t.Fatalf("p90 extrusion %g", st.P90ExtrusionNm)
+	}
+	if !floats.AlmostEqual(st.MaxExtrusionNm, 10, 0) {
+		t.Fatalf("max extrusion %g", st.MaxExtrusionNm)
+	}
+	if !floats.AlmostEqualRel(st.MeanLifetimeSeconds, 5.5, 1e-12) {
+		t.Fatalf("mean lifetime %g", st.MeanLifetimeSeconds)
+	}
+}

@@ -1,0 +1,228 @@
+package aging
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"tsvstress/internal/core"
+	"tsvstress/internal/reliability"
+)
+
+// Physical constants (SI).
+const (
+	boltzmannJPerK  = 1.380649e-23    // kB (J/K)
+	electronChargeC = 1.602176634e-19 // e (C)
+)
+
+// ctxCheckMask throttles context polls in the integration loop to one
+// per 256 iterations: cheap enough to keep, frequent enough that a
+// deadline cancels a simulation within microseconds of work.
+const ctxCheckMask = 0xff
+
+// stepVoidRK4 advances the void radius by one classical Runge–Kutta
+// step of the autonomous growth law dr/dt = coef·max(re, r), where
+// coef folds the vacancy-flux prefactor and the present current
+// density (1/s) and re is the flux-capture floor (m). It is the EM
+// inner-loop kernel and must not allocate.
+//
+//tsvlint:allocfree
+func stepVoidRK4(r, dt, coef, re float64) float64 {
+	k1 := coef * math.Max(re, r)
+	k2 := coef * math.Max(re, r+0.5*dt*k1)
+	k3 := coef * math.Max(re, r+0.5*dt*k2)
+	k4 := coef * math.Max(re, r+dt*k3)
+	return r + dt/6*(k1+2*k2+2*k3+k4)
+}
+
+// stepExtrusionRK4 advances the extrusion height by one Runge–Kutta
+// step of the saturating creep law dh/dt = rate·exp(−t·invTau), the
+// extrusion inner-loop kernel; it must not allocate. (The midpoint
+// stages coincide because the rate depends on t only.)
+//
+//tsvlint:allocfree
+func stepExtrusionRK4(h, t, dt, rate, invTau float64) float64 {
+	k1 := rate * math.Exp(-t*invTau)
+	k2 := rate * math.Exp(-(t+0.5*dt)*invTau)
+	k4 := rate * math.Exp(-(t+dt)*invTau)
+	return h + dt/6*(k1+4*k2+k4)
+}
+
+// resGainPct maps a void radius in meters to the resistance gain in
+// percent through the linear fit, clamped at 0 (a void below the fit's
+// zero crossing has not yet measurably raised resistance).
+//
+//tsvlint:allocfree
+func resGainPct(rM, slopePerUm, interceptPct float64) float64 {
+	g := slopePerUm*(rM*1e6) + interceptPct
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+// emPrefactor returns the vacancy-flux growth prefactor K for one TSV
+// such that dr/dt = K·j·max(re, r), folding the Arrhenius terms at the
+// stress-shifted effective activation energy. Units: m²/A·s⁻¹ per
+// meter of capture radius — K·j is 1/s.
+func emPrefactor(em EMParams, maxVonMisesMPa float64) float64 {
+	kT := boltzmannJPerK * em.TemperatureK
+	eaEff := em.ActivationEnergyJ - em.StressActivationVolumeM3*maxVonMisesMPa*1e6
+	if floor := 0.2 * em.ActivationEnergyJ; eaEff < floor {
+		eaEff = floor
+	}
+	arrhenius := math.Exp(-eaEff / kT)
+	dv := em.Diffusivity0 * arrhenius
+	cv := em.AtomicConcentration * arrhenius
+	return em.CapturedVacancyRatio * em.VacancyVolumeRatio * em.AtomicVolumeM3 / em.VoidThicknessM *
+		dv * cv * electronChargeC * em.EffectiveCharge * em.BarrierResistivityOhmM / kT
+}
+
+// simulateOne integrates one via to failure or the horizon. The two
+// phases — EM void growth with parallelism halving, then extrusion
+// creep to its own horizon — are independent integrations sharing the
+// step budget.
+func simulateOne(ctx context.Context, cfg Config, sum reliability.StressSummary, d Drive) (TSVResult, error) {
+	em := cfg.EM
+	res := TSVResult{
+		Index:           sum.Index,
+		MaxVonMisesMPa:  sum.MaxVonMises,
+		MeanVonMisesMPa: sum.MeanVonMises,
+	}
+
+	// --- EM phase ---
+	prefactor := emPrefactor(em, sum.MaxVonMises)
+	area := math.Pi * em.TSVRadiusM * em.TSVRadiusM
+	p := d.MaxParallelism
+	nLevels := levelCount(p)
+	coef := prefactor * float64(p) * d.UnitCurrentA / area
+	re := em.VoidNucleusRadiusM
+
+	r, t := 0.0, 0.0
+	dt := cfg.DTSeconds
+	level := 0
+	iters := 0
+	for t < cfg.MaxTimeSeconds && res.Steps < cfg.MaxSteps {
+		iters++
+		if iters&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+		}
+		rNext := stepVoidRK4(r, dt, coef, re)
+		if resGainPct(rNext, em.ResGainSlopePerUm, em.ResGainInterceptPct) >= em.ResLimitsPct[level] {
+			if dt > cfg.MinDTSeconds {
+				// The step would cross this level's budget: halve and
+				// retry, localizing the crossing to MinDTSeconds.
+				dt /= 2
+				continue
+			}
+			r = rNext
+			t += dt
+			res.Steps++
+			res.DropTimesSeconds = append(res.DropTimesSeconds, t)
+			level++
+			if level >= nLevels {
+				res.LifetimeSeconds = t
+				break
+			}
+			if p > 1 {
+				p /= 2
+			}
+			coef = prefactor * float64(p) * d.UnitCurrentA / area
+			dt = cfg.DTSeconds
+			continue
+		}
+		r = rNext
+		t += dt
+		res.Steps++
+		if dt < cfg.DTSeconds {
+			// Recover toward the base step after a crossing approach
+			// committed refined sub-steps.
+			dt *= 2
+			if dt > cfg.DTSeconds {
+				dt = cfg.DTSeconds
+			}
+		}
+	}
+	if level < nLevels {
+		res.Censored = true
+		res.LifetimeSeconds = t
+	}
+	res.VoidRadiusUm = r * 1e6
+	res.ResGainPct = resGainPct(r, em.ResGainSlopePerUm, em.ResGainInterceptPct)
+
+	// --- Extrusion phase ---
+	// Creep is driven by the ring-max von Mises: extrusion initiates at
+	// the most-stressed sector of the liner interface, and unlike the
+	// ring mean the maximum grows monotonically as neighbors close in —
+	// the pitch trend the golden sweep gates on.
+	ex := cfg.Extrusion
+	rate := ex.Rate0 * math.Pow(sum.MaxVonMises/ex.RefStressMPa, ex.StressExponent)
+	invTau := 1 / ex.RelaxTimeS
+	h, te := 0.0, 0.0
+	dt = cfg.DTSeconds
+	for te < ex.HorizonS && res.Steps < cfg.MaxSteps {
+		iters++
+		if iters&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+		}
+		step := dt
+		if te+step > ex.HorizonS {
+			step = ex.HorizonS - te
+		}
+		h = stepExtrusionRK4(h, te, step, rate, invTau)
+		te += step
+		res.Steps++
+	}
+	res.ExtrusionNm = h * 1e9
+	res.ExtrusionRisk = 1 / (1 + math.Exp(-(h-ex.CriticalHeightM)/ex.HeightWidthM))
+	return res, nil
+}
+
+// checkDriveLevels rejects drives asking for more parallelism halvings
+// than the configured resistance budgets cover.
+func checkDriveLevels(cfg Config, drives []Drive) error {
+	for i, d := range drives {
+		if n := levelCount(d.MaxParallelism); n > len(cfg.EM.ResLimitsPct) {
+			return fmt.Errorf("aging: TSV %d needs %d resistance budgets for MaxParallelism %d, have %d",
+				i, n, d.MaxParallelism, len(cfg.EM.ResLimitsPct))
+		}
+	}
+	return nil
+}
+
+// canceled wraps a context error so callers can match both
+// core.ErrCanceled and the context cause, mirroring the evaluation
+// engine's cancellation contract.
+func canceled(done, total int, cause error) error {
+	return fmt.Errorf("aging: simulation canceled after %d of %d TSVs (%w): %w",
+		done, total, core.ErrCanceled, cause)
+}
+
+// Simulate runs the serial reference simulation: every TSV integrated
+// in order. The result is deterministic for a given config and inputs,
+// and SimulateParallel is pinned bit-identical to it.
+func Simulate(ctx context.Context, cfg Config, stress []reliability.StressSummary, drives []Drive) (*Result, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkInputs(stress, drives); err != nil {
+		return nil, err
+	}
+	if err := checkDriveLevels(cfg, drives); err != nil {
+		return nil, err
+	}
+	out := make([]TSVResult, len(stress))
+	for i := range stress {
+		r, err := simulateOne(ctx, cfg, stress[i], drives[i])
+		if err != nil {
+			return nil, canceled(i, len(stress), err)
+		}
+		out[i] = r
+	}
+	return &Result{TSVs: out, Stats: Summarize(out)}, nil
+}

@@ -1,0 +1,72 @@
+package aging
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tsvstress/internal/reliability"
+)
+
+// SimulateParallel fans the independent per-TSV integrations across
+// workers goroutines (GOMAXPROCS when workers ≤ 0). Each result is
+// written into its own pre-sized slot, so the output — per-TSV values
+// and summary statistics alike — is bit-identical to Simulate's
+// regardless of worker count or scheduling; the parity property test
+// pins this. All workers are joined before return.
+func SimulateParallel(ctx context.Context, cfg Config, stress []reliability.StressSummary, drives []Drive, workers int) (*Result, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkInputs(stress, drives); err != nil {
+		return nil, err
+	}
+	if err := checkDriveLevels(cfg, drives); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(stress) {
+		workers = len(stress)
+	}
+
+	out := make([]TSVResult, len(stress))
+	var (
+		next     atomic.Int64 // work queue cursor
+		done     atomic.Int64 // completed integrations (error reporting only)
+		errMu    sync.Mutex
+		firstErr error
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(stress) {
+					return
+				}
+				r, err := simulateOne(ctx, cfg, stress[i], drives[i])
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				out[i] = r
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, canceled(int(done.Load()), len(stress), firstErr)
+	}
+	return &Result{TSVs: out, Stats: Summarize(out)}, nil
+}

@@ -54,9 +54,9 @@ func NewAnalyzer(cfg Config) *analysis.Analyzer {
 	}
 }
 
-// Analyzer is goroleak scoped to the serving and cluster tiers.
+// Analyzer is goroleak scoped to the serving, cluster and aging tiers.
 var Analyzer = NewAnalyzer(Config{
-	ScopeSuffixes: []string{"internal/serve", "internal/cluster"},
+	ScopeSuffixes: []string{"internal/serve", "internal/cluster", "internal/aging"},
 })
 
 func run(cfg Config, pass *analysis.Pass) error {

@@ -41,7 +41,7 @@ var DefaultConfig = Config{
 		"internal/superpose", "internal/geom", "internal/tensor",
 		"internal/material", "internal/mobility", "internal/metrics",
 		"internal/reliability", "internal/fem", "internal/field",
-		"internal/potential", "internal/optimize",
+		"internal/potential", "internal/optimize", "internal/aging",
 	},
 	StructResults: []string{"Stress", "Polar"},
 }

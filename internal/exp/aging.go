@@ -1,0 +1,248 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"tsvstress/internal/aging"
+	"tsvstress/internal/core"
+	"tsvstress/internal/material"
+	"tsvstress/internal/placegen"
+	"tsvstress/internal/reliability"
+)
+
+// AgingPoint is one sweep point of the aging experiment: a regular
+// TSV array at one pitch, simulated to failure under one electrical
+// assignment.
+type AgingPoint struct {
+	PitchUm        float64 `json:"pitch_um"`
+	MaxParallelism int     `json:"max_parallelism"`
+	NumTSVs        int     `json:"num_tsvs"`
+	// MeanMaxVonMisesMPa is the placement mean of the per-TSV ring-max
+	// von Mises stress — the EM accelerant the curve is driven by.
+	MeanMaxVonMisesMPa float64 `json:"mean_max_von_mises_mpa"`
+	// Lifetime distribution in seconds.
+	MeanLifetimeSeconds float64 `json:"mean_lifetime_s"`
+	MinLifetimeSeconds  float64 `json:"min_lifetime_s"`
+	P10LifetimeSeconds  float64 `json:"p10_lifetime_s"`
+	Censored            int     `json:"censored"`
+	// Extrusion distribution: heights in nm, risk dimensionless.
+	MeanExtrusionNm float64 `json:"mean_extrusion_nm"`
+	MeanRisk        float64 `json:"mean_risk"`
+	P90Risk         float64 `json:"p90_risk"`
+}
+
+// AgingSweep is the full experiment record, emitted as
+// AGING_curves.json and golden-checked in CI: the lifetime-vs-pitch
+// curve (fixed parallelism) and the lifetime-vs-parallelism curve
+// (fixed pitch).
+type AgingSweep struct {
+	ArrayNx int    `json:"array_nx"`
+	ArrayNy int    `json:"array_ny"`
+	NTheta  int    `json:"ntheta"`
+	Liner   string `json:"liner"`
+	// PitchCurve sweeps the array pitch at MaxParallelism 16: tighter
+	// pitch → higher local stress → shorter lifetime, higher risk.
+	PitchCurve []AgingPoint `json:"pitch_curve"`
+	// ParallelismCurve sweeps the starting parallelism at fixed pitch:
+	// each extra halving level trades early current for redundancy.
+	ParallelismCurve []AgingPoint `json:"parallelism_curve"`
+	ElapsedMillis    float64      `json:"elapsed_ms"`
+	GeneratedAtUnix  int64        `json:"generated_at_unix"`
+}
+
+// agingPitches is the pitch sweep in µm, descending so the curve reads
+// loose-to-tight; agingPitchFixed is the parallelism sweep's pitch.
+var (
+	agingPitches       = []float64{20, 15, 12, 10, 8}
+	agingQuickPitches  = []float64{15, 10}
+	agingParallelisms  = []int{2, 4, 8, 16}
+	agingPitchFixed    = 10.0
+	agingQuickParallel = []int{4, 16}
+)
+
+// agingCase evaluates one array: build the analyzer, digest every
+// via's interface ring, run the serial (reference) simulation.
+func agingCase(nx, ny int, pitch float64, nTheta int, drive aging.Drive) (AgingPoint, error) {
+	st := material.Baseline(material.BCB)
+	pl := placegen.Array(nx, ny, pitch)
+	an, err := core.New(st, pl, core.Options{})
+	if err != nil {
+		return AgingPoint{}, err
+	}
+	reports, err := reliability.Screen(pl, st, an.StressAt, reliability.Options{NTheta: nTheta})
+	if err != nil {
+		return AgingPoint{}, err
+	}
+	sums := reliability.Summarize(reports)
+	res, err := aging.Simulate(context.Background(), aging.Config{}, sums, aging.UniformDrives(drive, len(sums)))
+	if err != nil {
+		return AgingPoint{}, err
+	}
+	meanVM := 0.0
+	for _, s := range sums {
+		meanVM += s.MaxVonMises / float64(len(sums))
+	}
+	return AgingPoint{
+		PitchUm:             pitch,
+		MaxParallelism:      drive.MaxParallelism,
+		NumTSVs:             len(sums),
+		MeanMaxVonMisesMPa:  meanVM,
+		MeanLifetimeSeconds: res.Stats.MeanLifetimeSeconds,
+		MinLifetimeSeconds:  res.Stats.MinLifetimeSeconds,
+		P10LifetimeSeconds:  res.Stats.P10LifetimeSeconds,
+		Censored:            res.Stats.NumCensored,
+		MeanExtrusionNm:     res.Stats.MeanExtrusionNm,
+		MeanRisk:            res.Stats.MeanRisk,
+		P90Risk:             res.Stats.P90Risk,
+	}, nil
+}
+
+// RunAgingSweep runs the aging experiment on 5×5 arrays: the
+// lifetime-vs-pitch curve at MaxParallelism 16 and the
+// lifetime-vs-parallelism curve at pitch 10 µm. Everything is
+// deterministic — regular placements, the serial reference simulation,
+// default model constants — so the emitted record is comparable
+// against the checked-in golden.
+func RunAgingSweep(quick bool) (*AgingSweep, error) {
+	pitches, parallelisms := agingPitches, agingParallelisms
+	if quick {
+		pitches, parallelisms = agingQuickPitches, agingQuickParallel
+	}
+	const nx, ny, nTheta = 5, 5, 72
+	t0 := time.Now()
+	sweep := &AgingSweep{ArrayNx: nx, ArrayNy: ny, NTheta: nTheta, Liner: "bcb"}
+	for _, pitch := range pitches {
+		pt, err := agingCase(nx, ny, pitch, nTheta, aging.DefaultDrive())
+		if err != nil {
+			return nil, fmt.Errorf("pitch %g: %w", pitch, err)
+		}
+		sweep.PitchCurve = append(sweep.PitchCurve, pt)
+	}
+	for _, p := range parallelisms {
+		d := aging.DefaultDrive()
+		d.MaxParallelism = p
+		pt, err := agingCase(nx, ny, agingPitchFixed, nTheta, d)
+		if err != nil {
+			return nil, fmt.Errorf("parallelism %d: %w", p, err)
+		}
+		sweep.ParallelismCurve = append(sweep.ParallelismCurve, pt)
+	}
+	sweep.ElapsedMillis = float64(time.Since(t0).Microseconds()) / 1e3
+	sweep.GeneratedAtUnix = time.Now().Unix()
+	return sweep, nil
+}
+
+// WriteAgingJSON writes the sweep record as indented JSON.
+func WriteAgingJSON(w io.Writer, s *AgingSweep) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// CompareAgingJSON checks a freshly emitted sweep against a golden
+// record: same curve shapes, every lifetime/risk metric within the
+// fractional tolerance, and the pitch curve's monotone trend intact.
+// It returns a human-readable report of the per-point deltas and an
+// error when the comparison fails — the CI gate.
+func CompareAgingJSON(golden, fresh io.Reader, tol float64) (string, error) {
+	var g, f AgingSweep
+	if err := json.NewDecoder(golden).Decode(&g); err != nil {
+		return "", fmt.Errorf("golden: %w", err)
+	}
+	if err := json.NewDecoder(fresh).Decode(&f); err != nil {
+		return "", fmt.Errorf("fresh: %w", err)
+	}
+	report := ""
+	check := func(name string, gc, fc []AgingPoint) error {
+		if len(gc) != len(fc) {
+			return fmt.Errorf("%s: golden has %d points, fresh has %d", name, len(gc), len(fc))
+		}
+		for i := range gc {
+			if relDelta(gc[i].PitchUm, fc[i].PitchUm) > 0 || gc[i].MaxParallelism != fc[i].MaxParallelism {
+				return fmt.Errorf("%s[%d]: sweep coordinates moved (%g/%d vs %g/%d)", name, i,
+					gc[i].PitchUm, gc[i].MaxParallelism, fc[i].PitchUm, fc[i].MaxParallelism)
+			}
+			if gc[i].Censored != fc[i].Censored {
+				return fmt.Errorf("%s[%d]: censored count %d vs golden %d", name, i, fc[i].Censored, gc[i].Censored)
+			}
+			for _, m := range []struct {
+				metric string
+				gv, fv float64
+			}{
+				{"mean_lifetime_s", gc[i].MeanLifetimeSeconds, fc[i].MeanLifetimeSeconds},
+				{"min_lifetime_s", gc[i].MinLifetimeSeconds, fc[i].MinLifetimeSeconds},
+				{"mean_risk", gc[i].MeanRisk, fc[i].MeanRisk},
+				{"mean_max_von_mises_mpa", gc[i].MeanMaxVonMisesMPa, fc[i].MeanMaxVonMisesMPa},
+			} {
+				rel := relDelta(m.gv, m.fv)
+				report += fmt.Sprintf("%s[%d] %s: golden %.6g fresh %.6g (Δ %.3g%%)\n",
+					name, i, m.metric, m.gv, m.fv, 100*rel)
+				if rel > tol {
+					return fmt.Errorf("%s[%d]: %s deviates %.3g%% from golden (tolerance %.3g%%)",
+						name, i, m.metric, 100*rel, 100*tol)
+				}
+			}
+		}
+		return nil
+	}
+	if err := check("pitch_curve", g.PitchCurve, f.PitchCurve); err != nil {
+		return report, err
+	}
+	if err := check("parallelism_curve", g.ParallelismCurve, f.ParallelismCurve); err != nil {
+		return report, err
+	}
+	if err := CheckAgingTrend(&f); err != nil {
+		return report, err
+	}
+	return report, nil
+}
+
+// relDelta is the fractional deviation of fresh from golden, safe at
+// zero (dimensionless).
+func relDelta(golden, fresh float64) float64 {
+	d := golden - fresh
+	if d < 0 {
+		d = -d
+	}
+	mag := golden
+	if mag < 0 {
+		mag = -mag
+	}
+	if mag == 0 {
+		if d == 0 {
+			return 0
+		}
+		return 1
+	}
+	return d / mag
+}
+
+// CheckAgingTrend asserts the physical trend the extrusion paper
+// motivates and the stress coupling must reproduce: along the
+// descending-pitch curve, local stress and extrusion risk rise
+// monotonically and EM lifetime falls monotonically.
+func CheckAgingTrend(s *AgingSweep) error {
+	for i := 1; i < len(s.PitchCurve); i++ {
+		prev, cur := s.PitchCurve[i-1], s.PitchCurve[i]
+		if cur.PitchUm >= prev.PitchUm {
+			return fmt.Errorf("pitch_curve not descending in pitch: %g after %g", cur.PitchUm, prev.PitchUm)
+		}
+		if cur.MeanMaxVonMisesMPa <= prev.MeanMaxVonMisesMPa {
+			return fmt.Errorf("pitch %g→%g: mean max von Mises fell %.6g→%.6g MPa — tighter pitch must raise local stress",
+				prev.PitchUm, cur.PitchUm, prev.MeanMaxVonMisesMPa, cur.MeanMaxVonMisesMPa)
+		}
+		if cur.MeanLifetimeSeconds >= prev.MeanLifetimeSeconds {
+			return fmt.Errorf("pitch %g→%g: mean lifetime rose %.6g→%.6g s — tighter pitch must age faster",
+				prev.PitchUm, cur.PitchUm, prev.MeanLifetimeSeconds, cur.MeanLifetimeSeconds)
+		}
+		if cur.MeanRisk <= prev.MeanRisk {
+			return fmt.Errorf("pitch %g→%g: mean extrusion risk fell %.6g→%.6g — tighter pitch must raise risk",
+				prev.PitchUm, cur.PitchUm, prev.MeanRisk, cur.MeanRisk)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// goldenAgingPath is the checked-in record the CI aging job and this
+// test both gate against.
+const goldenAgingPath = "../../results/AGING_curves.json"
+
+func runFullAgingSweep(t *testing.T) *AgingSweep {
+	t.Helper()
+	sweep, err := RunAgingSweep(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sweep
+}
+
+func encodeAging(t *testing.T, s *AgingSweep) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteAgingJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestAgingGolden regenerates the full sweep and holds it to the
+// checked-in golden: deterministic inputs, so the tolerance only has
+// to absorb cross-platform floating-point variation.
+func TestAgingGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full aging sweep in -short mode")
+	}
+	golden, err := os.ReadFile(goldenAgingPath)
+	if err != nil {
+		t.Fatalf("golden record missing (regenerate with tsvexp -aging): %v", err)
+	}
+	fresh := encodeAging(t, runFullAgingSweep(t))
+	report, err := CompareAgingJSON(bytes.NewReader(golden), bytes.NewReader(fresh), 0.01)
+	if err != nil {
+		t.Fatalf("fresh sweep deviates from golden:\n%s\n%v", report, err)
+	}
+}
+
+// TestAgingTrend asserts the paper's pitch dependence on a freshly
+// computed curve, independent of the golden file.
+func TestAgingTrend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full aging sweep in -short mode")
+	}
+	sweep := runFullAgingSweep(t)
+	if err := CheckAgingTrend(sweep); err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.PitchCurve) != len(agingPitches) {
+		t.Fatalf("pitch curve has %d points, want %d", len(sweep.PitchCurve), len(agingPitches))
+	}
+	if len(sweep.ParallelismCurve) != len(agingParallelisms) {
+		t.Fatalf("parallelism curve has %d points, want %d", len(sweep.ParallelismCurve), len(agingParallelisms))
+	}
+	for _, pt := range sweep.PitchCurve {
+		if pt.NumTSVs != 25 {
+			t.Fatalf("pitch %g: %d TSVs, want 25", pt.PitchUm, pt.NumTSVs)
+		}
+		if pt.MeanRisk < 0 || pt.MeanRisk > 1 || pt.P90Risk < pt.MeanRisk {
+			t.Fatalf("pitch %g: risk stats out of order (mean %g, p90 %g)", pt.PitchUm, pt.MeanRisk, pt.P90Risk)
+		}
+	}
+}
+
+// TestAgingQuickSelfCompare runs the quick sweep and checks that a
+// record always matches itself — the compare path's identity case.
+func TestAgingQuickSelfCompare(t *testing.T) {
+	sweep, err := RunAgingSweep(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.PitchCurve) != len(agingQuickPitches) {
+		t.Fatalf("quick pitch curve has %d points, want %d", len(sweep.PitchCurve), len(agingQuickPitches))
+	}
+	enc := encodeAging(t, sweep)
+	report, err := CompareAgingJSON(bytes.NewReader(enc), bytes.NewReader(enc), 0)
+	if err != nil {
+		t.Fatalf("record does not match itself:\n%s\n%v", report, err)
+	}
+	if !strings.Contains(report, "mean_lifetime_s") {
+		t.Fatalf("report missing per-metric deltas:\n%s", report)
+	}
+}
+
+// TestCompareAgingRejects drives the compare gate through its failure
+// modes on a synthetic pair of records.
+func TestCompareAgingRejects(t *testing.T) {
+	sweep, err := RunAgingSweep(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := encodeAging(t, sweep)
+
+	t.Run("metric_deviation", func(t *testing.T) {
+		mod := *sweep
+		mod.PitchCurve = append([]AgingPoint(nil), sweep.PitchCurve...)
+		mod.PitchCurve[0].MeanLifetimeSeconds *= 1.10
+		if _, err := CompareAgingJSON(bytes.NewReader(golden), bytes.NewReader(encodeAging(t, &mod)), 0.02); err == nil {
+			t.Fatal("10% lifetime shift passed a 2% tolerance")
+		}
+	})
+	t.Run("coordinate_moved", func(t *testing.T) {
+		mod := *sweep
+		mod.PitchCurve = append([]AgingPoint(nil), sweep.PitchCurve...)
+		mod.PitchCurve[0].PitchUm = 99
+		if _, err := CompareAgingJSON(bytes.NewReader(golden), bytes.NewReader(encodeAging(t, &mod)), 0.02); err == nil {
+			t.Fatal("moved sweep coordinate passed the gate")
+		}
+	})
+	t.Run("censoring_appeared", func(t *testing.T) {
+		mod := *sweep
+		mod.PitchCurve = append([]AgingPoint(nil), sweep.PitchCurve...)
+		mod.PitchCurve[0].Censored = 3
+		if _, err := CompareAgingJSON(bytes.NewReader(golden), bytes.NewReader(encodeAging(t, &mod)), 0.02); err == nil {
+			t.Fatal("new censoring passed the gate")
+		}
+	})
+	t.Run("point_count", func(t *testing.T) {
+		mod := *sweep
+		mod.PitchCurve = sweep.PitchCurve[:1]
+		if _, err := CompareAgingJSON(bytes.NewReader(golden), bytes.NewReader(encodeAging(t, &mod)), 0.02); err == nil {
+			t.Fatal("truncated curve passed the gate")
+		}
+	})
+}
+
+// TestCheckAgingTrendRejects breaks each gated trend in turn.
+func TestCheckAgingTrendRejects(t *testing.T) {
+	base := func() *AgingSweep {
+		return &AgingSweep{PitchCurve: []AgingPoint{
+			{PitchUm: 20, MeanMaxVonMisesMPa: 100, MeanLifetimeSeconds: 4e8, MeanRisk: 0.2},
+			{PitchUm: 10, MeanMaxVonMisesMPa: 150, MeanLifetimeSeconds: 3e8, MeanRisk: 0.6},
+		}}
+	}
+	if err := CheckAgingTrend(base()); err != nil {
+		t.Fatalf("well-formed trend rejected: %v", err)
+	}
+	for name, breakIt := range map[string]func(*AgingSweep){
+		"pitch_not_descending": func(s *AgingSweep) { s.PitchCurve[1].PitchUm = 25 },
+		"stress_fell":          func(s *AgingSweep) { s.PitchCurve[1].MeanMaxVonMisesMPa = 90 },
+		"lifetime_rose":        func(s *AgingSweep) { s.PitchCurve[1].MeanLifetimeSeconds = 5e8 },
+		"risk_fell":            func(s *AgingSweep) { s.PitchCurve[1].MeanRisk = 0.1 },
+	} {
+		s := base()
+		breakIt(s)
+		if err := CheckAgingTrend(s); err == nil {
+			t.Fatalf("%s: broken trend accepted", name)
+		}
+	}
+}

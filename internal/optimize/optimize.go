@@ -15,10 +15,12 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"tsvstress/internal/core"
 	"tsvstress/internal/geom"
 	"tsvstress/internal/interact"
 	"tsvstress/internal/lame"
@@ -126,12 +128,24 @@ func (ev *evaluator) stressAt(p geom.Point, cs []geom.Point) tensor.Stress {
 	return s
 }
 
-// cost evaluates the objective for centers cs against fixed sites.
-func (ev *evaluator) cost(cs, initial []geom.Point, sites []geom.Point) (float64, int) {
+// costCheckMask throttles context polls in the objective's site loop:
+// each site evaluation walks every TSV pair within the cutoff, so a
+// poll every 16 sites cancels even a single huge evaluation promptly.
+const costCheckMask = 0xf
+
+// cost evaluates the objective for centers cs against fixed sites. It
+// polls ctx between site evaluations so a deadline interrupts one
+// objective evaluation, not just the annealing loop around it.
+func (ev *evaluator) cost(ctx context.Context, cs, initial []geom.Point, sites []geom.Point) (float64, int, error) {
 	total := 0.0
 	violations := 0
 	budget := ev.opt.MobilityBudget
-	for _, site := range sites {
+	for si, site := range sites {
+		if si&costCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, 0, err
+			}
+		}
 		s := ev.stressAt(site, cs)
 		worst, _ := mobility.WorstCase(s, ev.piezo)
 		if v := math.Abs(worst) - budget; v > 0 {
@@ -143,12 +157,23 @@ func (ev *evaluator) cost(cs, initial []geom.Point, sites []geom.Point) (float64
 		d := cs[i].Dist(initial[i])
 		total += ev.opt.MoveWeight * d * d
 	}
-	return total, violations
+	return total, violations, nil
+}
+
+// canceled wraps a context error so callers can match both
+// core.ErrCanceled and the context cause, mirroring the evaluation and
+// aging engines' cancellation contract.
+func canceled(it, total int, cause error) error {
+	return fmt.Errorf("optimize: annealing canceled after %d of %d iterations (%w): %w",
+		it, total, core.ErrCanceled, cause)
 }
 
 // Minimize runs the annealing. Device sites inside a TSV footprint are
 // rejected (they would be destroyed by the via, not stressed by it).
-func Minimize(st material.Structure, initial *geom.Placement, sites []geom.Point, opt Options) (*Result, error) {
+// Cancellation of ctx interrupts the search between objective
+// evaluations and inside them; the returned error matches both
+// core.ErrCanceled and the context's own error.
+func Minimize(ctx context.Context, st material.Structure, initial *geom.Placement, sites []geom.Point, opt Options) (*Result, error) {
 	n := initial.Len()
 	opt = opt.withDefaults(st, n)
 	if !opt.Region.Valid() || opt.Region.Area() <= 0 {
@@ -185,7 +210,10 @@ func Minimize(st material.Structure, initial *geom.Placement, sites []geom.Point
 	}
 
 	cur := append([]geom.Point(nil), init...)
-	curCost, initViol := ev.cost(cur, init, sites)
+	curCost, initViol, err := ev.cost(ctx, cur, init, sites)
+	if err != nil {
+		return nil, canceled(0, opt.Iterations, err)
+	}
 	res := &Result{InitialCost: curCost, InitialViolations: initViol}
 
 	best := append([]geom.Point(nil), cur...)
@@ -212,6 +240,9 @@ func Minimize(st material.Structure, initial *geom.Placement, sites []geom.Point
 	}
 
 	for it := 0; it < opt.Iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, canceled(it, opt.Iterations, err)
+		}
 		frac := float64(it) / float64(opt.Iterations)
 		step := opt.InitialStep * (1 - 0.9*frac)
 		k := rng.Intn(n)
@@ -221,7 +252,10 @@ func Minimize(st material.Structure, initial *geom.Placement, sites []geom.Point
 			cur[k] = old
 			continue
 		}
-		cand, _ := ev.cost(cur, init, sites)
+		cand, _, err := ev.cost(ctx, cur, init, sites)
+		if err != nil {
+			return nil, canceled(it, opt.Iterations, err)
+		}
 		accept := cand <= curCost
 		if !accept && temp > 0 {
 			accept = rng.Float64() < math.Exp((curCost-cand)/temp)
@@ -241,6 +275,9 @@ func Minimize(st material.Structure, initial *geom.Placement, sites []geom.Point
 
 	res.Iterations = opt.Iterations
 	res.Placement = geom.NewPlacement(best...)
-	res.FinalCost, res.FinalViolations = ev.cost(best, init, sites)
+	res.FinalCost, res.FinalViolations, err = ev.cost(ctx, best, init, sites)
+	if err != nil {
+		return nil, canceled(opt.Iterations, opt.Iterations, err)
+	}
 	return res, nil
 }

@@ -1,9 +1,14 @@
 package optimize
 
 import (
+	"context"
+	"errors"
 	"math"
+	"strings"
+	"sync/atomic"
 	"testing"
 
+	"tsvstress/internal/core"
 	"tsvstress/internal/geom"
 	"tsvstress/internal/material"
 )
@@ -14,19 +19,19 @@ func TestMinimizeValidation(t *testing.T) {
 	st := material.Baseline(material.BCB)
 	pl := geom.NewPlacement(geom.Pt(0, 0))
 	sites := []geom.Point{{X: 10, Y: 0}}
-	if _, err := Minimize(st, pl, sites, Options{}); err == nil {
+	if _, err := Minimize(context.Background(), st, pl, sites, Options{}); err == nil {
 		t.Error("missing region should fail")
 	}
-	if _, err := Minimize(st, pl, nil, Options{Region: region()}); err == nil {
+	if _, err := Minimize(context.Background(), st, pl, nil, Options{Region: region()}); err == nil {
 		t.Error("no sites should fail")
 	}
-	if _, err := Minimize(st, geom.NewPlacement(geom.Pt(100, 0)), sites, Options{Region: region()}); err == nil {
+	if _, err := Minimize(context.Background(), st, geom.NewPlacement(geom.Pt(100, 0)), sites, Options{Region: region()}); err == nil {
 		t.Error("TSV outside region should fail")
 	}
-	if _, err := Minimize(st, geom.NewPlacement(geom.Pt(0, 0), geom.Pt(3, 0)), sites, Options{Region: region()}); err == nil {
+	if _, err := Minimize(context.Background(), st, geom.NewPlacement(geom.Pt(0, 0), geom.Pt(3, 0)), sites, Options{Region: region()}); err == nil {
 		t.Error("illegal initial pitch should fail")
 	}
-	if _, err := Minimize(st, pl, []geom.Point{{X: 1, Y: 0}}, Options{Region: region()}); err == nil {
+	if _, err := Minimize(context.Background(), st, pl, []geom.Point{{X: 1, Y: 0}}, Options{Region: region()}); err == nil {
 		t.Error("site inside via should fail")
 	}
 }
@@ -40,7 +45,7 @@ func TestMinimizeReducesViolations(t *testing.T) {
 		{X: 0, Y: 0}, {X: 0, Y: 4}, {X: 0, Y: -4},
 		{X: -9, Y: 0}, {X: 9, Y: 0}, {X: 5, Y: 5},
 	}
-	res, err := Minimize(st, pl, sites, Options{
+	res, err := Minimize(context.Background(), st, pl, sites, Options{
 		Region:     region(),
 		Iterations: 800,
 		Seed:       7,
@@ -78,11 +83,11 @@ func TestMinimizeDeterministic(t *testing.T) {
 	pl := geom.NewPlacement(geom.Pt(-4, 0), geom.Pt(4, 0))
 	sites := []geom.Point{{X: 0, Y: 0}, {X: 0, Y: 5}}
 	opt := Options{Region: region(), Iterations: 150, Seed: 3}
-	a, err := Minimize(st, pl, sites, opt)
+	a, err := Minimize(context.Background(), st, pl, sites, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Minimize(st, pl, sites, opt)
+	b, err := Minimize(context.Background(), st, pl, sites, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +107,7 @@ func TestMinimizeAlreadyClean(t *testing.T) {
 	// must not move it away from the initial position (move penalty).
 	pl := geom.NewPlacement(geom.Pt(-20, -20))
 	sites := []geom.Point{{X: 20, Y: 20}}
-	res, err := Minimize(st, pl, sites, Options{Region: region(), Iterations: 200, Seed: 5})
+	res, err := Minimize(context.Background(), st, pl, sites, Options{Region: region(), Iterations: 200, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,4 +118,90 @@ func TestMinimizeAlreadyClean(t *testing.T) {
 		t.Errorf("TSV drifted %g µm with no pressure to move", d)
 	}
 	_ = math.Pi
+}
+
+// countdownCtx reports no error for the first n Err polls, then
+// context.Canceled forever: it cancels at a deterministic point in the
+// search regardless of machine speed.
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func newCountdownCtx(n int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.remaining.Store(n)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestMinimizeCancellation(t *testing.T) {
+	st := material.Baseline(material.BCB)
+	pl := geom.NewPlacement(geom.Pt(-4, 0), geom.Pt(4, 0))
+	sites := []geom.Point{{X: 0, Y: 0}, {X: 0, Y: 5}}
+	opt := Options{Region: region(), Iterations: 400, Seed: 11}
+
+	t.Run("pre_canceled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := Minimize(ctx, st, pl, sites, opt)
+		if err == nil {
+			t.Fatal("pre-canceled context returned a result")
+		}
+		if !errors.Is(err, core.ErrCanceled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("error %v must match core.ErrCanceled and context.Canceled", err)
+		}
+	})
+	t.Run("mid_search", func(t *testing.T) {
+		// The countdown fires well inside the annealing loop: after the
+		// initial cost evaluation but long before 400 iterations' worth
+		// of polls have run down.
+		_, err := Minimize(newCountdownCtx(25), st, pl, sites, opt)
+		if err == nil {
+			t.Fatal("mid-search cancellation returned a result")
+		}
+		if !errors.Is(err, core.ErrCanceled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("error %v must match core.ErrCanceled and context.Canceled", err)
+		}
+		if !strings.Contains(err.Error(), "iterations") {
+			t.Fatalf("error %v should report annealing progress", err)
+		}
+	})
+	t.Run("inside_objective", func(t *testing.T) {
+		// Enough sites that a single objective evaluation spans several
+		// cost-loop polls; a budget below that count cancels inside it.
+		var many []geom.Point
+		for i := 0; i < 64; i++ {
+			many = append(many, geom.Pt(20+float64(i%8)*2, 20+float64(i/8)*2))
+		}
+		_, err := Minimize(newCountdownCtx(2), st, pl, many, opt)
+		if err == nil {
+			t.Fatal("cancellation inside the objective returned a result")
+		}
+		if !errors.Is(err, core.ErrCanceled) {
+			t.Fatalf("error %v must match core.ErrCanceled", err)
+		}
+	})
+	t.Run("uncanceled_countdown_parity", func(t *testing.T) {
+		// A countdown that never fires must not perturb the search: the
+		// result is identical to a plain background context's.
+		a, err := Minimize(context.Background(), st, pl, sites, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Minimize(newCountdownCtx(1_000_000), st, pl, sites, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.FinalCost != b.FinalCost || a.Accepted != b.Accepted {
+			t.Fatalf("context polling changed the search: cost %g vs %g, accepted %d vs %d",
+				a.FinalCost, b.FinalCost, a.Accepted, b.Accepted)
+		}
+	})
 }

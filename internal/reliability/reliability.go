@@ -60,6 +60,67 @@ type TSVReport struct {
 	Samples     []RingSample
 }
 
+// StressSummary is the per-TSV digest of a ring scan — the local
+// stress state the downstream consumers (the serving screen endpoint,
+// the aging engine's EM and extrusion models) key off without
+// re-walking the samples. All stresses are in MPa.
+type StressSummary struct {
+	Index int
+	// MaxVonMises and MeanVonMises summarize the equivalent (yield /
+	// creep driver) stress over the ring, in MPa.
+	MaxVonMises  float64
+	MeanVonMises float64
+	// MaxTension is the largest interface-normal tensile stress in MPa
+	// (0 if the whole ring is compressive); MaxTensionTheta is its ring
+	// angle in radians.
+	MaxTension      float64
+	MaxTensionTheta float64
+	// MaxShear is the largest |interfacial shear| in MPa.
+	MaxShear float64
+	// MeanHydrostatic is the ring mean of the in-plane hydrostatic
+	// stress (σxx+σyy)/2 in MPa: positive = net tension.
+	MeanHydrostatic float64
+}
+
+// accumulate folds one ring sample into the summary; n is the total
+// sample count used for the running means.
+func (s *StressSummary) accumulate(smp RingSample, n int) {
+	inv := 1 / float64(n)
+	s.MeanVonMises += smp.VonMises * inv
+	s.MeanHydrostatic += smp.Stress.Trace() / 2 * inv
+	if smp.VonMises > s.MaxVonMises {
+		s.MaxVonMises = smp.VonMises
+	}
+	if smp.SigmaRR > s.MaxTension {
+		s.MaxTension = smp.SigmaRR
+		s.MaxTensionTheta = smp.Theta
+	}
+	if a := math.Abs(smp.SigmaRT); a > s.MaxShear {
+		s.MaxShear = a
+	}
+}
+
+// Summary condenses the report's ring samples into the per-TSV stress
+// digest (stresses in MPa). It is the one code path deriving ring
+// statistics — Screen itself populates the report maxima through it.
+func (r *TSVReport) Summary() StressSummary {
+	s := StressSummary{Index: r.Index}
+	for _, smp := range r.Samples {
+		s.accumulate(smp, len(r.Samples))
+	}
+	return s
+}
+
+// Summarize returns the per-TSV stress digests of a screening run in
+// report order (stresses in MPa).
+func Summarize(reports []TSVReport) []StressSummary {
+	out := make([]StressSummary, 0, len(reports))
+	for i := range reports {
+		out = append(out, reports[i].Summary())
+	}
+	return out
+}
+
 // Options configures the screening.
 type Options struct {
 	// NTheta is the number of ring samples per TSV (default 72).
@@ -99,19 +160,16 @@ func Screen(pl *geom.Placement, st material.Structure, eval Evaluator, opt Optio
 			p := geom.Pt(t.Center.X+r*math.Cos(th), t.Center.Y+r*math.Sin(th))
 			s := eval(p)
 			pol := s.ToPolar(th)
-			sample := RingSample{Theta: th, SigmaRR: pol.RR, SigmaRT: pol.RT, VonMises: s.VonMises(), Stress: s}
-			rep.Samples = append(rep.Samples, sample)
-			if pol.RR > rep.MaxTension {
-				rep.MaxTension = pol.RR
-				rep.MaxTensionTheta = th
-			}
-			if a := math.Abs(pol.RT); a > rep.MaxShear {
-				rep.MaxShear = a
-			}
-			if sample.VonMises > rep.MaxVonMises {
-				rep.MaxVonMises = sample.VonMises
-			}
+			rep.Samples = append(rep.Samples, RingSample{Theta: th, SigmaRR: pol.RR, SigmaRT: pol.RT, VonMises: s.VonMises(), Stress: s})
 		}
+		// One accumulation path for ring statistics: the report maxima
+		// are the digest's, so the screen endpoint and the aging engine
+		// can never disagree with the ranking below.
+		sum := rep.Summary()
+		rep.MaxTension = sum.MaxTension
+		rep.MaxTensionTheta = sum.MaxTensionTheta
+		rep.MaxShear = sum.MaxShear
+		rep.MaxVonMises = sum.MaxVonMises
 		reports = append(reports, rep)
 	}
 	return reports, nil

@@ -125,3 +125,52 @@ func TestScreenFrameworkVsBaseline(t *testing.T) {
 			full[0].MaxTension, ls[0].MaxTension)
 	}
 }
+
+// Summarize is the shared digest path: its maxima must agree exactly
+// with the report fields Screen published, its means must sit inside
+// the sample envelope, and the hydrostatic mean must carry the sign of
+// the ring's trace.
+func TestSummarizeMatchesReports(t *testing.T) {
+	st := material.Baseline(material.BCB)
+	pl := geom.NewPlacement(geom.Pt(-5, 0), geom.Pt(5, 0))
+	an, err := core.New(st, pl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := Screen(pl, st, an.StressAt, Options{NTheta: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := Summarize(reports)
+	if len(sums) != len(reports) {
+		t.Fatalf("got %d summaries for %d reports", len(sums), len(reports))
+	}
+	for i, sum := range sums {
+		rep := reports[i]
+		if sum.Index != rep.Index {
+			t.Fatalf("summary %d indexes TSV %d", i, sum.Index)
+		}
+		// Exact agreement: Screen derives its maxima through Summary.
+		if sum.MaxTension != rep.MaxTension || sum.MaxTensionTheta != rep.MaxTensionTheta ||
+			sum.MaxShear != rep.MaxShear || sum.MaxVonMises != rep.MaxVonMises {
+			t.Fatalf("summary %d diverges from report: %+v vs %+v", i, sum, rep)
+		}
+		if sum.MeanVonMises <= 0 || sum.MeanVonMises > sum.MaxVonMises+1e-9 {
+			t.Errorf("TSV %d: mean von Mises %v outside (0, max %v]", i, sum.MeanVonMises, sum.MaxVonMises)
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		mean := 0.0
+		for _, smp := range rep.Samples {
+			h := smp.Stress.Trace() / 2
+			lo = math.Min(lo, h)
+			hi = math.Max(hi, h)
+			mean += h / float64(len(rep.Samples))
+		}
+		if sum.MeanHydrostatic < lo-1e-9 || sum.MeanHydrostatic > hi+1e-9 {
+			t.Errorf("TSV %d: mean hydrostatic %v outside sample range [%v, %v]", i, sum.MeanHydrostatic, lo, hi)
+		}
+		if math.Abs(sum.MeanHydrostatic-mean) > 1e-9*(1+math.Abs(mean)) {
+			t.Errorf("TSV %d: mean hydrostatic %v, recomputed %v", i, sum.MeanHydrostatic, mean)
+		}
+	}
+}

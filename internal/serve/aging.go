@@ -1,0 +1,228 @@
+package serve
+
+//tsvlint:apiboundary
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"tsvstress/internal/aging"
+	"tsvstress/internal/core"
+	"tsvstress/internal/reliability"
+)
+
+// AgingRequest is the POST /v1/placements/{id}/aging body: an optional
+// override of the simulation's time stepping and the uniform per-TSV
+// electrical assignment. Omitted (zero) fields take the engine's
+// defaults; every supplied value is validated (finite, positive where
+// required) before any compute runs.
+type AgingRequest struct {
+	// DTSeconds is the base integration step in seconds (default 1e6).
+	DTSeconds float64 `json:"dtSeconds,omitempty"`
+	// MinDTSeconds is the crossing-localization floor in seconds
+	// (default dtSeconds/4096).
+	MinDTSeconds float64 `json:"minDtSeconds,omitempty"`
+	// MaxTimeSeconds bounds the simulated time per TSV in seconds
+	// (default 1e10); a via outliving it is reported censored.
+	MaxTimeSeconds float64 `json:"maxTimeSeconds,omitempty"`
+	// UnitCurrentA is the per-parallelism-unit current in A (default
+	// 55 mA across a 64-bit interface).
+	UnitCurrentA float64 `json:"unitCurrentA,omitempty"`
+	// MaxParallelism is the starting activation parallelism, a power of
+	// two (default 16).
+	MaxParallelism int `json:"maxParallelism,omitempty"`
+	// NTheta is the interface-ring sample count feeding the stress
+	// summaries (default 72).
+	NTheta int `json:"ntheta,omitempty"`
+	// Workers bounds the simulation fan-out (default GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Top limits the per-TSV detail in the response to the N
+	// shortest-lived vias (default 20; 0 keeps the default, -1 = all).
+	Top int `json:"top,omitempty"`
+}
+
+// AgingTSV is one via's simulated fate on the wire.
+type AgingTSV struct {
+	Index int     `json:"index"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Name  string  `json:"name,omitempty"`
+	// LifetimeSeconds is the EM lifetime in seconds (a lower bound when
+	// Censored).
+	LifetimeSeconds float64 `json:"lifetimeSeconds"`
+	Censored        bool    `json:"censored,omitempty"`
+	VoidRadiusUm    float64 `json:"voidRadiusUm"`
+	ResGainPct      float64 `json:"resGainPct"`
+	// DropTimesSeconds are the parallelism-halving instants in seconds.
+	DropTimesSeconds []float64 `json:"dropTimesSeconds"`
+	ExtrusionNm      float64   `json:"extrusionNm"`
+	ExtrusionRisk    float64   `json:"extrusionRisk"`
+	MaxVonMisesMPa   float64   `json:"maxVonMisesMPa"`
+}
+
+// AgingResponse answers the aging endpoint: the lifetime/extrusion
+// distribution of the session's current placement plus the Top
+// shortest-lived vias in detail.
+type AgingResponse struct {
+	ID      string `json:"id"`
+	NumTSVs int    `json:"numTSVs"`
+	// Censored counts vias that outlived maxTimeSeconds.
+	Censored int `json:"censored"`
+	// Lifetime distribution in seconds.
+	MeanLifetimeSeconds float64 `json:"meanLifetimeSeconds"`
+	MinLifetimeSeconds  float64 `json:"minLifetimeSeconds"`
+	P10LifetimeSeconds  float64 `json:"p10LifetimeSeconds"`
+	// Extrusion distribution: heights in nm, risk dimensionless [0,1].
+	MeanExtrusionNm float64 `json:"meanExtrusionNm"`
+	P90ExtrusionNm  float64 `json:"p90ExtrusionNm"`
+	MeanRisk        float64 `json:"meanRisk"`
+	P90Risk         float64 `json:"p90Risk"`
+	FlushMs         float64 `json:"flushMs"`
+	SimMs           float64 `json:"simMs"`
+	// TSVs are the Top shortest-lived vias, worst first.
+	TSVs []AgingTSV `json:"tsvs"`
+}
+
+// decodeAging decodes and validates an aging request body into the
+// engine's config and drive. It never panics on malformed input and
+// rejects NaN/Inf/negative time steps — the fuzz target pins both.
+func decodeAging(r io.Reader) (AgingRequest, aging.Config, aging.Drive, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req AgingRequest
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		// An empty body is a valid "all defaults" request; anything else
+		// must parse.
+		return AgingRequest{}, aging.Config{}, aging.Drive{}, fmt.Errorf("invalid JSON body: %w", err)
+	}
+	cfg, err := aging.Config{
+		DTSeconds:      req.DTSeconds,
+		MinDTSeconds:   req.MinDTSeconds,
+		MaxTimeSeconds: req.MaxTimeSeconds,
+	}.Normalize()
+	if err != nil {
+		return AgingRequest{}, aging.Config{}, aging.Drive{}, err
+	}
+	d := aging.DefaultDrive()
+	if req.UnitCurrentA != 0 {
+		d.UnitCurrentA = req.UnitCurrentA
+	}
+	if req.MaxParallelism != 0 {
+		d.MaxParallelism = req.MaxParallelism
+	}
+	if err := aging.ValidateDrive(d); err != nil {
+		return AgingRequest{}, aging.Config{}, aging.Drive{}, err
+	}
+	if req.NTheta == 0 {
+		req.NTheta = 72
+	}
+	if req.NTheta < 4 || req.NTheta > 1024 {
+		return AgingRequest{}, aging.Config{}, aging.Drive{}, fmt.Errorf("ntheta %d outside [4, 1024]", req.NTheta)
+	}
+	if req.Workers < 0 {
+		return AgingRequest{}, aging.Config{}, aging.Drive{}, fmt.Errorf("workers %d must be ≥ 0", req.Workers)
+	}
+	switch {
+	case req.Top == 0:
+		req.Top = 20
+	case req.Top < -1:
+		return AgingRequest{}, aging.Config{}, aging.Drive{}, fmt.Errorf("top %d must be ≥ -1", req.Top)
+	}
+	return req, cfg, d, nil
+}
+
+// handleAging runs a bounded lifetime simulation against the session's
+// current placement: flush the stress state, digest every via's
+// interface ring, then integrate the EM + extrusion models per TSV.
+// The simulation observes the request context (cancellation/deadline →
+// 504 like every other compute route).
+func (s *Server) handleAging(w http.ResponseWriter, r *http.Request) {
+	ses, ok := s.sessionFor(w, r)
+	if !ok {
+		return
+	}
+	req, cfg, drive, err := decodeAging(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	unlock := lockSession(ses)
+	defer unlock()
+	flushMs, err := s.flushLocked(r.Context(), ses)
+	if err != nil {
+		s.writeComputeError(w, ses.id, "flush", err)
+		return
+	}
+	setDegradedHeader(w, ses)
+	an := ses.engine.Analyzer()
+	var eval reliability.Evaluator
+	switch ses.engine.Mode() {
+	case core.ModeLS:
+		eval = an.StressLS
+	case core.ModeInteractive:
+		eval = an.Interactive
+	default:
+		eval = an.StressAt
+	}
+	pl := ses.engine.Placement()
+	reports, err := reliability.Screen(pl, ses.st, eval, reliability.Options{NTheta: req.NTheta})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "aging: "+err.Error())
+		return
+	}
+	sums := reliability.Summarize(reports)
+
+	start := time.Now()
+	res, err := aging.SimulateParallel(r.Context(), cfg, sums, aging.UniformDrives(drive, len(sums)), req.Workers)
+	if err != nil {
+		s.writeComputeError(w, ses.id, "aging", err)
+		return
+	}
+	simMs := float64(time.Since(start)) / float64(time.Millisecond)
+
+	ranked := append([]aging.TSVResult(nil), res.TSVs...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		return ranked[i].LifetimeSeconds < ranked[j].LifetimeSeconds
+	})
+	limit := len(ranked)
+	if req.Top >= 0 && req.Top < limit {
+		limit = req.Top
+	}
+	resp := AgingResponse{
+		ID:                  ses.id,
+		NumTSVs:             res.Stats.NumTSVs,
+		Censored:            res.Stats.NumCensored,
+		MeanLifetimeSeconds: res.Stats.MeanLifetimeSeconds,
+		MinLifetimeSeconds:  res.Stats.MinLifetimeSeconds,
+		P10LifetimeSeconds:  res.Stats.P10LifetimeSeconds,
+		MeanExtrusionNm:     res.Stats.MeanExtrusionNm,
+		P90ExtrusionNm:      res.Stats.P90ExtrusionNm,
+		MeanRisk:            res.Stats.MeanRisk,
+		P90Risk:             res.Stats.P90Risk,
+		FlushMs:             flushMs,
+		SimMs:               simMs,
+	}
+	for _, tr := range ranked[:limit] {
+		resp.TSVs = append(resp.TSVs, AgingTSV{
+			Index:            tr.Index,
+			X:                pl.TSVs[tr.Index].Center.X,
+			Y:                pl.TSVs[tr.Index].Center.Y,
+			Name:             pl.TSVs[tr.Index].Name,
+			LifetimeSeconds:  tr.LifetimeSeconds,
+			Censored:         tr.Censored,
+			VoidRadiusUm:     tr.VoidRadiusUm,
+			ResGainPct:       tr.ResGainPct,
+			DropTimesSeconds: tr.DropTimesSeconds,
+			ExtrusionNm:      tr.ExtrusionNm,
+			ExtrusionRisk:    tr.ExtrusionRisk,
+			MaxVonMisesMPa:   tr.MaxVonMisesMPa,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

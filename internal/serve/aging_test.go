@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAgingEndpoint(t *testing.T) {
+	s := NewServer(Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	var created CreateResponse
+	if resp := doJSON(t, c, "POST", ts.URL+"/v1/placements", testPlacement(), &created); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+
+	var ar AgingResponse
+	if resp := doJSON(t, c, "POST", ts.URL+"/v1/placements/"+created.ID+"/aging",
+		AgingRequest{Top: 10}, &ar); resp.StatusCode != http.StatusOK {
+		t.Fatalf("aging: status %d", resp.StatusCode)
+	}
+	if ar.NumTSVs != 36 || ar.Censored != 0 {
+		t.Fatalf("aging response %+v", ar)
+	}
+	if len(ar.TSVs) != 10 {
+		t.Fatalf("top 10 requested, got %d vias", len(ar.TSVs))
+	}
+	for i := 1; i < len(ar.TSVs); i++ {
+		if ar.TSVs[i].LifetimeSeconds < ar.TSVs[i-1].LifetimeSeconds {
+			t.Fatalf("response vias not sorted worst-first: %g before %g",
+				ar.TSVs[i-1].LifetimeSeconds, ar.TSVs[i].LifetimeSeconds)
+		}
+	}
+	if !(ar.MinLifetimeSeconds > 0) || ar.MinLifetimeSeconds > ar.MeanLifetimeSeconds {
+		t.Fatalf("lifetime stats not ordered: %+v", ar)
+	}
+	for _, v := range ar.TSVs {
+		if v.ExtrusionRisk < 0 || v.ExtrusionRisk > 1 {
+			t.Fatalf("via %d risk %g outside [0,1]", v.Index, v.ExtrusionRisk)
+		}
+	}
+
+	// Determinism across requests: same placement, same answer.
+	var ar2 AgingResponse
+	doJSON(t, c, "POST", ts.URL+"/v1/placements/"+created.ID+"/aging", AgingRequest{Top: 10}, &ar2)
+	if ar2.MinLifetimeSeconds != ar.MinLifetimeSeconds || ar2.MeanLifetimeSeconds != ar.MeanLifetimeSeconds {
+		t.Fatalf("aging endpoint not deterministic: %+v vs %+v", ar.MinLifetimeSeconds, ar2.MinLifetimeSeconds)
+	}
+
+	// The per-endpoint counters saw the route and the in-flight gauge
+	// drained back to zero.
+	if v, ok := metricEndpointRequests.Get("aging").(*expvar.Int); !ok || v.Value() < 2 {
+		t.Fatalf("endpoint_requests_total[aging] = %v", metricEndpointRequests.Get("aging"))
+	}
+	if v, ok := metricEndpointInFlight.Get("aging").(*expvar.Int); !ok || v.Value() != 0 {
+		t.Fatalf("endpoint_in_flight[aging] = %v after requests drained", metricEndpointInFlight.Get("aging"))
+	}
+}
+
+func TestAgingValidation(t *testing.T) {
+	s := NewServer(Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	var created CreateResponse
+	doJSON(t, c, "POST", ts.URL+"/v1/placements", testPlacement(), &created)
+	url := ts.URL + "/v1/placements/" + created.ID + "/aging"
+
+	for _, body := range []string{
+		`{"dtSeconds": -1}`,
+		`{"dtSeconds": 1e400}`,
+		`{"maxTimeSeconds": -5}`,
+		`{"unitCurrentA": -0.001}`,
+		`{"maxParallelism": 3}`,
+		`{"ntheta": 2}`,
+		`{"workers": -1}`,
+		`{"top": -7}`,
+		`{"unknownField": 1}`,
+		`{"dtSeconds": "fast"}`,
+	} {
+		resp, err := c.Post(url, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	// Unknown placement → 404.
+	resp, err := c.Post(ts.URL+"/v1/placements/nope/aging", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown placement: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestAgingCancelMidSimulation drills the acceptance criterion: a
+// deadline expiring while the integration loops are running must abort
+// the simulation cooperatively and answer 504.
+func TestAgingCancelMidSimulation(t *testing.T) {
+	s := NewServer(Options{RequestTimeout: time.Second})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	var created CreateResponse
+	if resp := doJSON(t, c, "POST", ts.URL+"/v1/placements", testPlacement(), &created); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	// A 50-second step over a 10⁸-second horizon pins every via at its
+	// 2·10⁶-step budget regardless of its stress state (the EM phase
+	// plus the fixed extrusion horizon always exhaust it), so the 36-via
+	// simulation is deterministically far more work than the one-second
+	// deadline allows and the cancellation fires inside the integration
+	// loops.
+	body := AgingRequest{DTSeconds: 50, MaxTimeSeconds: 1e8}
+	var errResp errorResponse
+	resp := doJSON(t, c, "POST", ts.URL+"/v1/placements/"+created.ID+"/aging", body, &errResp)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("mid-simulation deadline: status %d (%+v), want 504", resp.StatusCode, errResp)
+	}
+	if !strings.Contains(errResp.Error, "canceled") {
+		t.Fatalf("504 body does not name the cancellation: %q", errResp.Error)
+	}
+
+	// A canceled simulation must not quarantine the session: it stays
+	// listed clean and keeps serving. (TestAgingEndpoint covers the
+	// success path under a generous deadline.)
+	var list struct{ Placements []SessionInfo }
+	doJSON(t, c, "GET", ts.URL+"/v1/placements", nil, &list)
+	if len(list.Placements) != 1 || list.Placements[0].Quarantined != "" {
+		t.Fatalf("session after canceled aging: %+v", list.Placements)
+	}
+}

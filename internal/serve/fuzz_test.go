@@ -5,7 +5,57 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"tsvstress/internal/aging"
 )
+
+// FuzzDecodeAging exercises the aging request decoder with arbitrary
+// bodies: it must never panic, must reject non-finite or negative time
+// steps, and any accepted request must normalize to a config the
+// engine's own validation accepts (the decoder and the engine must
+// never disagree about what is runnable).
+func FuzzDecodeAging(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"dtSeconds":1e6,"maxTimeSeconds":1e10}`,
+		`{"dtSeconds":-1}`,
+		`{"dtSeconds":1e400}`,
+		`{"minDtSeconds":2e6,"dtSeconds":1e6}`,
+		`{"unitCurrentA":0.00086,"maxParallelism":16,"workers":4,"top":-1}`,
+		`{"maxParallelism":3}`,
+		`{"ntheta":9999}`,
+		`{"top":-7}`,
+		`{"unknown":1}`,
+		`{"dtSeconds":"fast"}`,
+		`{`,
+		`null`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		req, cfg, drive, err := decodeAging(strings.NewReader(body))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("accepted request yields invalid config: %v", err)
+		}
+		if err := aging.ValidateDrive(drive); err != nil {
+			t.Fatalf("accepted request yields invalid drive: %v", err)
+		}
+		if !(cfg.DTSeconds > 0) || !(cfg.MinDTSeconds > 0) || !(cfg.MaxTimeSeconds > 0) {
+			t.Fatalf("accepted config has non-positive stepping: %+v", cfg)
+		}
+		if req.NTheta < 4 || req.NTheta > 1024 {
+			t.Fatalf("accepted ntheta %d outside [4, 1024]", req.NTheta)
+		}
+		if req.Workers < 0 || req.Top < -1 {
+			t.Fatalf("accepted fan-out bounds %d/%d", req.Workers, req.Top)
+		}
+	})
+}
 
 // FuzzDecodeEdits exercises the edit-batch decoder — the surface both
 // the HTTP handler and WAL replay parse through — with arbitrary

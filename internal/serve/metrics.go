@@ -34,6 +34,12 @@ var (
 	metricRecovered        = new(expvar.Int)   // sessions restored by Recover
 	metricClusterFlushes   = new(expvar.Int)   // flushes routed through the cluster tier
 	metricClusterFallbacks = new(expvar.Int)   // cluster flushes that fell back to local eval
+	// Per-endpoint request accounting, keyed by route name ("create",
+	// "edits", "map", "screen", "aging"): cumulative request counts and
+	// a live in-flight gauge per route, so a dashboard can tell a stuck
+	// aging simulation from edit-path pressure at a glance.
+	metricEndpointRequests = new(expvar.Map).Init()
+	metricEndpointInFlight = new(expvar.Map).Init()
 	editLatency            = newHistogram("edit_latency_ms",
 		1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500)
 	// editLatencyWindow is the rolling complement of the cumulative
@@ -67,6 +73,8 @@ func init() {
 	m.Set("session_queue_depth", expvar.Func(sessionQueueDepths))
 	m.Set("cluster_flushes_total", metricClusterFlushes)
 	m.Set("cluster_fallbacks_total", metricClusterFallbacks)
+	m.Set("endpoint_requests_total", metricEndpointRequests)
+	m.Set("endpoint_in_flight", metricEndpointInFlight)
 	m.Set("cluster", expvar.Func(clusterSnapshot))
 }
 

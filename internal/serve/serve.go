@@ -258,6 +258,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/placements/{id}/edits", s.instrument("edits", s.handleEdits))
 	mux.HandleFunc("GET /v1/placements/{id}/map", s.instrument("map", s.handleMap))
 	mux.HandleFunc("GET /v1/placements/{id}/screen", s.instrument("screen", s.handleScreen))
+	mux.HandleFunc("POST /v1/placements/{id}/aging", s.instrument("aging", s.handleAging))
 	mux.HandleFunc("DELETE /v1/placements/{id}", s.handleDelete)
 	mux.Handle("GET /debug/vars", expvarHandler())
 	mux.Handle("GET /debug/pprof/", prof.Handler())
@@ -343,6 +344,7 @@ func (s *Server) quarantinedCount() int {
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		metricRequests.Add(1)
+		metricEndpointRequests.Add(name, 1)
 		ctx := r.Context()
 		if _, ok := ctx.Deadline(); !ok {
 			var cancel context.CancelFunc
@@ -359,7 +361,11 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		defer release()
 		metricInFlight.Add(1)
-		defer metricInFlight.Add(-1)
+		metricEndpointInFlight.Add(name, 1)
+		defer func() {
+			metricEndpointInFlight.Add(name, -1)
+			metricInFlight.Add(-1)
+		}()
 		h(w, r)
 	}
 }

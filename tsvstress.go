@@ -41,6 +41,8 @@ package tsvstress
 //tsvlint:apiboundary
 
 import (
+	"context"
+
 	"tsvstress/internal/core"
 	"tsvstress/internal/fem"
 	"tsvstress/internal/geom"
@@ -233,7 +235,14 @@ func KeepOutRadius(st Structure, c Carrier, tol float64) (float64, error) {
 // sites within opt.MobilityBudget, using the full semi-analytical
 // framework for stress evaluation.
 func OptimizePlacement(st Structure, initial *Placement, sites []Point, opt OptimizeOptions) (*OptimizeResult, error) {
-	return optimize.Minimize(st, initial, sites, opt)
+	return optimize.Minimize(context.Background(), st, initial, sites, opt)
+}
+
+// OptimizePlacementContext is OptimizePlacement under a context: the
+// annealing search stops between (and inside) objective evaluations
+// when ctx is canceled, returning an error that wraps ctx's error.
+func OptimizePlacementContext(ctx context.Context, st Structure, initial *Placement, sites []Point, opt OptimizeOptions) (*OptimizeResult, error) {
+	return optimize.Minimize(ctx, st, initial, sites, opt)
 }
 
 // ScreenReliability probes the liner/substrate interface ring of every
