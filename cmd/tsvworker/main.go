@@ -22,22 +22,55 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"tsvstress/internal/cluster"
+	"tsvstress/internal/resilience"
 )
+
+// listenRetry binds addr, retrying with deterministic backoff when the
+// port is momentarily unavailable — the common fleet-restart race where
+// the old process's socket lingers in TIME_WAIT or the supervisor
+// restarts workers faster than the kernel releases the port. Binding is
+// how a worker joins the fleet (coordinators register workers by
+// heartbeat), so a transiently busy port should delay registration, not
+// kill the process.
+func listenRetry(ctx context.Context, addr string, attempts int) (net.Listener, error) {
+	bo := resilience.BackoffConfig{Base: 200 * time.Millisecond, Max: 2 * time.Second}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln, nil
+		}
+		lastErr = err
+		if attempt == attempts {
+			break
+		}
+		delay := bo.Next(attempt)
+		log.Printf("bind %s: %v (retry %d/%d in %v)", addr, err, attempt, attempts-1, delay)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+	return nil, lastErr
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tsvworker: ")
 	var (
-		addr    = flag.String("addr", ":9101", "listen address")
-		maxJobs = flag.Int("max-jobs", 8, "job states cached before LRU eviction")
-		threads = flag.Int("threads", 0, "tile-evaluation parallelism (0 = all cores)")
-		drain   = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
+		addr        = flag.String("addr", ":9101", "listen address")
+		maxJobs     = flag.Int("max-jobs", 8, "job states cached before LRU eviction")
+		threads     = flag.Int("threads", 0, "tile-evaluation parallelism (0 = all cores)")
+		drain       = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
+		bindRetries = flag.Int("bind-retries", 5, "listener-bind attempts before giving up (backoff between attempts)")
 	)
 	flag.Parse()
 
@@ -51,9 +84,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	ln, err := listenRetry(ctx, *addr, *bindRetries)
+	if err != nil {
+		log.Fatalf("bind %s: %v", *addr, err)
+	}
+
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("worker listening on %s (job cache %d, threads %d)", *addr, *maxJobs, *threads)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("worker listening on %s (job cache %d, threads %d)", ln.Addr(), *maxJobs, *threads)
 
 	select {
 	case err := <-errc:

@@ -54,9 +54,10 @@ func NewAnalyzer(cfg Config) *analysis.Analyzer {
 	}
 }
 
-// Analyzer is goroleak scoped to the serving, cluster and aging tiers.
+// Analyzer is goroleak scoped to the serving, cluster, aging and
+// resilience tiers.
 var Analyzer = NewAnalyzer(Config{
-	ScopeSuffixes: []string{"internal/serve", "internal/cluster", "internal/aging"},
+	ScopeSuffixes: []string{"internal/serve", "internal/cluster", "internal/aging", "internal/resilience"},
 })
 
 func run(cfg Config, pass *analysis.Pass) error {

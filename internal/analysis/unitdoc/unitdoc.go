@@ -42,6 +42,7 @@ var DefaultConfig = Config{
 		"internal/material", "internal/mobility", "internal/metrics",
 		"internal/reliability", "internal/fem", "internal/field",
 		"internal/potential", "internal/optimize", "internal/aging",
+		"internal/resilience",
 	},
 	StructResults: []string{"Stress", "Polar"},
 }

@@ -377,7 +377,7 @@ func TestWorkerProtocolErrors(t *testing.T) {
 		t.Fatalf("stale epoch eval: err=%v retryable=%v, want retryable 409", err, retryable)
 	}
 	// The full evalChunk path transparently re-inits and evaluates.
-	if _, err := c.evalChunk(context.Background(), w, j, []int32{0, 1}, core.ModeFull, &evalScratch{}); err != nil {
+	if _, _, err := c.evalChunk(context.Background(), w, j, []int32{0, 1}, core.ModeFull, &evalScratch{}); err != nil {
 		t.Fatalf("evalChunk: %v", err)
 	}
 	c.dropJob(j.id)

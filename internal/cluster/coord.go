@@ -20,6 +20,7 @@ import (
 	"tsvstress/internal/faultinject"
 	"tsvstress/internal/geom"
 	"tsvstress/internal/material"
+	"tsvstress/internal/resilience"
 	"tsvstress/internal/tensor"
 )
 
@@ -44,9 +45,14 @@ type CoordinatorOptions struct {
 	// the owner plus one thief).
 	MaxSpeculation int
 	// Client is the HTTP client for worker RPCs (default a dedicated
-	// client with sane connection pooling; eval RPCs carry no timeout
-	// beyond the caller's context).
+	// client with sane connection pooling). Every eval and init RPC
+	// additionally carries a deadline derived from its work size via
+	// Resilience.Deadline.
 	Client *http.Client
+	// Resilience configures retry budgets, backoff, per-worker and
+	// pool-level circuit breakers and per-RPC deadline derivation
+	// (zero value = production defaults; DESIGN.md §18).
+	Resilience resilience.Config
 }
 
 func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
@@ -65,6 +71,7 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 	if o.MaxSpeculation <= 0 {
 		o.MaxSpeculation = 2
 	}
+	o.Resilience = o.Resilience.WithDefaults()
 	return o
 }
 
@@ -84,6 +91,33 @@ type Stats struct {
 	// WorkerFailures counts worker-dead transitions observed by the
 	// scheduler or the heartbeat loop.
 	WorkerFailures int64
+	// Attempts counts eval RPC attempts: first tries, retries and
+	// speculative duplicates alike.
+	Attempts int64
+	// Deadlined counts eval RPC attempts that carried a derived
+	// deadline. Every attempt derives one, so this equals Attempts —
+	// the chaos harness asserts the equality.
+	Deadlined int64
+	// Retries counts budget-consuming same-worker retry attempts.
+	Retries int64
+	// Timeouts counts eval attempts ended by their derived deadline
+	// (not by the caller's own context).
+	Timeouts int64
+	// BudgetTokens is the retry budget's current balance.
+	BudgetTokens float64
+	// BudgetExhausted counts retries denied for lack of budget tokens.
+	BudgetExhausted int64
+	// BreakerOpens totals breaker trips across the per-worker breakers
+	// and the pool breaker.
+	BreakerOpens int64
+	// PoolBreaker is the pool breaker's state ("closed", "open",
+	// "half-open") — the switch that decides the serving tier's
+	// cluster→local fallback.
+	PoolBreaker string
+	// Workers is the per-worker view: live at call time or, after
+	// Close, the final snapshot taken when the heartbeat loop stopped —
+	// the last-known liveness tests and the bench harness read.
+	Workers []WorkerStatus
 }
 
 // WorkerStatus describes one registered worker.
@@ -93,6 +127,16 @@ type WorkerStatus struct {
 	Cores    int
 	LastErr  string
 	LastSeen time.Time
+	// Attempts, Retries and Timeouts count this worker's eval RPCs:
+	// total attempts, budget-consuming retries, and attempts ended by
+	// their derived deadline.
+	Attempts int64
+	Retries  int64
+	Timeouts int64
+	// Breaker is the worker's breaker state; BreakerOpens counts its
+	// trips.
+	Breaker      string
+	BreakerOpens int64
 }
 
 // workerRef is the coordinator's view of one worker process.
@@ -119,6 +163,13 @@ type workerRef struct {
 	// initMu serializes init RPCs to this worker so concurrent loop
 	// goroutines do not ship the same points twice.
 	initMu sync.Mutex
+
+	// breaker gates eval RPCs and heartbeat probes to this worker;
+	// attempts/retries/timeouts feed WorkerStatus and the expvar view.
+	breaker  *resilience.Breaker
+	attempts atomic.Int64
+	retries  atomic.Int64
+	timeouts atomic.Int64
 }
 
 // Coordinator shards tile evaluations across a fleet of workers. It is
@@ -140,6 +191,22 @@ type Coordinator struct {
 	statSteals   atomic.Int64
 	statRequeues atomic.Int64
 	statDead     atomic.Int64
+
+	statAttempts  atomic.Int64
+	statDeadlined atomic.Int64
+	statRetries   atomic.Int64
+	statTimeouts  atomic.Int64
+
+	// budget is the shared retry-token bucket; poolBreaker trips when
+	// whole cluster evaluations fail and gates the serving tier's
+	// cluster→local fallback (DESIGN.md §18).
+	budget      *resilience.Budget
+	poolBreaker *resilience.Breaker
+
+	// finalWorkers is the per-worker snapshot taken by Close, so Stats
+	// keeps answering with last-known worker state after shutdown.
+	finalMu      sync.Mutex
+	finalWorkers []WorkerStatus
 }
 
 // NewCoordinator builds a coordinator over the given worker addresses
@@ -162,10 +229,12 @@ func NewCoordinator(addrs []string, opt CoordinatorOptions) (*Coordinator, error
 		return nil, fmt.Errorf("cluster: job nonce: %w", err)
 	}
 	c := &Coordinator{
-		opt:    opt,
-		hc:     hc,
-		prefix: hex.EncodeToString(nonce[:]),
-		stopCh: make(chan struct{}),
+		opt:         opt,
+		hc:          hc,
+		prefix:      hex.EncodeToString(nonce[:]),
+		stopCh:      make(chan struct{}),
+		budget:      resilience.NewBudget(opt.Resilience.Budget),
+		poolBreaker: resilience.NewBreaker(opt.Resilience.PoolBreaker),
 	}
 	seen := make(map[string]bool, len(addrs))
 	for _, a := range addrs {
@@ -178,31 +247,64 @@ func NewCoordinator(addrs []string, opt CoordinatorOptions) (*Coordinator, error
 		if !strings.Contains(base, "://") {
 			base = "http://" + base
 		}
-		c.workers = append(c.workers, &workerRef{base: strings.TrimRight(base, "/"), inited: make(map[string]uint64)})
+		c.workers = append(c.workers, &workerRef{
+			base:    strings.TrimRight(base, "/"),
+			inited:  make(map[string]uint64),
+			breaker: resilience.NewBreaker(opt.Resilience.Breaker),
+		})
 	}
 	if len(c.workers) == 0 {
 		return nil, errors.New("cluster: no worker addresses")
 	}
+	current.Store(c)
 	if opt.HeartbeatEvery > 0 {
 		go c.heartbeatLoop()
 	}
 	return c, nil
 }
 
-// Close stops the heartbeat loop. In-flight evaluations are unaffected
-// (their contexts govern them).
+// Close stops the heartbeat loop and freezes the per-worker state into
+// the snapshot Stats keeps returning afterwards. In-flight evaluations
+// are unaffected (their contexts govern them).
 func (c *Coordinator) Close() {
-	c.stopOnce.Do(func() { close(c.stopCh) })
+	c.stopOnce.Do(func() {
+		close(c.stopCh)
+		final := c.Workers()
+		c.finalMu.Lock()
+		c.finalWorkers = final
+		c.finalMu.Unlock()
+		current.CompareAndSwap(c, nil)
+	})
 }
 
-// Stats returns a snapshot of the lifetime counters.
+// Stats returns a snapshot of the lifetime counters. After Close the
+// per-worker view is the final snapshot taken at shutdown.
 func (c *Coordinator) Stats() Stats {
+	c.finalMu.Lock()
+	workers := c.finalWorkers
+	c.finalMu.Unlock()
+	if workers == nil {
+		workers = c.Workers()
+	}
+	opens := c.poolBreaker.Opens()
+	for _, w := range workers {
+		opens += w.BreakerOpens
+	}
 	return Stats{
-		Maps:           c.statMaps.Load(),
-		Chunks:         c.statChunks.Load(),
-		Steals:         c.statSteals.Load(),
-		Requeues:       c.statRequeues.Load(),
-		WorkerFailures: c.statDead.Load(),
+		Maps:            c.statMaps.Load(),
+		Chunks:          c.statChunks.Load(),
+		Steals:          c.statSteals.Load(),
+		Requeues:        c.statRequeues.Load(),
+		WorkerFailures:  c.statDead.Load(),
+		Attempts:        c.statAttempts.Load(),
+		Deadlined:       c.statDeadlined.Load(),
+		Retries:         c.statRetries.Load(),
+		Timeouts:        c.statTimeouts.Load(),
+		BudgetTokens:    c.budget.Tokens(),
+		BudgetExhausted: c.budget.Exhausted(),
+		BreakerOpens:    opens,
+		PoolBreaker:     c.poolBreaker.State().String(),
+		Workers:         workers,
 	}
 }
 
@@ -216,6 +318,11 @@ func (c *Coordinator) Workers() []WorkerStatus {
 			st.LastErr = w.lastErr.Error()
 		}
 		w.mu.Unlock()
+		st.Attempts = w.attempts.Load()
+		st.Retries = w.retries.Load()
+		st.Timeouts = w.timeouts.Load()
+		st.Breaker = w.breaker.State().String()
+		st.BreakerOpens = w.breaker.Opens()
 		out = append(out, st)
 	}
 	return out
@@ -280,15 +387,27 @@ func (c *Coordinator) pingAll(ctx context.Context) {
 // init ledger: a restarted process lost its jobs, so every job must be
 // re-shipped in full before its next eval.
 func (c *Coordinator) pingWorker(ctx context.Context, w *workerRef) {
+	// A tripped breaker dampens flapping: the worker sits out the
+	// cool-down, then one probe ping decides whether it rejoins.
+	if !w.breaker.Allow() {
+		return
+	}
 	ctx, cancel := context.WithTimeout(ctx, c.opt.PingTimeout)
 	defer cancel()
+	if err := faultinject.Fire("cluster.coord.ping"); err != nil {
+		w.breaker.OnFailure()
+		c.markDead(w, err)
+		return
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+"/v1/cluster/ping", nil)
 	if err != nil {
+		w.breaker.OnFailure()
 		c.markDead(w, err)
 		return
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		w.breaker.OnFailure()
 		c.markDead(w, err)
 		return
 	}
@@ -298,13 +417,16 @@ func (c *Coordinator) pingWorker(ctx context.Context, w *workerRef) {
 	}()
 	var pr pingResponse
 	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		w.breaker.OnFailure()
 		c.markDead(w, fmt.Errorf("ping decode: %w", err))
 		return
 	}
 	if pr.Proto != protoVersion {
+		w.breaker.OnFailure()
 		c.markDead(w, fmt.Errorf("protocol mismatch: worker speaks v%d, coordinator v%d", pr.Proto, protoVersion))
 		return
 	}
+	w.breaker.OnSuccess()
 	w.mu.Lock()
 	if !w.alive {
 		// (Re)registration: assume any previous job state is gone.
@@ -558,6 +680,7 @@ func (c *Coordinator) eval(ctx context.Context, j *job, dst []tensor.Stress, tl 
 	}
 	live := c.liveWorkers(ctx)
 	if len(live) == 0 {
+		c.poolBreaker.OnFailure()
 		return fmt.Errorf("cluster: no workers alive for job %s", j.id)
 	}
 	chunks := chunkIDs(ids, len(live)*c.opt.ChunksPerWorker)
@@ -601,11 +724,14 @@ func (c *Coordinator) eval(ctx context.Context, j *job, dst []tensor.Stress, tl 
 	_, tilesDone, complete := s.progress()
 	if complete {
 		c.statMaps.Add(1)
+		c.poolBreaker.OnSuccess()
 		return nil
 	}
 	if ctx.Err() != nil {
+		// A caller-canceled run says nothing about cluster health.
 		return &core.CancelError{TilesDone: tilesDone, TilesTotal: len(ids), Cause: ctx.Err()}
 	}
+	c.poolBreaker.OnFailure()
 	errsMu.Lock()
 	joined := errors.Join(workerErrs...)
 	errsMu.Unlock()
@@ -627,24 +753,28 @@ func (c *Coordinator) liveWorkers(ctx context.Context) []*workerRef {
 	if !anySeen {
 		c.pingAll(ctx)
 	}
-	var live []*workerRef
-	for _, w := range c.workers {
-		w.mu.Lock()
-		if w.alive {
-			live = append(live, w)
-		}
-		w.mu.Unlock()
-	}
+	live := c.aliveUntripped()
 	if live == nil {
 		// Nobody alive by heartbeat state: try once more synchronously —
 		// the fleet may have just come up.
 		c.pingAll(ctx)
-		for _, w := range c.workers {
-			w.mu.Lock()
-			if w.alive {
-				live = append(live, w)
-			}
-			w.mu.Unlock()
+		live = c.aliveUntripped()
+	}
+	return live
+}
+
+// aliveUntripped selects the workers that are alive and whose breakers
+// are not cooling down. Tripped() is the non-mutating check: scheduler
+// filtering must not consume the breaker's half-open probe slots, which
+// are reserved for heartbeat pings.
+func (c *Coordinator) aliveUntripped() []*workerRef {
+	var live []*workerRef
+	for _, w := range c.workers {
+		w.mu.Lock()
+		ok := w.alive
+		w.mu.Unlock()
+		if ok && !w.breaker.Tripped() {
+			live = append(live, w)
 		}
 	}
 	return live
@@ -667,15 +797,22 @@ func (c *Coordinator) workerLoop(ctx context.Context, w *workerRef, j *job, s *s
 		if stolen {
 			c.statSteals.Add(1)
 		}
-		records, err := c.evalChunk(ctx, w, j, s.chunks[chunk], mode, sc)
+		records, failed, err := c.evalChunk(ctx, w, j, s.chunks[chunk], mode, sc)
 		if err != nil {
 			if s.fail(chunk) {
 				c.statRequeues.Add(1)
 			}
-			if ctx.Err() != nil {
-				return nil // canceled: not a worker failure
+			// A worker that genuinely failed is marked dead even when the
+			// run's context has since been canceled — completion cancels
+			// stragglers, and a steal finishing the map must not erase the
+			// observation that this worker died under it. A cancellation
+			// with no observed failure says nothing about the worker.
+			if failed {
+				c.markDead(w, err)
 			}
-			c.markDead(w, err)
+			if ctx.Err() != nil {
+				return nil // canceled: the map outcome, not this loop, decides
+			}
 			return err
 		}
 		first, mergeErr := s.finish(chunk, func() error {
@@ -719,10 +856,64 @@ func realiasRecords(records []tileRecord, slab []tensor.Stress) {
 	}
 }
 
-// evalChunk runs one eval RPC against w, transparently (re)initializing
-// the worker's copy of the job when the worker does not know it or
-// holds an older epoch. The returned records alias sc's buffers.
-func (c *Coordinator) evalChunk(ctx context.Context, w *workerRef, j *job, ids []int32, mode core.Mode, sc *evalScratch) ([]tileRecord, error) {
+// evalChunk evaluates ids on w under the resilience policy: up to
+// MaxAttempts tries, each retry paid for from the shared token budget
+// and spaced by deterministic backoff, cut short when the worker's
+// breaker trips mid-sequence. The returned records alias sc's buffers.
+// failed reports whether any attempt failed while the run was still
+// live (as opposed to exits caused purely by ctx cancellation), so the
+// caller can tell a dead worker from a canceled straggler.
+func (c *Coordinator) evalChunk(ctx context.Context, w *workerRef, j *job, ids []int32, mode core.Mode, sc *evalScratch) (records []tileRecord, failed bool, err error) {
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		records, err := c.evalChunkAttempt(ctx, w, j, ids, mode, sc)
+		if err == nil {
+			w.breaker.OnSuccess()
+			c.budget.OnSuccess()
+			return records, failed, nil
+		}
+		if ctx.Err() != nil {
+			return nil, failed, err
+		}
+		failed = true
+		w.breaker.OnFailure()
+		lastErr = err
+		if attempt >= c.opt.Resilience.MaxAttempts {
+			return nil, failed, lastErr
+		}
+		if w.breaker.Tripped() {
+			return nil, failed, fmt.Errorf("worker breaker open: %w", lastErr)
+		}
+		if !c.budget.TryRetry() {
+			return nil, failed, fmt.Errorf("retry budget exhausted: %w", lastErr)
+		}
+		c.statRetries.Add(1)
+		w.retries.Add(1)
+		if err := sleepCtx(ctx, c.opt.Resilience.Backoff.Next(attempt)); err != nil {
+			return nil, failed, err
+		}
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// evalChunkAttempt is one try: it transparently (re)initializes the
+// worker's copy of the job when the worker does not know it or holds an
+// older epoch.
+func (c *Coordinator) evalChunkAttempt(ctx context.Context, w *workerRef, j *job, ids []int32, mode core.Mode, sc *evalScratch) ([]tileRecord, error) {
 	if err := c.ensureInit(ctx, w, j); err != nil {
 		return nil, err
 	}
@@ -792,6 +983,14 @@ func isRetryableStatus(err error) bool {
 // initRPC performs one init POST: spec + placement, plus the point set
 // on a full init.
 func (c *Coordinator) initRPC(ctx context.Context, w *workerRef, j *job, full bool) error {
+	// Init cost scales with the shipped payload: point blocks on a full
+	// init, placement size on a re-init.
+	units := j.pl.Len() / 128
+	if full {
+		units = j.spec.NumPoints / 128
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.opt.Resilience.Deadline.For(units))
+	defer cancel()
 	if err := faultinject.Fire("cluster.coord.init"); err != nil {
 		return err
 	}
@@ -837,6 +1036,23 @@ func (c *Coordinator) initRPC(ctx context.Context, w *workerRef, j *job, full bo
 // stale on the worker). The returned records alias sc's reusable
 // buffers and are valid until its next use.
 func (c *Coordinator) evalRPC(ctx context.Context, w *workerRef, j *job, ids []int32, mode core.Mode, sc *evalScratch) (records []tileRecord, retryable bool, err error) {
+	// Every attempt carries a deadline derived from its tile count, so a
+	// hung worker cannot stall the chunk past its work-sized budget.
+	parent := ctx
+	ctx, cancel := context.WithTimeout(ctx, c.opt.Resilience.Deadline.For(len(ids)))
+	defer cancel()
+	c.statAttempts.Add(1)
+	w.attempts.Add(1)
+	c.statDeadlined.Add(1)
+	// Registered after cancel so it runs before it: an error whose
+	// deadline expired while the caller's own context is still live is a
+	// derived-deadline timeout, not a cancellation.
+	defer func() {
+		if err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) && parent.Err() == nil {
+			c.statTimeouts.Add(1)
+			w.timeouts.Add(1)
+		}
+	}()
 	if err := faultinject.Fire("cluster.coord.eval"); err != nil {
 		return nil, false, err
 	}

@@ -43,9 +43,26 @@ func (c *Coordinator) NewSessionEvaluator() *SessionEvaluator {
 	return &SessionEvaluator{c: c}
 }
 
+// ErrClusterOpen reports an evaluation the pool breaker refused before
+// any RPC was attempted: the cluster recently failed whole evaluations
+// and is cooling down, so the caller fell straight back to local eval.
+var ErrClusterOpen = errors.New("cluster: pool breaker open")
+
 // EvalTiles implements incr.TileEvaluator. Calls must not overlap (the
 // engine serializes flushes; this evaluator inherits that contract).
+//
+// While the coordinator's pool breaker is open, flushes skip the
+// cluster entirely (fast local fallback, no per-worker timeouts to
+// wait out). After the cool-down the breaker's half-open probe lets one
+// flush try the cluster again; success closes the breaker and restores
+// cluster evaluation — the heal path.
 func (ev *SessionEvaluator) EvalTiles(ctx context.Context, an *core.Analyzer, dst []tensor.Stress, pts []geom.Point, tl *core.Tiling, ids []int32, mode core.Mode) error {
+	if !ev.c.poolBreaker.Allow() {
+		if ev.OnFallback != nil {
+			ev.OnFallback(ErrClusterOpen)
+		}
+		return an.EvalTiles(ctx, dst, pts, tl, ids, mode)
+	}
 	j := ev.jobFor(an, pts, tl, mode)
 	err := ev.c.eval(ctx, j, dst, tl, ids, mode)
 	if err == nil {

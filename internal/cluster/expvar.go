@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"expvar"
+	"sync/atomic"
+)
+
+// current is the most recently constructed coordinator, published under
+// the process-wide "tsvcluster" expvar so operators can read breaker
+// states and retry counters from any binary embedding a coordinator
+// (tsvserve attached to a cluster, the bench harness). Close clears it
+// if it still points at the closing coordinator.
+var current atomic.Pointer[Coordinator]
+
+func init() {
+	expvar.Publish("tsvcluster", expvar.Func(func() any {
+		c := current.Load()
+		if c == nil {
+			return nil
+		}
+		return c.ExpvarSnapshot()
+	}))
+}
+
+// ExpvarSnapshot renders the coordinator's resilience counters as a
+// plain map for expvar consumers; internal/serve reuses it for the
+// cluster section of its own metrics endpoint.
+func (c *Coordinator) ExpvarSnapshot() map[string]any {
+	st := c.Stats()
+	workers := make([]map[string]any, 0, len(st.Workers))
+	for _, w := range st.Workers {
+		workers = append(workers, map[string]any{
+			"addr":          w.Addr,
+			"alive":         w.Alive,
+			"cores":         w.Cores,
+			"last_err":      w.LastErr,
+			"attempts":      w.Attempts,
+			"retries":       w.Retries,
+			"timeouts":      w.Timeouts,
+			"breaker":       w.Breaker,
+			"breaker_opens": w.BreakerOpens,
+		})
+	}
+	return map[string]any{
+		"maps":             st.Maps,
+		"chunks":           st.Chunks,
+		"steals":           st.Steals,
+		"requeues":         st.Requeues,
+		"worker_failures":  st.WorkerFailures,
+		"attempts":         st.Attempts,
+		"deadlined":        st.Deadlined,
+		"retries":          st.Retries,
+		"timeouts":         st.Timeouts,
+		"budget_tokens":    st.BudgetTokens,
+		"budget_exhausted": st.BudgetExhausted,
+		"breaker_opens":    st.BreakerOpens,
+		"pool_breaker":     st.PoolBreaker,
+		"workers":          workers,
+	}
+}

@@ -339,6 +339,13 @@ func (w *Worker) handleEval(rw http.ResponseWriter, r *http.Request) {
 	if err := writeFrame(bw, frameResultBatch, job.resultBuf); err != nil {
 		return // client went away; nothing left to report to
 	}
+	// The partial-response drill: an armed fault ends the stream after
+	// the batch frame but before frameDone, so the coordinator sees a
+	// truncated result and must discard it and retry — never merge it.
+	if err := faultinject.Fire("cluster.worker.partial"); err != nil {
+		_ = bw.Flush()
+		return
+	}
 	var done [4]byte
 	binary.LittleEndian.PutUint32(done[:], uint32(len(asn.IDs)))
 	if err := writeFrame(bw, frameDone, done[:]); err != nil {

@@ -1,0 +1,96 @@
+package resilience
+
+import (
+	"math"
+	"sync"
+)
+
+// BudgetConfig sizes a retry token bucket.
+type BudgetConfig struct {
+	// MaxTokens is the bucket capacity and initial fill (default 64).
+	MaxTokens float64
+	// RetryCost is the tokens one retry consumes (default 1).
+	RetryCost float64
+	// SuccessRefund is the tokens one success returns to the bucket,
+	// capped at MaxTokens (default 0.1) — a mostly-healthy system earns
+	// its retries back, a mostly-failing one drains and stays drained.
+	SuccessRefund float64
+}
+
+func (c BudgetConfig) withDefaults() BudgetConfig {
+	if c.MaxTokens <= 0 || math.IsNaN(c.MaxTokens) {
+		c.MaxTokens = 64
+	}
+	if c.RetryCost <= 0 || math.IsNaN(c.RetryCost) {
+		c.RetryCost = 1
+	}
+	if c.SuccessRefund < 0 || math.IsNaN(c.SuccessRefund) {
+		c.SuccessRefund = 0.1
+	}
+	return c
+}
+
+// Budget is a process-wide retry token bucket: every retry (not first
+// attempts) must acquire RetryCost tokens or be dropped. Per-call
+// attempt bounds stop one sick RPC from spinning; the shared budget
+// stops a dying fleet from multiplying bounded retries across every
+// in-flight call into a storm. Safe for concurrent use.
+type Budget struct {
+	mu        sync.Mutex
+	cfg       BudgetConfig
+	tokens    float64
+	retries   int64
+	exhausted int64
+}
+
+// NewBudget builds a full bucket (zero-value config → defaults).
+func NewBudget(cfg BudgetConfig) *Budget {
+	cfg = cfg.withDefaults()
+	return &Budget{cfg: cfg, tokens: cfg.MaxTokens}
+}
+
+// TryRetry acquires one retry's worth of tokens, reporting whether the
+// caller may retry. A denied retry counts toward Exhausted.
+func (b *Budget) TryRetry() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < b.cfg.RetryCost {
+		b.exhausted++
+		return false
+	}
+	b.tokens -= b.cfg.RetryCost
+	b.retries++
+	return true
+}
+
+// OnSuccess refunds SuccessRefund tokens, capped at the bucket size.
+func (b *Budget) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += b.cfg.SuccessRefund
+	if b.tokens > b.cfg.MaxTokens {
+		b.tokens = b.cfg.MaxTokens
+	}
+}
+
+// Tokens returns the current token balance (dimensionless retry
+// tokens).
+func (b *Budget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Retries returns how many retries the budget has granted.
+func (b *Budget) Retries() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.retries
+}
+
+// Exhausted returns how many retries were denied for lack of tokens.
+func (b *Budget) Exhausted() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.exhausted
+}

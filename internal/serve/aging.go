@@ -159,7 +159,7 @@ func (s *Server) handleAging(w http.ResponseWriter, r *http.Request) {
 		s.writeComputeError(w, ses.id, "flush", err)
 		return
 	}
-	setDegradedHeader(w, ses)
+	s.setDegradedHeader(w, ses)
 	an := ses.engine.Analyzer()
 	var eval reliability.Evaluator
 	switch ses.engine.Mode() {

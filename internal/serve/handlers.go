@@ -287,11 +287,13 @@ func (s *Server) flushLocked(ctx context.Context, ses *session) (float64, error)
 }
 
 // setDegradedHeader marks a response whose field values are (partly)
-// Stage-I-only because load shedding degraded the flush. Caller holds
-// ses.mu.
-func setDegradedHeader(w http.ResponseWriter, ses *session) {
+// Stage-I-only because load shedding degraded the flush, with a
+// Retry-After hint telling the client when the queue should have
+// drained enough for a full-accuracy retry. Caller holds ses.mu.
+func (s *Server) setDegradedHeader(w http.ResponseWriter, ses *session) {
 	if ses.engine.Degraded() {
 		w.Header().Set("X-Tsvserve-Degraded", "full->ls")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 }
 
@@ -431,6 +433,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.attachCluster(ses)
 	id, err := s.reserveID()
 	if err != nil {
+		// The slot frees only when a client DELETEs a placement; the
+		// queue-derived interval is still the best polling hint we have.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	}
@@ -599,7 +604,7 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	setDegradedHeader(w, ses)
+	s.setDegradedHeader(w, ses)
 	st := ses.engine.Stats()
 	writeJSON(w, http.StatusOK, EditsResponse{
 		Applied:    len(edits),
@@ -649,7 +654,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		s.writeComputeError(w, ses.id, "flush", err)
 		return
 	}
-	setDegradedHeader(w, ses)
+	s.setDegradedHeader(w, ses)
 	pts, vals := ses.engine.Points(), ses.engine.Values()
 
 	switch format {
@@ -731,7 +736,7 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 		s.writeComputeError(w, ses.id, "flush", err)
 		return
 	}
-	setDegradedHeader(w, ses)
+	s.setDegradedHeader(w, ses)
 	an := ses.engine.Analyzer()
 	var eval reliability.Evaluator
 	switch ses.engine.Mode() {

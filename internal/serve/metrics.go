@@ -267,22 +267,25 @@ func clusterSnapshot() any {
 	if c == nil {
 		return map[string]any{"enabled": false}
 	}
-	st := c.Stats()
-	workers := c.Workers()
-	ws := make([]map[string]any, 0, len(workers))
-	for _, w := range workers {
-		ws = append(ws, map[string]any{"addr": w.Addr, "alive": w.Alive, "cores": w.Cores, "lastErr": w.LastErr})
+	out := c.ExpvarSnapshot()
+	out["enabled"] = true
+	out["workers_alive"] = c.NumAlive()
+	return out
+}
+
+// windowMeanLatency is the mean compute latency over the rolling
+// window, or fallback when the window is empty.
+func windowMeanLatency(fallback time.Duration) time.Duration {
+	snap, ok := editLatencyWindow.snapshot().(map[string]any)
+	if !ok {
+		return fallback
 	}
-	return map[string]any{
-		"enabled":         true,
-		"workers_alive":   c.NumAlive(),
-		"maps_total":      st.Maps,
-		"chunks_total":    st.Chunks,
-		"steals_total":    st.Steals,
-		"requeues_total":  st.Requeues,
-		"worker_failures": st.WorkerFailures,
-		"workers":         ws,
+	count, _ := snap["count"].(int64)
+	sum, _ := snap["sum"].(float64)
+	if count <= 0 {
+		return fallback
 	}
+	return time.Duration(sum / float64(count) * float64(time.Millisecond))
 }
 
 // recordFlush publishes the engine counters of the session that just

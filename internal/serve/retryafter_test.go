@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// retryAfterOf asserts the response carries a Retry-After header inside
+// the documented [1, 60] second clamp and returns it.
+func retryAfterOf(t *testing.T, resp *http.Response) int {
+	t.Helper()
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatal("rejection carries no Retry-After header")
+	}
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 || secs > 60 {
+		t.Fatalf("Retry-After %q outside the [1, 60] second clamp", ra)
+	}
+	return secs
+}
+
+// TestAdmissionRejectRetryAfter pins the 503 shape under saturation:
+// with the process-wide admission semaphore full, a compute request is
+// rejected after AdmissionWait and told when to come back.
+func TestAdmissionRejectRetryAfter(t *testing.T) {
+	s := NewServer(Options{AdmissionWait: 50 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Saturate the semaphore (initializing it first through the normal
+	// admit path), and restore it whatever the test's outcome.
+	release, err := s.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	extra := 0
+	defer func() {
+		for i := 0; i < extra; i++ {
+			<-admitCh
+		}
+	}()
+	for {
+		select {
+		case admitCh <- struct{}{}:
+			extra++
+			continue
+		default:
+		}
+		break
+	}
+
+	var em errorResponse
+	resp := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/placements", chaosPlacement(), &em)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("create under saturation: status %d (%s), want 503", resp.StatusCode, em.Error)
+	}
+	retryAfterOf(t, resp)
+}
+
+// TestSessionLimitRetryAfter pins the 429 shape: the session-limit
+// rejection carries the same queue-derived polling hint.
+func TestSessionLimitRetryAfter(t *testing.T) {
+	s := NewServer(Options{MaxSessions: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	if resp := doJSON(t, c, "POST", ts.URL+"/v1/placements", chaosPlacement(), nil); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first create: status %d", resp.StatusCode)
+	}
+	var em errorResponse
+	resp := doJSON(t, c, "POST", ts.URL+"/v1/placements", chaosPlacement(), &em)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("create past the session limit: status %d (%s), want 429", resp.StatusCode, em.Error)
+	}
+	retryAfterOf(t, resp)
+}
+
+// TestRetryAfterSecondsClamps pins the derivation's bounds directly:
+// whatever the rolling latency window holds, the hint stays in [1, 60].
+func TestRetryAfterSecondsClamps(t *testing.T) {
+	s := NewServer(Options{MaxInFlight: 1})
+	if got := s.retryAfterSeconds(); got < 1 || got > 60 {
+		t.Fatalf("retryAfterSeconds() = %d, want within [1, 60]", got)
+	}
+	// A pathological latency history must hit the ceiling, not escape it.
+	for i := 0; i < 4; i++ {
+		editLatencyWindow.observe(10 * time.Minute)
+	}
+	if got := s.retryAfterSeconds(); got != 60 {
+		t.Fatalf("retryAfterSeconds() = %d under 10-minute mean latency, want the 60s ceiling", got)
+	}
+}

@@ -355,6 +355,7 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		release, err := s.admit(ctx)
 		if err != nil {
 			metricRejects.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			writeError(w, http.StatusServiceUnavailable,
 				fmt.Sprintf("%s: server at capacity (%d in flight): %v", name, s.opt.MaxInFlight, err))
 			return
@@ -402,6 +403,26 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 // full-mode flushes should degrade to Stage I only.
 func (s *Server) shedding() bool {
 	return int(admitWaiting.Load()) >= s.opt.ShedQueueDepth
+}
+
+// retryAfterSeconds derives the Retry-After value for a rejected
+// request: the current admission queue, plus the rejected request
+// itself, drains at MaxInFlight-way parallelism priced at the last
+// minute's mean compute latency (a 250ms prior before any
+// observations). Clamped to [1, 60] so clients neither hammer nor
+// stall.
+func (s *Server) retryAfterSeconds() int {
+	mean := windowMeanLatency(250 * time.Millisecond)
+	queued := admitWaiting.Load() + 1
+	wait := time.Duration(queued) * mean / time.Duration(s.opt.MaxInFlight)
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // getSession looks up a session by the request's {id} path value,
