@@ -1,0 +1,130 @@
+// Command tsvgate runs the stateless routing gateway in front of a
+// pool of tsvserve replicas (DESIGN.md §19): consistent-hash session
+// routing with bounded-load id minting, /readyz health probes gated
+// through per-replica circuit breakers, WAL-shipping session migration
+// when the ring changes, and per-tenant token-bucket quotas.
+//
+// Usage:
+//
+//	tsvgate -addr :9090 -seed 7 \
+//	    -replica ra=http://127.0.0.1:8081=/var/lib/tsv/ra \
+//	    -replica rb=http://127.0.0.1:8082=/var/lib/tsv/rb
+//
+// Every gateway in front of one fleet must run with the same -seed,
+// -vnodes and replica names, or their rings disagree and sessions
+// ping-pong between replicas. Replica names are ring identities: keep
+// them stable across replica restarts and address changes.
+//
+// API: the gateway re-exposes the tsvserve placement API (create,
+// list, edits, map, screen, aging, delete) plus /healthz, /readyz and
+// /debug/vars. Responses stream through verbatim — status, Retry-After
+// and degraded-mode headers included.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tsvstress/internal/gateway"
+)
+
+// parseReplica parses "name=url[=waldir]".
+func parseReplica(spec string) (gateway.Replica, error) {
+	parts := strings.SplitN(spec, "=", 3)
+	if len(parts) < 2 || parts[0] == "" || parts[1] == "" {
+		return gateway.Replica{}, fmt.Errorf("replica spec %q: want name=url[=waldir]", spec)
+	}
+	rep := gateway.Replica{Name: parts[0], URL: strings.TrimSuffix(parts[1], "/")}
+	if len(parts) == 3 {
+		rep.WALDir = parts[2]
+	}
+	return rep, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsvgate: ")
+	var replicas []gateway.Replica
+	var (
+		addr       = flag.String("addr", ":9090", "listen address")
+		seed       = flag.Uint64("seed", 1, "ring seed; identical on every gateway in front of one fleet")
+		vnodes     = flag.Int("vnodes", 128, "virtual nodes per replica on the hash ring")
+		loadFactor = flag.Float64("load-factor", 1.25, "bounded-load cap for new-session minting (×mean)")
+		healthEv   = flag.Duration("health-every", time.Second, "/readyz probe cadence")
+		healthTO   = flag.Duration("health-timeout", 500*time.Millisecond, "per-probe deadline")
+		quotaRate  = flag.Float64("quota-rate", 0, "per-tenant request quota in req/s (0 = quotas off)")
+		quotaBurst = flag.Float64("quota-burst", 0, "per-tenant burst size (default 4×rate)")
+		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Func("replica", "replica spec name=url[=waldir]; repeat per replica (waldir enables dead-owner WAL rescue)", func(spec string) error {
+		rep, err := parseReplica(spec)
+		if err != nil {
+			return err
+		}
+		replicas = append(replicas, rep)
+		return nil
+	})
+	flag.Parse()
+
+	if len(replicas) == 0 {
+		log.Fatal("no replicas: pass at least one -replica name=url[=waldir]")
+	}
+
+	g, err := gateway.New(gateway.Options{
+		Replicas:      replicas,
+		Seed:          *seed,
+		VNodes:        *vnodes,
+		LoadFactor:    *loadFactor,
+		HealthEvery:   *healthEv,
+		HealthTimeout: *healthTO,
+		QuotaRate:     *quotaRate,
+		QuotaBurst:    *quotaBurst,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", g.Handler())
+	mux.Handle("/debug/vars", http.DefaultServeMux) // expvar
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	names := make([]string, len(replicas))
+	for i, r := range replicas {
+		names[i] = r.Name
+	}
+	log.Printf("listening on %s, routing to %d replica(s): %s (seed %d, %d vnodes)",
+		*addr, len(replicas), strings.Join(names, ", "), *seed, *vnodes)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (draining ≤ %v)", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := g.Close(shutCtx); err != nil {
+		log.Printf("close: %v", err)
+	}
+}

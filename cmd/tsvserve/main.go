@@ -51,6 +51,7 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 4, "maximum concurrently executing compute requests")
 		reqTimeout  = flag.Duration("timeout", 60*time.Second, "per-request compute deadline")
 		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
+		maxLive     = flag.Int("max-live-sessions", 0, "sessions kept hydrated in memory; excess cold sessions are evicted to the WAL and rehydrated on demand (0 = no eviction; requires -wal)")
 		walDir      = flag.String("wal", "", "journal directory for crash-safe sessions (empty = sessions die with the process)")
 		snapEvery   = flag.Int("snapshot-every", 8, "edit batches between placement snapshots")
 		shedDepth   = flag.Int("shed-depth", 0, "admission-queue depth that triggers full→ls degradation (0 = 2×max-inflight)")
@@ -66,15 +67,16 @@ func main() {
 	}
 
 	s := serve.NewServer(serve.Options{
-		MaxSessions:    *maxSessions,
-		MaxTSVs:        *maxTSVs,
-		MaxPoints:      *maxPoints,
-		MaxInFlight:    *maxInFlight,
-		RequestTimeout: *reqTimeout,
-		WALDir:         *walDir,
-		SnapshotEvery:  *snapEvery,
-		ShedQueueDepth: *shedDepth,
-		ClusterWorkers: workerAddrs,
+		MaxSessions:     *maxSessions,
+		MaxTSVs:         *maxTSVs,
+		MaxPoints:       *maxPoints,
+		MaxInFlight:     *maxInFlight,
+		RequestTimeout:  *reqTimeout,
+		WALDir:          *walDir,
+		MaxLiveSessions: *maxLive,
+		SnapshotEvery:   *snapEvery,
+		ShedQueueDepth:  *shedDepth,
+		ClusterWorkers:  workerAddrs,
 	})
 	if len(workerAddrs) > 0 {
 		log.Printf("cluster mode: sharding flushes across %d worker(s)", len(workerAddrs))

@@ -72,7 +72,7 @@ func NewAnalyzer(cfg Config) *analysis.Analyzer {
 // Analyzer is ctxflow scoped to this repository's serving tiers and
 // evaluation kernels.
 var Analyzer = NewAnalyzer(Config{
-	ScopeSuffixes: []string{"internal/serve", "internal/cluster", "internal/incr"},
+	ScopeSuffixes: []string{"internal/serve", "internal/cluster", "internal/incr", "internal/gateway"},
 	Targets: []Target{
 		{PkgSuffix: "internal/core", Name: "MapInto"},
 		{PkgSuffix: "internal/core", Name: "EvalTiles"},

@@ -57,7 +57,7 @@ func NewAnalyzer(cfg Config) *analysis.Analyzer {
 // Analyzer is goroleak scoped to the serving, cluster, aging and
 // resilience tiers.
 var Analyzer = NewAnalyzer(Config{
-	ScopeSuffixes: []string{"internal/serve", "internal/cluster", "internal/aging", "internal/resilience"},
+	ScopeSuffixes: []string{"internal/serve", "internal/cluster", "internal/aging", "internal/resilience", "internal/gateway"},
 })
 
 func run(cfg Config, pass *analysis.Pass) error {

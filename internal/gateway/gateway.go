@@ -1,0 +1,326 @@
+package gateway
+
+//tsvlint:apiboundary
+
+// Package gateway is the stateless routing tier in front of a pool of
+// tsvserve replicas (DESIGN.md §19). It owns no session state: a
+// session's home is the pure ring function of its id over the live
+// replica set, so any number of gateways can run side by side. What
+// the gateway adds on top of routing:
+//
+//   - liveness: /readyz probes feed a per-replica circuit breaker;
+//     a tripped replica leaves the routing set until it recovers
+//   - session mobility: when the ring says a session belongs on A but
+//     A answers 404, the gateway finds the session — a fenced export
+//     from another live replica, or the WAL directory a dead replica
+//     left behind — imports it on A and replays the request
+//   - admission: per-tenant token buckets in front of the fleet
+//   - bounded-load id minting: new sessions get gateway-minted ids
+//     re-salted until the owner is below the fleet's load cap
+//
+// Lock order: //tsvlint:lockorder Gateway.mu < quotaTable.mu
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsvstress/internal/floats"
+	"tsvstress/internal/resilience"
+)
+
+// Replica is one tsvserve instance behind the gateway.
+type Replica struct {
+	// Name is the replica's stable ring identity. It must survive
+	// restarts and address changes, or every restart reshuffles the
+	// ring.
+	Name string
+	// URL is the replica's base URL (e.g. "http://10.0.0.7:8080").
+	URL string
+	// WALDir, when the gateway can reach the replica's WAL directory
+	// (shared or local disk), enables dead-owner rescue: sessions of a
+	// crashed replica are lifted straight from its journals instead of
+	// waiting for it to come back.
+	WALDir string
+}
+
+// Options configures a Gateway.
+type Options struct {
+	// Replicas is the fleet (at least one).
+	Replicas []Replica
+	// Seed makes ring placement and id minting deterministic across
+	// gateway instances; every gateway in front of one fleet must use
+	// the same seed.
+	Seed uint64
+	// VNodes is the ring's virtual-node count per replica (default 128).
+	VNodes int
+	// HealthEvery is the /readyz probe cadence (default 1s).
+	HealthEvery time.Duration
+	// HealthTimeout bounds one probe (default 500ms).
+	HealthTimeout time.Duration
+	// LoadFactor is the bounded-load cap: a replica is "full" for id
+	// minting once it holds more than LoadFactor × (sessions/alive)
+	// of the gateway-created sessions (default 1.25).
+	LoadFactor float64
+	// MintAttempts bounds the re-salting loop (default 16).
+	MintAttempts int
+	// QuotaRate is the per-tenant token refill rate in requests/sec;
+	// 0 disables quotas.
+	QuotaRate float64
+	// QuotaBurst is the per-tenant bucket size (default 4×QuotaRate,
+	// minimum 1, when quotas are on).
+	QuotaBurst float64
+	// Client overrides the forwarding HTTP client (tests).
+	Client *http.Client
+	// Breaker tunes the per-replica health breakers.
+	Breaker resilience.BreakerConfig
+}
+
+func (o Options) withDefaults() Options {
+	if o.VNodes <= 0 {
+		o.VNodes = 128
+	}
+	if o.HealthEvery <= 0 {
+		o.HealthEvery = time.Second
+	}
+	if o.HealthTimeout <= 0 {
+		o.HealthTimeout = 500 * time.Millisecond
+	}
+	if o.LoadFactor < 1 {
+		o.LoadFactor = 1.25
+	}
+	if o.MintAttempts <= 0 {
+		o.MintAttempts = 16
+	}
+	if o.QuotaRate > 0 && o.QuotaBurst <= 0 {
+		o.QuotaBurst = 4 * o.QuotaRate
+		if o.QuotaBurst < 1 {
+			o.QuotaBurst = 1
+		}
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// replicaState is the gateway's view of one replica.
+type replicaState struct {
+	rep     Replica
+	breaker *resilience.Breaker
+	// alive is the latest health verdict (probe or forward outcome).
+	alive atomic.Bool
+	// sessions is this gateway's bounded-load accounting: sessions it
+	// minted onto the replica minus sessions it migrated away. An
+	// estimate, not a census — the cap only needs to spread load.
+	sessions atomic.Int64
+	routed   atomic.Int64
+	errors   atomic.Int64
+}
+
+// Gateway routes placement traffic onto a replica fleet.
+type Gateway struct {
+	opt  Options
+	ring *Ring
+	reps map[string]*replicaState
+
+	quotas *quotaTable
+
+	// mintSalt makes successive minted ids distinct within a process.
+	mintSalt atomic.Uint64
+
+	// migrating serializes concurrent migrations of one session id.
+	// Guarded by mu.
+	mu        sync.Mutex
+	migrating map[string]chan struct{}
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New builds a gateway and starts its health-probe loop. Close stops
+// it.
+func New(opt Options) (*Gateway, error) {
+	if !floats.AllFinite(opt.LoadFactor, opt.QuotaRate, opt.QuotaBurst) {
+		return nil, fmt.Errorf("gateway: non-finite option (load factor %v, quota rate %v, burst %v)",
+			opt.LoadFactor, opt.QuotaRate, opt.QuotaBurst)
+	}
+	opt = opt.withDefaults()
+	names := make([]string, 0, len(opt.Replicas))
+	for _, r := range opt.Replicas {
+		if r.URL == "" {
+			return nil, fmt.Errorf("gateway: replica %q has no URL", r.Name)
+		}
+		names = append(names, r.Name)
+	}
+	ring, err := NewRing(opt.Seed, names, opt.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		opt:       opt,
+		ring:      ring,
+		reps:      make(map[string]*replicaState, len(opt.Replicas)),
+		quotas:    newQuotaTable(opt.QuotaRate, opt.QuotaBurst),
+		migrating: make(map[string]chan struct{}),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	for _, r := range opt.Replicas {
+		st := &replicaState{rep: r, breaker: resilience.NewBreaker(opt.Breaker)}
+		st.alive.Store(true) // optimistic until the first probe says otherwise
+		g.reps[r.Name] = st
+	}
+	registerGateway(g)
+	go g.healthLoop()
+	return g, nil
+}
+
+// healthLoop probes every replica's /readyz on a fixed cadence. Probe
+// outcomes feed the same breaker forwarding does, so a replica that
+// fails requests trips even between probes, and a recovered one is
+// readmitted by the next successful probe.
+func (g *Gateway) healthLoop() {
+	defer close(g.done)
+	t := time.NewTicker(g.opt.HealthEvery)
+	defer t.Stop()
+	g.probeAll() // first verdicts immediately, not a tick later
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.probeAll()
+		}
+	}
+}
+
+func (g *Gateway) probeAll() {
+	var wg sync.WaitGroup
+	for _, st := range g.reps {
+		wg.Add(1)
+		go func(st *replicaState) {
+			defer wg.Done()
+			g.probe(st)
+		}(st)
+	}
+	wg.Wait()
+}
+
+func (g *Gateway) probe(st *replicaState) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.opt.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, st.rep.URL+"/readyz", nil)
+	if err != nil {
+		st.alive.Store(false)
+		return
+	}
+	resp, err := g.opt.Client.Do(req)
+	ok := err == nil && resp.StatusCode == http.StatusOK
+	if resp != nil {
+		resp.Body.Close()
+	}
+	if ok {
+		st.breaker.OnSuccess()
+		st.alive.Store(true)
+	} else {
+		st.breaker.OnFailure()
+		// A not-ready replica (recovering, overloaded) leaves the
+		// routing set immediately; the breaker only governs how
+		// eagerly we keep asking.
+		st.alive.Store(false)
+	}
+}
+
+// aliveFn is the liveness view Ring.Owner consumes: a replica routes
+// only when its latest probe succeeded and its breaker admits traffic.
+func (g *Gateway) aliveFn() func(string) bool {
+	return func(name string) bool {
+		st, ok := g.reps[name]
+		return ok && st.alive.Load() && !st.breaker.Tripped()
+	}
+}
+
+func (g *Gateway) numAlive() int {
+	alive := g.aliveFn()
+	n := 0
+	for name := range g.reps {
+		if alive(name) {
+			n++
+		}
+	}
+	return n
+}
+
+// owner resolves a session id to its home replica, or nil when the
+// fleet is entirely down.
+func (g *Gateway) owner(id string) *replicaState {
+	name := g.ring.Owner(id, g.aliveFn())
+	if name == "" {
+		return nil
+	}
+	return g.reps[name]
+}
+
+// mintID picks an id for a new session with bounded load: candidates
+// are re-salted until one lands on a replica holding no more than
+// LoadFactor × mean of this gateway's sessions. If every attempt lands
+// hot (tiny fleets, skewed liveness) the least-loaded candidate wins.
+func (g *Gateway) mintID(tenant string) (string, *replicaState) {
+	alive := g.numAlive()
+	if alive == 0 {
+		return "", nil
+	}
+	var total int64
+	for _, st := range g.reps {
+		total += st.sessions.Load()
+	}
+	cap64 := float64(total+1)/float64(alive)*g.opt.LoadFactor + 1
+	var bestID string
+	var best *replicaState
+	for i := 0; i < g.opt.MintAttempts; i++ {
+		salt := g.mintSalt.Add(1)
+		id := fmt.Sprintf("s-%016x", hash64(g.opt.Seed, tenant, fmt.Sprintf("%d", salt)))
+		st := g.owner(id)
+		if st == nil {
+			return "", nil
+		}
+		if best == nil || st.sessions.Load() < best.sessions.Load() {
+			bestID, best = id, st
+		}
+		if float64(st.sessions.Load()) <= cap64 {
+			return id, st
+		}
+	}
+	return bestID, best
+}
+
+// Close drains the gateway: new requests are refused with 503, every
+// in-flight request (including any migration it is driving) finishes,
+// and the health loop stops. Sessions need no handling — they live on
+// the replicas, durable in their WALs. Returns ctx.Err() if the drain
+// outlives the context.
+func (g *Gateway) Close(ctx context.Context) error {
+	g.draining.Store(true)
+	close(g.stop)
+	<-g.done
+	drained := make(chan struct{})
+	go func() {
+		g.inflight.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("gateway: drain: %w", ctx.Err())
+	}
+}
+
+var errDraining = errors.New("gateway is draining; retry against another gateway")

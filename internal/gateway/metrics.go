@@ -1,0 +1,94 @@
+package gateway
+
+// Gateway metrics, published once under the process-global "tsvgate"
+// expvar map (mirroring the "tsvserve" map one layer down). Counters
+// are package-level so tests constructing many Gateways aggregate; the
+// per-replica snapshot reads the most recently constructed Gateway.
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net/http"
+	"sort"
+	"sync/atomic"
+)
+
+var (
+	metricRouted            = new(expvar.Int) // requests forwarded to a replica
+	metricForwardErrors     = new(expvar.Int) // transport-level forward failures
+	metricMigrations        = new(expvar.Int) // sessions shipped to their ring owner
+	metricMigrationFailures = new(expvar.Int) // migrations that found the WAL but failed to land it
+	metricEvictionsDead     = new(expvar.Int) // dead-owner WAL copies evicted after rescue
+	metricQuotaRejections   = new(expvar.Int) // requests refused by tenant quota
+	metricMinted            = new(expvar.Int) // sessions created through bounded-load minting
+	// Per-tenant accounting, keyed by the X-Tsvgate-Tenant header.
+	metricTenantRouted     = new(expvar.Map).Init()
+	metricTenantRejections = new(expvar.Map).Init()
+)
+
+func init() {
+	m := expvar.NewMap("tsvgate")
+	m.Set("routed_total", metricRouted)
+	m.Set("forward_errors_total", metricForwardErrors)
+	m.Set("migrations_total", metricMigrations)
+	m.Set("migration_failures_total", metricMigrationFailures)
+	m.Set("evictions_total", metricEvictionsDead)
+	m.Set("quota_rejections_total", metricQuotaRejections)
+	m.Set("minted_sessions_total", metricMinted)
+	m.Set("tenant_routed_total", metricTenantRouted)
+	m.Set("tenant_quota_rejections_total", metricTenantRejections)
+	m.Set("replicas", expvar.Func(replicaSnapshot))
+}
+
+// activeGateway is the gateway the expvar page reports on (the newest
+// wins; expvar names are process-global anyway).
+var activeGateway atomic.Pointer[Gateway]
+
+func registerGateway(g *Gateway) { activeGateway.Store(g) }
+
+// replicaSnapshot is the per-replica health/traffic table: liveness,
+// breaker state, forwarded counts and the gateway's bounded-load
+// session estimate.
+func replicaSnapshot() any {
+	g := activeGateway.Load()
+	if g == nil {
+		return map[string]any{}
+	}
+	alive := g.aliveFn()
+	out := make(map[string]any, len(g.reps))
+	names := make([]string, 0, len(g.reps))
+	for name := range g.reps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := g.reps[name]
+		out[name] = map[string]any{
+			"alive":    alive(name),
+			"breaker":  st.breaker.State().String(),
+			"opens":    st.breaker.Opens(),
+			"routed":   st.routed.Load(),
+			"errors":   st.errors.Load(),
+			"sessions": st.sessions.Load(),
+		}
+	}
+	return out
+}
+
+// ---- small HTTP helpers (the gateway speaks the same JSON error
+// shape as the replicas) ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func decodeJSON(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}

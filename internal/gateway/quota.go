@@ -1,0 +1,55 @@
+package gateway
+
+// Per-tenant admission: a classic token bucket per tenant, refilled at
+// QuotaRate tokens/sec up to QuotaBurst. The gateway applies it in
+// front of the whole fleet so one tenant's load-test cannot starve the
+// replicas for everyone else. Zero rate disables quotas entirely.
+
+import (
+	"sync"
+	"time"
+)
+
+type quotaTable struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // test clock
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotaTable(rate, burst float64) *quotaTable {
+	return &quotaTable{rate: rate, burst: burst, buckets: make(map[string]*bucket), now: time.Now}
+}
+
+// allow consumes one token from the tenant's bucket, reporting whether
+// the request may proceed.
+func (q *quotaTable) allow(tenant string) bool {
+	if q.rate <= 0 {
+		return true
+	}
+	now := q.now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * q.rate
+	if b.tokens > q.burst {
+		b.tokens = q.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

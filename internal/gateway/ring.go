@@ -1,0 +1,112 @@
+package gateway
+
+// Consistent-hash ring: the routing function of the horizontal tier.
+// Session ownership is owner = Ring.Owner(id, alive) — a pure function
+// of the id, the configured replica set and the current liveness view,
+// so a fleet of stateless gateways sharing a config and a seed agree
+// on every session's home without coordination.
+//
+// Each replica projects VNodes points onto a 64-bit circle; a key is
+// owned by the first point clockwise of its hash whose replica is
+// alive. Virtual nodes bound the imbalance (≈ 1/√VNodes relative
+// spread) and, with the clockwise-walk fallback, a dead replica's keys
+// redistribute across the survivors instead of landing on one
+// neighbor. Adding or removing one replica moves only the keys whose
+// first live point belonged to it — ≤ ceil(K/N) plus vnode-variance
+// slack of the K keys; the property test pins this.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// hash64 is a seeded FNV/splitmix hybrid: cheap, allocation-free and
+// deterministic across processes (the fleet must agree), with a
+// splitmix64 finalizer so close keys land far apart on the circle.
+func hash64(seed uint64, parts ...string) uint64 {
+	h := seed ^ 0x9e3779b97f4a7c15
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= 0x100000001b3
+		}
+		h ^= 0xff // part separator, so ("ab","c") != ("a","bc")
+		h *= 0x100000001b3
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int // index into Ring.names
+}
+
+// Ring is an immutable consistent-hash ring over a replica set.
+// Liveness is supplied per lookup, not baked into the ring, so a
+// flapping replica never forces a rebuild.
+type Ring struct {
+	names  []string
+	points []ringPoint // sorted by hash
+	seed   uint64
+}
+
+// NewRing builds a ring with vnodes points per replica (≤ 0 defaults
+// to 128). Replica names must be unique and non-empty — they are the
+// ring identity, stable across address changes.
+func NewRing(seed uint64, names []string, vnodes int) (*Ring, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("gateway: ring needs at least one replica")
+	}
+	if vnodes <= 0 {
+		vnodes = 128
+	}
+	seen := make(map[string]bool, len(names))
+	r := &Ring{names: append([]string(nil), names...), seed: seed}
+	r.points = make([]ringPoint, 0, len(names)*vnodes)
+	for ri, name := range r.names {
+		if name == "" || seen[name] {
+			return nil, fmt.Errorf("gateway: ring replica %d: duplicate or empty name %q", ri, name)
+		}
+		seen[name] = true
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hash64(seed, name, fmt.Sprintf("v%d", v)),
+				replica: ri,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.replica < b.replica // total order: hash collisions stay deterministic
+	})
+	return r, nil
+}
+
+// Owner returns the replica owning key under the given liveness view
+// (nil alive means all replicas are live), or "" when no replica is
+// alive.
+func (r *Ring) Owner(key string, alive func(name string) bool) string {
+	h := hash64(r.seed, key)
+	n := len(r.points)
+	start := sort.Search(n, func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < n; i++ {
+		p := r.points[(start+i)%n]
+		name := r.names[p.replica]
+		if alive == nil || alive(name) {
+			return name
+		}
+	}
+	return ""
+}
+
+// Replicas returns the configured replica names (ring order is
+// configuration order, not circle order).
+func (r *Ring) Replicas() []string { return append([]string(nil), r.names...) }

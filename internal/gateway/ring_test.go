@@ -1,0 +1,149 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(k int) []string {
+	keys := make([]string, k)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("s-%016x", hash64(99, fmt.Sprintf("key-%d", i)))
+	}
+	return keys
+}
+
+func ownersOf(r *Ring, keys []string, alive func(string) bool) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		out[k] = r.Owner(k, alive)
+	}
+	return out
+}
+
+// TestRingBalance: with 128 vnodes the per-replica share stays within
+// ±35% of the mean — the bound the bounded-load minting layer assumes
+// as its starting point.
+func TestRingBalance(t *testing.T) {
+	const K, N = 20000, 5
+	names := make([]string, N)
+	for i := range names {
+		names[i] = fmt.Sprintf("replica-%d", i)
+	}
+	r, err := NewRing(7, names, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, k := range ringKeys(K) {
+		counts[r.Owner(k, nil)]++
+	}
+	mean := float64(K) / N
+	for name, c := range counts {
+		if f := float64(c) / mean; f < 0.65 || f > 1.35 {
+			t.Errorf("replica %s owns %d keys (%.2fx mean)", name, c, f)
+		}
+	}
+}
+
+// TestRingSingleReplicaDelta is the consistency property: adding or
+// removing one replica moves at most ceil(K/N)+slack keys, and every
+// moved key moves to (or away from) exactly the changed replica.
+func TestRingSingleReplicaDelta(t *testing.T) {
+	const K = 10000
+	keys := ringKeys(K)
+	names := []string{"a", "b", "c", "d"}
+	r4, err := NewRing(7, names, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5, err := NewRing(7, append(append([]string{}, names...), "e"), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ownersOf(r4, keys, nil)
+	after := ownersOf(r5, keys, nil)
+
+	// Adding "e": every moved key must land on "e", and the count is
+	// bounded by its fair share plus vnode-variance slack.
+	moved := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			moved++
+			if after[k] != "e" {
+				t.Fatalf("key %s moved %s -> %s, not to the new replica", k, before[k], after[k])
+			}
+		}
+	}
+	bound := (K+len(names)-1)/len(names) + K/10 // ceil(K/N) + 10% slack
+	if moved == 0 || moved > bound {
+		t.Fatalf("adding one replica moved %d of %d keys (bound %d)", moved, K, bound)
+	}
+
+	// Removing a replica via the liveness view: only its keys move, and
+	// they spread over the survivors rather than pile on one neighbor.
+	aliveNotB := func(n string) bool { return n != "b" }
+	redistributed := ownersOf(r4, keys, aliveNotB)
+	landed := map[string]int{}
+	for _, k := range keys {
+		if before[k] != "b" {
+			if redistributed[k] != before[k] {
+				t.Fatalf("key %s not owned by b moved %s -> %s on b's death", k, before[k], redistributed[k])
+			}
+			continue
+		}
+		if redistributed[k] == "b" {
+			t.Fatalf("key %s still routed to dead replica b", k)
+		}
+		landed[redistributed[k]]++
+	}
+	if len(landed) < 2 {
+		t.Fatalf("b's keys all landed on one survivor: %v", landed)
+	}
+}
+
+// TestRingDeterminism: two rings with the same seed and replica set
+// agree on every key — the property that lets gateways scale out
+// statelessly.
+func TestRingDeterminism(t *testing.T) {
+	names := []string{"x", "y", "z"}
+	r1, _ := NewRing(42, names, 64)
+	r2, _ := NewRing(42, names, 64)
+	for _, k := range ringKeys(500) {
+		if r1.Owner(k, nil) != r2.Owner(k, nil) {
+			t.Fatalf("rings with equal config disagree on %s", k)
+		}
+	}
+	r3, _ := NewRing(43, names, 64)
+	diff := 0
+	for _, k := range ringKeys(500) {
+		if r1.Owner(k, nil) != r3.Owner(k, nil) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("changing the seed changed nothing — seed is not wired into placement")
+	}
+}
+
+// TestRingRejectsBadConfig: duplicate or empty names and empty fleets
+// must fail construction, not corrupt routing.
+func TestRingRejectsBadConfig(t *testing.T) {
+	if _, err := NewRing(1, nil, 8); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := NewRing(1, []string{"a", "a"}, 8); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	if _, err := NewRing(1, []string{"a", ""}, 8); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+// TestRingAllDead: no live replica → "" (the gateway maps this to 503).
+func TestRingAllDead(t *testing.T) {
+	r, _ := NewRing(1, []string{"a", "b"}, 8)
+	if got := r.Owner("k", func(string) bool { return false }); got != "" {
+		t.Fatalf("owner over a dead fleet = %q, want empty", got)
+	}
+}

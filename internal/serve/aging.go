@@ -142,18 +142,16 @@ func decodeAging(r io.Reader) (AgingRequest, aging.Config, aging.Drive, error) {
 // The simulation observes the request context (cancellation/deadline →
 // 504 like every other compute route).
 func (s *Server) handleAging(w http.ResponseWriter, r *http.Request) {
-	ses, ok := s.sessionFor(w, r)
+	ses, unlock, ok := s.acquireSession(w, r)
 	if !ok {
 		return
 	}
+	defer unlock()
 	req, cfg, drive, err := decodeAging(r.Body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-
-	unlock := lockSession(ses)
-	defer unlock()
 	flushMs, err := s.flushLocked(r.Context(), ses)
 	if err != nil {
 		s.writeComputeError(w, ses.id, "flush", err)

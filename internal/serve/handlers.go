@@ -77,6 +77,9 @@ type SessionInfo struct {
 	// Quarantined is the non-empty reason this session refuses compute
 	// requests (contained panic or durability failure).
 	Quarantined string `json:"quarantined,omitempty"`
+	// Evicted marks a session whose engine was released to disk; the
+	// next compute request rehydrates it from its WAL.
+	Evicted bool `json:"evicted,omitempty"`
 }
 
 // EditWire is one placement edit: op "add" (x, y, optional name),
@@ -297,22 +300,6 @@ func (s *Server) setDegradedHeader(w http.ResponseWriter, ses *session) {
 	}
 }
 
-// sessionFor resolves the request's session or writes the 404/503 and
-// returns false.
-func (s *Server) sessionFor(w http.ResponseWriter, r *http.Request) (*session, bool) {
-	ses, err := s.getSession(r)
-	if err != nil {
-		var qe *quarantinedError
-		if errors.As(err, &qe) {
-			writeError(w, http.StatusServiceUnavailable, qe.Error())
-		} else {
-			writeError(w, http.StatusNotFound, err.Error())
-		}
-		return nil, false
-	}
-	return ses, true
-}
-
 // writeComputeError maps an engine failure to its HTTP shape: a
 // contained kernel panic quarantines the session (500), a cooperative
 // cancellation is a 504 with partial-progress detail, anything else is
@@ -430,13 +417,36 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ses := &session{engine: engine, st: st, liner: linerName, mode: modeName, created: time.Now()}
+	// The meta record lives on the session even without a WAL: it is
+	// what export synthesizes a bundle from, and the grid derives from
+	// the *initial* placement bounds, so it must survive verbatim.
+	ses.meta = metaRecord{
+		TSVs:    wireTSVs(pl),
+		Liner:   linerName,
+		Mode:    modeName,
+		Spacing: spacing,
+		Margin:  margin,
+		MMax:    req.MMax,
+		Created: ses.created,
+	}
 	s.attachCluster(ses)
-	id, err := s.reserveID()
+	// The gateway mints session ids so routing stays a pure function of
+	// the id; a bare client lets the server number the session.
+	id, err := s.reserveID(r.Header.Get("X-Tsvgate-Session"))
 	if err != nil {
-		// The slot frees only when a client DELETEs a placement; the
-		// queue-derived interval is still the best polling hint we have.
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		var taken *idTakenError
+		var invalid *invalidIDError
+		switch {
+		case errors.As(err, &taken):
+			writeError(w, http.StatusConflict, err.Error())
+		case errors.As(err, &invalid):
+			writeError(w, http.StatusUnprocessableEntity, err.Error())
+		default:
+			// The slot frees only when a client DELETEs a placement; the
+			// queue-derived interval is still the best polling hint we have.
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			writeError(w, http.StatusTooManyRequests, err.Error())
+		}
 		return
 	}
 	// Open the journal before the session is published: a session that
@@ -444,15 +454,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	// edit batch could be acknowledged in the window where it would not
 	// be journaled — durability the client was promised but never had.
 	if s.opt.WALDir != "" {
-		meta, err := json.Marshal(metaRecord{
-			TSVs:    wireTSVs(pl),
-			Liner:   linerName,
-			Mode:    modeName,
-			Spacing: spacing,
-			Margin:  margin,
-			MMax:    req.MMax,
-			Created: ses.created,
-		})
+		meta, err := marshalMeta(ses.meta)
 		if err == nil {
 			ses.log, err = wal.Create(s.sessionDir(id), meta)
 		}
@@ -463,6 +465,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.ensureLiveCapacity(1)
 	s.publishSession(id, ses)
 	writeJSON(w, http.StatusCreated, CreateResponse{
 		ID:        id,
@@ -490,11 +493,22 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	for _, ses := range s.sessions {
 		entries = append(entries, listEntry{ses: ses, quarantined: ses.quarantined})
 	}
+	evictedIDs := make([]string, 0, len(s.evicted))
+	for id := range s.evicted {
+		evictedIDs = append(evictedIDs, id)
+	}
 	s.mu.Unlock()
-	infos := make([]SessionInfo, 0, len(entries))
+	infos := make([]SessionInfo, 0, len(entries)+len(evictedIDs))
 	for _, e := range entries {
 		ses := e.ses
 		ses.mu.Lock()
+		if ses.evicted {
+			// Lost a race with the LRU sweep: the engine is gone. The id
+			// will reappear below on a later list; skip it rather than
+			// dereference a released engine.
+			ses.mu.Unlock()
+			continue
+		}
 		infos = append(infos, SessionInfo{
 			ID:          ses.id,
 			NumTSVs:     ses.engine.NumTSVs(),
@@ -507,23 +521,24 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		})
 		ses.mu.Unlock()
 	}
+	for _, id := range evictedIDs {
+		infos = append(infos, SessionInfo{ID: id, Evicted: true})
+	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
 	writeJSON(w, http.StatusOK, map[string]any{"placements": infos})
 }
 
 func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
-	ses, ok := s.sessionFor(w, r)
+	ses, unlock, ok := s.acquireSession(w, r)
 	if !ok {
 		return
 	}
+	defer unlock()
 	edits, wires, err := decodeEdits(r.Body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-
-	unlock := lockSession(ses)
-	defer unlock()
 	if err := r.Context().Err(); err != nil {
 		writeError(w, http.StatusRequestTimeout, "request expired waiting for the session: "+err.Error())
 		return
@@ -617,10 +632,11 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
-	ses, ok := s.sessionFor(w, r)
+	ses, unlock, ok := s.acquireSession(w, r)
 	if !ok {
 		return
 	}
+	defer unlock()
 	// Test-only drill for the panic-recovery middleware (one atomic
 	// load when unarmed): arming this site with a Panic fault simulates
 	// a handler bug escaping to withRecovery.
@@ -647,8 +663,6 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	}
 	includeValues := q.Get("values") == "1" || q.Get("values") == "true"
 
-	unlock := lockSession(ses)
-	defer unlock()
 	flushMs, err := s.flushLocked(r.Context(), ses)
 	if err != nil {
 		s.writeComputeError(w, ses.id, "flush", err)
@@ -700,10 +714,11 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
-	ses, ok := s.sessionFor(w, r)
+	ses, unlock, ok := s.acquireSession(w, r)
 	if !ok {
 		return
 	}
+	defer unlock()
 	nTheta, err := queryInt(r, "ntheta", 72)
 	if err != nil || nTheta < 4 || nTheta > 1024 {
 		writeError(w, http.StatusBadRequest, "ntheta must be an integer in [4, 1024]")
@@ -729,8 +744,6 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 		threshold = &v
 	}
 
-	unlock := lockSession(ses)
-	defer unlock()
 	flushMs, err := s.flushLocked(r.Context(), ses)
 	if err != nil {
 		s.writeComputeError(w, ses.id, "flush", err)

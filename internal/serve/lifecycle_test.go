@@ -1,0 +1,337 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"tsvstress/internal/geom"
+	"tsvstress/internal/material"
+	"tsvstress/internal/wal"
+)
+
+// fetchBundle GETs a session export and decodes it.
+func fetchBundle(t *testing.T, c *http.Client, url string) *wal.Bundle {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export: status %d: %s", resp.StatusCode, raw)
+	}
+	b, err := wal.DecodeBundle(raw)
+	if err != nil {
+		t.Fatalf("export bundle does not decode: %v", err)
+	}
+	return b
+}
+
+// importBundle POSTs an encoded bundle to a server's import endpoint.
+func importBundle(t *testing.T, c *http.Client, url string, b *wal.Bundle) *http.Response {
+	t.Helper()
+	resp, err := c.Post(url, "application/octet-stream", bytes.NewReader(wal.EncodeBundle(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// applyChaosEdits drives a fixed deterministic edit history against a
+// session and mirrors it locally (rehearsed the same way the server
+// does), returning the mirror for parity checks.
+func applyChaosEdits(t *testing.T, c *http.Client, base string) *geom.Placement {
+	t.Helper()
+	mirror := mirrorPlacement()
+	minPitch := 2 * material.Baseline(material.BCB).RPrime
+	batches := [][]EditWire{
+		{{Op: "move", Index: 0, X: 3, Y: 2}},
+		{{Op: "add", X: 90, Y: 90}, {Op: "remove", Index: 5}},
+		{{Op: "move", Index: 2, X: 47, Y: 1}, {Op: "add", X: -8, Y: 50}},
+	}
+	for bi, batch := range batches {
+		for _, ew := range batch {
+			ed, err := ew.toEdit()
+			if err == nil {
+				err = ed.Apply(mirror, minPitch)
+			}
+			if err != nil {
+				t.Fatalf("mirror batch %d: %v", bi, err)
+			}
+		}
+		var er EditsResponse
+		if resp := doJSON(t, c, "POST", base+"/edits", EditsRequest{Edits: batch}, &er); resp.StatusCode != http.StatusOK {
+			t.Fatalf("edits batch %d: status %d", bi, resp.StatusCode)
+		}
+	}
+	return mirror
+}
+
+// TestMigrationParity ships a session from one replica to another via
+// export?fence=1 → import → delete and pins the migrated map to the
+// never-moved reference within 1e-9 MPa. The fence must refuse compute
+// on the source while the bundle is in flight.
+func TestMigrationParity(t *testing.T) {
+	src := NewServer(Options{WALDir: t.TempDir(), SnapshotEvery: 2})
+	tsSrc := httptest.NewServer(src.Handler())
+	defer tsSrc.Close()
+	dst := NewServer(Options{WALDir: t.TempDir(), SnapshotEvery: 2})
+	tsDst := httptest.NewServer(dst.Handler())
+	defer tsDst.Close()
+	c := tsSrc.Client()
+
+	var created CreateResponse
+	if resp := doJSON(t, c, "POST", tsSrc.URL+"/v1/placements", chaosPlacement(), &created); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	base := tsSrc.URL + "/v1/placements/" + created.ID
+	mirror := applyChaosEdits(t, c, base)
+
+	b := fetchBundle(t, c, base+"/export?fence=1")
+	if len(b.Meta) == 0 {
+		t.Fatal("bundle has no meta")
+	}
+
+	// The fence holds: the source refuses further compute with a retry
+	// hint, so a client racing the migration cannot lose an update.
+	resp := doJSON(t, c, "POST", base+"/edits",
+		EditsRequest{Edits: []EditWire{{Op: "move", Index: 1, X: 30, Y: 1}}}, nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("edit through the fence: status %d, want 409", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("fenced 409 carries no Retry-After")
+	}
+
+	// Import on the new owner under the same id, then release the source.
+	if resp := importBundle(t, c, tsDst.URL+"/v1/placements/"+created.ID+"/import", b); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("import: status %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, c, "DELETE", base, nil, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete source: status %d", resp.StatusCode)
+	}
+
+	chaosCheckParity(t, c, tsDst.URL+"/v1/placements/"+created.ID, mirror)
+
+	// A second import of the same id must be refused (409), not overwrite.
+	if resp := importBundle(t, c, tsDst.URL+"/v1/placements/"+created.ID+"/import", b); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("re-import: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestMigrationParityNoWAL migrates a session that was never durable:
+// the source synthesizes a meta+snapshot bundle from memory, and the
+// destination (also WAL-less) rebuilds it in memory.
+func TestMigrationParityNoWAL(t *testing.T) {
+	src := NewServer(Options{})
+	tsSrc := httptest.NewServer(src.Handler())
+	defer tsSrc.Close()
+	dst := NewServer(Options{})
+	tsDst := httptest.NewServer(dst.Handler())
+	defer tsDst.Close()
+	c := tsSrc.Client()
+
+	var created CreateResponse
+	if resp := doJSON(t, c, "POST", tsSrc.URL+"/v1/placements", chaosPlacement(), &created); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	mirror := applyChaosEdits(t, c, tsSrc.URL+"/v1/placements/"+created.ID)
+
+	b := fetchBundle(t, c, tsSrc.URL+"/v1/placements/"+created.ID+"/export")
+	if b.Snapshot == nil {
+		t.Fatal("synthesized bundle has no snapshot")
+	}
+	if resp := importBundle(t, c, tsDst.URL+"/v1/placements/"+created.ID+"/import", b); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("import: status %d", resp.StatusCode)
+	}
+	chaosCheckParity(t, c, tsDst.URL+"/v1/placements/"+created.ID, mirror)
+}
+
+// TestEvictionHydrationParity pins the cold-session path: with
+// MaxLiveSessions=1 the second create evicts the first session to its
+// WAL, the next request for it rehydrates through the recovery path,
+// and the rehydrated map equals the never-evicted reference.
+func TestEvictionHydrationParity(t *testing.T) {
+	srv := NewServer(Options{WALDir: t.TempDir(), SnapshotEvery: 2, MaxLiveSessions: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	var a CreateResponse
+	if resp := doJSON(t, c, "POST", ts.URL+"/v1/placements", chaosPlacement(), &a); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create a: status %d", resp.StatusCode)
+	}
+	mirror := applyChaosEdits(t, c, ts.URL+"/v1/placements/"+a.ID)
+
+	var b CreateResponse
+	if resp := doJSON(t, c, "POST", ts.URL+"/v1/placements", chaosPlacement(), &b); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create b: status %d", resp.StatusCode)
+	}
+
+	// a must now be listed as evicted, b live.
+	var list struct{ Placements []SessionInfo }
+	doJSON(t, c, "GET", ts.URL+"/v1/placements", nil, &list)
+	state := map[string]bool{}
+	for _, si := range list.Placements {
+		state[si.ID] = si.Evicted
+	}
+	if ev, ok := state[a.ID]; !ok || !ev {
+		t.Fatalf("session %s not listed evicted: %+v", a.ID, list.Placements)
+	}
+	if ev, ok := state[b.ID]; !ok || ev {
+		t.Fatalf("session %s not listed live: %+v", b.ID, list.Placements)
+	}
+
+	// An evicted session still exports — straight from disk.
+	if bundle := fetchBundle(t, c, ts.URL+"/v1/placements/"+a.ID+"/export"); len(bundle.Meta) == 0 {
+		t.Fatal("disk export has no meta")
+	}
+
+	// Touching a hydrates it (and evicts b in turn) with full parity.
+	chaosCheckParity(t, c, ts.URL+"/v1/placements/"+a.ID, mirror)
+	doJSON(t, c, "GET", ts.URL+"/v1/placements", nil, &list)
+	for _, si := range list.Placements {
+		if si.ID == b.ID && !si.Evicted {
+			t.Fatalf("session %s should have been evicted by a's hydration", b.ID)
+		}
+	}
+
+	// DELETE of an evicted session removes its WAL for good.
+	if resp := doJSON(t, c, "DELETE", ts.URL+"/v1/placements/"+b.ID, nil, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete evicted: status %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, c, "GET", ts.URL+"/v1/placements/"+b.ID+"/map", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted evicted session still resolves: status %d", resp.StatusCode)
+	}
+}
+
+// TestEvictedSessionsSurviveRestart: an evicted session is indistinguishable
+// on disk from a crashed one, so a restart recovers it.
+func TestEvictedSessionsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv := NewServer(Options{WALDir: dir, SnapshotEvery: 2, MaxLiveSessions: 1})
+	ts := httptest.NewServer(srv.Handler())
+	c := ts.Client()
+	var a CreateResponse
+	doJSON(t, c, "POST", ts.URL+"/v1/placements", chaosPlacement(), &a)
+	mirror := applyChaosEdits(t, c, ts.URL+"/v1/placements/"+a.ID)
+	var b CreateResponse
+	doJSON(t, c, "POST", ts.URL+"/v1/placements", chaosPlacement(), &b)
+	ts.Close() // SIGKILL-alike: nothing flushed beyond what Append synced
+
+	srv2 := NewServer(Options{WALDir: dir, SnapshotEvery: 2})
+	if n, err := srv2.Recover(context.Background()); err != nil || n != 2 {
+		t.Fatalf("recover: n=%d err=%v", n, err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	chaosCheckParity(t, ts2.Client(), ts2.URL+"/v1/placements/"+a.ID, mirror)
+}
+
+// TestCreateWithRequestedID covers the gateway's minted-id header.
+func TestCreateWithRequestedID(t *testing.T) {
+	srv := NewServer(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	post := func(id string) *http.Response {
+		t.Helper()
+		b := new(bytes.Buffer)
+		if err := json.NewEncoder(b).Encode(chaosPlacement()); err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest("POST", ts.URL+"/v1/placements", b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != "" {
+			req.Header.Set("X-Tsvgate-Session", id)
+		}
+		resp, err := c.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := post("s-42.alpha_X"); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("requested id: status %d", resp.StatusCode)
+	}
+	if resp := post("s-42.alpha_X"); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate id: status %d, want 409", resp.StatusCode)
+	}
+	if resp := post("bad id!"); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid id: status %d, want 422", resp.StatusCode)
+	}
+	if resp := post("p7"); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("namespace id: status %d, want 422", resp.StatusCode)
+	}
+}
+
+// TestImportRejectsGarbage: the decoder refuses junk before any state
+// is reserved.
+func TestImportRejectsGarbage(t *testing.T) {
+	srv := NewServer(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Post(ts.URL+"/v1/placements/x1/import", "application/octet-stream",
+		bytes.NewReader([]byte("not a bundle")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage import: status %d, want 400", resp.StatusCode)
+	}
+	if n := srv.NumSessions(); n != 0 {
+		t.Fatalf("garbage import left %d sessions", n)
+	}
+}
+
+// TestImportPreservesMintCounter: importing "p9" must advance the mint
+// counter so a later create cannot collide with the migrated session.
+func TestImportPreservesMintCounter(t *testing.T) {
+	src := NewServer(Options{})
+	tsSrc := httptest.NewServer(src.Handler())
+	defer tsSrc.Close()
+	c := tsSrc.Client()
+	var created CreateResponse
+	doJSON(t, c, "POST", tsSrc.URL+"/v1/placements", chaosPlacement(), &created)
+	b := fetchBundle(t, c, tsSrc.URL+"/v1/placements/"+created.ID+"/export")
+
+	dst := NewServer(Options{})
+	tsDst := httptest.NewServer(dst.Handler())
+	defer tsDst.Close()
+	if resp := importBundle(t, c, tsDst.URL+"/v1/placements/p9/import", b); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("import p9: status %d", resp.StatusCode)
+	}
+	var next CreateResponse
+	doJSON(t, c, "POST", tsDst.URL+"/v1/placements", chaosPlacement(), &next)
+	if next.ID == "p9" || next.ID == "" {
+		t.Fatalf("minted id %q collides with the imported session", next.ID)
+	}
+	if _, n := parseMustID(t, next.ID); n <= 9 {
+		t.Fatalf("mint counter did not advance past the import: minted %q", next.ID)
+	}
+}
+
+func parseMustID(t *testing.T, id string) (string, int) {
+	t.Helper()
+	n, ok := parseSessionID(id)
+	if !ok {
+		t.Fatalf("id %q is not in the p<n> namespace", id)
+	}
+	return id, n
+}

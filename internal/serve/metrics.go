@@ -34,6 +34,11 @@ var (
 	metricRecovered        = new(expvar.Int)   // sessions restored by Recover
 	metricClusterFlushes   = new(expvar.Int)   // flushes routed through the cluster tier
 	metricClusterFallbacks = new(expvar.Int)   // cluster flushes that fell back to local eval
+	metricEvictions        = new(expvar.Int)   // cold sessions checkpointed out of memory
+	metricHydrations       = new(expvar.Int)   // evicted sessions rebuilt on demand
+	metricExports          = new(expvar.Int)   // session bundles shipped out
+	metricImports          = new(expvar.Int)   // session bundles taken in
+	metricEvictedSessions  = new(expvar.Int)   // sessions currently on disk only
 	// Per-endpoint request accounting, keyed by route name ("create",
 	// "edits", "map", "screen", "aging"): cumulative request counts and
 	// a live in-flight gauge per route, so a dashboard can tell a stuck
@@ -73,6 +78,11 @@ func init() {
 	m.Set("session_queue_depth", expvar.Func(sessionQueueDepths))
 	m.Set("cluster_flushes_total", metricClusterFlushes)
 	m.Set("cluster_fallbacks_total", metricClusterFallbacks)
+	m.Set("evictions_total", metricEvictions)
+	m.Set("hydrations_total", metricHydrations)
+	m.Set("exports_total", metricExports)
+	m.Set("imports_total", metricImports)
+	m.Set("evicted_sessions", metricEvictedSessions)
 	m.Set("endpoint_requests_total", metricEndpointRequests)
 	m.Set("endpoint_in_flight", metricEndpointInFlight)
 	m.Set("cluster", expvar.Func(clusterSnapshot))

@@ -71,6 +71,8 @@ func marshalSnapshot(pl *geom.Placement) ([]byte, error) {
 	return json.Marshal(snapshotRecord{TSVs: wireTSVs(pl)})
 }
 
+func marshalMeta(m metaRecord) ([]byte, error) { return json.Marshal(m) }
+
 // parseSessionID extracts the numeric part of a "p<n>" session id.
 func parseSessionID(id string) (int, bool) {
 	rest, ok := strings.CutPrefix(id, "p")
@@ -159,12 +161,20 @@ func (s *Server) recoverSession(ctx context.Context, id string) (*session, error
 	if err != nil {
 		return nil, err
 	}
-	keepLog := false
-	defer func() {
-		if !keepLog {
-			_ = log.Close()
-		}
-	}()
+	ses, err := s.buildSession(ctx, id, rec, log)
+	if err != nil {
+		_ = log.Close()
+		return nil, err
+	}
+	return ses, nil
+}
+
+// buildSession reconstructs a session from recovered WAL state — the
+// shared spine of crash recovery, cold-session hydration and bundle
+// import (lifecycle.go). log may be nil (an import on a replica
+// without durability). On error the caller owns closing log; on
+// success the session owns it.
+func (s *Server) buildSession(ctx context.Context, id string, rec *wal.Recovered, log *wal.Log) (*session, error) {
 	var meta metaRecord
 	if err := json.Unmarshal(rec.Meta, &meta); err != nil {
 		return nil, fmt.Errorf("meta: %w", err)
@@ -202,6 +212,7 @@ func (s *Server) recoverSession(ctx context.Context, id string) (*session, error
 		liner:   linerName,
 		mode:    modeName,
 		created: meta.Created,
+		meta:    meta,
 		log:     log,
 	}
 	s.attachCluster(ses)
@@ -214,7 +225,6 @@ func (s *Server) recoverSession(ctx context.Context, id string) (*session, error
 		var jr journalRecord
 		if err := json.Unmarshal(r.Payload, &jr); err != nil {
 			ses.quarantined = fmt.Sprintf("replay: record %d: %v", r.Seq, err)
-			keepLog = true
 			return ses, nil
 		}
 		for i, ew := range jr.Edits {
@@ -224,7 +234,6 @@ func (s *Server) recoverSession(ctx context.Context, id string) (*session, error
 			}
 			if err != nil {
 				ses.quarantined = fmt.Sprintf("replay: record %d edit %d: %v", r.Seq, i, err)
-				keepLog = true
 				return ses, nil
 			}
 		}
@@ -234,9 +243,7 @@ func (s *Server) recoverSession(ctx context.Context, id string) (*session, error
 			return nil, err
 		}
 		ses.quarantined = "replay flush: " + err.Error()
-		keepLog = true
 		return ses, nil
 	}
-	keepLog = true
 	return ses, nil
 }

@@ -96,6 +96,14 @@ type Options struct {
 	// responses carry the X-Tsvserve-Degraded header and heal on the
 	// next un-pressured request.
 	ShedQueueDepth int
+	// MaxLiveSessions bounds the sessions holding a live engine in
+	// memory (0 disables eviction). Requires WALDir: when a create,
+	// import or hydration would exceed the bound, the least-recently
+	// flushed durable session is evicted — final snapshot, journal
+	// closed, engine released — and transparently rehydrated from its
+	// WAL on the next request. MaxSessions still bounds the total
+	// (live + evicted).
+	MaxLiveSessions int
 	// ClusterWorkers lists tsvworker addresses (host:port). When
 	// non-empty, session flushes evaluate their dirty tiles across the
 	// cluster tier (internal/cluster) instead of in-process; WAL,
@@ -166,6 +174,13 @@ type Server struct {
 	// the session's journal, before anything is visible to requests.
 	reserved int
 	nextID   int
+	// evicted names sessions whose engine was released to disk
+	// (lifecycle.go): their WAL directory is the session until a
+	// request hydrates it back. Guarded by mu.
+	evicted map[string]bool
+	// hydrating serializes rehydration per session id: the first
+	// request builds, later ones wait on the channel. Guarded by mu.
+	hydrating map[string]chan struct{}
 }
 
 // session is one live placement: an engine plus the bookkeeping the
@@ -180,6 +195,23 @@ type session struct {
 	liner   string
 	mode    string
 	created time.Time
+	// meta is the session's birth certificate (the normalized create
+	// request), kept in memory so a session without a WAL can still be
+	// exported (lifecycle.go synthesizes its bundle from it).
+	meta metaRecord
+	// lastUsed is the unix-nano time of the last compute access — the
+	// LRU key eviction ranks by. Atomic so the eviction scan can read
+	// it without taking every session's lock.
+	lastUsed atomic.Int64
+	// evicted flips once lifecycle.go released this session's engine:
+	// a request that raced the eviction (holding a stale *session)
+	// must re-resolve instead of computing against a closed journal.
+	// Guarded by mu.
+	evicted bool
+	// migrating is the export fence: set by export?fence=1, it refuses
+	// further compute on this replica while the gateway ships the
+	// session elsewhere. Guarded by mu.
+	migrating bool
 
 	// log is the session's WAL (nil when durability is disabled);
 	// operated under mu.
@@ -205,7 +237,12 @@ type session struct {
 // (its heartbeats register workers as they come up; an empty fleet
 // degrades to local evaluation per session, it does not fail startup).
 func NewServer(opt Options) *Server {
-	s := &Server{opt: opt.withDefaults(), sessions: make(map[string]*session)}
+	s := &Server{
+		opt:       opt.withDefaults(),
+		sessions:  make(map[string]*session),
+		evicted:   make(map[string]bool),
+		hydrating: make(map[string]chan struct{}),
+	}
 	if len(s.opt.ClusterWorkers) > 0 {
 		if coord, err := cluster.NewCoordinator(s.opt.ClusterWorkers, cluster.CoordinatorOptions{}); err == nil {
 			s.coord = coord
@@ -259,6 +296,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/placements/{id}/map", s.instrument("map", s.handleMap))
 	mux.HandleFunc("GET /v1/placements/{id}/screen", s.instrument("screen", s.handleScreen))
 	mux.HandleFunc("POST /v1/placements/{id}/aging", s.instrument("aging", s.handleAging))
+	mux.HandleFunc("GET /v1/placements/{id}/export", s.handleExport)
+	mux.HandleFunc("POST /v1/placements/{id}/import", s.instrument("import", s.handleImport))
 	mux.HandleFunc("DELETE /v1/placements/{id}", s.handleDelete)
 	mux.Handle("GET /debug/vars", expvarHandler())
 	mux.Handle("GET /debug/pprof/", prof.Handler())
@@ -425,22 +464,6 @@ func (s *Server) retryAfterSeconds() int {
 	return secs
 }
 
-// getSession looks up a session by the request's {id} path value,
-// rejecting quarantined sessions (the caller maps the error to a 503).
-func (s *Server) getSession(r *http.Request) (*session, error) {
-	id := r.PathValue("id")
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ses, ok := s.sessions[id]
-	if !ok {
-		return nil, fmt.Errorf("unknown placement %q", id)
-	}
-	if ses.quarantined != "" {
-		return nil, &quarantinedError{id: id, reason: ses.quarantined}
-	}
-	return ses, nil
-}
-
 // quarantinedError distinguishes "session exists but is fenced off"
 // from "no such session" so the handler can answer 503, not 404.
 type quarantinedError struct {
@@ -455,20 +478,97 @@ func (e *quarantinedError) Error() string {
 // reserveID allocates a session id and holds a MaxSessions slot for it
 // without making anything visible: no request can observe the session
 // until publishSession runs, by which point its journal (when
-// durability is on) is already open.
-func (s *Server) reserveID() (string, error) {
+// durability is on) is already open. A non-empty requested id (the
+// gateway's routing key, or an import) is used verbatim after
+// validation; otherwise the server mints the next "p<n>" id.
+func (s *Server) reserveID(requested string) (string, error) {
+	if requested != "" {
+		if err := validateSessionID(requested); err != nil {
+			return "", err
+		}
+		// The server's own p<n> namespace is fenced off from requested
+		// ids, so a client-chosen id can never collide with a minted one.
+		if _, ok := parseSessionID(requested); ok {
+			return "", &invalidIDError{msg: fmt.Sprintf(
+				"session id %q collides with the server's p<n> namespace", requested)}
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.sessions)+s.reserved >= s.opt.MaxSessions {
+	if len(s.sessions)+len(s.evicted)+s.reserved >= s.opt.MaxSessions {
 		return "", fmt.Errorf("session limit %d reached; DELETE an existing placement first", s.opt.MaxSessions)
+	}
+	if requested != "" {
+		if _, ok := s.sessions[requested]; ok || s.evicted[requested] {
+			return "", &idTakenError{id: requested}
+		}
+		s.reserved++
+		return requested, nil
 	}
 	s.reserved++
 	s.nextID++
 	return "p" + strconv.Itoa(s.nextID), nil
 }
 
+// reserveImported reserves an explicitly shipped session id. Unlike
+// reserveID it admits the server's own p<n> namespace — a session
+// minted on one replica keeps its id when it migrates — advancing the
+// mint counter past it so a future create can never collide with it.
+func (s *Server) reserveImported(id string) error {
+	if err := validateSessionID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.sessions)+len(s.evicted)+s.reserved >= s.opt.MaxSessions {
+		return fmt.Errorf("session limit %d reached; DELETE an existing placement first", s.opt.MaxSessions)
+	}
+	if _, ok := s.sessions[id]; ok || s.evicted[id] {
+		return &idTakenError{id: id}
+	}
+	if n, ok := parseSessionID(id); ok && n > s.nextID {
+		s.nextID = n
+	}
+	s.reserved++
+	return nil
+}
+
+// idTakenError distinguishes "requested id already exists" (409) from
+// capacity exhaustion (429).
+type idTakenError struct{ id string }
+
+func (e *idTakenError) Error() string {
+	return fmt.Sprintf("placement %q already exists on this replica", e.id)
+}
+
+// invalidIDError marks a requested session id the server refuses on
+// its face (charset, length, namespace) — a client error (422), not
+// capacity exhaustion (429).
+type invalidIDError struct{ msg string }
+
+func (e *invalidIDError) Error() string { return e.msg }
+
+// validateSessionID vets an externally supplied session id: it becomes
+// a WAL directory name and a URL path segment, so the charset is
+// conservative.
+func validateSessionID(id string) error {
+	if len(id) == 0 || len(id) > 64 {
+		return &invalidIDError{msg: fmt.Sprintf("session id must be 1-64 characters, got %d", len(id))}
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || (c == '.' && i > 0) {
+			continue
+		}
+		return &invalidIDError{msg: fmt.Sprintf("session id %q has invalid character %q", id, c)}
+	}
+	return nil
+}
+
 // publishSession makes a reserved session visible to requests.
 func (s *Server) publishSession(id string, ses *session) {
+	ses.lastUsed.Store(time.Now().UnixNano())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.reserved--
@@ -490,6 +590,15 @@ func (s *Server) dropSession(id string) bool {
 	s.mu.Lock()
 	ses, ok := s.sessions[id]
 	if !ok {
+		// An evicted session is just its WAL directory; deleting it is
+		// deleting the directory.
+		if s.evicted[id] {
+			delete(s.evicted, id)
+			metricEvictedSessions.Set(int64(len(s.evicted)))
+			s.mu.Unlock()
+			_ = wal.Remove(s.sessionDir(id))
+			return true
+		}
 		s.mu.Unlock()
 		return false
 	}

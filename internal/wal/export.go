@@ -1,0 +1,216 @@
+package wal
+
+// Session export/rehydration: the WAL directory — meta, snapshot,
+// journal tail — serialized into one self-delimiting byte bundle that
+// can travel over HTTP. This is the unit of session mobility in the
+// gateway tier (DESIGN.md §19): the owning replica Exports, the
+// gateway ships the bytes, the new owner Rehydrates and replays
+// through the exact recovery path a crash would use, so a migrated
+// session cannot diverge from a recovered one.
+//
+// Because Snapshot compacts the journal (only records after the
+// snapshot survive on disk), a bundle's size is bounded by one
+// snapshot plus at most SnapshotEvery journal records regardless of
+// session age — the plateau the regression test pins.
+//
+// Wire format, reusing the journal's CRC frame:
+//
+//	bundle  := magic(8) | section...
+//	section := tag(1) | frame
+//	tag     := 'M' (meta, exactly one, first)
+//	         | 'S' (snapshot, at most one, before any 'R')
+//	         | 'R' (journal record, ascending seq)
+//
+// Every frame carries its own length and CRC, so a truncated or
+// bit-flipped bundle fails decode instead of rehydrating silently
+// wrong (FuzzDecodeBundle pins no-panic on arbitrary input).
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// bundleMagic versions the export wire format.
+var bundleMagic = [8]byte{'T', 'S', 'V', 'B', 'N', 'D', 'L', '1'}
+
+// MaxBundleBytes caps a decoded bundle's total size (a corrupt length field
+// must not OOM the importer).
+const MaxBundleBytes = 1 << 28 // 256 MiB
+
+// Bundle is one session's portable state: everything Open would
+// recover from the session directory.
+type Bundle struct {
+	// Meta is the create-time record payload (required).
+	Meta []byte
+	// SnapshotSeq/Snapshot mirror Recovered: the latest checkpoint and
+	// its journal position (Snapshot nil when none was ever written).
+	SnapshotSeq uint64
+	Snapshot    []byte
+	// Records are the journal records after the snapshot, ascending.
+	Records []Record
+}
+
+// LastSeq returns the sequence number rehydration will resume from:
+// the last record's, else the snapshot's.
+func (b *Bundle) LastSeq() uint64 {
+	if n := len(b.Records); n > 0 {
+		return b.Records[n-1].Seq
+	}
+	return b.SnapshotSeq
+}
+
+// Export reads a session directory into a Bundle without disturbing
+// it: the journal is parsed with the same torn-tail tolerance as Open,
+// but nothing is truncated or opened for append — the owning Log (if
+// any) keeps working. The caller serializes against concurrent
+// appends (the serving layer holds the session mutex).
+func Export(dir string) (*Bundle, error) {
+	rawMeta, err := os.ReadFile(filepath.Join(dir, metaName))
+	if err != nil {
+		return nil, fmt.Errorf("wal: export %s: %w", dir, err)
+	}
+	_, meta, rest, err := parseFrame(rawMeta)
+	if err != nil || len(rest) != 0 {
+		return nil, fmt.Errorf("wal: export %s: corrupt meta record: %v", dir, err)
+	}
+	b := &Bundle{Meta: meta}
+
+	if rawSnap, err := os.ReadFile(filepath.Join(dir, snapName)); err == nil {
+		seq, payload, rest, err := parseFrame(rawSnap)
+		if err != nil || len(rest) != 0 {
+			return nil, fmt.Errorf("wal: export %s: corrupt snapshot: %v", dir, err)
+		}
+		b.SnapshotSeq, b.Snapshot = seq, payload
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("wal: export snapshot: %w", err)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		return nil, fmt.Errorf("wal: export journal: %w", err)
+	}
+	lastSeq := b.SnapshotSeq
+	for buf := raw; len(buf) > 0; {
+		seq, payload, rest, err := parseFrame(buf)
+		if err != nil {
+			break // torn tail: everything before it ships
+		}
+		if seq > lastSeq {
+			b.Records = append(b.Records, Record{Seq: seq, Payload: payload})
+			lastSeq = seq
+		} else if len(b.Records) > 0 {
+			break // sequence went backwards mid-file
+		}
+		buf = rest
+	}
+	return b, nil
+}
+
+// Rehydrate materializes a bundle as a fresh session directory laid
+// out exactly as Create+Append+Snapshot would have left it, ready for
+// Open. The directory must not already hold a session.
+func Rehydrate(dir string, b *Bundle) error {
+	if len(b.Meta) == 0 {
+		return errors.New("wal: rehydrate: bundle has no meta record")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("wal: rehydrate %s: %w", dir, err)
+	}
+	metaPath := filepath.Join(dir, metaName)
+	if _, err := os.Stat(metaPath); err == nil {
+		return fmt.Errorf("wal: rehydrate: %s already holds a session", dir)
+	}
+	if b.Snapshot != nil {
+		if err := writeFileSynced(filepath.Join(dir, snapName), frame(b.SnapshotSeq, b.Snapshot)); err != nil {
+			return err
+		}
+	}
+	var journal []byte
+	for _, r := range b.Records {
+		journal = append(journal, frame(r.Seq, r.Payload)...)
+	}
+	if err := writeFileSynced(filepath.Join(dir, journalName), journal); err != nil {
+		return err
+	}
+	// Meta last: its presence is what marks the directory as holding a
+	// session, so a crash mid-rehydrate leaves a directory Open refuses
+	// (and a retry can clear) rather than a half-session it would trust.
+	if err := writeFileSynced(metaPath, frame(0, b.Meta)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// EncodeBundle serializes a bundle to its wire form.
+func EncodeBundle(b *Bundle) []byte {
+	var buf bytes.Buffer
+	buf.Write(bundleMagic[:])
+	buf.WriteByte('M')
+	buf.Write(frame(0, b.Meta))
+	if b.Snapshot != nil {
+		buf.WriteByte('S')
+		buf.Write(frame(b.SnapshotSeq, b.Snapshot))
+	}
+	for _, r := range b.Records {
+		buf.WriteByte('R')
+		buf.Write(frame(r.Seq, r.Payload))
+	}
+	return buf.Bytes()
+}
+
+// DecodeBundle parses a wire-form bundle, validating structure (tag
+// order, ascending sequence numbers) and every frame's CRC. It never
+// panics on malformed input.
+func DecodeBundle(raw []byte) (*Bundle, error) {
+	if len(raw) > MaxBundleBytes {
+		return nil, fmt.Errorf("wal: bundle of %d bytes exceeds the %d cap", len(raw), MaxBundleBytes)
+	}
+	if len(raw) < len(bundleMagic) || !bytes.Equal(raw[:len(bundleMagic)], bundleMagic[:]) {
+		return nil, errors.New("wal: not a session bundle (bad magic)")
+	}
+	buf := raw[len(bundleMagic):]
+	b := &Bundle{}
+	sawMeta, sawSnap := false, false
+	lastSeq := uint64(0)
+	for len(buf) > 0 {
+		tag := buf[0]
+		seq, payload, rest, err := parseFrame(buf[1:])
+		if err != nil {
+			return nil, fmt.Errorf("wal: bundle section %q: %w", tag, err)
+		}
+		switch tag {
+		case 'M':
+			if sawMeta {
+				return nil, errors.New("wal: bundle has two meta sections")
+			}
+			sawMeta = true
+			b.Meta = payload
+		case 'S':
+			if !sawMeta || sawSnap || len(b.Records) > 0 {
+				return nil, errors.New("wal: bundle snapshot out of order")
+			}
+			sawSnap = true
+			b.SnapshotSeq, b.Snapshot = seq, payload
+			lastSeq = seq
+		case 'R':
+			if !sawMeta {
+				return nil, errors.New("wal: bundle record before meta")
+			}
+			if seq <= lastSeq {
+				return nil, fmt.Errorf("wal: bundle record seq %d not above %d", seq, lastSeq)
+			}
+			b.Records = append(b.Records, Record{Seq: seq, Payload: payload})
+			lastSeq = seq
+		default:
+			return nil, fmt.Errorf("wal: bundle has unknown section tag %q", tag)
+		}
+		buf = rest
+	}
+	if !sawMeta {
+		return nil, errors.New("wal: bundle has no meta section")
+	}
+	return b, nil
+}

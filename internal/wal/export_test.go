@@ -1,0 +1,183 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// mustExport exports a session directory or fails the test.
+func mustExport(t *testing.T, dir string) *Bundle {
+	t.Helper()
+	b, err := Export(dir)
+	if err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	return b
+}
+
+func TestExportRehydrateRoundTrip(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "src")
+	l := mustCreate(t, src, []byte("meta-blob"))
+	for i := 1; i <= 3; i++ {
+		mustAppend(t, l, fmt.Sprintf("batch-%d", i))
+	}
+	if err := l.Snapshot([]byte("snap-at-3")); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	for i := 4; i <= 5; i++ {
+		mustAppend(t, l, fmt.Sprintf("batch-%d", i))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	b := mustExport(t, src)
+	if string(b.Meta) != "meta-blob" || string(b.Snapshot) != "snap-at-3" || b.SnapshotSeq != 3 {
+		t.Fatalf("bundle = %+v", b)
+	}
+	if len(b.Records) != 2 || b.Records[0].Seq != 4 || b.Records[1].Seq != 5 {
+		t.Fatalf("records = %+v", b.Records)
+	}
+	if b.LastSeq() != 5 {
+		t.Fatalf("LastSeq = %d, want 5", b.LastSeq())
+	}
+
+	// Ship over the wire and back.
+	decoded, err := DecodeBundle(EncodeBundle(b))
+	if err != nil {
+		t.Fatalf("DecodeBundle: %v", err)
+	}
+
+	// Rehydrate on the "new owner" and recover through the normal path.
+	dst := filepath.Join(t.TempDir(), "dst")
+	if err := Rehydrate(dst, decoded); err != nil {
+		t.Fatalf("Rehydrate: %v", err)
+	}
+	l2, rec, err := Open(dst)
+	if err != nil {
+		t.Fatalf("Open rehydrated: %v", err)
+	}
+	if string(rec.Meta) != "meta-blob" || string(rec.Snapshot) != "snap-at-3" || rec.SnapshotSeq != 3 {
+		t.Fatalf("recovered = %+v", rec)
+	}
+	if len(rec.Records) != 2 || string(rec.Records[1].Payload) != "batch-5" {
+		t.Fatalf("recovered records = %+v", rec.Records)
+	}
+	// The rehydrated log keeps journaling from the shipped position.
+	if seq := mustAppend(t, l2, "batch-6"); seq != 6 {
+		t.Fatalf("post-rehydrate seq = %d, want 6", seq)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatalf("Close rehydrated: %v", err)
+	}
+}
+
+func TestExportNoSnapshot(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "p")
+	l := mustCreate(t, dir, []byte("m"))
+	mustAppend(t, l, "only")
+	l.Close()
+	b := mustExport(t, dir)
+	if b.Snapshot != nil || b.SnapshotSeq != 0 || len(b.Records) != 1 {
+		t.Fatalf("bundle = %+v", b)
+	}
+	dst := filepath.Join(t.TempDir(), "dst")
+	if err := Rehydrate(dst, b); err != nil {
+		t.Fatalf("Rehydrate: %v", err)
+	}
+	if _, rec, err := Open(dst); err != nil || rec.Snapshot != nil || len(rec.Records) != 1 {
+		t.Fatalf("Open: rec=%+v err=%v", nil, err)
+	}
+}
+
+func TestRehydrateRejectsExistingSession(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "p")
+	l := mustCreate(t, dir, []byte("m"))
+	l.Close()
+	b := &Bundle{Meta: []byte("other")}
+	if err := Rehydrate(dir, b); err == nil {
+		t.Fatal("Rehydrate over an existing session succeeded")
+	}
+}
+
+// TestExportSizePlateaus is the journal-compaction regression: a
+// long-lived session's shipped hydration payload must be bounded by
+// one snapshot plus at most snapEvery journal records — not grow with
+// session age. Without the compaction Snapshot performs, the export
+// would grow linearly and this test fails.
+func TestExportSizePlateaus(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "p")
+	l := mustCreate(t, dir, []byte("meta"))
+	const snapEvery, rounds = 8, 30
+	payload := bytes.Repeat([]byte("e"), 200) // one edit batch's worth
+	snap := bytes.Repeat([]byte("s"), 500)    // one placement snapshot's worth
+
+	var maxAfterFirstSnap, firstPlateau int
+	batches := 0
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < snapEvery; i++ {
+			mustAppend(t, l, string(payload))
+			batches++
+		}
+		if err := l.Snapshot(snap); err != nil {
+			t.Fatalf("Snapshot round %d: %v", r, err)
+		}
+		size := len(EncodeBundle(mustExport(t, dir)))
+		if r == 0 {
+			firstPlateau = size
+		}
+		if size > maxAfterFirstSnap {
+			maxAfterFirstSnap = size
+		}
+	}
+	l.Close()
+	if batches != snapEvery*rounds {
+		t.Fatalf("appended %d batches", batches)
+	}
+	// 30 rounds × 8 batches = 240 batches journaled in total; the
+	// export right after a snapshot must stay exactly at the first
+	// round's plateau (snapshot + empty journal), not scale with age.
+	if maxAfterFirstSnap != firstPlateau {
+		t.Fatalf("export size grew: first plateau %d bytes, later max %d bytes", firstPlateau, maxAfterFirstSnap)
+	}
+	// And mid-cycle exports are bounded by plateau + snapEvery records.
+	bound := firstPlateau + snapEvery*(len(payload)+headerSize+seqSize+1)
+	if maxAfterFirstSnap > bound {
+		t.Fatalf("export exceeds bound: %d > %d", maxAfterFirstSnap, bound)
+	}
+}
+
+func TestDecodeBundleRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTMAGIC........"),
+		append(bundleMagic[:], 'X', 0, 0, 0, 0),
+		bundleMagic[:], // magic but no meta
+	}
+	for i, raw := range cases {
+		if _, err := DecodeBundle(raw); err == nil {
+			t.Errorf("case %d: garbage decoded", i)
+		}
+	}
+	// Record before meta.
+	bad := append([]byte{}, bundleMagic[:]...)
+	bad = append(bad, 'R')
+	bad = append(bad, frame(1, []byte("x"))...)
+	if _, err := DecodeBundle(bad); err == nil {
+		t.Error("record-before-meta decoded")
+	}
+	// Non-ascending record seqs.
+	bad = append([]byte{}, bundleMagic[:]...)
+	bad = append(bad, 'M')
+	bad = append(bad, frame(0, []byte("m"))...)
+	bad = append(bad, 'R')
+	bad = append(bad, frame(2, []byte("a"))...)
+	bad = append(bad, 'R')
+	bad = append(bad, frame(2, []byte("b"))...)
+	if _, err := DecodeBundle(bad); err == nil {
+		t.Error("non-ascending seq decoded")
+	}
+}

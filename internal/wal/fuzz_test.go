@@ -1,0 +1,51 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeBundle pins the session export/import decoder: arbitrary
+// bytes must never panic, and any input that decodes must re-encode to
+// a bundle that decodes to the same state (the gateway trusts this on
+// every migration).
+func FuzzDecodeBundle(f *testing.F) {
+	// A well-formed bundle with snapshot and records.
+	full := EncodeBundle(&Bundle{
+		Meta:        []byte(`{"tsvs":[{"x":0,"y":0}]}`),
+		SnapshotSeq: 3,
+		Snapshot:    []byte(`{"tsvs":[{"x":1,"y":0}]}`),
+		Records: []Record{
+			{Seq: 4, Payload: []byte(`{"edits":[{"op":"add","x":9,"y":9}]}`)},
+			{Seq: 5, Payload: []byte(`{"edits":[{"op":"remove","index":0}]}`)},
+		},
+	})
+	f.Add(full)
+	f.Add(EncodeBundle(&Bundle{Meta: []byte("m")}))
+	f.Add(full[:len(full)-3]) // truncated tail
+	f.Add([]byte("TSVBNDL1"))
+	f.Add([]byte(nil))
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)/2] ^= 0x40 // bit flip mid-frame
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		b, err := DecodeBundle(raw)
+		if err != nil {
+			return
+		}
+		again, err := DecodeBundle(EncodeBundle(b))
+		if err != nil {
+			t.Fatalf("re-encode of a decoded bundle failed to decode: %v", err)
+		}
+		if !bytes.Equal(again.Meta, b.Meta) || !bytes.Equal(again.Snapshot, b.Snapshot) ||
+			again.SnapshotSeq != b.SnapshotSeq || len(again.Records) != len(b.Records) {
+			t.Fatalf("round trip diverged: %+v != %+v", again, b)
+		}
+		for i := range b.Records {
+			if again.Records[i].Seq != b.Records[i].Seq || !bytes.Equal(again.Records[i].Payload, b.Records[i].Payload) {
+				t.Fatalf("record %d diverged", i)
+			}
+		}
+	})
+}
